@@ -1,0 +1,65 @@
+// A1 — Ablation: the eps/3 internal-grid replacement in Algorithm 2
+// (Claims 7–8). Running the shifting window with internal grid eps
+// (divisor 1) or eps/2 shrinks the window and risks losing more than an
+// eps-fraction to late-created counters; divisor 3 is what the proof
+// needs. The table reports worst-case observed error per divisor over
+// adversarially ascending streams (the hard case: every counter is
+// created as late as possible).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/exact.h"
+#include "core/shifting_window.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "random/rng.h"
+#include "workload/citation_vectors.h"
+
+int main() {
+  using namespace himpact;
+
+  const double eps = 0.15;
+  const int trials = 30;
+  std::printf("A1: shifting-window internal grid ablation, target eps = %.2f,"
+              " %d adversarial instances per cell\n\n",
+              eps, trials);
+
+  Table table({"divisor", "window words", "worst rel err", "mean rel err",
+               "guarantee met"});
+  for (const double divisor : {1.0, 2.0, 3.0, 4.0}) {
+    std::vector<double> errors;
+    std::uint64_t words = 0;
+    Rng rng(13);
+    for (int t = 0; t < trials; ++t) {
+      VectorSpec spec;
+      spec.kind = t % 2 == 0 ? VectorKind::kZipf : VectorKind::kAllDistinct;
+      spec.n = 5000 + 1000 * static_cast<std::uint64_t>(t);
+      spec.max_value = 1u << 18;
+      AggregateStream values = MakeVector(spec, rng);
+      ApplyOrder(values, OrderPolicy::kAscending, rng);
+
+      auto estimator = ShiftingWindowEstimator::Create(eps, divisor).value();
+      words = estimator.EstimateSpace().words;
+      for (const std::uint64_t v : values) estimator.Add(v);
+      errors.push_back(RelativeError(
+          estimator.Estimate(),
+          static_cast<double>(ExactHIndex(values))));
+    }
+    const ErrorStats stats = Summarize(errors);
+    table.NewRow()
+        .Cell(divisor, 1)
+        .Cell(words)
+        .Cell(stats.max, 4)
+        .Cell(stats.mean, 4)
+        .Cell(stats.max <= eps + 1e-9 ? "yes" : "NO");
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: divisor 3 (the paper's choice) and above always\n"
+      "meet the eps guarantee; divisor 1 may exceed it on adversarial\n"
+      "orders — that is precisely why Claims 7-8 replace eps by eps/3,\n"
+      "paying a ~3x window to keep the guarantee.\n");
+  return 0;
+}

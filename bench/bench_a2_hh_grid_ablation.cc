@@ -1,0 +1,82 @@
+// A2 — Ablation: Algorithm 8's grid dimensions. Theorem 18 uses
+// l = 2/eps^2 buckets (isolation of heavy authors via Markov + pairwise
+// hashing) and x = log(1/(eps delta)) rows (independent repetitions).
+// Sweeping each dimension down shows recall degrading — the constants
+// are not slack.
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "heavy/baseline.h"
+#include "heavy/heavy_hitters.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+
+namespace {
+
+using namespace himpact;
+
+double MeanRecall(std::size_t buckets, std::size_t rows, int trials,
+                  Rng& rng) {
+  double recall_sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    AcademicConfig config;
+    config.num_authors = 400;
+    config.max_papers = 8;
+    config.citation_mu = 0.4;
+    config.citation_sigma = 1.0;
+    const std::vector<PlantedAuthor> stars = {
+        {900001, 130, 130}, {900002, 110, 110}, {900003, 95, 95}};
+    const PaperStream papers = MakeAcademicCorpus(config, stars, rng);
+
+    HeavyHitters::Options options;
+    options.eps = 0.2;
+    options.delta = 0.05;
+    options.max_papers = 1u << 16;
+    options.num_buckets_override = buckets;
+    options.num_rows_override = rows;
+    auto sketch =
+        HeavyHitters::Create(options, static_cast<std::uint64_t>(t) * 61 + 19)
+            .value();
+    for (const PaperTuple& paper : papers) sketch.AddPaper(paper);
+
+    std::vector<std::uint64_t> reported;
+    for (const HeavyHitterReport& report : sketch.Report()) {
+      reported.push_back(report.author);
+    }
+    recall_sum += CompareSets(reported, {900001, 900002, 900003}).recall;
+  }
+  return recall_sum / trials;
+}
+
+}  // namespace
+
+int main() {
+  const int trials = 8;
+  std::printf("A2: Algorithm 8 grid ablation (3 planted stars, eps = 0.2, "
+              "%d trials per cell)\n\n",
+              trials);
+  std::printf("theorem values: l = 2/eps^2 = 50 buckets, "
+              "x = log2(1/(eps*delta)) = 7 rows\n\n");
+
+  Rng rng(14);
+  Table table({"buckets l", "rows x", "cells", "mean recall"});
+  for (const std::size_t buckets : {2ull, 8ull, 20ull, 50ull}) {
+    for (const std::size_t rows : {1ull, 3ull, 7ull}) {
+      table.NewRow()
+          .Cell(static_cast<std::uint64_t>(buckets))
+          .Cell(static_cast<std::uint64_t>(rows))
+          .Cell(static_cast<std::uint64_t>(buckets * rows))
+          .Cell(MeanRecall(buckets, rows, trials, rng), 3);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: recall rises toward 1.0 with more buckets (less\n"
+      "inter-author collision noise) and more rows (more chances for a\n"
+      "clean bucket); tiny grids (2 buckets) cram all stars together and\n"
+      "the 1-HH detectors reject the mixed sub-streams.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// A3 — Sharded processing: every estimator in the library is a linear
+// summary, so a stream split across k shards and merged must answer
+// exactly what a single instance would. This experiment verifies the
+// equivalence end to end and reports the (tiny) merge cost next to the
+// stream-processing cost it amortizes.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/cash_register.h"
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "eval/table.h"
+#include "random/rng.h"
+#include "stream/expand.h"
+#include "workload/citation_vectors.h"
+
+namespace {
+
+double MillisSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace himpact;
+
+  std::printf("A3: sharded-stream merge equivalence\n\n");
+
+  // Aggregate model: Algorithm 1 across 2..16 shards.
+  {
+    Rng rng(17);
+    VectorSpec spec;
+    spec.kind = VectorKind::kZipf;
+    spec.n = 200000;
+    spec.max_value = 1u << 20;
+    const AggregateStream values = MakeVector(spec, rng);
+
+    auto whole = ExponentialHistogramEstimator::Create(0.1, spec.n).value();
+    for (const std::uint64_t v : values) whole.Add(v);
+
+    Table table({"shards", "merged estimate", "single estimate", "equal",
+                 "merge ms"});
+    for (const std::size_t shards : {2ull, 4ull, 8ull, 16ull}) {
+      std::vector<ExponentialHistogramEstimator> estimators;
+      for (std::size_t s = 0; s < shards; ++s) {
+        estimators.push_back(
+            ExponentialHistogramEstimator::Create(0.1, spec.n).value());
+      }
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        estimators[i % shards].Add(values[i]);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t s = 1; s < shards; ++s) {
+        estimators[0].Merge(estimators[s]);
+      }
+      const double merge_ms = MillisSince(start);
+      table.NewRow()
+          .Cell(static_cast<std::uint64_t>(shards))
+          .Cell(estimators[0].Estimate(), 1)
+          .Cell(whole.Estimate(), 1)
+          .Cell(estimators[0].Estimate() == whole.Estimate() ? "yes" : "NO")
+          .Cell(merge_ms, 3);
+    }
+    table.Print();
+  }
+
+  // Cash-register model: Algorithm 5/6 across 4 shards.
+  {
+    std::printf("\ncash-register model (16 l0-samplers, 4 shards):\n");
+    Rng rng(18);
+    VectorSpec spec;
+    spec.kind = VectorKind::kZipf;
+    spec.n = 2000;
+    spec.max_value = 2000;
+    const AggregateStream totals = MakeVector(spec, rng);
+    const CashRegisterStream events =
+        ExpandToBatchedCashRegister(totals, 8.0, rng);
+
+    CashRegisterOptions options;
+    options.num_samplers_override = 16;
+    auto whole =
+        CashRegisterEstimator::Create(0.2, 0.1, spec.n, 99, options).value();
+    std::vector<CashRegisterEstimator> shards;
+    for (int s = 0; s < 4; ++s) {
+      shards.push_back(
+          CashRegisterEstimator::Create(0.2, 0.1, spec.n, 99, options)
+              .value());
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      whole.Update(events[i].paper, events[i].delta);
+      shards[i % 4].Update(events[i].paper, events[i].delta);
+    }
+    for (int s = 1; s < 4; ++s) shards[0].Merge(shards[s]);
+
+    Table table({"quantity", "merged", "single", "exact h*"});
+    table.NewRow()
+        .Cell("estimate")
+        .Cell(shards[0].Estimate(), 1)
+        .Cell(whole.Estimate(), 1)
+        .Cell(static_cast<std::uint64_t>(ExactHIndex(totals)));
+    table.Print();
+  }
+
+  std::printf(
+      "\nexpected shape: merged and single-instance estimates are\n"
+      "bit-identical for every shard count; merging costs milliseconds\n"
+      "(it is just adding counters / one-sparse cells).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// A4 — Why tailored beats generic: H-index via a KLL quantile sketch
+// (additive eps*n rank error) versus the paper's Algorithms 1/2
+// (multiplicative (1-eps) error), at matched space. When h* << n — the
+// typical heavy-tailed case — the quantile route's relative error blows
+// up while the histograms stay within eps.
+
+#include <cstdio>
+
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "core/quantile_baseline.h"
+#include "core/shifting_window.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "random/rng.h"
+#include "workload/citation_vectors.h"
+
+int main() {
+  using namespace himpact;
+
+  const double eps = 0.1;
+  std::printf("A4: tailored histograms vs generic quantile sketch, "
+              "eps = %.2f (histograms)\n\n",
+              eps);
+
+  Table table({"n", "h*/n", "exact h*", "alg2 rel err", "alg2 words",
+               "kll rel err", "kll words"});
+  Rng rng(19);
+  for (const std::uint64_t target_ratio : {2ull, 10ull, 50ull, 250ull}) {
+    // Planted h* = n / target_ratio: the smaller h*/n, the harsher the
+    // additive rank error is in relative terms.
+    VectorSpec spec;
+    spec.kind = VectorKind::kPlanted;
+    spec.n = 100000;
+    spec.target_h = spec.n / target_ratio;
+    AggregateStream values = MakeVector(spec, rng);
+    ApplyOrder(values, OrderPolicy::kRandom, rng);
+    const double truth = static_cast<double>(ExactHIndex(values));
+
+    auto window = ShiftingWindowEstimator::Create(eps).value();
+    for (const std::uint64_t v : values) window.Add(v);
+
+    // Match the KLL budget to the window's word count.
+    const std::size_t k = window.EstimateSpace().words;
+    auto quantile =
+        QuantileHIndexBaseline::Create(std::max<std::size_t>(8, k), 20)
+            .value();
+    for (const std::uint64_t v : values) quantile.Add(v);
+
+    table.NewRow()
+        .Cell(spec.n)
+        .Cell(1.0 / static_cast<double>(target_ratio), 3)
+        .Cell(truth, 0)
+        .Cell(RelativeError(window.Estimate(), truth), 4)
+        .Cell(window.EstimateSpace().words)
+        .Cell(RelativeError(quantile.Estimate(), truth), 4)
+        .Cell(quantile.EstimateSpace().words);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: alg2's relative error stays <= eps at every\n"
+      "h*/n; the quantile baseline is competitive when h* ~ n/2 but its\n"
+      "additive eps*n rank error makes the relative error explode as\n"
+      "h*/n shrinks — the reason the paper builds tailored estimators\n"
+      "rather than reusing quantile machinery.\n");
+  return 0;
+}

@@ -1,0 +1,184 @@
+// F2 — Throughput of every estimator (google-benchmark): items/second of
+// the streaming Add/Update paths as a function of eps. Run in Release
+// for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cash_register.h"
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "core/random_order.h"
+#include "core/shifting_window.h"
+#include "core/sliding_window_hindex.h"
+#include "hash/k_independent.h"
+#include "heavy/heavy_hitters.h"
+#include "sketch/dgim.h"
+#include "sketch/l0_sampler.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+#include "workload/citation_vectors.h"
+
+namespace {
+
+using namespace himpact;
+
+AggregateStream SharedValues() {
+  static const AggregateStream* values = [] {
+    Rng rng(1);
+    VectorSpec spec;
+    spec.kind = VectorKind::kZipf;
+    spec.n = 1 << 16;
+    spec.max_value = 1u << 20;
+    return new AggregateStream(MakeVector(spec, rng));
+  }();
+  return *values;
+}
+
+void BM_ExactIncremental(benchmark::State& state) {
+  const AggregateStream values = SharedValues();
+  for (auto _ : state) {
+    IncrementalExactHIndex estimator;
+    for (const std::uint64_t v : values) estimator.Add(v);
+    benchmark::DoNotOptimize(estimator.HIndex());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_ExactIncremental);
+
+void BM_ExponentialHistogram(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  const AggregateStream values = SharedValues();
+  for (auto _ : state) {
+    auto estimator =
+        ExponentialHistogramEstimator::Create(eps, values.size()).value();
+    for (const std::uint64_t v : values) estimator.Add(v);
+    benchmark::DoNotOptimize(estimator.Estimate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_ExponentialHistogram)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_ShiftingWindow(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  const AggregateStream values = SharedValues();
+  for (auto _ : state) {
+    auto estimator = ShiftingWindowEstimator::Create(eps).value();
+    for (const std::uint64_t v : values) estimator.Add(v);
+    benchmark::DoNotOptimize(estimator.Estimate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_ShiftingWindow)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_RandomOrder(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  const AggregateStream values = SharedValues();
+  for (auto _ : state) {
+    RandomOrderOptions options;
+    options.beta_override = 400.0;
+    auto estimator =
+        RandomOrderEstimator::Create(eps, values.size(), options).value();
+    for (const std::uint64_t v : values) estimator.Add(v);
+    benchmark::DoNotOptimize(estimator.Estimate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_RandomOrder)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_CashRegisterUpdate(benchmark::State& state) {
+  const std::size_t samplers = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const std::uint64_t universe = 1 << 12;
+  std::vector<CitationEvent> events;
+  for (int i = 0; i < 1 << 12; ++i) {
+    events.push_back(CitationEvent{rng.UniformU64(universe), 1});
+  }
+  CashRegisterOptions options;
+  options.num_samplers_override = samplers;
+  auto estimator =
+      CashRegisterEstimator::Create(0.2, 0.1, universe, 3, options).value();
+  for (auto _ : state) {
+    for (const CitationEvent& event : events) {
+      estimator.Update(event.paper, event.delta);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_CashRegisterUpdate)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_HeavyHittersAddPaper(benchmark::State& state) {
+  Rng rng(4);
+  AcademicConfig config;
+  config.num_authors = 1000;
+  config.max_papers = 5;
+  const PaperStream papers = MakeAcademicCorpus(config, {}, rng);
+  HeavyHitters::Options options;
+  options.eps = 1.0 / static_cast<double>(state.range(0));
+  options.max_papers = 1u << 16;
+  auto sketch = HeavyHitters::Create(options, 5).value();
+  for (auto _ : state) {
+    for (const PaperTuple& paper : papers) sketch.AddPaper(paper);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(papers.size()));
+}
+BENCHMARK(BM_HeavyHittersAddPaper)->Arg(3)->Arg(5);
+
+// --- substrate microbenchmarks ------------------------------------------------
+
+void BM_KIndependentHash(benchmark::State& state) {
+  const KIndependentHash hash(static_cast<int>(state.range(0)), 1);
+  std::uint64_t x = 0x12345678;
+  for (auto _ : state) {
+    x = hash(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KIndependentHash)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_L0SamplerUpdate(benchmark::State& state) {
+  L0Sampler sampler(1 << 16, 0.05, 7);
+  Rng rng(7);
+  std::vector<std::uint64_t> indices;
+  for (int i = 0; i < 1 << 12; ++i) {
+    indices.push_back(rng.UniformU64(1 << 16));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sampler.Update(indices[i++ & ((1 << 12) - 1)], 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_L0SamplerUpdate);
+
+void BM_DgimAdd(benchmark::State& state) {
+  DgimCounter counter(1 << 16, 0.1);
+  Rng rng(8);
+  bool bit = false;
+  for (auto _ : state) {
+    bit = !bit;
+    counter.Add(bit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DgimAdd);
+
+void BM_SlidingWindowAdd(benchmark::State& state) {
+  auto estimator = SlidingWindowHIndex::Create(0.2, 1 << 14).value();
+  Rng rng(9);
+  for (auto _ : state) {
+    estimator.Add(rng.UniformU64(1 << 14));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SlidingWindowAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// T11 — Sliding-window H-index (the Section 5 "publication dates"
+// extension): accuracy of the DGIM-based windowed estimator against the
+// exact H-index of the trailing window, and its space against buffering
+// the window, over a non-stationary stream (a career with a hot streak
+// and a decline).
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "core/exact.h"
+#include "core/sliding_window_hindex.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "random/rng.h"
+#include "random/zipf.h"
+
+namespace {
+
+using namespace himpact;
+
+std::uint64_t ExactWindowedH(const std::deque<std::uint64_t>& window) {
+  return ExactHIndex(
+      std::vector<std::uint64_t>(window.begin(), window.end()));
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t window = 2000;
+  const double eps = 0.15;
+  std::printf("T11: sliding-window H-index, window = %llu, eps = %.2f\n\n",
+              static_cast<unsigned long long>(window), eps);
+
+  // Non-stationary career: cold start, hot streak, decline.
+  Rng rng(15);
+  std::vector<std::uint64_t> stream;
+  const ZipfSampler cold(50, 1.3);
+  const ZipfSampler hot(5000, 1.1);
+  for (int i = 0; i < 4000; ++i) stream.push_back(cold.Sample(rng));
+  for (int i = 0; i < 4000; ++i) stream.push_back(hot.Sample(rng));
+  for (int i = 0; i < 4000; ++i) stream.push_back(cold.Sample(rng));
+
+  auto estimator = SlidingWindowHIndex::Create(eps, window).value();
+  std::deque<std::uint64_t> exact_window;
+  Table table({"position", "phase", "exact windowed h", "estimate",
+               "rel err"});
+  std::size_t position = 0;
+  for (const std::uint64_t v : stream) {
+    estimator.Add(v);
+    exact_window.push_front(v);
+    if (exact_window.size() > window) exact_window.pop_back();
+    ++position;
+    if (position % 2000 == 0) {
+      const double truth = static_cast<double>(ExactWindowedH(exact_window));
+      const char* phase = position <= 4000   ? "cold"
+                          : position <= 8000 ? "hot"
+                                             : "decline";
+      table.NewRow()
+          .Cell(static_cast<std::uint64_t>(position))
+          .Cell(phase)
+          .Cell(truth, 0)
+          .Cell(estimator.Estimate(), 1)
+          .Cell(RelativeError(estimator.Estimate(), truth), 4);
+    }
+  }
+  table.Print();
+
+  std::printf("\nspace: %llu words (vs %llu words to buffer the window)\n",
+              static_cast<unsigned long long>(
+                  estimator.EstimateSpace().words),
+              static_cast<unsigned long long>(window));
+
+  // Space-vs-window sweep: the DGIM state is polylog in the window, so
+  // buffering loses once the window outgrows the constant.
+  std::printf("\nspace vs window (eps = 0.2, uniform values):\n");
+  Table space_table({"window", "sketch words", "buffer words"});
+  for (const std::uint64_t w : {1ull << 12, 1ull << 14, 1ull << 16,
+                                1ull << 18}) {
+    auto sweep = SlidingWindowHIndex::Create(0.2, w).value();
+    Rng sweep_rng(w);
+    for (std::uint64_t i = 0; i < w; ++i) {
+      sweep.Add(sweep_rng.UniformU64(w));
+    }
+    space_table.NewRow()
+        .Cell(w)
+        .Cell(sweep.EstimateSpace().words)
+        .Cell(w);
+  }
+  space_table.Print();
+
+  std::printf(
+      "\nexpected shape: the estimate tracks the windowed truth through\n"
+      "the hot streak AND back down in the decline (a whole-stream\n"
+      "H-index can never decrease); rel err stays within ~eps. The sketch\n"
+      "words grow ~logarithmically with the window and cross below the\n"
+      "buffer around window ~2^15.\n");
+  return 0;
+}

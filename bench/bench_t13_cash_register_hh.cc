@@ -1,0 +1,104 @@
+// T13 — Heavy hitters from *unaggregated* response events (the model the
+// paper's abstract claims; Section 4 only develops the aggregated-tuple
+// case — see DESIGN.md). Measures detection rate and reported-h accuracy
+// for planted stars whose citations arrive one response at a time, as a
+// function of the per-cell sampler budget.
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "heavy/cash_register_heavy.h"
+#include "random/rng.h"
+#include "stream/types.h"
+
+namespace {
+
+using namespace himpact;
+
+struct Event {
+  PaperId paper;
+  AuthorList authors;
+  std::int64_t delta;
+};
+
+void AppendStar(AuthorId author, PaperId first_paper, std::uint64_t h,
+                std::vector<Event>& events) {
+  for (std::uint64_t p = 0; p < h; ++p) {
+    for (std::uint64_t c = 0; c < h; ++c) {
+      Event event;
+      event.paper = first_paper + p;
+      event.authors.PushBack(author);
+      event.delta = 1;
+      events.push_back(event);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double eps = 0.3;
+  const int trials = 6;
+  std::printf("T13: cash-register heavy hitters (unit response events), "
+              "eps = %.2f, %d trials/row\n\n",
+              eps, trials);
+
+  Table table({"samplers/cell", "star found", "correct author",
+               "h rel err (mean)", "space Mwords"});
+  for (const std::size_t samplers : {4ull, 8ull, 16ull}) {
+    Rng rng(samplers);
+    int found = 0, correct = 0;
+    std::vector<double> h_errors;
+    double space_mwords = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<Event> events;
+      AppendStar(77777, 0, 40, events);  // star: h = 40
+      for (AuthorId noise = 0; noise < 25; ++noise) {
+        AppendStar(noise, 2000 + noise * 4, 3, events);  // h = 3 each
+      }
+      Shuffle(events, rng);
+
+      CashRegisterHeavyHitters::Options options;
+      options.eps = eps;
+      options.universe = 1 << 12;
+      options.samplers_per_cell = samplers;
+      options.num_buckets_override = 16;
+      options.num_rows_override = 4;
+      auto sketch = CashRegisterHeavyHitters::Create(
+                        options, static_cast<std::uint64_t>(t) * 13 + 1)
+                        .value();
+      for (const Event& event : events) {
+        sketch.Update(event.paper, event.authors, event.delta);
+      }
+      space_mwords =
+          static_cast<double>(sketch.EstimateSpace().words) / 1e6;
+
+      const auto reports = sketch.Report();
+      if (!reports.empty()) {
+        ++found;
+        if (reports.front().author == 77777u) {
+          ++correct;
+          h_errors.push_back(
+              RelativeError(reports.front().h_estimate, 40.0));
+        }
+      }
+    }
+    const ErrorStats stats = Summarize(h_errors);
+    table.NewRow()
+        .Cell(static_cast<std::uint64_t>(samplers))
+        .Cell(FormatDouble(100.0 * found / trials, 0) + "%")
+        .Cell(FormatDouble(100.0 * correct / trials, 0) + "%")
+        .Cell(stats.mean, 4)
+        .Cell(space_mwords, 2);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: the star is found and correctly attributed at\n"
+      "every budget; more samplers tighten the per-cell estimate. This\n"
+      "closes the abstract's cash-register claim using the paper's own\n"
+      "building blocks (Alg 8 grid + Alg 5 sampling + twin l0-samplers\n"
+      "for author attribution).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// T14 — Endogenous citation network (Price's preferential attachment):
+// the workload the paper's introduction describes, with citations
+// accruing over time as new papers cite old ones. Checks (a) Algorithm
+// 5/6 on the *natural temporal order* of citation events — linear
+// sketches are order-oblivious, so the estimate matches the shuffled
+// replay bit for bit — and (b) Algorithm 8 on the resulting corpus
+// against exact per-author H-indices.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/cash_register.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "heavy/baseline.h"
+#include "heavy/heavy_hitters.h"
+#include "random/rng.h"
+#include "workload/preferential.h"
+
+int main() {
+  using namespace himpact;
+
+  Rng rng(21);
+  PreferentialConfig config;
+  config.num_papers = 4000;
+  config.citations_per_paper = 6;
+  config.initial_attractiveness = 0.8;
+  config.num_authors = 150;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+  const std::uint64_t max_citations =
+      *std::max_element(network.totals.begin(), network.totals.end());
+  std::printf("T14: preferential-attachment citation network\n");
+  std::printf("papers %llu, events %zu, max citations %llu, exact h* %llu\n\n",
+              static_cast<unsigned long long>(config.num_papers),
+              network.events.size(),
+              static_cast<unsigned long long>(max_citations),
+              static_cast<unsigned long long>(network.exact_h));
+
+  // (a) Cash-register estimation, natural vs shuffled order.
+  {
+    const double eps = 0.2;
+    auto natural =
+        CashRegisterEstimator::Create(eps, 0.1, config.num_papers, 5)
+            .value();
+    auto shuffled_est =
+        CashRegisterEstimator::Create(eps, 0.1, config.num_papers, 5)
+            .value();
+    CashRegisterStream shuffled = network.events;
+    Shuffle(shuffled, rng);
+    for (const CitationEvent& event : network.events) {
+      natural.Update(event.paper, event.delta);
+    }
+    for (const CitationEvent& event : shuffled) {
+      shuffled_est.Update(event.paper, event.delta);
+    }
+    Table table({"order", "estimate", "exact h*", "|err|",
+                 "budget eps*n"});
+    for (const auto& [name, est] :
+         {std::pair<const char*, double>{"temporal", natural.Estimate()},
+          {"shuffled", shuffled_est.Estimate()}}) {
+      table.NewRow()
+          .Cell(name)
+          .Cell(est, 1)
+          .Cell(network.exact_h)
+          .Cell(std::fabs(est - static_cast<double>(network.exact_h)), 1)
+          .Cell(eps * static_cast<double>(config.num_papers), 0);
+    }
+    table.Print();
+  }
+
+  // (b) Heavy hitters on the emergent corpus. The raw network spreads
+  // impact evenly over 150 authors — correctly, *nobody* is eps-heavy
+  // and Algorithm 8 reports nothing. To exercise the positive case we
+  // reassign the most-cited "classic" papers to one dominant researcher.
+  {
+    PaperStream papers = network.papers;
+    std::vector<std::size_t> by_citations(papers.size());
+    for (std::size_t i = 0; i < papers.size(); ++i) by_citations[i] = i;
+    std::sort(by_citations.begin(), by_citations.end(),
+              [&](std::size_t a, std::size_t b) {
+                return papers[a].citations > papers[b].citations;
+              });
+    constexpr AuthorId kStar = 999999;
+    for (std::size_t i = 0; i < 80 && i < by_citations.size(); ++i) {
+      papers[by_citations[i]].authors = AuthorList{kStar};
+    }
+
+    std::printf("\nAlgorithm 8 after crediting the 80 most-cited classics "
+                "to one researcher (eps = 0.25):\n");
+    HeavyHitters::Options options;
+    options.eps = 0.25;
+    options.delta = 0.05;
+    options.max_papers = 1u << 14;
+    auto sketch = HeavyHitters::Create(options, 6).value();
+    for (const PaperTuple& paper : papers) sketch.AddPaper(paper);
+
+    const auto exact = ExactAuthorHIndices(papers);
+    const auto reported = sketch.ReportHeavy();
+    std::uint64_t total = 0;
+    for (const AuthorHIndex& entry : exact) total += entry.h_index;
+    Table table({"source", "author", "h"});
+    table.NewRow().Cell("exact top author").Cell(exact[0].author).Cell(
+        exact[0].h_index);
+    for (const HeavyHitterReport& report : reported) {
+      table.NewRow()
+          .Cell("Alg 8 ReportHeavy")
+          .Cell(report.author)
+          .Cell(report.h_estimate, 1);
+    }
+    table.Print();
+    std::printf("total H-impact h*(S) = %llu; strict eps-heavy threshold "
+                "= %.0f\n",
+                static_cast<unsigned long long>(total),
+                options.eps * static_cast<double>(total));
+  }
+
+  std::printf(
+      "\nexpected shape: temporal and shuffled estimates identical (the\n"
+      "sketch is a linear function of the final vector), both within the\n"
+      "additive budget. Heavy-hitter note: summed over 150 authors the\n"
+      "total H-impact dwarfs any individual, so the strict eps*h*(S) set\n"
+      "is empty even after planting the classics' owner — H-index\n"
+      "heaviness demands extreme concentration (a property of the\n"
+      "definition itself). Alg 8's filtered leaderboard still surfaces\n"
+      "exactly the dominant researcher and nobody else.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// T2 — Deterministic approximation quality of Algorithms 1 and 2
+// (Theorems 5 and 6) across adversarial arrival orders and citation
+// distributions. The theorems promise (1-eps) h* <= estimate <= h* on
+// EVERY order; the table reports the worst observed signed relative
+// error per configuration (negative = underestimate, as predicted).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "core/shifting_window.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "random/rng.h"
+#include "workload/citation_vectors.h"
+
+int main() {
+  using namespace himpact;
+
+  const double eps = 0.1;
+  const std::uint64_t n = 100000;
+  std::printf("T2: accuracy on adversarial orders, eps = %.2f, n = %llu\n\n",
+              eps, static_cast<unsigned long long>(n));
+
+  Table table({"distribution", "order", "exact h", "alg1 rel err",
+               "alg2 rel err", "within eps?"});
+  Rng rng(2);
+  for (const VectorKind kind :
+       {VectorKind::kZipf, VectorKind::kUniform, VectorKind::kConstant,
+        VectorKind::kAllDistinct}) {
+    VectorSpec spec;
+    spec.kind = kind;
+    spec.n = n;
+    spec.max_value = kind == VectorKind::kConstant ? 5000 : (1u << 20);
+    AggregateStream base = MakeVector(spec, rng);
+    const double truth = static_cast<double>(ExactHIndex(base));
+
+    for (const OrderPolicy order :
+         {OrderPolicy::kAscending, OrderPolicy::kDescending,
+          OrderPolicy::kRandom}) {
+      AggregateStream values = base;
+      ApplyOrder(values, order, rng);
+
+      auto histogram = ExponentialHistogramEstimator::Create(eps, n).value();
+      auto window = ShiftingWindowEstimator::Create(eps).value();
+      for (const std::uint64_t v : values) {
+        histogram.Add(v);
+        window.Add(v);
+      }
+      const double err1 = SignedRelativeError(histogram.Estimate(), truth);
+      const double err2 = SignedRelativeError(window.Estimate(), truth);
+      const bool within = err1 <= 0.0 && err1 >= -eps - 1e-9 &&
+                          err2 <= 0.0 && err2 >= -eps - 1e-9;
+      table.NewRow()
+          .Cell(VectorKindName(kind))
+          .Cell(OrderPolicyName(order))
+          .Cell(truth, 0)
+          .Cell(err1, 4)
+          .Cell(err2, 4)
+          .Cell(within ? "yes" : "NO");
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: every row 'yes' — the guarantee is deterministic\n"
+      "and order-independent; errors are always <= 0 (never overestimates).\n");
+  return 0;
+}

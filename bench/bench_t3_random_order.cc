@@ -1,0 +1,77 @@
+// T3 — Random-order streams (Theorem 9): the Algorithm 4 sampler answers
+// in six words when h* >= beta/eps, and the Algorithm 2 fallback covers
+// small h*. Sweeps the planted H-index across the regime boundary and
+// reports how often the sampler fires, its accuracy, and the success
+// rate of the combined estimator.
+
+#include <cstdio>
+
+#include "core/random_order.h"
+#include "eval/table.h"
+#include "random/rng.h"
+#include "workload/citation_vectors.h"
+
+int main() {
+  using namespace himpact;
+
+  const double eps = 0.2;
+  const double beta = 400.0;  // practical beta (beta_scale ablation below)
+  const std::uint64_t n = 40000;
+  const int trials = 30;
+  std::printf("T3: random-order model, eps = %.2f, beta = %.0f "
+              "(beta/eps = %.0f), n = %llu, %d trials/row\n\n",
+              eps, beta, beta / eps, static_cast<unsigned long long>(n),
+              trials);
+
+  Table table({"planted h*", "regime", "sampler fired", "combined ok",
+               "mean sampler est"});
+  Rng rng(4);
+  for (const std::uint64_t target :
+       {100ull, 500ull, 2000ull, 5000ull, 10000ull, 20000ull}) {
+    int fired = 0;
+    int ok = 0;
+    double sampler_sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      // Smooth-planted: the slope-(-1) tail count Algorithm 4's window
+      // test brackets (see workload/citation_vectors.h for why plateaued
+      // inputs defeat the sampler and land on the fallback instead).
+      VectorSpec spec;
+      spec.kind = VectorKind::kSmoothPlanted;
+      spec.n = n;
+      spec.target_h = target;
+      AggregateStream values = MakeVector(spec, rng);
+      ApplyOrder(values, OrderPolicy::kRandom, rng);
+
+      RandomOrderOptions options;
+      options.beta_override = beta;
+      auto estimator = RandomOrderEstimator::Create(eps, n, options).value();
+      for (const std::uint64_t v : values) estimator.Add(v);
+
+      if (estimator.sampler_estimate() > 0.0) {
+        ++fired;
+        sampler_sum += estimator.sampler_estimate();
+      }
+      const double truth = static_cast<double>(target);
+      const double estimate = estimator.Estimate();
+      if (estimate >= (1.0 - eps) * truth - 1e-9 &&
+          estimate <= (1.0 + eps) * truth + 1e-9) {
+        ++ok;
+      }
+    }
+    table.NewRow()
+        .Cell(target)
+        .Cell(static_cast<double>(target) >= beta / eps ? "sampler"
+                                                        : "fallback")
+        .Cell(FormatDouble(100.0 * fired / trials, 0) + "%")
+        .Cell(FormatDouble(100.0 * ok / trials, 0) + "%")
+        .Cell(fired > 0 ? sampler_sum / fired : 0.0, 1);
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: below beta/eps = %.0f the fallback answers (100%%\n"
+      "ok, deterministic); the sampler's firing rate rises from ~0 at the\n"
+      "regime boundary to ~100%% well above it (beta is conservative), and\n"
+      "whenever it fires the six-word estimate is (1 +/- eps)-accurate.\n",
+      beta / eps);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// T6 — l0-sampler validation (Definition 3 / Lemma 4): failure rate at
+// most delta, near-uniform output over the support, and the
+// O(log^2 n log 1/delta)-bit space growth. Each row aggregates many
+// independent sampler instances on a fixed update pattern.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "eval/table.h"
+#include "random/rng.h"
+#include "sketch/l0_sampler.h"
+
+int main() {
+  using namespace himpact;
+
+  std::printf("T6: l0-sampler failure rate and uniformity\n\n");
+
+  // Part 1: failure rate vs delta on a dense vector.
+  {
+    Table table({"delta", "trials", "failures", "observed rate", "bound"});
+    for (const double delta : {0.2, 0.1, 0.05, 0.02}) {
+      const int trials = 300;
+      int failures = 0;
+      for (int t = 0; t < trials; ++t) {
+        L0Sampler sampler(1024, delta, static_cast<std::uint64_t>(t) + 1);
+        for (std::uint64_t i = 0; i < 1024; ++i) {
+          sampler.Update(i, static_cast<std::int64_t>(i % 5) + 1);
+        }
+        if (!sampler.Sample().ok()) ++failures;
+      }
+      table.NewRow()
+          .Cell(delta, 2)
+          .Cell(static_cast<std::uint64_t>(trials))
+          .Cell(static_cast<std::uint64_t>(failures))
+          .Cell(static_cast<double>(failures) / trials, 4)
+          .Cell(delta, 2);
+    }
+    table.Print();
+  }
+
+  // Part 2: uniformity over a 32-element support (chi-squared statistic;
+  // 31 degrees of freedom, expect ~31 if perfectly uniform, < ~60 is
+  // comfortably uniform-ish).
+  {
+    std::printf("\nuniformity over a 32-element support:\n");
+    const std::uint64_t support = 32;
+    std::map<std::uint64_t, int> counts;
+    const int trials = 3200;
+    int successes = 0;
+    for (int t = 0; t < trials; ++t) {
+      L0Sampler sampler(1u << 16, 0.05, static_cast<std::uint64_t>(t) + 777);
+      for (std::uint64_t i = 0; i < support; ++i) {
+        sampler.Update(i * 501 + 7, static_cast<std::int64_t>(i) + 1);
+      }
+      const auto sample = sampler.Sample();
+      if (sample.ok()) {
+        ++successes;
+        ++counts[sample.value().index];
+      }
+    }
+    const double expected = static_cast<double>(successes) / support;
+    double chi2 = 0.0;
+    int min_count = successes, max_count = 0;
+    for (std::uint64_t i = 0; i < support; ++i) {
+      const int c = counts.contains(i * 501 + 7) ? counts[i * 501 + 7] : 0;
+      chi2 += (c - expected) * (c - expected) / expected;
+      min_count = std::min(min_count, c);
+      max_count = std::max(max_count, c);
+    }
+    Table table({"successes", "expected/slot", "min", "max", "chi2 (df=31)"});
+    table.NewRow()
+        .Cell(static_cast<std::uint64_t>(successes))
+        .Cell(expected, 1)
+        .Cell(static_cast<std::uint64_t>(static_cast<unsigned>(min_count)))
+        .Cell(static_cast<std::uint64_t>(static_cast<unsigned>(max_count)))
+        .Cell(chi2, 1);
+    table.Print();
+  }
+
+  // Part 3: space growth with the universe (Lemma 4: log^2 n factor).
+  {
+    std::printf("\nspace vs universe size (delta = 0.05):\n");
+    Table table({"universe", "levels", "words", "bytes"});
+    for (const std::uint64_t logn : {8ull, 12ull, 16ull, 20ull, 24ull}) {
+      const L0Sampler sampler(std::uint64_t{1} << logn, 0.05, 9);
+      const SpaceUsage usage = sampler.EstimateSpace();
+      table.NewRow()
+          .Cell(std::uint64_t{1} << logn)
+          .Cell(static_cast<std::uint64_t>(sampler.num_levels()))
+          .Cell(usage.words)
+          .Cell(usage.bytes);
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nexpected shape: observed failure rate <= delta per row; chi2 in\n"
+      "the tens (uniform); words grow ~linearly in levels = log2 n.\n");
+  return 0;
+}

@@ -1,0 +1,223 @@
+// hstream_cli: compute streaming H-index estimates over data on stdin.
+//
+// Aggregate mode (default): one response count per line.
+//   seq 1 100 | ./build/examples/hstream_cli --eps 0.1
+//
+// Cash-register mode: "<paper-id> <delta>" per line (ids in [0, universe)).
+//   ./build/examples/hstream_cli --mode cash --universe 10000 < events.txt
+//
+// Papers mode: "<paper-id> <citations> <author>[,<author>...]" per line;
+// prints the heavy-hitter leaderboard (Algorithm 8) plus exact per-author
+// H-indices.
+//   ./build/examples/make_dataset papers corpus.txt
+//   ./build/examples/hstream_cli --mode papers < corpus.txt
+//
+// Prints the streaming estimates, the exact reference, and the space
+// used by each method.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cash_register.h"
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "core/shifting_window.h"
+#include "eval/table.h"
+#include "heavy/baseline.h"
+#include "heavy/heavy_hitters.h"
+#include "io/stream_io.h"
+
+namespace {
+
+enum class CliMode { kAggregate, kCashRegister, kPapers };
+
+struct CliOptions {
+  double eps = 0.1;
+  double delta = 0.05;
+  CliMode mode = CliMode::kAggregate;
+  std::uint64_t universe = 1u << 20;
+  std::uint64_t seed = 2017;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    if (arg == "--eps") {
+      if (!next_value(&options->eps)) return false;
+    } else if (arg == "--delta") {
+      if (!next_value(&options->delta)) return false;
+    } else if (arg == "--universe") {
+      double v;
+      if (!next_value(&v)) return false;
+      options->universe = static_cast<std::uint64_t>(v);
+    } else if (arg == "--seed") {
+      double v;
+      if (!next_value(&v)) return false;
+      options->seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--mode") {
+      if (i + 1 >= argc) return false;
+      const std::string mode = argv[++i];
+      if (mode == "cash" || mode == "cashregister") {
+        options->mode = CliMode::kCashRegister;
+      } else if (mode == "aggregate") {
+        options->mode = CliMode::kAggregate;
+      } else if (mode == "papers") {
+        options->mode = CliMode::kPapers;
+      } else {
+        return false;
+      }
+    } else if (arg == "--help") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunAggregate(const CliOptions& options) {
+  using namespace himpact;
+  auto histogram_or =
+      ExponentialHistogramEstimator::Create(options.eps, options.universe);
+  auto window_or = ShiftingWindowEstimator::Create(options.eps);
+  if (!histogram_or.ok() || !window_or.ok()) {
+    std::fprintf(stderr, "invalid parameters\n");
+    return 1;
+  }
+  auto histogram = std::move(histogram_or).value();
+  auto window = std::move(window_or).value();
+  std::vector<std::uint64_t> all;
+
+  unsigned long long value = 0;
+  while (std::scanf("%llu", &value) == 1) {
+    histogram.Add(value);
+    window.Add(value);
+    all.push_back(value);
+  }
+  std::printf("elements            : %zu\n", all.size());
+  std::printf("exact H-index       : %llu\n",
+              static_cast<unsigned long long>(ExactHIndex(all)));
+  std::printf("Alg 1 estimate      : %.1f  (%llu words)\n",
+              histogram.Estimate(),
+              static_cast<unsigned long long>(
+                  histogram.EstimateSpace().words));
+  std::printf("Alg 2 estimate      : %.1f  (%llu words)\n", window.Estimate(),
+              static_cast<unsigned long long>(window.EstimateSpace().words));
+  return 0;
+}
+
+int RunCashRegister(const CliOptions& options) {
+  using namespace himpact;
+  auto estimator_or = CashRegisterEstimator::Create(
+      options.eps, options.delta, options.universe, options.seed);
+  if (!estimator_or.ok()) {
+    std::fprintf(stderr, "%s\n", estimator_or.status().ToString().c_str());
+    return 1;
+  }
+  auto estimator = std::move(estimator_or).value();
+  ExactCashRegisterHIndex exact;
+
+  unsigned long long paper = 0;
+  long long delta = 0;
+  std::uint64_t events = 0;
+  while (std::scanf("%llu %lld", &paper, &delta) == 2) {
+    if (paper >= options.universe || delta < 0) {
+      std::fprintf(stderr, "bad event: %llu %lld\n", paper, delta);
+      return 1;
+    }
+    estimator.Update(paper, delta);
+    exact.Update(paper, delta);
+    ++events;
+  }
+  std::printf("events              : %llu\n",
+              static_cast<unsigned long long>(events));
+  std::printf("exact H-index       : %llu  (%llu words)\n",
+              static_cast<unsigned long long>(exact.HIndex()),
+              static_cast<unsigned long long>(exact.EstimateSpace().words));
+  std::printf("Alg 5/6 estimate    : %.1f  (%llu words, %zu samplers)\n",
+              estimator.Estimate(),
+              static_cast<unsigned long long>(
+                  estimator.EstimateSpace().words),
+              estimator.num_samplers());
+  return 0;
+}
+
+int RunPapers(const CliOptions& options) {
+  using namespace himpact;
+  HeavyHitters::Options hh_options;
+  hh_options.eps = options.eps < 0.15 ? 0.25 : options.eps;
+  hh_options.delta = options.delta;
+  hh_options.max_papers = options.universe;
+  auto sketch_or = HeavyHitters::Create(hh_options, options.seed);
+  if (!sketch_or.ok()) {
+    std::fprintf(stderr, "%s\n", sketch_or.status().ToString().c_str());
+    return 1;
+  }
+  auto sketch = std::move(sketch_or).value();
+  PaperStream papers;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (IsSkippableLine(line)) continue;
+    StatusOr<PaperTuple> paper = ParsePaperLine(line);
+    if (!paper.ok()) {
+      std::fprintf(stderr, "stdin:%zu: %s\n", line_number,
+                   paper.status().ToString().c_str());
+      return 1;
+    }
+    sketch.AddPaper(paper.value());
+    papers.push_back(std::move(paper).value());
+  }
+
+  std::printf("papers              : %zu\n\n", papers.size());
+  Table hh_table({"heavy hitters (Alg 8)", "h estimate", "detections"});
+  for (const HeavyHitterReport& report : sketch.Report()) {
+    hh_table.NewRow()
+        .Cell(report.author)
+        .Cell(report.h_estimate, 1)
+        .Cell(report.detections);
+  }
+  hh_table.Print();
+
+  std::printf("\n");
+  Table exact_table({"exact top authors", "h-index"});
+  const auto exact = ExactAuthorHIndices(papers);
+  for (std::size_t i = 0; i < exact.size() && i < 5; ++i) {
+    exact_table.NewRow().Cell(exact[i].author).Cell(exact[i].h_index);
+  }
+  exact_table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: hstream_cli [--mode aggregate|cash|papers] "
+                 "[--eps E] [--delta D] [--universe N] [--seed S] < data\n");
+    return 2;
+  }
+  switch (options.mode) {
+    case CliMode::kCashRegister:
+      return RunCashRegister(options);
+    case CliMode::kPapers:
+      return RunPapers(options);
+    case CliMode::kAggregate:
+      break;
+  }
+  return RunAggregate(options);
+}

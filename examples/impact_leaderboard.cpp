@@ -1,0 +1,91 @@
+// Impact-leaderboard scenario (Section 4): find the users whose H-index
+// dominates a multi-user publication stream WITHOUT keeping per-user
+// state — Algorithm 8's hashed grid of 1-Heavy-Hitter detectors — and
+// contrast with a count-based heavy hitter that crowns the wrong user.
+//
+//   ./build/examples/impact_leaderboard
+
+#include <cstdio>
+
+#include "eval/table.h"
+#include "heavy/baseline.h"
+#include "heavy/heavy_hitters.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+
+int main() {
+  using namespace himpact;
+
+  // Background crowd plus three H-impact stars... and one "one-hit
+  // wonder" with a single mega-viral paper (count-heavy, h = 1).
+  Rng rng(99);
+  AcademicConfig config;
+  config.num_authors = 1500;
+  config.max_papers = 10;
+  config.citation_mu = 0.4;
+  config.citation_sigma = 1.0;
+  const std::vector<PlantedAuthor> stars = {
+      {500001, 130, 130},  // h = 130
+      {500002, 100, 100},  // h = 100
+      {500003, 70, 70},    // h = 70
+  };
+  PaperStream papers = MakeAcademicCorpus(config, stars, rng);
+  {
+    PaperTuple viral;
+    viral.paper = 9999999;
+    viral.authors.PushBack(600000);  // the one-hit wonder
+    viral.citations = 5000000;
+    papers.push_back(viral);
+  }
+  Shuffle(papers, rng);
+
+  // Stream through Algorithm 8.
+  HeavyHitters::Options options;
+  options.eps = 0.2;
+  options.delta = 0.05;
+  options.max_papers = 1u << 16;
+  auto sketch_or = HeavyHitters::Create(options, 7);
+  if (!sketch_or.ok()) {
+    std::fprintf(stderr, "%s\n", sketch_or.status().ToString().c_str());
+    return 1;
+  }
+  auto sketch = std::move(sketch_or).value();
+  CountHeavyHitterBaseline count_baseline(64);
+  for (const PaperTuple& paper : papers) {
+    sketch.AddPaper(paper);
+    count_baseline.AddPaper(paper);
+  }
+
+  std::printf("stream: %zu papers; sketch grid %zu rows x %zu buckets\n\n",
+              papers.size(), sketch.num_rows(), sketch.num_buckets());
+
+  Table h_table({"H-impact leaderboard (Alg 8)", "h estimate", "detections"});
+  for (const HeavyHitterReport& report : sketch.Report()) {
+    h_table.NewRow()
+        .Cell(report.author)
+        .Cell(report.h_estimate, 1)
+        .Cell(report.detections);
+  }
+  h_table.Print();
+
+  std::printf("\n");
+  Table c_table({"count leaderboard (SpaceSaving)", "total citations"});
+  for (const HeavyEntry& entry : count_baseline.Top(4)) {
+    c_table.NewRow().Cell(entry.key).Cell(entry.count);
+  }
+  c_table.Print();
+
+  std::printf("\nexact ground truth:\n");
+  Table e_table({"author", "exact h"});
+  const auto exact = ExactAuthorHIndices(papers);
+  for (std::size_t i = 0; i < exact.size() && i < 4; ++i) {
+    e_table.NewRow().Cell(exact[i].author).Cell(exact[i].h_index);
+  }
+  e_table.Print();
+
+  std::printf(
+      "\nnote how the count leaderboard is headed by author 600000 (one\n"
+      "viral paper, H-index 1) while the H-impact leaderboard surfaces the\n"
+      "sustained contributors — the distinction Section 4 formalizes.\n");
+  return 0;
+}

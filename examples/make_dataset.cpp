@@ -1,0 +1,88 @@
+// make_dataset: generate synthetic H-impact datasets as text files that
+// hstream_cli (or any other tool) can replay.
+//
+//   ./build/examples/make_dataset aggregate zipf.txt --n 100000
+//   ./build/examples/make_dataset cash events.txt --n 5000
+//   ./build/examples/make_dataset papers corpus.txt --authors 500
+//   ./build/examples/hstream_cli < zipf.txt
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/stream_io.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+#include "workload/cascade.h"
+#include "workload/citation_vectors.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: make_dataset <aggregate|cash|papers> <path> "
+               "[--n N] [--authors A] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace himpact;
+  if (argc < 3) return Usage();
+  const std::string kind = argv[1];
+  const std::string path = argv[2];
+  std::uint64_t n = 10000;
+  std::uint64_t authors = 200;
+  std::uint64_t seed = 2017;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::uint64_t value =
+        static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    if (flag == "--n") {
+      n = value;
+    } else if (flag == "--authors") {
+      authors = value;
+    } else if (flag == "--seed") {
+      seed = value;
+    } else {
+      return Usage();
+    }
+  }
+
+  Rng rng(seed);
+  Status status;
+  if (kind == "aggregate") {
+    VectorSpec spec;
+    spec.kind = VectorKind::kZipf;
+    spec.n = n;
+    spec.max_value = 1u << 20;
+    status = WriteAggregateFile(path, MakeVector(spec, rng));
+  } else if (kind == "cash") {
+    CascadeConfig config;
+    config.num_tweets = n;
+    config.cascade_alpha = 1.2;
+    config.max_retweets = 10000;
+    config.mean_batch = 4.0;
+    const RetweetFirehose firehose = MakeRetweetFirehose(config, rng);
+    status = WriteCashRegisterFile(path, firehose.events);
+    if (status.ok()) {
+      std::printf("exact H-index of the dataset: %llu\n",
+                  static_cast<unsigned long long>(firehose.exact_h));
+    }
+  } else if (kind == "papers") {
+    AcademicConfig config;
+    config.num_authors = authors;
+    config.coauthor_probability = 0.2;
+    status = WritePaperFile(path, MakeAcademicCorpus(config, {}, rng));
+  } else {
+    return Usage();
+  }
+
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s dataset to %s\n", kind.c_str(), path.c_str());
+  return 0;
+}

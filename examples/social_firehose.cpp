@@ -1,0 +1,74 @@
+// Social-firehose scenario: retweet events arrive one at a time
+// (cash-register model) — we never see a tweet's final retweet count.
+// Algorithm 5/6 estimates the user's H-impact from l0-samples of the
+// evolving retweet vector; the exact tracker is the linear-space baseline.
+//
+//   ./build/examples/social_firehose
+
+#include <cstdio>
+
+#include "core/cash_register.h"
+#include "core/exact.h"
+#include "random/rng.h"
+#include "workload/cascade.h"
+
+int main() {
+  using namespace himpact;
+
+  // One user's 5,000 tweets; cascade sizes are power-law (a few viral
+  // tweets, a long tail of small ones). Events arrive globally shuffled.
+  Rng rng(42);
+  CascadeConfig config;
+  config.num_tweets = 5000;
+  config.cascade_alpha = 1.1;
+  config.max_retweets = 50000;
+  config.mean_batch = 4.0;  // bursts of retweets per event
+  const RetweetFirehose firehose = MakeRetweetFirehose(config, rng);
+  std::printf("firehose: %zu retweet events over %llu tweets\n",
+              firehose.events.size(),
+              static_cast<unsigned long long>(config.num_tweets));
+
+  const double eps = 0.25;
+  const double delta = 0.05;
+  auto estimator_or =
+      CashRegisterEstimator::Create(eps, delta, config.num_tweets, 1234);
+  if (!estimator_or.ok()) {
+    std::fprintf(stderr, "%s\n", estimator_or.status().ToString().c_str());
+    return 1;
+  }
+  auto estimator = std::move(estimator_or).value();
+  ExactCashRegisterHIndex exact;
+
+  // Stream the events; print a progress line a few times along the way.
+  std::size_t next_report = firehose.events.size() / 4;
+  std::size_t processed = 0;
+  for (const CitationEvent& event : firehose.events) {
+    estimator.Update(event.paper, event.delta);
+    exact.Update(event.paper, event.delta);
+    if (++processed == next_report) {
+      std::printf("  after %9zu events: estimate %7.1f   exact %llu\n",
+                  processed, estimator.Estimate(),
+                  static_cast<unsigned long long>(exact.HIndex()));
+      next_report += firehose.events.size() / 4;
+    }
+  }
+
+  std::printf("\nfinal exact H-impact       : %llu\n",
+              static_cast<unsigned long long>(firehose.exact_h));
+  std::printf("Alg 5/6 estimate           : %.1f (additive bound eps*n = %.0f)\n",
+              estimator.Estimate(),
+              eps * static_cast<double>(config.num_tweets));
+  std::printf("l0-samplers                : %zu (%zu produced a sample)\n",
+              estimator.num_samplers(), estimator.last_successful_samples());
+  std::printf("distinct-tweet estimate    : %.0f\n",
+              estimator.DistinctEstimate());
+  std::printf("sketch space               : %llu words vs %llu words exact\n",
+              static_cast<unsigned long long>(
+                  estimator.EstimateSpace().words),
+              static_cast<unsigned long long>(exact.EstimateSpace().words));
+  std::printf(
+      "\n(the sketch pays a large eps/delta-dependent constant but is\n"
+      "independent of the number of tweets; the exact tracker grows with\n"
+      "every distinct tweet — the trade-off Theorem 14 formalizes.)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Trending authors: the sliding-window extension in a multi-user
+// setting. An editorial dashboard wants "who is impactful *right now*",
+// not all-time: per author we keep a windowed H-index (last W papers of
+// that author) next to the all-time streaming estimate, and watch a
+// rising star overtake a faded legend as the stream progresses.
+//
+//   ./build/examples/trending_authors
+
+#include <cstdio>
+
+#include "core/per_author.h"
+#include "core/shifting_window.h"
+#include "core/sliding_window_hindex.h"
+#include "eval/table.h"
+#include "random/rng.h"
+#include "stream/types.h"
+
+int main() {
+  using namespace himpact;
+
+  const double eps = 0.15;
+  const std::uint64_t window = 60;  // each author's last 60 papers
+
+  // All-time estimates (Algorithm 2) and windowed estimates (DGIM).
+  PerAuthorHIndex<ShiftingWindowEstimator> all_time([&] {
+    return ShiftingWindowEstimator::Create(eps).value();
+  });
+  PerAuthorHIndex<SlidingWindowHIndex> trending([&] {
+    return SlidingWindowHIndex::Create(eps, window).value();
+  });
+
+  // Two careers over three eras:
+  //  - the Legend: stellar era 1 (citations ~ 100), silent afterwards;
+  //  - the Riser: quiet era 1, strong era 2 (citations ~ 60), stellar
+  //    era 3 (citations ~ 120).
+  constexpr AuthorId kLegend = 1;
+  constexpr AuthorId kRiser = 2;
+  Rng rng(2026);
+  PaperId next_paper = 0;
+  const auto publish = [&](AuthorId author, std::uint64_t citations) {
+    PaperTuple paper;
+    paper.paper = next_paper++;
+    paper.authors.PushBack(author);
+    paper.citations = citations;
+    all_time.AddPaper(paper);
+    trending.AddPaper(paper);
+  };
+
+  std::printf("trending vs all-time H-index (window = %llu papers, "
+              "eps = %.2f)\n\n",
+              static_cast<unsigned long long>(window), eps);
+  Table table({"era", "legend all-time", "legend trending",
+               "riser all-time", "riser trending", "who's hot?"});
+  const char* eras[] = {"1 (legend's prime)", "2 (riser climbing)",
+                        "3 (riser's prime)"};
+  for (int era = 0; era < 3; ++era) {
+    for (int p = 0; p < 80; ++p) {
+      publish(kLegend, era == 0 ? 80 + rng.UniformU64(40) : 1);
+      publish(kRiser, era == 0   ? 1 + rng.UniformU64(3)
+                      : era == 1 ? 40 + rng.UniformU64(40)
+                                 : 100 + rng.UniformU64(40));
+    }
+    const double legend_trend = trending.Estimate(kLegend);
+    const double riser_trend = trending.Estimate(kRiser);
+    table.NewRow()
+        .Cell(eras[era])
+        .Cell(all_time.Estimate(kLegend), 1)
+        .Cell(legend_trend, 1)
+        .Cell(all_time.Estimate(kRiser), 1)
+        .Cell(riser_trend, 1)
+        .Cell(riser_trend > legend_trend ? "riser" : "legend");
+  }
+  table.Print();
+
+  std::printf(
+      "\nthe all-time columns can only grow (an H-index never falls), so\n"
+      "the legend keeps a high all-time score forever; the windowed\n"
+      "columns decay with silence, and the riser takes over the trending\n"
+      "board — the use case behind Section 5's 'publication dates'\n"
+      "variation.\n");
+  return 0;
+}

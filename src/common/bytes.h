@@ -1,0 +1,97 @@
+#ifndef HIMPACT_COMMON_BYTES_H_
+#define HIMPACT_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+/// \file
+/// Little-endian byte buffers for sketch serialization.
+///
+/// Streaming deployments checkpoint sketch state across restarts and ship
+/// shard sketches to a merger; `ByteWriter`/`ByteReader` are the codec
+/// the estimators' `SerializeTo` / `DeserializeFrom` methods share. The
+/// format is fixed-width little-endian with per-type magic tags — simple
+/// enough to parse from any language.
+
+namespace himpact {
+
+/// Appends fixed-width values to a growable byte buffer.
+class ByteWriter {
+ public:
+  /// Appends a 64-bit unsigned value (little-endian).
+  void U64(std::uint64_t value) {
+    for (int b = 0; b < 8; ++b) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+  }
+
+  /// Appends a 64-bit signed value (two's complement).
+  void I64(std::int64_t value) {
+    U64(static_cast<std::uint64_t>(value));
+  }
+
+  /// Appends a double (IEEE-754 bit pattern).
+  void F64(double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    U64(bits);
+  }
+
+  /// The accumulated bytes.
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+
+  /// Moves the buffer out.
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads fixed-width values back; every read reports success so callers
+/// can reject truncated or corrupt buffers.
+class ByteReader {
+ public:
+  /// Wraps (does not copy) the byte buffer; it must outlive the reader.
+  explicit ByteReader(const std::vector<std::uint8_t>& buffer)
+      : buffer_(buffer) {}
+
+  /// Reads a 64-bit unsigned value. Returns false at end of buffer.
+  bool U64(std::uint64_t* value) {
+    if (position_ + 8 > buffer_.size()) return false;
+    std::uint64_t out = 0;
+    for (int b = 0; b < 8; ++b) {
+      out |= static_cast<std::uint64_t>(buffer_[position_ + b]) << (8 * b);
+    }
+    position_ += 8;
+    *value = out;
+    return true;
+  }
+
+  /// Reads a 64-bit signed value.
+  bool I64(std::int64_t* value) {
+    std::uint64_t bits;
+    if (!U64(&bits)) return false;
+    *value = static_cast<std::int64_t>(bits);
+    return true;
+  }
+
+  /// Reads a double.
+  bool F64(double* value) {
+    std::uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(value, &bits, sizeof(*value));
+    return true;
+  }
+
+  /// True iff every byte has been consumed.
+  bool AtEnd() const { return position_ == buffer_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& buffer_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_COMMON_BYTES_H_

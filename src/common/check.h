@@ -1,0 +1,40 @@
+#ifndef HIMPACT_COMMON_CHECK_H_
+#define HIMPACT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight invariant-checking macros.
+///
+/// `HIMPACT_CHECK` is always on (used for programmer errors that would
+/// otherwise corrupt sketch state); `HIMPACT_DCHECK` compiles away in
+/// release builds and is used on hot paths.
+
+#define HIMPACT_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HIMPACT_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HIMPACT_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HIMPACT_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define HIMPACT_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define HIMPACT_DCHECK(cond) HIMPACT_CHECK(cond)
+#endif
+
+#endif  // HIMPACT_COMMON_CHECK_H_

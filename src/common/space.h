@@ -1,0 +1,43 @@
+#ifndef HIMPACT_COMMON_SPACE_H_
+#define HIMPACT_COMMON_SPACE_H_
+
+#include <cstdint>
+
+#include "common/math_util.h"
+
+/// \file
+/// Space accounting used by the T1/F3 experiments.
+///
+/// The paper measures space in "words of log n bits". Every sketch and
+/// estimator in this library reports a `SpaceUsage` so the bench harness
+/// can print measured space next to the theorem's bound.
+
+namespace himpact {
+
+/// Measured space of a sketch/estimator instance.
+struct SpaceUsage {
+  /// Number of logical words the algorithm maintains (counters, samples,
+  /// hash seeds); this is the quantity the paper's theorems bound.
+  std::uint64_t words = 0;
+
+  /// Concrete resident bytes of the C++ object graph (including vector
+  /// capacity), for honesty about constant factors.
+  std::uint64_t bytes = 0;
+
+  /// Sums component usages (used by estimators composed of sub-sketches).
+  SpaceUsage& operator+=(const SpaceUsage& other) {
+    words += other.words;
+    bytes += other.bytes;
+    return *this;
+  }
+};
+
+/// Adds two usages.
+inline SpaceUsage operator+(SpaceUsage a, const SpaceUsage& b) {
+  a += b;
+  return a;
+}
+
+}  // namespace himpact
+
+#endif  // HIMPACT_COMMON_SPACE_H_

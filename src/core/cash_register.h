@@ -1,0 +1,105 @@
+#ifndef HIMPACT_CORE_CASH_REGISTER_H_
+#define HIMPACT_CORE_CASH_REGISTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "core/estimator.h"
+#include "sketch/distinct.h"
+#include "sketch/l0_sampler.h"
+
+/// \file
+/// Algorithms 5/6 ("Unbiased Sampling", Theorem 14): H-index estimation
+/// over a *cash-register* stream, where responses arrive unaggregated as
+/// updates `(paper, +z)` to the citation vector `V`.
+///
+/// The estimator keeps `x` independent l0-samplers over `V` plus an
+/// `(1±eps)` distinct-count estimate `y` of `|support(V)|`. At query
+/// time, each sampler yields a near-uniform non-zero coordinate and its
+/// value; for every guess `(1+eps)^i`, the fraction of samples with value
+/// `>= (1+eps)^i`, scaled by `y`, estimates the number of papers with
+/// that many citations, and the largest self-consistent guess is the
+/// H-index estimate (Algorithm 5, steps 3–7).
+///
+/// Theorem 14 gives two regimes, selected by `CashRegisterOptions::mode`:
+///  - additive (no lower bound on `h*`): `x = 3 eps^-2 ln(2/delta)`
+///    samplers, error `<= eps * n`;
+///  - multiplicative (requires `h* >= beta`):
+///    `x = 3 eps^-2 (n/beta) ln(2/delta)` samplers, error `<= eps * h*`.
+
+namespace himpact {
+
+/// Which Theorem 14 error regime to configure for.
+enum class CashRegisterMode {
+  kAdditive,
+  kMultiplicative,
+};
+
+/// Tuning knobs for `CashRegisterEstimator`.
+struct CashRegisterOptions {
+  CashRegisterMode mode = CashRegisterMode::kAdditive;
+
+  /// Lower bound `beta <= h*` (multiplicative mode only).
+  double beta = 0.0;
+
+  /// If positive, overrides the number of l0-samplers (tests/ablations).
+  std::size_t num_samplers_override = 0;
+
+  /// Per-sampler failure probability (Lemma 4's delta).
+  double sampler_delta = 0.05;
+};
+
+/// Randomized H-index estimator for cash-register streams.
+class CashRegisterEstimator final : public CashRegisterHIndexEstimator {
+ public:
+  /// Validates parameters and builds the estimator over papers
+  /// `[0, universe)`. Requires `0 < eps < 1`, `0 < delta < 1`,
+  /// `universe >= 1`, and `beta > 0` in multiplicative mode.
+  static StatusOr<CashRegisterEstimator> Create(
+      double eps, double delta, std::uint64_t universe, std::uint64_t seed,
+      const CashRegisterOptions& options = {});
+
+  /// Observes `delta` new responses for `paper`.
+  /// Requires `paper < universe`.
+  void Update(std::uint64_t paper, std::int64_t delta) override;
+
+  /// Merges another estimator built with identical parameters and seed
+  /// (every sub-sketch is linear); afterwards this estimator reflects
+  /// both shards' update streams. Requires identical construction
+  /// arguments.
+  void Merge(const CashRegisterEstimator& other);
+
+  /// The Algorithm 5 estimate (0 when no sample qualifies).
+  double Estimate() const override;
+
+  /// Space across all samplers and the distinct counter.
+  SpaceUsage EstimateSpace() const override;
+
+  /// Number of l0-sampler instances (`x` in the paper).
+  std::size_t num_samplers() const { return samplers_.size(); }
+
+  /// Number of samplers that produced a sample at the last `Estimate()`
+  /// call (exposed for the T4/T5 experiments).
+  std::size_t last_successful_samples() const { return last_success_; }
+
+  /// The distinct-count estimate `y`.
+  double DistinctEstimate() const { return distinct_.Estimate(); }
+
+ private:
+  CashRegisterEstimator(double eps, double delta, std::uint64_t universe,
+                        std::uint64_t seed, std::size_t num_samplers);
+
+  double eps_;
+  double delta_;
+  std::uint64_t universe_;
+  std::uint64_t seed_;  // construction seed (merge compatibility check)
+  std::vector<L0Sampler> samplers_;
+  DistinctCounter distinct_;
+  mutable std::size_t last_success_ = 0;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_CASH_REGISTER_H_

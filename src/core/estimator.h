@@ -1,0 +1,48 @@
+#ifndef HIMPACT_CORE_ESTIMATOR_H_
+#define HIMPACT_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/space.h"
+
+/// \file
+/// Common interfaces for H-index estimators, so tests and the bench
+/// harness can sweep algorithms generically.
+
+namespace himpact {
+
+/// An estimator consuming an aggregate stream: one response count per
+/// publication, in arbitrary (or random) arrival order.
+class AggregateHIndexEstimator {
+ public:
+  virtual ~AggregateHIndexEstimator() = default;
+
+  /// Observes one publication's response count.
+  virtual void Add(std::uint64_t value) = 0;
+
+  /// Current H-index estimate (0 when nothing qualifies).
+  virtual double Estimate() const = 0;
+
+  /// Space used by the estimator state.
+  virtual SpaceUsage EstimateSpace() const = 0;
+};
+
+/// An estimator consuming a cash-register stream of `(paper, +delta)`
+/// response updates.
+class CashRegisterHIndexEstimator {
+ public:
+  virtual ~CashRegisterHIndexEstimator() = default;
+
+  /// Observes `delta` new responses for `paper`.
+  virtual void Update(std::uint64_t paper, std::int64_t delta) = 0;
+
+  /// Current H-index estimate (0 when nothing qualifies).
+  virtual double Estimate() const = 0;
+
+  /// Space used by the estimator state.
+  virtual SpaceUsage EstimateSpace() const = 0;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_ESTIMATOR_H_

@@ -1,0 +1,86 @@
+#ifndef HIMPACT_CORE_EXACT_H_
+#define HIMPACT_CORE_EXACT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/space.h"
+#include "core/estimator.h"
+
+/// \file
+/// Exact H-index computation (Definition 1): the offline reference every
+/// streaming estimator is measured against, plus linear-space *online*
+/// exact maintainers for both stream models. The latter are the
+/// store-everything baselines whose space the paper's algorithms beat.
+
+namespace himpact {
+
+/// Computes `h*(V)` of Definition 1 for the values in `V`.
+///
+/// Runs in O(n) time and O(n) extra space via counting (no sort): bucket
+/// values capped at `n`, then walk candidate `i` downward accumulating
+/// `|{j : V[j] >= i}|` until it reaches `i`.
+std::uint64_t ExactHIndex(const std::vector<std::uint64_t>& values);
+
+/// Returns the H-index support size `|H(V)| = |{i : V[i] >= h*(V)}|`
+/// (Definition 1's support set), used by tests for invariants.
+std::uint64_t HIndexSupportSize(const std::vector<std::uint64_t>& values);
+
+/// Exact online H-index over an aggregate stream (insert-only).
+///
+/// Maintains a min-heap of the `h` values currently counted toward the
+/// H-index: O(h*) space, O(log h*) amortized per insert. The H-index of
+/// an insert-only stream is monotone non-decreasing, which is what makes
+/// the evicted values safely forgettable.
+class IncrementalExactHIndex final : public AggregateHIndexEstimator {
+ public:
+  IncrementalExactHIndex() = default;
+
+  void Add(std::uint64_t value) override;
+  double Estimate() const override {
+    return static_cast<double>(HIndex());
+  }
+  SpaceUsage EstimateSpace() const override;
+
+  /// The exact H-index of the values added so far.
+  std::uint64_t HIndex() const { return heap_.size(); }
+
+ private:
+  std::vector<std::uint64_t> heap_;  // min-heap, |heap_| == current h
+};
+
+/// Exact online H-index over a cash-register stream (positive updates).
+///
+/// Maintains per-paper counts plus a count histogram so the H-index is
+/// updated in O(1) amortized per event. Space is Theta(#distinct papers).
+class ExactCashRegisterHIndex final : public CashRegisterHIndexEstimator {
+ public:
+  ExactCashRegisterHIndex() = default;
+
+  /// Requires `delta >= 0` (cash-register model).
+  void Update(std::uint64_t paper, std::int64_t delta) override;
+  double Estimate() const override {
+    return static_cast<double>(HIndex());
+  }
+  SpaceUsage EstimateSpace() const override;
+
+  /// The exact H-index of the aggregated counts so far.
+  std::uint64_t HIndex() const { return h_; }
+
+  /// The current citation count of `paper` (0 if never seen).
+  std::uint64_t Count(std::uint64_t paper) const;
+
+  /// Number of distinct papers seen.
+  std::uint64_t NumPapers() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::unordered_map<std::uint64_t, std::uint64_t> histogram_;  // count -> #papers
+  std::uint64_t h_ = 0;
+  std::uint64_t ge_h_plus_1_ = 0;  // #papers with count >= h_ + 1
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_EXACT_H_

@@ -1,0 +1,118 @@
+#include "core/exponential_histogram.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace himpact {
+namespace {
+
+constexpr std::uint64_t kExpHistogramMagic = 0x48494d5045585031ULL;  // HIMPEXP1
+
+}  // namespace
+
+StatusOr<ExponentialHistogramEstimator> ExponentialHistogramEstimator::Create(
+    double eps, std::uint64_t max_h) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (max_h < 1) {
+    return Status::InvalidArgument("max_h must be >= 1");
+  }
+  return ExponentialHistogramEstimator(eps, max_h);
+}
+
+ExponentialHistogramEstimator::ExponentialHistogramEstimator(
+    double eps, std::uint64_t max_h)
+    : eps_(eps), max_h_(max_h), grid_(max_h, eps) {
+  bucket_.assign(static_cast<std::size_t>(grid_.num_levels()), 0);
+}
+
+void ExponentialHistogramEstimator::Add(std::uint64_t value) {
+  if (value == 0) return;  // contributes to no guess
+  int level = grid_.LevelFloor(static_cast<double>(value));
+  HIMPACT_DCHECK(level >= 0);
+  // Values above the grid cap still count toward every guess.
+  if (level >= grid_.num_levels()) level = grid_.num_levels() - 1;
+  ++bucket_[static_cast<std::size_t>(level)];
+}
+
+double ExponentialHistogramEstimator::Estimate() const {
+  // Walk the guesses from the largest down, accumulating the nested
+  // counters c_i as suffix sums; accept the first satisfied guess.
+  std::uint64_t suffix = 0;
+  for (int i = grid_.num_levels() - 1; i >= 0; --i) {
+    suffix += bucket_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(suffix) >= grid_.Power(i)) {
+      return grid_.Power(i);
+    }
+  }
+  return 0.0;
+}
+
+SpaceUsage ExponentialHistogramEstimator::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = bucket_.size();
+  usage.bytes = sizeof(*this) +
+                bucket_.capacity() * sizeof(std::uint64_t) +
+                grid_.powers().capacity() * sizeof(double);
+  return usage;
+}
+
+double ExponentialHistogramEstimator::TheoreticalSpaceWords() const {
+  return 2.0 / eps_ *
+         std::log2(static_cast<double>(std::max<std::uint64_t>(2, max_h_)));
+}
+
+void ExponentialHistogramEstimator::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kExpHistogramMagic);
+  writer.F64(eps_);
+  writer.U64(max_h_);
+  writer.U64(bucket_.size());
+  for (const std::uint64_t count : bucket_) writer.U64(count);
+}
+
+StatusOr<ExponentialHistogramEstimator>
+ExponentialHistogramEstimator::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  double eps = 0.0;
+  std::uint64_t max_h = 0;
+  std::uint64_t count = 0;
+  if (!reader.U64(&magic) || magic != kExpHistogramMagic) {
+    return Status::InvalidArgument("not an ExponentialHistogram checkpoint");
+  }
+  if (!reader.F64(&eps) || !reader.U64(&max_h) || !reader.U64(&count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  StatusOr<ExponentialHistogramEstimator> estimator = Create(eps, max_h);
+  if (!estimator.ok()) return estimator.status();
+  if (count != estimator.value().bucket_.size()) {
+    return Status::InvalidArgument("checkpoint counter count mismatch");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!reader.U64(&estimator.value().bucket_[i])) {
+      return Status::InvalidArgument("truncated checkpoint counters");
+    }
+  }
+  return estimator;
+}
+
+void ExponentialHistogramEstimator::Merge(
+    const ExponentialHistogramEstimator& other) {
+  HIMPACT_CHECK_MSG(eps_ == other.eps_ && max_h_ == other.max_h_,
+                    "merging estimators with different parameters");
+  for (std::size_t i = 0; i < bucket_.size(); ++i) {
+    bucket_[i] += other.bucket_[i];
+  }
+}
+
+std::uint64_t ExponentialHistogramEstimator::Counter(int level) const {
+  HIMPACT_CHECK(level >= 0 && level < grid_.num_levels());
+  std::uint64_t suffix = 0;
+  for (int i = grid_.num_levels() - 1; i >= level; --i) {
+    suffix += bucket_[static_cast<std::size_t>(i)];
+  }
+  return suffix;
+}
+
+}  // namespace himpact

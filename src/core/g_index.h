@@ -1,0 +1,67 @@
+#ifndef HIMPACT_CORE_G_INDEX_H_
+#define HIMPACT_CORE_G_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "core/estimator.h"
+
+/// \file
+/// The g-index (Egghe 2006) as a streaming extension: the largest `g`
+/// such that the `g` most-cited papers have at least `g^2` citations in
+/// total. Where Section 5's `phi(k) = k^2` variant thresholds papers
+/// *individually*, the g-index thresholds the *running total* of the top
+/// papers — it rewards a few blockbusters in a way the H-index cannot.
+///
+/// Streaming construction: the Algorithm 1 value grid again, but each
+/// bucket keeps a (count, sum) pair. At query time the buckets are
+/// walked from the top; within a bucket, values are interpolated at the
+/// bucket average (all values in a bucket agree to a `(1+eps)` factor,
+/// so the reconstructed top-`g` sum is a `(1 +/- eps)`-approximation and
+/// the recovered index a `(1 - O(eps))`-approximation of g*).
+
+namespace himpact {
+
+/// Computes the exact g-index of `values` (sorted-prefix definition,
+/// `g <= n`; no zero-padding variant).
+std::uint64_t ExactGIndex(const std::vector<std::uint64_t>& values);
+
+/// Streaming `(1 - O(eps))`-approximate g-index over an aggregate stream.
+class GIndexEstimator final : public AggregateHIndexEstimator {
+ public:
+  /// `max_value` bounds the citation counts the grid must cover (values
+  /// above it are clamped into the top bucket; the g-index itself is
+  /// additionally capped by the paper count). Requires `0 < eps < 1`,
+  /// `max_value >= 1`.
+  static StatusOr<GIndexEstimator> Create(double eps,
+                                          std::uint64_t max_value);
+
+  /// Observes one publication's citation count.
+  void Add(std::uint64_t value) override;
+
+  /// The largest (interpolated, floored) `g` whose reconstructed top-`g`
+  /// citation total reaches `g^2`.
+  double Estimate() const override;
+
+  /// Space: two words per grid level.
+  SpaceUsage EstimateSpace() const override;
+
+  /// Number of papers observed (the cap on `g`).
+  std::uint64_t num_papers() const { return num_papers_; }
+
+ private:
+  GIndexEstimator(double eps, std::uint64_t max_value);
+
+  double eps_;
+  std::uint64_t max_value_;
+  std::uint64_t num_papers_ = 0;
+  GeometricGrid grid_;
+  std::vector<std::uint64_t> count_;  // per exact grid level
+  std::vector<std::uint64_t> sum_;    // per exact grid level
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_G_INDEX_H_

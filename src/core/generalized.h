@@ -1,0 +1,100 @@
+#ifndef HIMPACT_CORE_GENERALIZED_H_
+#define HIMPACT_CORE_GENERALIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/math_util.h"
+#include "common/status.h"
+#include "core/estimator.h"
+
+/// \file
+/// Section 5 extension: generalized phi-impact indices.
+///
+/// The paper closes by noting its techniques "extend naturally" to
+/// H-index variations "based on different functions of the number of
+/// responses with respect to the number of publications, like k
+/// publications with k^2 responses each". This module implements that
+/// family: for a non-decreasing threshold function `phi`, the phi-index
+/// of a vector `V` is the largest `k` such that at least `k` entries of
+/// `V` are `>= phi(k)`.
+///
+///   - `phi(k) = k`      recovers the H-index;
+///   - `phi(k) = k^2`    is the paper's quadratic example;
+///   - `phi(k) = c * k`  is the linear-scaled family (wu-index for c=10).
+///
+/// The streaming estimator generalizes Algorithm 1: one counter per guess
+/// `k_i = (1+eps)^i` counting the elements `>= phi(k_i)`, reporting the
+/// greatest satisfied guess. The Theorem 5 proof carries over verbatim
+/// because it only uses monotonicity of the guesses.
+
+namespace himpact {
+
+/// The threshold family: phi(k) = scale * k^power.
+struct PhiSpec {
+  double power = 1.0;
+  double scale = 1.0;
+
+  /// The H-index threshold phi(k) = k.
+  static PhiSpec HIndex() { return PhiSpec{1.0, 1.0}; }
+
+  /// The paper's quadratic example phi(k) = k^2.
+  static PhiSpec Squared() { return PhiSpec{2.0, 1.0}; }
+
+  /// The linear-scaled family phi(k) = c * k (wu-index uses c = 10).
+  static PhiSpec Scaled(double c) { return PhiSpec{1.0, c}; }
+
+  /// Evaluates phi(k).
+  double operator()(double k) const;
+};
+
+/// Computes the exact phi-index of `values` (largest k with at least k
+/// entries >= phi(k)). O(n log n) via sorting. Requires phi non-decreasing
+/// (guaranteed by PhiSpec with power, scale >= 0).
+std::uint64_t ExactPhiIndex(const std::vector<std::uint64_t>& values,
+                            const PhiSpec& phi);
+
+/// Streaming `(1-eps)`-approximate phi-index over an aggregate stream
+/// (the Algorithm 1 generalization).
+class PhiIndexEstimator final : public AggregateHIndexEstimator {
+ public:
+  /// Validates parameters; `max_k` bounds the index (the number of
+  /// publications suffices). Requires `0 < eps < 1`, `max_k >= 1`,
+  /// `phi.power >= 0`, `phi.scale > 0`.
+  static StatusOr<PhiIndexEstimator> Create(double eps, std::uint64_t max_k,
+                                            const PhiSpec& phi);
+
+  /// Observes one publication's response count.
+  void Add(std::uint64_t value) override;
+
+  /// The greatest guess `(1+eps)^i` with at least that many elements
+  /// `>= phi((1+eps)^i)` (0 if none).
+  double Estimate() const override;
+
+  /// Space: one counter per guess.
+  SpaceUsage EstimateSpace() const override;
+
+  /// The threshold family in use.
+  const PhiSpec& phi() const { return phi_; }
+
+  /// Appends a checkpoint of parameters and counters to `writer`.
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores an estimator from a `SerializeTo` checkpoint.
+  static StatusOr<PhiIndexEstimator> DeserializeFrom(ByteReader& reader);
+
+ private:
+  PhiIndexEstimator(double eps, std::uint64_t max_k, const PhiSpec& phi);
+
+  double eps_;
+  std::uint64_t max_k_;
+  PhiSpec phi_;
+  GeometricGrid grid_;                   // guesses k_i = (1+eps)^i
+  std::vector<double> thresholds_;       // phi(k_i)
+  std::vector<std::uint64_t> counters_;  // c_i = #elements >= phi(k_i)
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_GENERALIZED_H_

@@ -1,0 +1,100 @@
+#ifndef HIMPACT_CORE_PER_AUTHOR_H_
+#define HIMPACT_CORE_PER_AUTHOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/space.h"
+#include "stream/types.h"
+
+/// \file
+/// Per-author H-index tracking over a paper stream (the "computing
+/// H-index for each author" extension of Section 2.3): one aggregate
+/// estimator instance per author, created on first sight.
+///
+/// This is the natural deployment of Algorithms 1/2 when the stream
+/// interleaves many users: per-author space is the estimator's bound,
+/// total space is `#authors x` that bound. (Finding only the top authors
+/// *without* per-author state is what Section 4's heavy hitters solve.)
+
+namespace himpact {
+
+/// Tracks one aggregate H-index estimator per author.
+///
+/// `Estimator` must provide `Add(uint64_t)`, `Estimate() const`, and
+/// `EstimateSpace() const` (any `AggregateHIndexEstimator`, or the exact
+/// `IncrementalExactHIndex`).
+template <typename Estimator>
+class PerAuthorHIndex {
+ public:
+  /// `factory` builds a fresh estimator for a newly seen author.
+  explicit PerAuthorHIndex(std::function<Estimator()> factory)
+      : factory_(std::move(factory)) {}
+
+  /// Observes one paper: its citation count feeds every listed author.
+  void AddPaper(const PaperTuple& paper) {
+    for (const AuthorId author : paper.authors) {
+      Get(author).Add(paper.citations);
+    }
+  }
+
+  /// Observes one (author, count) pair directly.
+  void Add(AuthorId author, std::uint64_t citations) {
+    Get(author).Add(citations);
+  }
+
+  /// The estimate for `author` (0 if never seen).
+  double Estimate(AuthorId author) const {
+    const auto it = estimators_.find(author);
+    return it == estimators_.end() ? 0.0 : it->second.Estimate();
+  }
+
+  /// Number of distinct authors tracked.
+  std::size_t num_authors() const { return estimators_.size(); }
+
+  /// The `k` authors with the largest estimates, descending.
+  std::vector<std::pair<AuthorId, double>> TopK(std::size_t k) const {
+    std::vector<std::pair<AuthorId, double>> all;
+    all.reserve(estimators_.size());
+    for (const auto& [author, estimator] : estimators_) {
+      all.emplace_back(author, estimator.Estimate());
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second || (a.second == b.second && a.first < b.first);
+    });
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+  /// Total space across all per-author estimators.
+  SpaceUsage EstimateSpace() const {
+    SpaceUsage usage;
+    for (const auto& [author, estimator] : usage_range()) {
+      (void)author;
+      usage += estimator.EstimateSpace();
+    }
+    return usage;
+  }
+
+ private:
+  const std::unordered_map<AuthorId, Estimator>& usage_range() const {
+    return estimators_;
+  }
+
+  Estimator& Get(AuthorId author) {
+    const auto it = estimators_.find(author);
+    if (it != estimators_.end()) return it->second;
+    return estimators_.emplace(author, factory_()).first->second;
+  }
+
+  std::function<Estimator()> factory_;
+  std::unordered_map<AuthorId, Estimator> estimators_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_PER_AUTHOR_H_

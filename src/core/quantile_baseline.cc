@@ -1,0 +1,39 @@
+#include "core/quantile_baseline.h"
+
+namespace himpact {
+
+StatusOr<QuantileHIndexBaseline> QuantileHIndexBaseline::Create(
+    std::size_t k, std::uint64_t seed) {
+  if (k < 8) {
+    return Status::InvalidArgument("k must be >= 8");
+  }
+  return QuantileHIndexBaseline(k, seed);
+}
+
+QuantileHIndexBaseline::QuantileHIndexBaseline(std::size_t k,
+                                               std::uint64_t seed)
+    : sketch_(k, seed) {}
+
+void QuantileHIndexBaseline::Add(std::uint64_t value) { sketch_.Add(value); }
+
+double QuantileHIndexBaseline::Estimate() const {
+  // #{v >= k} is non-increasing in k while the identity grows, so the
+  // crossing point is found by binary search on k in [0, n].
+  std::uint64_t lo = 0;
+  std::uint64_t hi = sketch_.n();
+  while (lo < hi) {
+    const std::uint64_t mid = (lo + hi + 1) / 2;
+    if (sketch_.CountGreaterEqual(mid) >= static_cast<double>(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return static_cast<double>(lo);
+}
+
+SpaceUsage QuantileHIndexBaseline::EstimateSpace() const {
+  return sketch_.EstimateSpace();
+}
+
+}  // namespace himpact

@@ -1,0 +1,52 @@
+#ifndef HIMPACT_CORE_QUANTILE_BASELINE_H_
+#define HIMPACT_CORE_QUANTILE_BASELINE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "sketch/kll.h"
+
+/// \file
+/// Generic-machinery baseline: H-index from a quantile (rank) sketch.
+///
+/// The H-index is the fixed point of the tail-rank function,
+/// `h* = max{k : #{v >= k} >= k}`, so any rank sketch can estimate it by
+/// a search over `k`. The catch — and the reason the paper's tailored
+/// algorithms matter — is the error model: a KLL rank query errs by
+/// `+- eps_r * n`, so the recovered fixed point errs *additively* in `n`,
+/// while Theorems 5/6 give a multiplicative `(1-eps)` guarantee in
+/// comparable space. The A4 experiment measures this gap.
+
+namespace himpact {
+
+/// H-index via a KLL rank sketch (additive-error baseline).
+class QuantileHIndexBaseline final : public AggregateHIndexEstimator {
+ public:
+  /// `k` is the KLL accuracy knob (rank error ~ 1.77 n / k).
+  /// Requires `k >= 8`.
+  static StatusOr<QuantileHIndexBaseline> Create(std::size_t k,
+                                                 std::uint64_t seed);
+
+  /// Observes one publication's response count.
+  void Add(std::uint64_t value) override;
+
+  /// The largest `k` with estimated `#{v >= k} >= k` (binary search over
+  /// the sketch's monotone tail-count).
+  double Estimate() const override;
+
+  /// Space used by the sketch.
+  SpaceUsage EstimateSpace() const override;
+
+  /// The underlying sketch (for the A4 experiment's introspection).
+  const KllSketch& sketch() const { return sketch_; }
+
+ private:
+  QuantileHIndexBaseline(std::size_t k, std::uint64_t seed);
+
+  KllSketch sketch_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_QUANTILE_BASELINE_H_

@@ -1,0 +1,102 @@
+#include "core/random_order.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace himpact {
+namespace {
+
+double PaperBeta(double eps, std::uint64_t n, const RandomOrderOptions& options) {
+  if (options.beta_override > 0.0) return options.beta_override;
+  const double loglog =
+      std::max(1.0, std::log2(std::log2(static_cast<double>(
+                        std::max<std::uint64_t>(16, n)))));
+  return options.beta_scale * 150.0 / (eps * eps * eps) * loglog;
+}
+
+}  // namespace
+
+StatusOr<RandomOrderEstimator> RandomOrderEstimator::Create(
+    double eps, std::uint64_t n, const RandomOrderOptions& options) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (n < 1) {
+    return Status::InvalidArgument("n must be >= 1");
+  }
+  if (options.beta_scale <= 0.0) {
+    return Status::InvalidArgument("beta_scale must be > 0");
+  }
+  StatusOr<ShiftingWindowEstimator> fallback =
+      ShiftingWindowEstimator::Create(eps);
+  if (!fallback.ok()) return fallback.status();
+  return RandomOrderEstimator(eps, n, options, std::move(fallback).value());
+}
+
+RandomOrderEstimator::RandomOrderEstimator(double eps, std::uint64_t n,
+                                           const RandomOrderOptions& options,
+                                           ShiftingWindowEstimator fallback)
+    : eps_(eps),
+      n_(n),
+      beta_(PaperBeta(eps, n, options)),
+      fallback_(std::move(fallback)) {
+  // First window: guess 0 with length beta * (1+eps)^0.
+  window_end_ = static_cast<std::uint64_t>(std::max(1.0, std::round(beta_)));
+  guess_ = 0;
+}
+
+void RandomOrderEstimator::Add(std::uint64_t value) {
+  fallback_.Add(value);
+  if (sampler_done_) return;
+
+  ++position_;
+  const double v = static_cast<double>(value);
+  const double threshold = static_cast<double>(n_) /
+                           std::pow(1.0 + eps_, guess_);
+  const double threshold_next = threshold / (1.0 + eps_);
+  if (v >= threshold) ++count_;
+  if (v >= threshold_next) ++count_next_;
+
+  if (position_ < window_end_) return;
+
+  // End of the window for the current guess: apply the acceptance test
+  // with x = beta (2+eps)/(1+eps) (Algorithm 4, step 8).
+  const double x = beta_ * (2.0 + eps_) / (1.0 + eps_);
+  const double c = static_cast<double>(count_);
+  if (c >= (1.0 - eps_ / 3.0) * x && c <= (1.0 + eps_) * x) {
+    accepted_guess_ = threshold;
+    sampler_done_ = true;
+    return;
+  }
+  // Move to the next (smaller) guess: the carried counter c' already
+  // holds this window's tally at the next threshold, giving the overlap
+  // of Lemma 11's union window.
+  count_ = count_next_;
+  count_next_ = 0;
+  ++guess_;
+  const double next_window = beta_ * std::pow(1.0 + eps_, guess_);
+  const double next_threshold = static_cast<double>(n_) /
+                                std::pow(1.0 + eps_, guess_);
+  if (next_threshold < beta_ || position_ >= n_) {
+    // Guesses below beta belong to the Algorithm 2 fallback regime.
+    sampler_done_ = true;
+    return;
+  }
+  window_end_ = position_ + static_cast<std::uint64_t>(
+                                std::max(1.0, std::round(next_window)));
+}
+
+double RandomOrderEstimator::Estimate() const {
+  return std::max(accepted_guess_, fallback_.Estimate());
+}
+
+SpaceUsage RandomOrderEstimator::EstimateSpace() const {
+  SpaceUsage usage = fallback_.EstimateSpace();
+  usage.words += SamplerSpaceWords();
+  usage.bytes += sizeof(*this) - sizeof(fallback_);
+  return usage;
+}
+
+}  // namespace himpact

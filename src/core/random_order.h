@@ -1,0 +1,103 @@
+#ifndef HIMPACT_CORE_RANDOM_ORDER_H_
+#define HIMPACT_CORE_RANDOM_ORDER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "core/shifting_window.h"
+
+/// \file
+/// Algorithms 3 + 4 ("Random Order Stream", Theorem 9): on a uniformly
+/// randomly ordered aggregate stream of known length `n`, the H-index can
+/// be `(1±eps)`-estimated with essentially constant space.
+///
+/// Two subroutines run in parallel:
+///  - Algorithm 4 (Sampling Without Replacement) walks guesses
+///    `n/(1+eps)^i` from the largest down. Guess `i` is scored on a
+///    stream window of length `beta (1+eps)^i`; the carried counter pair
+///    `(c, c')` makes consecutive windows overlap exactly as in the
+///    paper. A guess is accepted when its count lands in
+///    `[(1-eps/3) x, (1+eps) x]` with `x = beta (2+eps)/(1+eps)`.
+///    This uses six words and succeeds (w.p. `1-delta`) whenever
+///    `h* >= beta / eps`.
+///  - Algorithm 2 (shifting window) covers the complementary case
+///    `h* < beta / eps`, where each of its words only needs
+///    `log(beta/eps)` bits.
+/// The final estimate is the max of the two (Algorithm 3).
+///
+/// The paper's `beta = 150 eps^-3 log log n` is very conservative;
+/// `RandomOrderOptions::beta_scale` lets experiments shrink it (T3
+/// studies when the guarantee actually kicks in).
+
+namespace himpact {
+
+/// Tuning knobs for `RandomOrderEstimator`.
+struct RandomOrderOptions {
+  /// Failure probability target (enters beta only through its role in the
+  /// concentration bound; the paper folds it into the constant).
+  double delta = 0.1;
+
+  /// Multiplier on the paper's beta. 1.0 reproduces the paper.
+  double beta_scale = 1.0;
+
+  /// If positive, overrides beta entirely (used by tests).
+  double beta_override = 0.0;
+};
+
+/// `(1±eps)` H-index estimator for random-order aggregate streams of a
+/// known length.
+class RandomOrderEstimator final : public AggregateHIndexEstimator {
+ public:
+  /// Validates parameters and builds the estimator for a stream of
+  /// exactly `n` elements. Requires `0 < eps < 1`, `n >= 1`.
+  static StatusOr<RandomOrderEstimator> Create(
+      double eps, std::uint64_t n, const RandomOrderOptions& options = {});
+
+  /// Observes the next stream element. Requires at most `n` calls.
+  void Add(std::uint64_t value) override;
+
+  /// `max(h1, h2)` per Algorithm 3.
+  double Estimate() const override;
+
+  /// Space of both subroutines. The Algorithm 4 part alone is
+  /// `SamplerSpaceWords()` = 6 words.
+  SpaceUsage EstimateSpace() const override;
+
+  /// The six words of Algorithm 4 (Theorem 9, first bullet).
+  std::uint64_t SamplerSpaceWords() const { return 6; }
+
+  /// The beta in effect.
+  double beta() const { return beta_; }
+
+  /// The guess accepted by Algorithm 4, or 0 if none (yet).
+  double sampler_estimate() const { return accepted_guess_; }
+
+  /// The fallback estimate from Algorithm 2.
+  double fallback_estimate() const { return fallback_.Estimate(); }
+
+ private:
+  RandomOrderEstimator(double eps, std::uint64_t n,
+                       const RandomOrderOptions& options,
+                       ShiftingWindowEstimator fallback);
+
+  double eps_;
+  std::uint64_t n_;
+  double beta_;
+
+  // --- Algorithm 4 state (the "six words") ---
+  std::uint64_t position_ = 0;       // k: elements consumed
+  std::uint64_t window_end_ = 0;     // r: end of the current window
+  int guess_ = 0;                    // i: current guess index
+  std::uint64_t count_ = 0;          // c
+  std::uint64_t count_next_ = 0;     // c'
+  double accepted_guess_ = 0.0;      // accepted n/(1+eps)^i, 0 if none
+  bool sampler_done_ = false;
+
+  // --- Algorithm 2 fallback for small h* ---
+  ShiftingWindowEstimator fallback_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_CORE_RANDOM_ORDER_H_

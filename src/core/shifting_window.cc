@@ -1,0 +1,147 @@
+#include "core/shifting_window.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace himpact {
+
+StatusOr<ShiftingWindowEstimator> ShiftingWindowEstimator::Create(
+    double eps, double internal_eps_divisor) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (!(internal_eps_divisor >= 1.0)) {
+    return Status::InvalidArgument("internal_eps_divisor must be >= 1");
+  }
+  return ShiftingWindowEstimator(eps, internal_eps_divisor);
+}
+
+ShiftingWindowEstimator::ShiftingWindowEstimator(double eps,
+                                                 double internal_eps_divisor)
+    : eps_(eps), internal_eps_(eps / internal_eps_divisor) {
+  // Window of x = ceil(log_{1+eps'}(1/eps')) + 1 consecutive counters
+  // (the set X of Algorithm 2). The +1 keeps both ends of Claim 7's
+  // bracket in view.
+  const int r = static_cast<int>(
+      std::ceil(std::log(1.0 / internal_eps_) / std::log1p(internal_eps_)));
+  const int window = r + 1;
+  double power = 1.0;
+  for (int j = 0; j < window; ++j) {
+    counters_.push_back(0);
+    powers_.push_back(power);
+    power *= (1.0 + internal_eps_);
+  }
+}
+
+double ShiftingWindowEstimator::PowerOf(int level) const {
+  HIMPACT_DCHECK(level >= base_level_ &&
+                 level < base_level_ + static_cast<int>(counters_.size()));
+  return powers_[static_cast<std::size_t>(level - base_level_)];
+}
+
+void ShiftingWindowEstimator::Add(std::uint64_t value) {
+  if (value == 0) return;
+  const double v = static_cast<double>(value);
+  // Thresholds grow with the window index, so the satisfied guesses form
+  // a prefix of the window.
+  for (std::size_t j = 0; j < counters_.size(); ++j) {
+    if (v < powers_[j]) break;
+    ++counters_[j];
+  }
+  // Shift while the second counter certifies its guess: the lowest guess
+  // is then obsolete and a new top guess opens (Algorithm 2, step 3).
+  while (counters_.size() >= 2 && static_cast<double>(counters_[1]) >= powers_[1]) {
+    counters_.pop_front();
+    powers_.pop_front();
+    ++base_level_;
+    ++num_shifts_;
+    counters_.push_back(0);
+    powers_.push_back(powers_.back() * (1.0 + internal_eps_));
+  }
+}
+
+double ShiftingWindowEstimator::Estimate() const {
+  for (std::size_t j = counters_.size(); j-- > 0;) {
+    if (static_cast<double>(counters_[j]) >= powers_[j]) {
+      return powers_[j];
+    }
+  }
+  return 0.0;
+}
+
+SpaceUsage ShiftingWindowEstimator::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = counters_.size() + 3;  // counters + base/shift bookkeeping
+  usage.bytes = sizeof(*this) +
+                counters_.size() * sizeof(std::uint64_t) +
+                powers_.size() * sizeof(double);
+  return usage;
+}
+
+double ShiftingWindowEstimator::TheoreticalSpaceWords() const {
+  return 6.0 / eps_ * std::log2(3.0 / eps_);
+}
+
+namespace {
+constexpr std::uint64_t kShiftingWindowMagic = 0x48494d5053574e31ULL;
+}  // namespace
+
+void ShiftingWindowEstimator::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kShiftingWindowMagic);
+  writer.F64(eps_);
+  writer.F64(internal_eps_);
+  writer.I64(base_level_);
+  writer.U64(num_shifts_);
+  writer.U64(counters_.size());
+  for (const std::uint64_t count : counters_) writer.U64(count);
+  // Powers are serialized verbatim so restored thresholds are
+  // bit-identical to the live instance (they are built incrementally and
+  // would drift if recomputed via pow()).
+  for (const double power : powers_) writer.F64(power);
+}
+
+StatusOr<ShiftingWindowEstimator> ShiftingWindowEstimator::DeserializeFrom(
+    ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kShiftingWindowMagic) {
+    return Status::InvalidArgument("not a ShiftingWindow checkpoint");
+  }
+  double eps = 0.0;
+  double internal_eps = 0.0;
+  std::int64_t base_level = 0;
+  std::uint64_t num_shifts = 0;
+  std::uint64_t size = 0;
+  if (!reader.F64(&eps) || !reader.F64(&internal_eps) ||
+      !reader.I64(&base_level) || !reader.U64(&num_shifts) ||
+      !reader.U64(&size)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  if (!(eps > 0.0 && eps < 1.0) || !(internal_eps > 0.0) ||
+      internal_eps > eps || base_level < 0) {
+    return Status::InvalidArgument("corrupt checkpoint parameters");
+  }
+  StatusOr<ShiftingWindowEstimator> estimator =
+      Create(eps, eps / internal_eps);
+  if (!estimator.ok()) return estimator.status();
+  ShiftingWindowEstimator& out = estimator.value();
+  if (size != out.counters_.size()) {
+    return Status::InvalidArgument("checkpoint window size mismatch");
+  }
+  out.internal_eps_ = internal_eps;
+  out.base_level_ = static_cast<int>(base_level);
+  out.num_shifts_ = num_shifts;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    if (!reader.U64(&out.counters_[i])) {
+      return Status::InvalidArgument("truncated checkpoint counters");
+    }
+  }
+  for (std::uint64_t i = 0; i < size; ++i) {
+    if (!reader.F64(&out.powers_[i])) {
+      return Status::InvalidArgument("truncated checkpoint powers");
+    }
+  }
+  return estimator;
+}
+
+}  // namespace himpact

@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace himpact {
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(estimate - truth) / truth;
+}
+
+double SignedRelativeError(double estimate, double truth) {
+  if (truth == 0.0) {
+    if (estimate == 0.0) return 0.0;
+    return estimate > 0.0 ? std::numeric_limits<double>::infinity()
+                          : -std::numeric_limits<double>::infinity();
+  }
+  return (estimate - truth) / truth;
+}
+
+ErrorStats Summarize(std::vector<double> errors) {
+  ErrorStats stats;
+  stats.count = errors.size();
+  if (errors.empty()) return stats;
+  std::sort(errors.begin(), errors.end());
+  double sum = 0.0;
+  for (const double e : errors) sum += e;
+  stats.mean = sum / static_cast<double>(errors.size());
+  stats.max = errors.back();
+  stats.p50 = errors[errors.size() / 2];
+  stats.p95 = errors[std::min(errors.size() - 1,
+                              static_cast<std::size_t>(
+                                  0.95 * static_cast<double>(errors.size())))];
+  return stats;
+}
+
+double FractionWithin(const std::vector<double>& errors, double bound) {
+  if (errors.empty()) return 1.0;
+  std::size_t within = 0;
+  for (const double e : errors) {
+    if (e <= bound) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(errors.size());
+}
+
+SetQuality CompareSets(const std::vector<std::uint64_t>& reported,
+                       const std::vector<std::uint64_t>& truth) {
+  const std::unordered_set<std::uint64_t> reported_set(reported.begin(),
+                                                       reported.end());
+  const std::unordered_set<std::uint64_t> truth_set(truth.begin(),
+                                                    truth.end());
+  std::size_t hits = 0;
+  for (const std::uint64_t id : reported_set) {
+    if (truth_set.contains(id)) ++hits;
+  }
+  SetQuality quality;
+  if (!reported_set.empty()) {
+    quality.precision =
+        static_cast<double>(hits) / static_cast<double>(reported_set.size());
+  }
+  if (!truth_set.empty()) {
+    quality.recall =
+        static_cast<double>(hits) / static_cast<double>(truth_set.size());
+  }
+  return quality;
+}
+
+}  // namespace himpact

@@ -1,0 +1,46 @@
+#ifndef HIMPACT_EVAL_METRICS_H_
+#define HIMPACT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Error metrics and summary statistics for the experiment harness.
+
+namespace himpact {
+
+/// `|estimate - truth| / truth` (0 when both are 0; +inf when only truth
+/// is 0).
+double RelativeError(double estimate, double truth);
+
+/// Signed relative error `(estimate - truth) / truth`.
+double SignedRelativeError(double estimate, double truth);
+
+/// Summary statistics over a sample of per-trial errors.
+struct ErrorStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes summary statistics (empty input yields zeros).
+ErrorStats Summarize(std::vector<double> errors);
+
+/// Fraction of `errors` that are <= `bound`.
+double FractionWithin(const std::vector<double>& errors, double bound);
+
+/// Precision/recall of a reported set against a ground-truth set.
+struct SetQuality {
+  double precision = 1.0;  // |reported ∩ truth| / |reported|
+  double recall = 1.0;     // |reported ∩ truth| / |truth|
+};
+
+/// Computes precision/recall over id sets (duplicates ignored).
+SetQuality CompareSets(const std::vector<std::uint64_t>& reported,
+                       const std::vector<std::uint64_t>& truth);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_EVAL_METRICS_H_

@@ -1,0 +1,110 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace himpact {
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::NewRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  HIMPACT_CHECK_MSG(!rows_.empty(), "call NewRow() before Cell()");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(const char* value) { return Cell(std::string(value)); }
+
+Table& Table::Cell(std::uint64_t value) {
+  return Cell(std::to_string(value));
+}
+
+Table& Table::Cell(int value) { return Cell(std::to_string(value)); }
+
+Table& Table::Cell(double value, int precision) {
+  return Cell(FormatDouble(value, precision));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      out.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  append_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (const std::size_t w : widths) rule.emplace_back(w, '-');
+  append_row(rule);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  const auto append_cell = [](std::string& out, const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      out += cell;
+      return;
+    }
+    out += '"';
+    for (const char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  };
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += ',';
+      append_cell(out, c < row.size() ? row[c] : std::string());
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void Table::Print() const {
+  const char* csv = std::getenv("HIMPACT_CSV");
+  if (csv != nullptr && csv[0] != '\0') {
+    std::fputs(ToCsv().c_str(), stdout);
+    return;
+  }
+  std::fputs(ToString().c_str(), stdout);
+}
+
+}  // namespace himpact

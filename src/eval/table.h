@@ -1,0 +1,55 @@
+#ifndef HIMPACT_EVAL_TABLE_H_
+#define HIMPACT_EVAL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Aligned text tables for the experiment binaries: every bench prints
+/// the paper-style table it reproduces through this printer, and
+/// EXPERIMENTS.md quotes the output verbatim.
+
+namespace himpact {
+
+/// A simple column-aligned table accumulated row by row.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.
+  Table& NewRow();
+
+  /// Appends a cell to the current row.
+  Table& Cell(const std::string& value);
+  Table& Cell(const char* value);
+  Table& Cell(std::uint64_t value);
+  Table& Cell(int value);
+
+  /// Appends a floating cell with `precision` decimals.
+  Table& Cell(double value, int precision = 3);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders the table as CSV (header row first; cells containing
+  /// commas or quotes are quoted per RFC 4180).
+  std::string ToCsv() const;
+
+  /// Prints to stdout (with a trailing newline). When the environment
+  /// variable `HIMPACT_CSV` is set (non-empty), prints CSV instead so
+  /// experiment output can be piped straight into plotting tools.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for ad-hoc output).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_EVAL_TABLE_H_

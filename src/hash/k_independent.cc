@@ -1,0 +1,67 @@
+#include "hash/k_independent.h"
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+
+std::uint64_t ModMersenne61(unsigned __int128 x) {
+  // Fold twice: any 128-bit value fits in 61 bits after two folds plus a
+  // conditional subtraction.
+  std::uint64_t lo = static_cast<std::uint64_t>(x & kMersenne61);
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t sum = lo + (hi & kMersenne61) + static_cast<std::uint64_t>(
+                                                    (static_cast<unsigned __int128>(hi) >> 61));
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  return sum;
+}
+
+namespace {
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) {
+  return ModMersenne61(static_cast<unsigned __int128>(a) * b);
+}
+
+}  // namespace
+
+KIndependentHash::KIndependentHash(int k, std::uint64_t seed) {
+  HIMPACT_CHECK(k >= 1);
+  coefficients_.reserve(static_cast<std::size_t>(k));
+  std::uint64_t state = seed;
+  for (int i = 0; i < k; ++i) {
+    // Rejection-free: SplitMix64 output reduced into the field is close
+    // enough to uniform for our purposes (bias < 2^-60).
+    state = SplitMix64(state + 0x632be59bd9b4e019ULL);
+    std::uint64_t coeff = state % kMersenne61;
+    // The leading coefficient must be non-zero to keep full independence.
+    if (i == k - 1 && coeff == 0) coeff = 1;
+    coefficients_.push_back(coeff);
+  }
+}
+
+std::uint64_t KIndependentHash::operator()(std::uint64_t x) const {
+  const std::uint64_t xr = x % kMersenne61;
+  // Horner evaluation, highest coefficient first.
+  std::uint64_t acc = 0;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    acc = MulMod(acc, xr);
+    acc += coefficients_[i];
+    if (acc >= kMersenne61) acc -= kMersenne61;
+  }
+  return acc;
+}
+
+SpaceUsage KIndependentHash::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = coefficients_.size();
+  usage.bytes = sizeof(*this) + coefficients_.capacity() * sizeof(std::uint64_t);
+  return usage;
+}
+
+PairwiseRangeHash::PairwiseRangeHash(std::uint64_t range, std::uint64_t seed)
+    : hash_(/*k=*/2, seed), range_(range) {
+  HIMPACT_CHECK(range >= 1);
+}
+
+}  // namespace himpact

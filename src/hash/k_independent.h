@@ -1,0 +1,77 @@
+#ifndef HIMPACT_HASH_K_INDEPENDENT_H_
+#define HIMPACT_HASH_K_INDEPENDENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/space.h"
+
+/// \file
+/// k-wise independent hash families via degree-(k-1) polynomials over the
+/// Mersenne prime field GF(2^61 - 1).
+///
+/// These are the hash families the paper's randomized algorithms rely on:
+/// pairwise independence for the heavy-hitter bucketing (Theorem 18) and
+/// the l0-sampler level hashing (Lemma 4), and higher independence for the
+/// s-sparse recovery fingerprints.
+
+namespace himpact {
+
+/// The Mersenne prime 2^61 - 1 used as the field modulus.
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// Reduces `x` modulo 2^61 - 1 given `x < 2^122` (as a 128-bit value).
+std::uint64_t ModMersenne61(unsigned __int128 x);
+
+/// A hash function drawn from a k-wise independent family
+/// `h(x) = sum_i a_i x^i mod (2^61 - 1)`, with output in `[0, 2^61 - 1)`.
+///
+/// Instances are immutable once constructed; copying is cheap (k words).
+class KIndependentHash {
+ public:
+  /// Draws a function from the k-wise independent family using `seed`.
+  /// Requires `k >= 1`.
+  KIndependentHash(int k, std::uint64_t seed);
+
+  /// Evaluates the polynomial at `x` (first reduced into the field).
+  std::uint64_t operator()(std::uint64_t x) const;
+
+  /// The independence parameter `k`.
+  int k() const { return static_cast<int>(coefficients_.size()); }
+
+  /// Space used by the function description.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  std::vector<std::uint64_t> coefficients_;  // a_0 .. a_{k-1}
+};
+
+/// Pairwise (2-wise) independent hash into the range `[0, range)`.
+///
+/// Used for the bucketing array of Algorithm 8 and the row hashing of the
+/// s-sparse recovery structure.
+class PairwiseRangeHash {
+ public:
+  /// Draws a pairwise-independent function onto `[0, range)`.
+  /// Requires `range >= 1`.
+  PairwiseRangeHash(std::uint64_t range, std::uint64_t seed);
+
+  /// Maps `x` to a bucket in `[0, range)`.
+  std::uint64_t operator()(std::uint64_t x) const {
+    return hash_(x) % range_;
+  }
+
+  /// The bucket count.
+  std::uint64_t range() const { return range_; }
+
+  /// Space used by the function description.
+  SpaceUsage EstimateSpace() const { return hash_.EstimateSpace(); }
+
+ private:
+  KIndependentHash hash_;
+  std::uint64_t range_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_HASH_K_INDEPENDENT_H_

@@ -1,0 +1,34 @@
+#ifndef HIMPACT_HASH_MIX_H_
+#define HIMPACT_HASH_MIX_H_
+
+#include <cstdint>
+
+/// \file
+/// Cheap 64-bit finalization mixers. These are not independence-bearing
+/// hash families; they are used to derive seeds and to decorrelate stream
+/// identifiers before feeding the k-independent families in
+/// `hash/k_independent.h`.
+
+namespace himpact {
+
+/// The SplitMix64 finalizer: a bijective mix of a 64-bit value.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// MurmurHash3's 64-bit finalizer (also bijective).
+constexpr std::uint64_t FMix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace himpact
+
+#endif  // HIMPACT_HASH_MIX_H_

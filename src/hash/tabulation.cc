@@ -1,0 +1,17 @@
+#include "hash/tabulation.h"
+
+#include "hash/mix.h"
+
+namespace himpact {
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& table : tables_) {
+    for (auto& entry : table) {
+      state = SplitMix64(state + 0x2545f4914f6cdd1dULL);
+      entry = state;
+    }
+  }
+}
+
+}  // namespace himpact

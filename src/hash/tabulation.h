@@ -1,0 +1,50 @@
+#ifndef HIMPACT_HASH_TABULATION_H_
+#define HIMPACT_HASH_TABULATION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/space.h"
+
+/// \file
+/// Simple tabulation hashing (Zobrist hashing): 8 lookup tables of 256
+/// random words XORed together byte-by-byte.
+///
+/// Simple tabulation is 3-independent and behaves like a fully random
+/// function for many streaming applications (Patrascu–Thorup); we use it
+/// where speed matters more than provable independence (the distinct
+/// counters and the throughput benchmarks' fast path).
+
+namespace himpact {
+
+/// A tabulation hash function over 64-bit keys.
+class TabulationHash {
+ public:
+  /// Fills the tables pseudo-randomly from `seed`.
+  explicit TabulationHash(std::uint64_t seed);
+
+  /// Hashes `x` to a 64-bit value.
+  std::uint64_t operator()(std::uint64_t x) const {
+    std::uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= tables_[static_cast<std::size_t>(byte)]
+                  [static_cast<std::size_t>((x >> (8 * byte)) & 0xff)];
+    }
+    return h;
+  }
+
+  /// Space used by the table description.
+  SpaceUsage EstimateSpace() const {
+    SpaceUsage usage;
+    usage.words = 8 * 256;
+    usage.bytes = sizeof(*this);
+    return usage;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_HASH_TABULATION_H_

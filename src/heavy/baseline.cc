@@ -1,0 +1,63 @@
+#include "heavy/baseline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/exact.h"
+
+namespace himpact {
+namespace {
+
+std::unordered_map<AuthorId, IncrementalExactHIndex> PerAuthorExact(
+    const PaperStream& papers) {
+  std::unordered_map<AuthorId, IncrementalExactHIndex> per_author;
+  for (const PaperTuple& paper : papers) {
+    for (const AuthorId author : paper.authors) {
+      per_author[author].Add(paper.citations);
+    }
+  }
+  return per_author;
+}
+
+}  // namespace
+
+std::vector<AuthorHIndex> ExactAuthorHIndices(const PaperStream& papers) {
+  const auto per_author = PerAuthorExact(papers);
+  std::vector<AuthorHIndex> result;
+  result.reserve(per_author.size());
+  for (const auto& [author, tracker] : per_author) {
+    result.push_back(AuthorHIndex{author, tracker.HIndex()});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const AuthorHIndex& a, const AuthorHIndex& b) {
+              return a.h_index > b.h_index ||
+                     (a.h_index == b.h_index && a.author < b.author);
+            });
+  return result;
+}
+
+std::uint64_t TotalHImpact(const PaperStream& papers) {
+  std::uint64_t total = 0;
+  for (const AuthorHIndex& entry : ExactAuthorHIndices(papers)) {
+    total += entry.h_index;
+  }
+  return total;
+}
+
+std::vector<AuthorHIndex> ExactHeavyHitters(const PaperStream& papers,
+                                            double eps) {
+  const std::vector<AuthorHIndex> all = ExactAuthorHIndices(papers);
+  std::uint64_t total = 0;
+  for (const AuthorHIndex& entry : all) total += entry.h_index;
+
+  std::vector<AuthorHIndex> heavy;
+  for (const AuthorHIndex& entry : all) {
+    if (static_cast<double>(entry.h_index) >=
+        eps * static_cast<double>(total)) {
+      heavy.push_back(entry);
+    }
+  }
+  return heavy;
+}
+
+}  // namespace himpact

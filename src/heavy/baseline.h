@@ -1,0 +1,71 @@
+#ifndef HIMPACT_HEAVY_BASELINE_H_
+#define HIMPACT_HEAVY_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/space_saving.h"
+#include "stream/expand.h"
+#include "stream/types.h"
+
+/// \file
+/// Baselines the heavy-hitter experiments compare Algorithm 8 against:
+///  - the exact (linear-space, per-author) H-index computation, which
+///    defines ground truth for precision/recall;
+///  - a count-based heavy hitter (SpaceSaving on total citations), which
+///    the T10 experiment uses to show that "most cited" is not
+///    "highest H-index" — the gap that motivates Section 4.
+
+namespace himpact {
+
+/// An author with its exact H-index.
+struct AuthorHIndex {
+  AuthorId author = 0;
+  std::uint64_t h_index = 0;
+};
+
+/// Computes every author's exact H-index from a paper stream
+/// (linear space; the ground truth for the heavy-hitter experiments).
+std::vector<AuthorHIndex> ExactAuthorHIndices(const PaperStream& papers);
+
+/// The total H-impact `h*(S) = sum_a h*(a)` of the stream.
+std::uint64_t TotalHImpact(const PaperStream& papers);
+
+/// Authors whose exact H-index is at least `eps * h*(S)` — the paper's
+/// heavy-hitter set — sorted by descending H-index.
+std::vector<AuthorHIndex> ExactHeavyHitters(const PaperStream& papers,
+                                            double eps);
+
+/// Count-based heavy-hitter baseline: SpaceSaving over each author's
+/// *total* citations. Returns the top `k` authors by (approximate) total
+/// citation count.
+class CountHeavyHitterBaseline {
+ public:
+  /// Requires `capacity >= 1`.
+  explicit CountHeavyHitterBaseline(std::size_t capacity)
+      : summary_(capacity) {}
+
+  /// Observes one paper: every listed author is credited `citations`.
+  void AddPaper(const PaperTuple& paper) {
+    for (const AuthorId author : paper.authors) {
+      summary_.Update(author, paper.citations);
+    }
+  }
+
+  /// Top authors by approximate total citations, descending.
+  std::vector<HeavyEntry> Top(std::size_t k) const {
+    std::vector<HeavyEntry> entries = summary_.Entries();
+    if (entries.size() > k) entries.resize(k);
+    return entries;
+  }
+
+  /// Space used by the summary.
+  SpaceUsage EstimateSpace() const { return summary_.EstimateSpace(); }
+
+ private:
+  SpaceSaving summary_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_HEAVY_BASELINE_H_

@@ -1,0 +1,173 @@
+#include "heavy/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+namespace {
+
+std::size_t NumBuckets(const HeavyHitters::Options& options) {
+  if (options.num_buckets_override > 0) return options.num_buckets_override;
+  return static_cast<std::size_t>(
+      std::ceil(2.0 / (options.eps * options.eps)));
+}
+
+std::size_t NumRows(const HeavyHitters::Options& options) {
+  if (options.num_rows_override > 0) return options.num_rows_override;
+  const double rows = std::log2(1.0 / (options.eps * options.delta));
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(rows)));
+}
+
+}  // namespace
+
+StatusOr<HeavyHitters> HeavyHitters::Create(const Options& options,
+                                            std::uint64_t seed) {
+  if (!(options.eps > 0.0 && options.eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (!(options.delta > 0.0 && options.delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (options.max_papers < 2) {
+    return Status::InvalidArgument("max_papers must be >= 2");
+  }
+  return HeavyHitters(options, seed);
+}
+
+HeavyHitters::HeavyHitters(const Options& options, std::uint64_t seed)
+    : options_(options),
+      num_rows_(NumRows(options)),
+      num_buckets_(NumBuckets(options)) {
+  std::uint64_t row_seed = SplitMix64(seed ^ 0xe7037ed1a0b428dbULL);
+  row_hashes_.reserve(num_rows_);
+  for (std::size_t j = 0; j < num_rows_; ++j) {
+    row_seed = SplitMix64(row_seed);
+    row_hashes_.emplace_back(num_buckets_, row_seed);
+  }
+
+  OneHeavyHitter::Options detector_options;
+  detector_options.eps =
+      options.detector_eps > 0.0 ? options.detector_eps : options.eps;
+  detector_options.delta =
+      options.detector_delta > 0.0 ? options.detector_delta : options.delta;
+  detector_options.max_papers = options.max_papers;
+
+  std::uint64_t cell_seed = SplitMix64(seed ^ 0x589965cc75374cc3ULL);
+  cells_.reserve(num_rows_ * num_buckets_);
+  for (std::size_t c = 0; c < num_rows_ * num_buckets_; ++c) {
+    cell_seed = SplitMix64(cell_seed);
+    StatusOr<OneHeavyHitter> cell =
+        OneHeavyHitter::Create(detector_options, cell_seed);
+    HIMPACT_CHECK_MSG(cell.ok(), "detector options were pre-validated");
+    cells_.push_back(std::move(cell).value());
+  }
+}
+
+void HeavyHitters::AddPaper(const PaperTuple& paper) {
+  ++num_papers_;
+  for (std::size_t j = 0; j < num_rows_; ++j) {
+    // One insertion per (row, author): an author's sub-stream inside its
+    // bucket contains all of that author's papers (Algorithm 8, step 5).
+    for (const AuthorId author : paper.authors) {
+      const std::size_t bucket =
+          static_cast<std::size_t>(row_hashes_[j](author));
+      cells_[j * num_buckets_ + bucket].AddPaper(paper);
+    }
+  }
+}
+
+std::vector<HeavyHitterReport> HeavyHitters::Report() const {
+  // Collect detections per author across the grid.
+  std::map<AuthorId, std::vector<double>> detections;
+  for (const OneHeavyHitter& cell : cells_) {
+    const std::optional<OneHeavyHitterResult> result = cell.Detect();
+    if (result.has_value()) {
+      detections[result->author].push_back(result->h_estimate);
+    }
+  }
+
+  std::vector<HeavyHitterReport> reports;
+  reports.reserve(detections.size());
+  for (auto& [author, estimates] : detections) {
+    std::sort(estimates.begin(), estimates.end());
+    HeavyHitterReport report;
+    report.author = author;
+    report.h_estimate = estimates[estimates.size() / 2];
+    report.detections = static_cast<int>(estimates.size());
+    reports.push_back(report);
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const HeavyHitterReport& a, const HeavyHitterReport& b) {
+              return a.h_estimate > b.h_estimate ||
+                     (a.h_estimate == b.h_estimate && a.author < b.author);
+            });
+  const std::size_t cap =
+      static_cast<std::size_t>(std::ceil(1.0 / options_.eps));
+  if (reports.size() > cap) reports.resize(cap);
+  return reports;
+}
+
+double HeavyHitters::TotalImpactEstimate() const {
+  std::vector<double> row_totals;
+  row_totals.reserve(num_rows_);
+  for (std::size_t j = 0; j < num_rows_; ++j) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < num_buckets_; ++k) {
+      total += cells_[j * num_buckets_ + k].StreamHEstimate();
+    }
+    row_totals.push_back(total);
+  }
+  std::sort(row_totals.begin(), row_totals.end());
+  return row_totals.empty() ? 0.0 : row_totals[row_totals.size() / 2];
+}
+
+std::vector<HeavyHitterReport> HeavyHitters::ReportHeavy(
+    double threshold_scale) const {
+  const double threshold =
+      threshold_scale * options_.eps * TotalImpactEstimate();
+  std::vector<HeavyHitterReport> heavy;
+  for (const HeavyHitterReport& report : Report()) {
+    if (report.h_estimate >= threshold) heavy.push_back(report);
+  }
+  return heavy;
+}
+
+double HeavyHitters::TotalImpactL2Estimate() const {
+  std::vector<double> row_norms;
+  row_norms.reserve(num_rows_);
+  for (std::size_t j = 0; j < num_rows_; ++j) {
+    double sum_squares = 0.0;
+    for (std::size_t k = 0; k < num_buckets_; ++k) {
+      const double h = cells_[j * num_buckets_ + k].StreamHEstimate();
+      sum_squares += h * h;
+    }
+    row_norms.push_back(std::sqrt(sum_squares));
+  }
+  std::sort(row_norms.begin(), row_norms.end());
+  return row_norms.empty() ? 0.0 : row_norms[row_norms.size() / 2];
+}
+
+std::vector<HeavyHitterReport> HeavyHitters::ReportL2Heavy(
+    double threshold_scale) const {
+  const double threshold =
+      threshold_scale * options_.eps * TotalImpactL2Estimate();
+  std::vector<HeavyHitterReport> heavy;
+  for (const HeavyHitterReport& report : Report()) {
+    if (report.h_estimate >= threshold) heavy.push_back(report);
+  }
+  return heavy;
+}
+
+SpaceUsage HeavyHitters::EstimateSpace() const {
+  SpaceUsage usage;
+  for (const auto& hash : row_hashes_) usage += hash.EstimateSpace();
+  for (const auto& cell : cells_) usage += cell.EstimateSpace();
+  usage.bytes += sizeof(*this);
+  return usage;
+}
+
+}  // namespace himpact

@@ -1,0 +1,120 @@
+#include "heavy/one_heavy_hitter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+namespace {
+
+std::size_t SampleSize(const OneHeavyHitter::Options& options) {
+  if (options.sample_size_override > 0) return options.sample_size_override;
+  // s = 2 log(log(n) / delta) (Algorithm 7, step 1), floored at a small
+  // constant so tiny configurations still have a usable sample.
+  const double log_n =
+      std::log2(static_cast<double>(std::max<std::uint64_t>(4, options.max_papers)));
+  const double s = 2.0 * std::log2(std::max(2.0, log_n / options.delta));
+  return static_cast<std::size_t>(std::max(8.0, std::ceil(s)));
+}
+
+}  // namespace
+
+StatusOr<OneHeavyHitter> OneHeavyHitter::Create(const Options& options,
+                                                std::uint64_t seed) {
+  if (!(options.eps > 0.0 && options.eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (!(options.delta > 0.0 && options.delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (options.max_papers < 2) {
+    return Status::InvalidArgument("max_papers must be >= 2");
+  }
+  return OneHeavyHitter(options, seed);
+}
+
+OneHeavyHitter::OneHeavyHitter(const Options& options, std::uint64_t seed)
+    : options_(options),
+      sample_size_(SampleSize(options)),
+      grid_(options.max_papers, options.eps),
+      rng_(SplitMix64(seed ^ 0x8ad8a41b5b1f1a2dULL)) {
+  bucket_.assign(static_cast<std::size_t>(grid_.num_levels()), 0);
+  samples_.reserve(bucket_.size());
+  for (std::size_t i = 0; i < bucket_.size(); ++i) {
+    samples_.emplace_back(sample_size_);
+  }
+}
+
+void OneHeavyHitter::AddPaper(const PaperTuple& paper) {
+  ++num_papers_;
+  if (paper.citations == 0) return;
+  int level = grid_.LevelFloor(static_cast<double>(paper.citations));
+  if (level < 0) return;
+  if (level >= grid_.num_levels()) level = grid_.num_levels() - 1;
+  // The paper qualifies for every threshold up to `level`: bump the exact
+  // bucket (counters are suffix sums, as in Algorithm 1) and offer the
+  // paper to each qualifying threshold's reservoir.
+  ++bucket_[static_cast<std::size_t>(level)];
+  const SampledPaper sampled{paper.paper, paper.authors};
+  for (int i = 0; i <= level; ++i) {
+    samples_[static_cast<std::size_t>(i)].Add(sampled, rng_);
+  }
+}
+
+int OneHeavyHitter::WinningLevel() const {
+  std::uint64_t suffix = 0;
+  for (int i = grid_.num_levels() - 1; i >= 0; --i) {
+    suffix += bucket_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(suffix) >= grid_.Power(i)) return i;
+  }
+  return -1;
+}
+
+double OneHeavyHitter::StreamHEstimate() const {
+  const int level = WinningLevel();
+  return level < 0 ? 0.0 : grid_.Power(level);
+}
+
+std::optional<OneHeavyHitterResult> OneHeavyHitter::Detect() const {
+  const int level = WinningLevel();
+  if (level < 0) return std::nullopt;
+  const auto& sample = samples_[static_cast<std::size_t>(level)].sample();
+  if (sample.empty()) return std::nullopt;
+
+  // Majority-author test (Algorithm 7, step 10): some author must appear
+  // in at least a (1-eps) fraction of the sampled papers.
+  std::unordered_map<AuthorId, std::size_t> author_counts;
+  for (const SampledPaper& paper : sample) {
+    for (const AuthorId author : paper.authors) {
+      ++author_counts[author];
+    }
+  }
+  const double needed =
+      (1.0 - options_.eps) * static_cast<double>(sample.size());
+  const AuthorId* best_author = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& [author, count] : author_counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_author = &author;
+    }
+  }
+  if (best_author == nullptr ||
+      static_cast<double>(best_count) < needed) {
+    return std::nullopt;
+  }
+  return OneHeavyHitterResult{*best_author, grid_.Power(level)};
+}
+
+SpaceUsage OneHeavyHitter::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = bucket_.size();
+  usage.bytes = sizeof(*this) + bucket_.capacity() * sizeof(std::uint64_t);
+  for (const auto& sample : samples_) usage += sample.EstimateSpace();
+  return usage;
+}
+
+}  // namespace himpact

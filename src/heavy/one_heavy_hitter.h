@@ -1,0 +1,102 @@
+#ifndef HIMPACT_HEAVY_ONE_HEAVY_HITTER_H_
+#define HIMPACT_HEAVY_ONE_HEAVY_HITTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "random/rng.h"
+#include "sketch/reservoir.h"
+#include "stream/types.h"
+
+/// \file
+/// Algorithm 7 ("1-Heavy Hitter", Theorem 17): given a stream of papers
+/// with authors and citation counts, decide whether a *single* author
+/// dominates the stream's H-impact — i.e. whether some author `a` has
+/// `h(a) >= (1-eps) h*(S)` where `h*(S)` sums the H-indices of all
+/// authors in the stream.
+///
+/// The detector runs Algorithm 1's exponential histogram over the papers
+/// and, per threshold `(1+eps)^i`, keeps a uniform reservoir sample
+/// `T_i` of `s = 2 log(log(n)/delta)` qualifying papers. At the end the
+/// winning threshold's sample is examined: if a `(1-eps)` fraction of its
+/// papers share an author, that author (with the histogram's H-index
+/// estimate) is returned; otherwise the stream is declared noisy.
+///
+/// Algorithm 8 instantiates one detector per hash bucket.
+
+namespace himpact {
+
+/// A detected dominant author and its H-index estimate.
+struct OneHeavyHitterResult {
+  AuthorId author = 0;
+  double h_estimate = 0.0;
+};
+
+/// The Algorithm 7 detector.
+class OneHeavyHitter {
+ public:
+  /// Tuning knobs.
+  struct Options {
+    /// Approximation / domination parameter.
+    double eps = 0.1;
+    /// Failure probability.
+    double delta = 0.05;
+    /// Upper bound on the number of papers (the histogram's `n`).
+    std::uint64_t max_papers = 1u << 20;
+    /// If positive, overrides the sample size `s`.
+    std::size_t sample_size_override = 0;
+  };
+
+  /// Validates options and builds a detector. Requires `0 < eps < 1`,
+  /// `0 < delta < 1`, `max_papers >= 2`.
+  static StatusOr<OneHeavyHitter> Create(const Options& options,
+                                         std::uint64_t seed);
+
+  /// Observes one paper tuple.
+  void AddPaper(const PaperTuple& paper);
+
+  /// Runs the end-of-stream test: the dominant author and the stream's
+  /// H-index estimate, or `nullopt` (the paper's FAIL) if no author
+  /// covers a `(1-eps)` fraction of the winning threshold's sample.
+  std::optional<OneHeavyHitterResult> Detect() const;
+
+  /// The histogram's H-index estimate of the whole (bucket) stream,
+  /// regardless of whether one author dominates.
+  double StreamHEstimate() const;
+
+  /// Number of papers observed.
+  std::uint64_t num_papers() const { return num_papers_; }
+
+  /// The per-threshold sample size `s`.
+  std::size_t sample_size() const { return sample_size_; }
+
+  /// Space: counters plus all reservoirs.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  OneHeavyHitter(const Options& options, std::uint64_t seed);
+
+  /// Index of the winning level (-1 if no level qualifies).
+  int WinningLevel() const;
+
+  Options options_;
+  std::size_t sample_size_;
+  GeometricGrid grid_;
+  mutable Rng rng_;
+  std::uint64_t num_papers_ = 0;
+  std::vector<std::uint64_t> bucket_;  // exact-level counts (suffix = c_i)
+  // One reservoir per threshold: a uniform sample of papers whose count
+  // reached (1+eps)^i. We store (paper id, authors).
+  struct SampledPaper {
+    PaperId paper;
+    AuthorList authors;
+  };
+  std::vector<ReservoirSampler<SampledPaper>> samples_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_HEAVY_ONE_HEAVY_HITTER_H_

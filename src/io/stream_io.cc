@@ -1,0 +1,172 @@
+#include "io/stream_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace himpact {
+
+bool IsSkippableLine(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // all whitespace
+}
+
+namespace {
+
+bool IsSkippable(const std::string& line) { return IsSkippableLine(line); }
+
+Status OpenFailure(const std::string& path) {
+  return Status::Unavailable("cannot open file: " + path);
+}
+
+Status ParseFailure(const std::string& path, std::size_t line_number,
+                    const std::string& line) {
+  std::ostringstream message;
+  message << path << ":" << line_number << ": malformed line: " << line;
+  return Status::InvalidArgument(message.str());
+}
+
+}  // namespace
+
+Status WriteAggregateFile(const std::string& path,
+                          const AggregateStream& values) {
+  std::ofstream out(path);
+  if (!out) return OpenFailure(path);
+  out << "# himpact aggregate stream: one response count per line\n";
+  for (const std::uint64_t v : values) {
+    out << v << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Unavailable("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<AggregateStream> ReadAggregateFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailure(path);
+  AggregateStream values;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsSkippable(line)) continue;
+    std::istringstream fields(line);
+    std::uint64_t value = 0;
+    if (!(fields >> value)) return ParseFailure(path, line_number, line);
+    std::string rest;
+    if (fields >> rest) return ParseFailure(path, line_number, line);
+    values.push_back(value);
+  }
+  return values;
+}
+
+Status WriteCashRegisterFile(const std::string& path,
+                             const CashRegisterStream& events) {
+  std::ofstream out(path);
+  if (!out) return OpenFailure(path);
+  out << "# himpact cash-register stream: <paper-id> <delta> per line\n";
+  for (const CitationEvent& event : events) {
+    out << event.paper << ' ' << event.delta << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Unavailable("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<CashRegisterStream> ReadCashRegisterFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailure(path);
+  CashRegisterStream events;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsSkippable(line)) continue;
+    std::istringstream fields(line);
+    CitationEvent event;
+    if (!(fields >> event.paper >> event.delta)) {
+      return ParseFailure(path, line_number, line);
+    }
+    std::string rest;
+    if (fields >> rest) return ParseFailure(path, line_number, line);
+    events.push_back(event);
+  }
+  return events;
+}
+
+Status WritePaperFile(const std::string& path, const PaperStream& papers) {
+  std::ofstream out(path);
+  if (!out) return OpenFailure(path);
+  out << "# himpact paper stream: <paper-id> <citations> "
+         "<author>[,<author>...] per line\n";
+  for (const PaperTuple& paper : papers) {
+    out << paper.paper << ' ' << paper.citations << ' ';
+    for (int i = 0; i < paper.authors.size(); ++i) {
+      if (i > 0) out << ',';
+      out << paper.authors[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Unavailable("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<PaperTuple> ParsePaperLine(const std::string& line) {
+  std::istringstream fields(line);
+  PaperTuple paper;
+  std::string author_list;
+  if (!(fields >> paper.paper >> paper.citations >> author_list)) {
+    return Status::InvalidArgument("malformed paper line: " + line);
+  }
+  std::string rest;
+  if (fields >> rest) {
+    return Status::InvalidArgument("malformed paper line: " + line);
+  }
+
+  std::size_t start = 0;
+  while (start <= author_list.size()) {
+    const std::size_t comma = author_list.find(',', start);
+    const std::string token =
+        author_list.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+    if (token.empty() || paper.authors.size() >= kMaxAuthorsPerPaper) {
+      return Status::InvalidArgument("malformed author list: " + line);
+    }
+    char* end = nullptr;
+    const unsigned long long author = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("malformed author list: " + line);
+    }
+    paper.authors.PushBack(static_cast<AuthorId>(author));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (paper.authors.empty()) {
+    return Status::InvalidArgument("malformed author list: " + line);
+  }
+  return paper;
+}
+
+StatusOr<PaperStream> ReadPaperFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailure(path);
+  PaperStream papers;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsSkippable(line)) continue;
+    StatusOr<PaperTuple> paper = ParsePaperLine(line);
+    if (!paper.ok()) return ParseFailure(path, line_number, line);
+    papers.push_back(std::move(paper).value());
+  }
+  return papers;
+}
+
+}  // namespace himpact

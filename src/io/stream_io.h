@@ -1,0 +1,52 @@
+#ifndef HIMPACT_IO_STREAM_IO_H_
+#define HIMPACT_IO_STREAM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/expand.h"
+#include "stream/types.h"
+
+/// \file
+/// Text-file formats for the three stream kinds, so datasets can be
+/// generated once and replayed into any estimator (and exchanged with
+/// other tooling). All formats are line-based; blank lines and lines
+/// starting with `#` are ignored.
+///
+///   - aggregate:      one response count per line
+///   - cash register:  "<paper-id> <delta>" per line
+///   - papers:         "<paper-id> <citations> <author>[,<author>...]"
+
+namespace himpact {
+
+/// Writes an aggregate stream (one count per line).
+Status WriteAggregateFile(const std::string& path,
+                          const AggregateStream& values);
+
+/// Reads an aggregate stream. Fails with `kInvalidArgument` on malformed
+/// lines and `kUnavailable` if the file cannot be opened.
+StatusOr<AggregateStream> ReadAggregateFile(const std::string& path);
+
+/// Writes a cash-register stream ("paper delta" per line).
+Status WriteCashRegisterFile(const std::string& path,
+                             const CashRegisterStream& events);
+
+/// Reads a cash-register stream.
+StatusOr<CashRegisterStream> ReadCashRegisterFile(const std::string& path);
+
+/// Writes a paper stream ("paper citations author[,author...]" per line).
+Status WritePaperFile(const std::string& path, const PaperStream& papers);
+
+/// Reads a paper stream.
+StatusOr<PaperStream> ReadPaperFile(const std::string& path);
+
+/// Parses one paper line ("paper citations author[,author...]").
+/// Exposed so tools reading from stdin share the file format's parser.
+StatusOr<PaperTuple> ParsePaperLine(const std::string& line);
+
+/// True for lines every reader skips (blank or `#` comments).
+bool IsSkippableLine(const std::string& line);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_IO_STREAM_IO_H_

@@ -1,0 +1,80 @@
+#include "random/rng.h"
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+namespace {
+
+std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro256** requires a non-zero state; SplitMix64 seeding guarantees
+  // that with overwhelming probability, and we re-seed defensively if not.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    sm = SplitMix64(sm + 0x9e3779b97f4a7c15ULL);
+    word = sm;
+  }
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x853c49e6748fea9bULL;
+  }
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) {
+  HIMPACT_CHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = NextU64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  HIMPACT_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range.
+    return static_cast<std::int64_t>(NextU64());
+  }
+  return lo + static_cast<std::int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace himpact

@@ -1,0 +1,101 @@
+#include "random/zipf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace himpact {
+
+// --- ZipfSampler -----------------------------------------------------------
+//
+// Rejection-inversion sampling for the Zipf distribution (W. Hörmann and
+// G. Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions", 1996). H(x) is the integral of x^-s; samples are
+// drawn from the continuous envelope and accepted against the discrete pmf.
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  HIMPACT_CHECK(n >= 1);
+  HIMPACT_CHECK(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of t^-s dt, with the s -> 1 limit handled explicitly.
+  if (std::fabs(s_ - 1.0) < 1e-12) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double u) const {
+  if (std::fabs(s_ - 1.0) < 1e-12) {
+    return std::exp(u);
+  }
+  return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.UniformDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= threshold_) {
+      return k;
+    }
+    if (u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+// --- DiscreteParetoSampler ---------------------------------------------------
+
+DiscreteParetoSampler::DiscreteParetoSampler(std::uint64_t x_min, double alpha,
+                                             std::uint64_t max_value)
+    : x_min_(x_min), alpha_(alpha), max_value_(max_value) {
+  HIMPACT_CHECK(x_min >= 1);
+  HIMPACT_CHECK(alpha > 0.0);
+  HIMPACT_CHECK(max_value >= x_min);
+}
+
+std::uint64_t DiscreteParetoSampler::Sample(Rng& rng) const {
+  // Inverse-CDF of the continuous Pareto, floored. UniformDouble() is in
+  // [0, 1); use 1-u in (0, 1] so the power is finite.
+  const double u = 1.0 - rng.UniformDouble();
+  const double x = static_cast<double>(x_min_) * std::pow(u, -1.0 / alpha_);
+  if (x >= static_cast<double>(max_value_)) return max_value_;
+  return static_cast<std::uint64_t>(x);
+}
+
+// --- DiscreteLogNormalSampler ------------------------------------------------
+
+DiscreteLogNormalSampler::DiscreteLogNormalSampler(double mu, double sigma,
+                                                   std::uint64_t max_value)
+    : mu_(mu), sigma_(sigma), max_value_(max_value) {
+  HIMPACT_CHECK(sigma >= 0.0);
+  HIMPACT_CHECK(max_value >= 1);
+}
+
+std::uint64_t DiscreteLogNormalSampler::Sample(Rng& rng) const {
+  const double z = SampleStandardNormal(rng);
+  const double x = std::exp(mu_ + sigma_ * z);
+  if (x <= 1.0) return 1;
+  if (x >= static_cast<double>(max_value_)) return max_value_;
+  return static_cast<std::uint64_t>(x + 0.5);
+}
+
+double SampleStandardNormal(Rng& rng) {
+  // Box–Muller; u1 is bounded away from zero to keep log finite.
+  double u1 = rng.UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = rng.UniformDouble();
+  const double two_pi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+}  // namespace himpact

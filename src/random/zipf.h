@@ -1,0 +1,91 @@
+#ifndef HIMPACT_RANDOM_ZIPF_H_
+#define HIMPACT_RANDOM_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+
+/// \file
+/// Heavy-tailed integer distributions used to synthesize citation counts
+/// and cascade sizes: bounded Zipf, discrete Pareto, and a discretized
+/// log-normal. Citation-count data is famously heavy-tailed, which is why
+/// the paper's motivating settings (citations, retweets, likes) stress the
+/// exponential-bucketing machinery; these samplers generate such streams.
+
+namespace himpact {
+
+/// Samples from the Zipf distribution on `{1, ..., n}` with exponent `s`:
+/// `P[X = k] proportional to k^-s`.
+///
+/// Uses rejection-inversion (Hörmann–Derflinger), so construction is O(1)
+/// and sampling is O(1) expected regardless of `n`.
+class ZipfSampler {
+ public:
+  /// Requires `n >= 1` and `s > 0`.
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws one sample in `[1, n]`.
+  std::uint64_t Sample(Rng& rng) const;
+
+  /// The support bound `n`.
+  std::uint64_t n() const { return n_; }
+
+  /// The exponent `s`.
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double u) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;  // s == 1 handled via the limit form inside H.
+};
+
+/// Samples from a discrete Pareto ("zeta-like tail") distribution:
+/// `X = floor(x_min * U^(-1/alpha))`, capped at `max_value`.
+///
+/// A convenient model of citation counts with tunable tail index `alpha`.
+class DiscreteParetoSampler {
+ public:
+  /// Requires `x_min >= 1`, `alpha > 0`, `max_value >= x_min`.
+  DiscreteParetoSampler(std::uint64_t x_min, double alpha,
+                        std::uint64_t max_value);
+
+  /// Draws one sample in `[x_min, max_value]`.
+  std::uint64_t Sample(Rng& rng) const;
+
+ private:
+  std::uint64_t x_min_;
+  double alpha_;
+  std::uint64_t max_value_;
+};
+
+/// Samples `round(exp(N(mu, sigma^2)))`, clamped to `[1, max_value]`.
+///
+/// Log-normal is the standard model for per-paper citation counts within a
+/// field (Radicchi et al.); used by the academic workload generator.
+class DiscreteLogNormalSampler {
+ public:
+  /// Requires `sigma >= 0`, `max_value >= 1`.
+  DiscreteLogNormalSampler(double mu, double sigma, std::uint64_t max_value);
+
+  /// Draws one sample in `[1, max_value]`.
+  std::uint64_t Sample(Rng& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+  std::uint64_t max_value_;
+};
+
+/// Draws a standard normal via Box–Muller (one value per call; the spare
+/// is intentionally discarded to keep the sampler stateless).
+double SampleStandardNormal(Rng& rng);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_RANDOM_ZIPF_H_

@@ -1,0 +1,55 @@
+#include "sketch/bjkst.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "hash/mix.h"
+
+namespace himpact {
+
+BjkstDistinct::BjkstDistinct(double eps, std::uint64_t seed)
+    : capacity_(0), hash_(/*k=*/2, SplitMix64(seed ^ 0x5be0cd19137e2179ULL)) {
+  HIMPACT_CHECK(eps > 0.0 && eps < 1.0);
+  // c/eps^2 buffer; c = 24 gives the textbook constant-probability bound.
+  capacity_ = static_cast<std::size_t>(std::ceil(24.0 / (eps * eps)));
+}
+
+int BjkstDistinct::TrailingZeros(std::uint64_t x) {
+  if (x == 0) return 64;
+  int zeros = 0;
+  while ((x & 1) == 0) {
+    ++zeros;
+    x >>= 1;
+  }
+  return zeros;
+}
+
+void BjkstDistinct::Add(std::uint64_t element) {
+  const std::uint64_t h = hash_(element);
+  if (TrailingZeros(h) < z_) return;
+  buffer_.insert(h);
+  while (buffer_.size() > capacity_) {
+    ++z_;
+    for (auto it = buffer_.begin(); it != buffer_.end();) {
+      if (TrailingZeros(*it) < z_) {
+        it = buffer_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+double BjkstDistinct::Estimate() const {
+  return static_cast<double>(buffer_.size()) * std::ldexp(1.0, z_);
+}
+
+SpaceUsage BjkstDistinct::EstimateSpace() const {
+  SpaceUsage usage = hash_.EstimateSpace();
+  usage.words += buffer_.size() + 2;
+  usage.bytes += sizeof(*this) + buffer_.size() * sizeof(std::uint64_t) * 2;
+  return usage;
+}
+
+}  // namespace himpact

@@ -1,0 +1,57 @@
+#ifndef HIMPACT_SKETCH_BJKST_H_
+#define HIMPACT_SKETCH_BJKST_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/space.h"
+#include "hash/k_independent.h"
+
+/// \file
+/// BJKST distinct counter (Bar-Yossef–Jayram–Kumar–Sivakumar–Trevisan,
+/// algorithm 2): keep the elements whose hash has at least `z` trailing
+/// zero bits, raising `z` whenever the buffer exceeds `c/eps^2`; the
+/// estimate is `|buffer| * 2^z`. A third F0 algorithm alongside KMV and
+/// HyperLogLog, with the textbook `(eps, delta)` analysis via
+/// median-of-instances (callers who need the delta boost can run several
+/// and take the median; a single instance is `(1 +/- eps)` with
+/// constant probability).
+
+namespace himpact {
+
+/// A single BJKST instance.
+class BjkstDistinct {
+ public:
+  /// Requires `0 < eps < 1`.
+  BjkstDistinct(double eps, std::uint64_t seed);
+
+  /// Observes one element.
+  void Add(std::uint64_t element);
+
+  /// Estimated number of distinct elements: `|buffer| * 2^z`.
+  double Estimate() const;
+
+  /// Current subsampling depth `z`.
+  int z() const { return z_; }
+
+  /// Current buffer occupancy.
+  std::size_t buffer_size() const { return buffer_.size(); }
+
+  /// Space used by the instance.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  /// Number of trailing zero bits of `x` (64 for x == 0).
+  static int TrailingZeros(std::uint64_t x);
+
+  std::size_t capacity_;
+  KIndependentHash hash_;
+  int z_ = 0;
+  // Stores hashed values (not raw elements): trailing zeros are a
+  // function of the hash, and collisions at 61 bits are negligible.
+  std::unordered_set<std::uint64_t> buffer_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_BJKST_H_

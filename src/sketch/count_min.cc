@@ -1,0 +1,63 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+
+CountMinSketch::CountMinSketch(double eps, double delta, std::uint64_t seed)
+    : seed_(seed) {
+  HIMPACT_CHECK(eps > 0.0 && eps < 1.0);
+  HIMPACT_CHECK(delta > 0.0 && delta < 1.0);
+  width_ = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
+  depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  if (depth_ < 1) depth_ = 1;
+
+  std::uint64_t hash_seed = SplitMix64(seed ^ 0x5851f42d4c957f2dULL);
+  hashes_.reserve(depth_);
+  for (std::size_t d = 0; d < depth_; ++d) {
+    hash_seed = SplitMix64(hash_seed);
+    hashes_.emplace_back(width_, hash_seed);
+  }
+  counters_.assign(depth_ * width_, 0);
+}
+
+void CountMinSketch::Update(std::uint64_t key, std::uint64_t count) {
+  total_ += count;
+  for (std::size_t d = 0; d < depth_; ++d) {
+    counters_[d * width_ + static_cast<std::size_t>(hashes_[d](key))] += count;
+  }
+}
+
+std::uint64_t CountMinSketch::Query(std::uint64_t key) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t d = 0; d < depth_; ++d) {
+    best = std::min(
+        best,
+        counters_[d * width_ + static_cast<std::size_t>(hashes_[d](key))]);
+  }
+  return best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  HIMPACT_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
+                        seed_ == other.seed_,
+                    "merging CountMinSketches with different parameters");
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+}
+
+SpaceUsage CountMinSketch::EstimateSpace() const {
+  SpaceUsage usage;
+  for (const auto& hash : hashes_) usage += hash.EstimateSpace();
+  usage.words += counters_.size();
+  usage.bytes += sizeof(*this) + counters_.capacity() * sizeof(std::uint64_t);
+  return usage;
+}
+
+}  // namespace himpact

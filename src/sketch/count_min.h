@@ -1,0 +1,58 @@
+#ifndef HIMPACT_SKETCH_COUNT_MIN_H_
+#define HIMPACT_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/space.h"
+#include "hash/k_independent.h"
+
+/// \file
+/// Count-Min sketch (Cormode–Muthukrishnan). Classic frequency/heavy-
+/// hitter machinery; used by the T10 experiment to demonstrate that
+/// count-based heavy hitters are *not* H-index heavy hitters (the gap the
+/// paper's Section 4 fills).
+
+namespace himpact {
+
+/// A Count-Min sketch over 64-bit keys with additive counts.
+class CountMinSketch {
+ public:
+  /// Point queries overestimate by at most `eps * total` with probability
+  /// `1 - delta`. Requires `0 < eps < 1`, `0 < delta < 1`.
+  CountMinSketch(double eps, double delta, std::uint64_t seed);
+
+  /// Adds `count` to `key`'s frequency. Requires `count >= 0`.
+  void Update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Upper-bound point estimate of `key`'s frequency.
+  std::uint64_t Query(std::uint64_t key) const;
+
+  /// Merges another sketch built with the same `(eps, delta, seed)`;
+  /// afterwards point queries cover the sum of both streams.
+  void Merge(const CountMinSketch& other);
+
+  /// Total weight added.
+  std::uint64_t total() const { return total_; }
+
+  /// Width (columns per row).
+  std::size_t width() const { return width_; }
+
+  /// Depth (number of rows).
+  std::size_t depth() const { return depth_; }
+
+  /// Space used by the sketch.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;  // construction seed (merge compatibility check)
+  std::uint64_t total_ = 0;
+  std::vector<PairwiseRangeHash> hashes_;
+  std::vector<std::uint64_t> counters_;  // depth_ x width_, row-major
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_COUNT_MIN_H_

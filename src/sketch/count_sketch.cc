@@ -1,0 +1,72 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+
+CountSketch::CountSketch(std::size_t width, std::size_t depth,
+                         std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  HIMPACT_CHECK(width >= 1);
+  HIMPACT_CHECK(depth >= 1 && depth % 2 == 1);
+  std::uint64_t hash_seed = SplitMix64(seed ^ 0x1f83d9abfb41bd6bULL);
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (std::size_t d = 0; d < depth; ++d) {
+    hash_seed = SplitMix64(hash_seed);
+    bucket_hashes_.emplace_back(/*k=*/2, hash_seed);
+    hash_seed = SplitMix64(hash_seed);
+    sign_hashes_.emplace_back(/*k=*/4, hash_seed);
+  }
+  counters_.assign(depth * width, 0);
+}
+
+std::size_t CountSketch::Bucket(std::size_t d, std::uint64_t key) const {
+  return static_cast<std::size_t>(bucket_hashes_[d](key) % width_);
+}
+
+std::int64_t CountSketch::Sign(std::size_t d, std::uint64_t key) const {
+  return (sign_hashes_[d](key) & 1) == 0 ? 1 : -1;
+}
+
+void CountSketch::Update(std::uint64_t key, std::int64_t count) {
+  for (std::size_t d = 0; d < depth_; ++d) {
+    counters_[d * width_ + Bucket(d, key)] += Sign(d, key) * count;
+  }
+}
+
+std::int64_t CountSketch::Query(std::uint64_t key) const {
+  std::vector<std::int64_t> estimates;
+  estimates.reserve(depth_);
+  for (std::size_t d = 0; d < depth_; ++d) {
+    estimates.push_back(Sign(d, key) *
+                        counters_[d * width_ + Bucket(d, key)]);
+  }
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + static_cast<std::ptrdiff_t>(depth_ / 2),
+                   estimates.end());
+  return estimates[depth_ / 2];
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  HIMPACT_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
+                        seed_ == other.seed_,
+                    "merging CountSketches with different parameters");
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+SpaceUsage CountSketch::EstimateSpace() const {
+  SpaceUsage usage;
+  for (const auto& hash : bucket_hashes_) usage += hash.EstimateSpace();
+  for (const auto& hash : sign_hashes_) usage += hash.EstimateSpace();
+  usage.words += counters_.size();
+  usage.bytes += sizeof(*this) + counters_.capacity() * sizeof(std::int64_t);
+  return usage;
+}
+
+}  // namespace himpact

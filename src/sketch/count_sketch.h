@@ -1,0 +1,60 @@
+#ifndef HIMPACT_SKETCH_COUNT_SKETCH_H_
+#define HIMPACT_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/space.h"
+#include "hash/k_independent.h"
+
+/// \file
+/// CountSketch (Charikar–Chen–Farach-Colton): the signed cousin of
+/// Count-Min. Point estimates are unbiased with error `+- eps * ||f||_2`
+/// (L2, not L1) with probability `1 - delta`, and the sketch supports
+/// deletions. The paper's concluding section mentions "L2 heavy hitters"
+/// as an open direction; CountSketch is the standard substrate for that
+/// and rounds out this library's frequency toolbox.
+
+namespace himpact {
+
+/// A CountSketch over 64-bit keys with signed counts.
+class CountSketch {
+ public:
+  /// `width` buckets per row, `depth` rows (estimate = median of rows).
+  /// Requires `width >= 1`, odd `depth >= 1`.
+  CountSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  /// Adds `count` (may be negative) to `key`'s frequency.
+  void Update(std::uint64_t key, std::int64_t count = 1);
+
+  /// Median-of-rows unbiased point estimate of `key`'s frequency.
+  std::int64_t Query(std::uint64_t key) const;
+
+  /// Merges another sketch built with the same `(width, depth, seed)`.
+  void Merge(const CountSketch& other);
+
+  /// Width (columns per row).
+  std::size_t width() const { return width_; }
+
+  /// Depth (number of rows).
+  std::size_t depth() const { return depth_; }
+
+  /// Space used by the sketch.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  /// Row `d`'s bucket and sign for `key`.
+  std::size_t Bucket(std::size_t d, std::uint64_t key) const;
+  std::int64_t Sign(std::size_t d, std::uint64_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::vector<KIndependentHash> bucket_hashes_;  // pairwise
+  std::vector<KIndependentHash> sign_hashes_;    // 4-wise (variance bound)
+  std::vector<std::int64_t> counters_;           // depth_ x width_
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,121 @@
+#include "sketch/dgim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace himpact {
+
+DgimCounter::DgimCounter(std::uint64_t window, double eps) : window_(window) {
+  HIMPACT_CHECK(window >= 1);
+  HIMPACT_CHECK(eps > 0.0 && eps < 1.0);
+  // With k+1 buckets allowed per size, the uncounted half of the oldest
+  // bucket is at most a 1/k fraction of the window's ones.
+  max_per_size_ = static_cast<std::size_t>(std::ceil(1.0 / eps)) + 1;
+}
+
+void DgimCounter::Add(bool one) {
+  ++time_;
+  // Expire buckets that have fallen out of the window.
+  while (!buckets_.empty() && buckets_.back().time + window_ <= time_) {
+    buckets_.pop_back();
+  }
+  if (!one) return;
+
+  buckets_.push_front(Bucket{time_, 0});
+  // Cascade merges: whenever more than max_per_size_ buckets share a
+  // size, merge the two oldest of that size into one of twice the size
+  // (keeping the newer timestamp of the two, i.e. the earlier position
+  // in the deque).
+  int log_size = 0;
+  std::size_t scan_start = 0;
+  while (true) {
+    // Count buckets of `log_size` starting at scan_start (the deque is
+    // sorted by size because sizes only grow toward the back).
+    std::size_t count = 0;
+    std::size_t first = scan_start;
+    while (first + count < buckets_.size() &&
+           buckets_[first + count].log_size == log_size) {
+      ++count;
+    }
+    if (count <= max_per_size_) break;
+    // Merge the two oldest buckets of this size (highest indices).
+    const std::size_t oldest = first + count - 1;
+    const std::size_t second_oldest = oldest - 1;
+    buckets_[second_oldest].log_size = log_size + 1;
+    // The merged bucket keeps the newer of the two timestamps, which is
+    // already buckets_[second_oldest].time.
+    buckets_.erase(buckets_.begin() +
+                   static_cast<std::ptrdiff_t>(oldest));
+    scan_start = second_oldest;
+    ++log_size;
+  }
+}
+
+double DgimCounter::Estimate() const {
+  if (buckets_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    total += std::ldexp(1.0, bucket.log_size);
+  }
+  // All of the oldest bucket's ones except (conventionally) half may have
+  // left the window.
+  total -= std::ldexp(1.0, buckets_.back().log_size) / 2.0 - 0.5;
+  return total;
+}
+
+namespace {
+constexpr std::uint64_t kDgimMagic = 0x48494d5044474931ULL;
+}  // namespace
+
+void DgimCounter::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kDgimMagic);
+  writer.U64(window_);
+  writer.U64(max_per_size_);
+  writer.U64(time_);
+  writer.U64(buckets_.size());
+  for (const Bucket& bucket : buckets_) {
+    writer.U64(bucket.time);
+    writer.I64(bucket.log_size);
+  }
+}
+
+StatusOr<DgimCounter> DgimCounter::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kDgimMagic) {
+    return Status::InvalidArgument("not a DgimCounter checkpoint");
+  }
+  std::uint64_t window = 0, max_per_size = 0, time = 0, count = 0;
+  if (!reader.U64(&window) || !reader.U64(&max_per_size) ||
+      !reader.U64(&time) || !reader.U64(&count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  if (window < 1 || max_per_size < 2) {
+    return Status::InvalidArgument("corrupt checkpoint parameters");
+  }
+  DgimCounter counter(window, 1.0 / static_cast<double>(max_per_size - 1));
+  counter.max_per_size_ = max_per_size;
+  counter.time_ = time;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Bucket bucket{0, 0};
+    std::int64_t log_size = 0;
+    if (!reader.U64(&bucket.time) || !reader.I64(&log_size)) {
+      return Status::InvalidArgument("truncated checkpoint buckets");
+    }
+    if (log_size < 0 || log_size > 63 || bucket.time > time) {
+      return Status::InvalidArgument("corrupt checkpoint bucket");
+    }
+    bucket.log_size = static_cast<int>(log_size);
+    counter.buckets_.push_back(bucket);
+  }
+  return counter;
+}
+
+SpaceUsage DgimCounter::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = buckets_.size() + 2;
+  usage.bytes = sizeof(*this) + buckets_.size() * sizeof(Bucket);
+  return usage;
+}
+
+}  // namespace himpact

@@ -1,0 +1,67 @@
+#ifndef HIMPACT_SKETCH_DGIM_H_
+#define HIMPACT_SKETCH_DGIM_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/bytes.h"
+#include "common/space.h"
+#include "common/status.h"
+
+/// \file
+/// DGIM sliding-window bit counter (Datar–Gionis–Indyk–Motwani 2002):
+/// maintains a `(1±eps)`-approximate count of the ones among the last
+/// `window` stream positions using `O(1/eps * log^2 window)` bits.
+///
+/// Substrate for the sliding-window H-index extension
+/// (`core/sliding_window.h`): each citation-threshold counter of
+/// Algorithm 1 becomes a DGIM counter so the estimate reflects only the
+/// most recent `window` publications.
+
+namespace himpact {
+
+/// A `(1±eps)` count of ones within the trailing window.
+class DgimCounter {
+ public:
+  /// Requires `window >= 1`, `0 < eps < 1`.
+  DgimCounter(std::uint64_t window, double eps);
+
+  /// Advances time by one position carrying a one (qualifying element)
+  /// or a zero.
+  void Add(bool one);
+
+  /// Estimated number of ones among the last `window` positions.
+  /// Over/under-estimates by at most half the oldest bucket, i.e. a
+  /// `(1±eps)` factor.
+  double Estimate() const;
+
+  /// Exact stream position (number of Add calls so far).
+  std::uint64_t position() const { return time_; }
+
+  /// Number of live buckets.
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Space used by the counter.
+  SpaceUsage EstimateSpace() const;
+
+  /// Appends a checkpoint of parameters and buckets to `writer`.
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a counter from a `SerializeTo` checkpoint.
+  static StatusOr<DgimCounter> DeserializeFrom(ByteReader& reader);
+
+ private:
+  struct Bucket {
+    std::uint64_t time;  // position of the most recent one in the bucket
+    int log_size;        // bucket holds 2^log_size ones
+  };
+
+  std::uint64_t window_;
+  std::size_t max_per_size_;  // buckets allowed per size before merging
+  std::uint64_t time_ = 0;
+  std::deque<Bucket> buckets_;  // newest first
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_DGIM_H_

@@ -1,0 +1,111 @@
+#include "sketch/distinct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+
+KmvCore::KmvCore(std::size_t k, std::uint64_t seed)
+    : k_(k), seed_(seed), hash_(SplitMix64(seed ^ 0x1f123bb5159a55e5ULL)) {
+  HIMPACT_CHECK(k >= 2);
+  heap_.reserve(k);
+}
+
+void KmvCore::Add(std::uint64_t element) { AddHash(hash_(element)); }
+
+void KmvCore::Merge(const KmvCore& other) {
+  HIMPACT_CHECK_MSG(k_ == other.k_ && seed_ == other.seed_,
+                    "merging KmvCores with different parameters");
+  for (const std::uint64_t h : other.heap_) AddHash(h);
+}
+
+void KmvCore::AddHash(std::uint64_t h) {
+  if (heap_.size() == k_ && h >= heap_.front()) return;
+  if (members_.contains(h)) return;
+  if (heap_.size() == k_) {
+    members_.erase(heap_.front());
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+  heap_.push_back(h);
+  std::push_heap(heap_.begin(), heap_.end());
+  members_.insert(h);
+}
+
+double KmvCore::Estimate() const {
+  if (heap_.size() < k_) {
+    // Nothing has ever been evicted, so the retained set is exactly the
+    // set of distinct hashes observed.
+    return static_cast<double>(heap_.size());
+  }
+  // kth-minimum-value estimator: E[(k-1) / v_k] = F0 for v_k the kth
+  // smallest hash normalized into (0, 1].
+  const double v_k =
+      (static_cast<double>(heap_.front()) + 1.0) * 0x1.0p-64;
+  return static_cast<double>(k_ - 1) / v_k;
+}
+
+SpaceUsage KmvCore::EstimateSpace() const {
+  SpaceUsage usage = hash_.EstimateSpace();
+  usage.words += k_;
+  usage.bytes += sizeof(*this) + heap_.capacity() * sizeof(std::uint64_t) +
+                 members_.size() * sizeof(std::uint64_t) * 2;
+  return usage;
+}
+
+DistinctCounter::DistinctCounter(double eps, double delta, std::uint64_t seed)
+    : k_(0) {
+  HIMPACT_CHECK(eps > 0.0 && eps < 1.0);
+  HIMPACT_CHECK(delta > 0.0 && delta < 1.0);
+  // Var[1/v_k] gives relative std ~ 1/sqrt(k); k = 4/eps^2 puts a single
+  // core within (1 +/- eps) with probability >= 3/4 (Chebyshev), and the
+  // median over 8*ln(1/delta) cores boosts it to 1 - delta (Chernoff).
+  k_ = static_cast<std::size_t>(std::ceil(4.0 / (eps * eps)));
+  if (k_ < 2) k_ = 2;
+  std::size_t num_cores = static_cast<std::size_t>(
+      std::ceil(8.0 * std::log(1.0 / delta)));
+  if (num_cores < 1) num_cores = 1;
+  if (num_cores % 2 == 0) ++num_cores;  // odd count -> unambiguous median
+
+  std::uint64_t core_seed = SplitMix64(seed ^ 0x96d5c2a1e2279db5ULL);
+  cores_.reserve(num_cores);
+  for (std::size_t i = 0; i < num_cores; ++i) {
+    core_seed = SplitMix64(core_seed);
+    cores_.emplace_back(k_, core_seed);
+  }
+}
+
+void DistinctCounter::Add(std::uint64_t element) {
+  for (KmvCore& core : cores_) core.Add(element);
+}
+
+void DistinctCounter::Merge(const DistinctCounter& other) {
+  HIMPACT_CHECK_MSG(k_ == other.k_ && cores_.size() == other.cores_.size(),
+                    "merging DistinctCounters with different parameters");
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i].Merge(other.cores_[i]);
+  }
+}
+
+double DistinctCounter::Estimate() const {
+  std::vector<double> estimates;
+  estimates.reserve(cores_.size());
+  for (const KmvCore& core : cores_) estimates.push_back(core.Estimate());
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + static_cast<std::ptrdiff_t>(
+                                           estimates.size() / 2),
+                   estimates.end());
+  return estimates[estimates.size() / 2];
+}
+
+SpaceUsage DistinctCounter::EstimateSpace() const {
+  SpaceUsage usage;
+  for (const KmvCore& core : cores_) usage += core.EstimateSpace();
+  usage.bytes += sizeof(*this);
+  return usage;
+}
+
+}  // namespace himpact

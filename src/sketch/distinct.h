@@ -1,0 +1,89 @@
+#ifndef HIMPACT_SKETCH_DISTINCT_H_
+#define HIMPACT_SKETCH_DISTINCT_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/space.h"
+#include "hash/tabulation.h"
+
+/// \file
+/// Distinct-count (F0 / L0-norm) estimation.
+///
+/// Algorithm 5 (Unbiased Sampling) needs a `(1 +/- eps)`-approximation `y`
+/// of the number of non-zero coordinates of the citation vector — the
+/// paper cites the Kane–Nelson–Woodruff optimal algorithm ([10]). We
+/// provide a KMV (k-minimum-values / bottom-k) estimator with the same
+/// `(eps, delta)` guarantee class: a single KMV core is `(1 +/- eps)` with
+/// constant probability using `k = Theta(1/eps^2)` values, and a median
+/// over `Theta(log 1/delta)` independent cores boosts the success
+/// probability to `1 - delta`. See DESIGN.md for the substitution note.
+
+namespace himpact {
+
+/// A single bottom-k core: keeps the `k` smallest hash values seen.
+class KmvCore {
+ public:
+  /// Requires `k >= 2`.
+  KmvCore(std::size_t k, std::uint64_t seed);
+
+  /// Observes one element (duplicates are ignored by construction).
+  void Add(std::uint64_t element);
+
+  /// Merges another core built with the same `(k, seed)`; afterwards the
+  /// retained set is the bottom-k of the union of both streams.
+  void Merge(const KmvCore& other);
+
+  /// Current estimate of the number of distinct elements observed.
+  double Estimate() const;
+
+  /// Space used by the core.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  /// Inserts a precomputed hash value into the bottom-k set.
+  void AddHash(std::uint64_t h);
+
+  std::size_t k_;
+  std::uint64_t seed_;
+  TabulationHash hash_;
+  // Max-heap of the k smallest hash values plus a membership set so
+  // duplicates of a retained value are not double-counted.
+  std::vector<std::uint64_t> heap_;
+  std::unordered_set<std::uint64_t> members_;
+};
+
+/// Median-of-cores `(1 +/- eps, delta)` distinct-count estimator.
+class DistinctCounter {
+ public:
+  /// Requires `0 < eps < 1`, `0 < delta < 1`.
+  DistinctCounter(double eps, double delta, std::uint64_t seed);
+
+  /// Observes one element.
+  void Add(std::uint64_t element);
+
+  /// Merges another counter built with the same `(eps, delta, seed)`;
+  /// afterwards the estimate covers the union of both streams.
+  void Merge(const DistinctCounter& other);
+
+  /// Median estimate across the independent cores.
+  double Estimate() const;
+
+  /// Number of independent cores.
+  std::size_t num_cores() const { return cores_.size(); }
+
+  /// The bottom-k size per core.
+  std::size_t k() const { return k_; }
+
+  /// Space used by the estimator.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  std::size_t k_;
+  std::vector<KmvCore> cores_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_DISTINCT_H_

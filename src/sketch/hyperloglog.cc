@@ -1,0 +1,66 @@
+#include "sketch/hyperloglog.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "hash/mix.h"
+
+namespace himpact {
+
+HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
+    : precision_(precision),
+      hash_(SplitMix64(seed ^ 0x7a4a7b1cd2f6a1adULL)) {
+  HIMPACT_CHECK(precision >= 4 && precision <= 18);
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::Add(std::uint64_t element) {
+  const std::uint64_t h = hash_(element);
+  const std::size_t bucket =
+      static_cast<std::size_t>(h >> (64 - precision_));
+  const std::uint64_t rest = h << precision_ | (std::uint64_t{1} << (precision_ - 1));
+  // Rank = number of leading zeros of the remaining bits, plus one.
+  std::uint8_t rank = 1;
+  std::uint64_t bits = rest;
+  while ((bits & (std::uint64_t{1} << 63)) == 0 && rank < 64) {
+    ++rank;
+    bits <<= 1;
+  }
+  if (rank > registers_[bucket]) registers_[bucket] = rank;
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0.0;
+  std::size_t zero_registers = 0;
+  for (const std::uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zero_registers;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zero_registers > 0) {
+    // Linear-counting correction for small cardinalities.
+    estimate = m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return estimate;
+}
+
+SpaceUsage HyperLogLog::EstimateSpace() const {
+  SpaceUsage usage = hash_.EstimateSpace();
+  usage.words += CeilDiv(registers_.size() * 6, kBitsPerWord);
+  usage.bytes += sizeof(*this) + registers_.capacity();
+  return usage;
+}
+
+}  // namespace himpact

@@ -1,0 +1,46 @@
+#ifndef HIMPACT_SKETCH_HYPERLOGLOG_H_
+#define HIMPACT_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/space.h"
+#include "hash/tabulation.h"
+
+/// \file
+/// HyperLogLog distinct counter (Flajolet et al. 2007), with the standard
+/// small-range (linear counting) correction.
+///
+/// Not used inside the paper's algorithms (those use the `(1±eps, delta)`
+/// `DistinctCounter`); HLL is the industry-standard baseline the T7
+/// experiment compares against on the space/accuracy axis.
+
+namespace himpact {
+
+/// A HyperLogLog sketch with `2^precision` 6-bit registers.
+class HyperLogLog {
+ public:
+  /// Requires `4 <= precision <= 18`.
+  HyperLogLog(int precision, std::uint64_t seed);
+
+  /// Observes one element.
+  void Add(std::uint64_t element);
+
+  /// Estimates the number of distinct elements observed.
+  double Estimate() const;
+
+  /// Number of registers (`2^precision`).
+  std::size_t num_registers() const { return registers_.size(); }
+
+  /// Space used by the sketch.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  int precision_;
+  TabulationHash hash_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_HYPERLOGLOG_H_

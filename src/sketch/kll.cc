@@ -1,0 +1,122 @@
+#include "sketch/kll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+namespace {
+
+/// Capacity decay per level below the top (the KLL paper's c = 2/3).
+constexpr double kDecay = 2.0 / 3.0;
+
+}  // namespace
+
+KllSketch::KllSketch(std::size_t k, std::uint64_t seed)
+    : k_(k), rng_(SplitMix64(seed ^ 0x9b05688c2b3e6c1fULL)) {
+  HIMPACT_CHECK(k >= 8);
+  compactors_.emplace_back();
+}
+
+std::size_t KllSketch::CapacityAt(std::size_t level) const {
+  // Level indices count from the bottom; the top compactor has the full
+  // capacity k and lower ones decay geometrically (floored at 2).
+  const std::size_t height = compactors_.size();
+  const double capacity =
+      static_cast<double>(k_) *
+      std::pow(kDecay, static_cast<double>(height - 1 - level));
+  return std::max<std::size_t>(2, static_cast<std::size_t>(capacity));
+}
+
+void KllSketch::Add(std::uint64_t value) {
+  compactors_[0].push_back(value);
+  ++n_;
+  if (compactors_[0].size() >= CapacityAt(0)) {
+    Compress();
+  }
+}
+
+void KllSketch::Compress() {
+  for (std::size_t level = 0; level < compactors_.size(); ++level) {
+    if (compactors_[level].size() < CapacityAt(level)) continue;
+    if (level + 1 == compactors_.size()) {
+      compactors_.emplace_back();
+    }
+    std::vector<std::uint64_t>& current = compactors_[level];
+    std::sort(current.begin(), current.end());
+    // Promote one item per sorted pair (random side): the classic
+    // unbiased compaction — each promoted item of weight 2w represents
+    // itself and its dropped neighbor. An odd leftover item stays in the
+    // compactor so total weight is conserved exactly.
+    const std::size_t even = current.size() - (current.size() % 2);
+    const std::size_t offset = rng_.UniformU64(2);
+    std::vector<std::uint64_t>& above = compactors_[level + 1];
+    for (std::size_t i = offset; i < even; i += 2) {
+      above.push_back(current[i]);
+    }
+    if (even < current.size()) {
+      current[0] = current.back();
+      current.resize(1);
+    } else {
+      current.clear();
+    }
+  }
+}
+
+double KllSketch::Rank(std::uint64_t value) const {
+  double rank = 0.0;
+  double weight = 1.0;
+  for (const std::vector<std::uint64_t>& compactor : compactors_) {
+    for (const std::uint64_t item : compactor) {
+      if (item < value) rank += weight;
+    }
+    weight *= 2.0;
+  }
+  return rank;
+}
+
+std::uint64_t KllSketch::Quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Gather (item, weight) pairs, sort by item, walk the cumulative
+  // weight to the target rank.
+  std::vector<std::pair<std::uint64_t, double>> items;
+  double weight = 1.0;
+  for (const std::vector<std::uint64_t>& compactor : compactors_) {
+    for (const std::uint64_t item : compactor) {
+      items.emplace_back(item, weight);
+    }
+    weight *= 2.0;
+  }
+  if (items.empty()) return 0;
+  std::sort(items.begin(), items.end());
+  const double target = q * static_cast<double>(n_);
+  double cumulative = 0.0;
+  for (const auto& [item, w] : items) {
+    cumulative += w;
+    if (cumulative >= target) return item;
+  }
+  return items.back().first;
+}
+
+std::size_t KllSketch::NumRetained() const {
+  std::size_t total = 0;
+  for (const std::vector<std::uint64_t>& compactor : compactors_) {
+    total += compactor.size();
+  }
+  return total;
+}
+
+SpaceUsage KllSketch::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = NumRetained() + compactors_.size();
+  usage.bytes = sizeof(*this);
+  for (const std::vector<std::uint64_t>& compactor : compactors_) {
+    usage.bytes += compactor.capacity() * sizeof(std::uint64_t);
+  }
+  return usage;
+}
+
+}  // namespace himpact

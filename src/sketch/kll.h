@@ -1,0 +1,72 @@
+#ifndef HIMPACT_SKETCH_KLL_H_
+#define HIMPACT_SKETCH_KLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/space.h"
+#include "random/rng.h"
+
+/// \file
+/// KLL quantile sketch (Karnin–Lang–Liberty 2016), simplified variant:
+/// a hierarchy of compactors where level `l` holds items of weight
+/// `2^l`; a full compactor sorts itself and promotes a random half.
+/// Rank queries are answered within `+- eps * n` with
+/// `k = O(1/eps * sqrt(log 1/eps))`.
+///
+/// Role in this library: the *generic-machinery baseline* for H-index
+/// estimation (`core/quantile_baseline.h`). A rank sketch can compute
+/// the H-index fixed point, but only to additive `eps*n` error — the A4
+/// experiment contrasts that with the paper's tailored exponential
+/// histogram, which achieves multiplicative `(1-eps)` error in
+/// comparable space.
+
+namespace himpact {
+
+/// A KLL sketch over 64-bit values.
+class KllSketch {
+ public:
+  /// `k` is the top-compactor capacity (accuracy knob; rank error is
+  /// ~ 1.77 n / k with the 2/3 capacity decay). Requires `k >= 8`.
+  KllSketch(std::size_t k, std::uint64_t seed);
+
+  /// Observes one value.
+  void Add(std::uint64_t value);
+
+  /// Total number of values observed.
+  std::uint64_t n() const { return n_; }
+
+  /// Estimated number of observed values `< value`.
+  double Rank(std::uint64_t value) const;
+
+  /// Estimated number of observed values `>= value`.
+  double CountGreaterEqual(std::uint64_t value) const {
+    return static_cast<double>(n_) - Rank(value);
+  }
+
+  /// Estimated `q`-quantile (`0 <= q <= 1`): the smallest retained value
+  /// whose estimated rank reaches `q * n`.
+  std::uint64_t Quantile(double q) const;
+
+  /// Number of retained items across all compactors.
+  std::size_t NumRetained() const;
+
+  /// Space used by the sketch.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  /// Capacity of `level` counted from the top compactor.
+  std::size_t CapacityAt(std::size_t level) const;
+
+  /// Compacts every over-full level once, bottom-up.
+  void Compress();
+
+  std::size_t k_;
+  std::uint64_t n_ = 0;
+  Rng rng_;
+  std::vector<std::vector<std::uint64_t>> compactors_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_KLL_H_

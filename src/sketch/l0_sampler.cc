@@ -1,0 +1,97 @@
+#include "sketch/l0_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "hash/mix.h"
+
+namespace himpact {
+
+L0Sampler::L0Sampler(std::uint64_t universe, double delta, std::uint64_t seed)
+    : universe_(universe),
+      seed_(seed),
+      sparsity_(0),
+      level_hash_(
+          /*k=*/std::max(2, CeilLog2(static_cast<std::uint64_t>(
+                                std::ceil(1.0 / std::min(0.5, delta)))) +
+                                2),
+          SplitMix64(seed ^ 0x2bd6a1f6e94cbb01ULL)) {
+  HIMPACT_CHECK(universe >= 1);
+  HIMPACT_CHECK(delta > 0.0 && delta < 1.0);
+  sparsity_ = static_cast<std::size_t>(
+      std::max(8.0, 2.0 * std::log2(1.0 / delta) + 4.0));
+
+  const std::size_t num_levels =
+      static_cast<std::size_t>(CeilLog2(std::max<std::uint64_t>(2, universe))) +
+      1;
+  std::uint64_t level_seed = SplitMix64(seed ^ 0x71c3bc9cb4e8ff2dULL);
+  levels_.reserve(num_levels);
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    level_seed = SplitMix64(level_seed);
+    // Per-level recovery failure is driven well below the level-hash
+    // failure mode; delta/2 per structure suffices for the overall bound.
+    levels_.emplace_back(sparsity_, delta / 2.0, level_seed);
+  }
+}
+
+void L0Sampler::Update(std::uint64_t index, std::int64_t weight) {
+  HIMPACT_CHECK(index < universe_);
+  if (weight == 0) return;
+  // One hash evaluation per update: the deepest level the index reaches
+  // is determined by how small its hash is (levels are nested).
+  const std::uint64_t h = level_hash_(index);
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (l > 0 && (l >= 61 ? h != 0 : h >= (kMersenne61 >> l))) break;
+    levels_[l].Update(index, weight);
+  }
+}
+
+void L0Sampler::Merge(const L0Sampler& other) {
+  HIMPACT_CHECK_MSG(universe_ == other.universe_ && seed_ == other.seed_ &&
+                        levels_.size() == other.levels_.size(),
+                    "merging L0Samplers with different parameters");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    levels_[l].Merge(other.levels_[l]);
+  }
+}
+
+StatusOr<L0Sample> L0Sampler::Sample() const {
+  bool saw_nonzero = false;
+  for (std::size_t l = levels_.size(); l-- > 0;) {
+    if (levels_[l].IsZero()) continue;
+    saw_nonzero = true;
+    const SSparseResult result = levels_[l].Recover();
+    if (!result.exact || result.entries.empty()) {
+      // Deeper levels were zero and this one is overloaded or damaged:
+      // the sampler fails (probability <= delta by the level analysis).
+      return Status::Unavailable("l0-sampler: no decodable level");
+    }
+    // Min-wise selection among the survivors of the deepest non-empty
+    // level keeps the output distribution near-uniform.
+    const RecoveredEntry* best = &result.entries.front();
+    std::uint64_t best_hash = level_hash_(best->index);
+    for (const RecoveredEntry& entry : result.entries) {
+      const std::uint64_t h = level_hash_(entry.index);
+      if (h < best_hash) {
+        best_hash = h;
+        best = &entry;
+      }
+    }
+    return L0Sample{best->index, best->weight};
+  }
+  if (!saw_nonzero) {
+    return Status::FailedPrecondition("l0-sampler: vector is zero");
+  }
+  return Status::Unavailable("l0-sampler: no decodable level");
+}
+
+SpaceUsage L0Sampler::EstimateSpace() const {
+  SpaceUsage usage = level_hash_.EstimateSpace();
+  for (const auto& level : levels_) usage += level.EstimateSpace();
+  usage.bytes += sizeof(*this);
+  return usage;
+}
+
+}  // namespace himpact

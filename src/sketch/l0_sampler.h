@@ -1,0 +1,78 @@
+#ifndef HIMPACT_SKETCH_L0_SAMPLER_H_
+#define HIMPACT_SKETCH_L0_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/space.h"
+#include "common/status.h"
+#include "hash/k_independent.h"
+#include "sketch/s_sparse.h"
+
+/// \file
+/// l0-sampler (Definition 3 / Lemma 4, after Jowhari–Saglam–Tardos):
+/// a linear sketch that, over a stream of updates `(i, z)` to a vector
+/// `x`, returns a (near-)uniform non-zero coordinate of `x` together with
+/// its value, or FAIL with probability at most `delta`.
+///
+/// Construction: `log2(n)+1` geometric subsampling levels; level `l`
+/// retains index `i` iff a k-wise independent hash of `i` falls below a
+/// `2^-l` fraction of the hash range. Each level feeds an s-sparse
+/// recovery structure with `s = Theta(log 1/delta)`. At query time the
+/// deepest level that decodes exactly and non-empty is used, and the
+/// min-hash element among its survivors is returned — the standard
+/// min-wise selection that makes the output close to uniform.
+///
+/// Space: `O(log^2 n * log(1/delta))` bits, matching Lemma 4.
+
+namespace himpact {
+
+/// One sampled coordinate: index plus its aggregated value `x[index]`.
+struct L0Sample {
+  std::uint64_t index = 0;
+  std::int64_t value = 0;
+};
+
+/// A single l0-sampler instance over indices `[0, universe)`.
+class L0Sampler {
+ public:
+  /// Creates a sampler with failure probability about `delta` for vectors
+  /// over `[0, universe)`. Requires `universe >= 1`, `0 < delta < 1`.
+  L0Sampler(std::uint64_t universe, double delta, std::uint64_t seed);
+
+  /// Applies the update `x[index] += weight`. Requires `index < universe`.
+  void Update(std::uint64_t index, std::int64_t weight);
+
+  /// Merges another sampler built with the same `(universe, delta, seed)`;
+  /// afterwards this sampler sketches the sum of both update streams —
+  /// the linearity that makes sharded cash-register processing possible.
+  void Merge(const L0Sampler& other);
+
+  /// Draws the sample.
+  ///
+  /// Returns:
+  ///  - an `L0Sample` on success,
+  ///  - `FailedPrecondition` if the sketched vector is zero,
+  ///  - `Unavailable` (probability <= delta) if no level decodes.
+  StatusOr<L0Sample> Sample() const;
+
+  /// Number of subsampling levels.
+  std::size_t num_levels() const { return levels_.size(); }
+
+  /// The per-level sparsity parameter.
+  std::size_t sparsity() const { return sparsity_; }
+
+  /// Space used by the sampler.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  std::uint64_t universe_;
+  std::uint64_t seed_;  // construction seed (merge compatibility check)
+  std::size_t sparsity_;
+  KIndependentHash level_hash_;
+  std::vector<SSparseRecovery> levels_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_L0_SAMPLER_H_

@@ -1,0 +1,95 @@
+#include "sketch/one_sparse.h"
+
+#include "common/check.h"
+#include "hash/k_independent.h"
+#include "hash/mix.h"
+
+namespace himpact {
+namespace {
+
+std::uint64_t AddMod(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // < 2^62, no overflow
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) {
+  return ModMersenne61(static_cast<unsigned __int128>(a) * b);
+}
+
+}  // namespace
+
+std::uint64_t PowModMersenne61(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  std::uint64_t b = base % kMersenne61;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, b);
+    b = MulMod(b, b);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t FingerprintTerm(std::uint64_t r, std::uint64_t index,
+                              std::int64_t weight) {
+  const std::uint64_t r_pow = PowModMersenne61(r, index);
+  if (weight >= 0) {
+    return MulMod(static_cast<std::uint64_t>(weight) % kMersenne61, r_pow);
+  }
+  const std::uint64_t mag =
+      static_cast<std::uint64_t>(-(weight + 1)) + 1;  // |weight|, no UB
+  const std::uint64_t term = MulMod(mag % kMersenne61, r_pow);
+  return term == 0 ? 0 : kMersenne61 - term;
+}
+
+OneSparseCell::OneSparseCell(std::uint64_t seed) {
+  // Evaluation point in [1, p).
+  r_ = SplitMix64(seed ^ 0xa0761d6478bd642fULL) % (kMersenne61 - 1) + 1;
+}
+
+void OneSparseCell::Update(std::uint64_t index, std::int64_t weight) {
+  if (weight == 0) return;
+  UpdateWithTerm(index, weight, FingerprintTerm(r_, index, weight));
+}
+
+void OneSparseCell::UpdateWithTerm(std::uint64_t index, std::int64_t weight,
+                                   std::uint64_t term) {
+  if (weight == 0) return;
+  ell1_ += weight;
+  iota_ += static_cast<__int128>(weight) * static_cast<__int128>(index);
+  tau_ = AddMod(tau_, term);
+}
+
+void OneSparseCell::Merge(const OneSparseCell& other) {
+  HIMPACT_CHECK_MSG(r_ == other.r_,
+                    "merging OneSparseCells with different seeds");
+  ell1_ += other.ell1_;
+  iota_ += other.iota_;
+  tau_ = AddMod(tau_, other.tau_);
+}
+
+bool OneSparseCell::IsZero() const {
+  return ell1_ == 0 && iota_ == 0 && tau_ == 0;
+}
+
+std::optional<RecoveredEntry> OneSparseCell::Recover() const {
+  if (ell1_ == 0) return std::nullopt;
+  if (iota_ % ell1_ != 0) return std::nullopt;
+  const __int128 index128 = iota_ / ell1_;
+  if (index128 < 0 ||
+      index128 > static_cast<__int128>(~std::uint64_t{0})) {
+    return std::nullopt;
+  }
+  const std::uint64_t index = static_cast<std::uint64_t>(index128);
+  if (tau_ != FingerprintTerm(r_, index, ell1_)) return std::nullopt;
+  return RecoveredEntry{index, ell1_};
+}
+
+SpaceUsage OneSparseCell::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = 5;  // r, ell1, iota (2 words), tau
+  usage.bytes = sizeof(*this);
+  return usage;
+}
+
+}  // namespace himpact

@@ -1,0 +1,97 @@
+#ifndef HIMPACT_SKETCH_ONE_SPARSE_H_
+#define HIMPACT_SKETCH_ONE_SPARSE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/space.h"
+
+/// \file
+/// One-sparse recovery cell: the base primitive of the l0-sampler
+/// (Definition 3 / Lemma 4 in the paper, following Jowhari–Saglam–Tardos).
+///
+/// The cell maintains three linear functions of the update stream
+/// `(i, z)`:
+///   - `ell1  = sum z`                 (total weight),
+///   - `iota  = sum z * i`             (index-weighted sum),
+///   - `tau   = sum z * r^i mod p`     (polynomial fingerprint at a random
+///                                      point `r` in GF(2^61-1)).
+/// If the underlying vector is exactly one-sparse with support `{j}` and
+/// weight `w`, then `iota / ell1 == j` and `tau == w * r^j`; the
+/// fingerprint makes false positives occur with probability <= n/p.
+
+namespace himpact {
+
+/// The value recovered from a verified one-sparse cell.
+struct RecoveredEntry {
+  std::uint64_t index = 0;
+  std::int64_t weight = 0;
+
+  friend bool operator==(const RecoveredEntry& a, const RecoveredEntry& b) {
+    return a.index == b.index && a.weight == b.weight;
+  }
+};
+
+/// A single one-sparse recovery cell over a universe of 64-bit indices.
+///
+/// The cell is a linear sketch: updates commute and negative weights
+/// (deletions) are supported, as required by the turnstile-capable
+/// l0-sampler of Lemma 4.
+class OneSparseCell {
+ public:
+  /// Draws the fingerprint evaluation point from `seed`.
+  explicit OneSparseCell(std::uint64_t seed);
+
+  /// Applies the update `V[index] += weight`.
+  void Update(std::uint64_t index, std::int64_t weight);
+
+  /// Applies the update with a precomputed fingerprint term
+  /// `term == FingerprintTerm(evaluation_point(), index, weight)`.
+  ///
+  /// `SSparseRecovery` shares one evaluation point across its cells, so
+  /// it computes the (modular-exponentiation) term once per update and
+  /// fans it out — the hot path of the l0-sampler.
+  void UpdateWithTerm(std::uint64_t index, std::int64_t weight,
+                      std::uint64_t term);
+
+  /// Merges another cell sketching the same evaluation point into this one.
+  /// Requires both cells to have been constructed with the same seed.
+  void Merge(const OneSparseCell& other);
+
+  /// True iff every linear measurement is zero (the sketched vector is
+  /// zero unless a fingerprint collision occurred).
+  bool IsZero() const;
+
+  /// Returns the unique (index, weight) if the cell verifies as
+  /// one-sparse, otherwise `nullopt`.
+  std::optional<RecoveredEntry> Recover() const;
+
+  /// The fingerprint value (exposed so `SSparseRecovery` can certify that
+  /// a full recovery explains the entire structure).
+  std::uint64_t fingerprint() const { return tau_; }
+
+  /// The fingerprint evaluation point.
+  std::uint64_t evaluation_point() const { return r_; }
+
+  /// Space used by the cell.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  std::uint64_t r_;   // fingerprint evaluation point in [1, p)
+  std::int64_t ell1_ = 0;
+  __int128 iota_ = 0;
+  std::uint64_t tau_ = 0;  // fingerprint, in [0, p)
+};
+
+/// Computes `base^exp mod 2^61-1` (used by the recovery verification and
+/// by `SSparseRecovery`'s completeness certificate).
+std::uint64_t PowModMersenne61(std::uint64_t base, std::uint64_t exp);
+
+/// Computes `(weight mod p) * r^index mod p`, mapping negative weights to
+/// their field representative.
+std::uint64_t FingerprintTerm(std::uint64_t r, std::uint64_t index,
+                              std::int64_t weight);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_ONE_SPARSE_H_

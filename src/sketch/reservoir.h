@@ -1,0 +1,70 @@
+#ifndef HIMPACT_SKETCH_RESERVOIR_H_
+#define HIMPACT_SKETCH_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/space.h"
+#include "random/rng.h"
+
+/// \file
+/// Reservoir sampling (Vitter's Algorithm R).
+///
+/// Algorithm 7 (1-Heavy-Hitter) keeps, for every threshold `(1+eps)^i`, a
+/// uniform sample `T_i` of `s = 2 log(log(n)/delta)` papers among those
+/// whose citation count reached the threshold; this class provides that
+/// per-threshold sample.
+
+namespace himpact {
+
+/// A uniform sample without replacement of fixed capacity over a stream.
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// Creates a reservoir of the given capacity. Requires `capacity >= 1`.
+  explicit ReservoirSampler(std::size_t capacity) : capacity_(capacity) {
+    HIMPACT_CHECK(capacity >= 1);
+    sample_.reserve(capacity);
+  }
+
+  /// Offers one stream item; the reservoir stays a uniform sample of all
+  /// items offered so far.
+  void Add(const T& item, Rng& rng) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+      return;
+    }
+    const std::uint64_t j = rng.UniformU64(seen_);
+    if (j < capacity_) {
+      sample_[static_cast<std::size_t>(j)] = item;
+    }
+  }
+
+  /// The current sample (size `min(capacity, items offered)`).
+  const std::vector<T>& sample() const { return sample_; }
+
+  /// Total number of items offered.
+  std::uint64_t seen() const { return seen_; }
+
+  /// The configured capacity.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Space used by the reservoir.
+  SpaceUsage EstimateSpace() const {
+    SpaceUsage usage;
+    usage.words = capacity_ * CeilDiv(sizeof(T), sizeof(std::uint64_t)) + 1;
+    usage.bytes = sizeof(*this) + sample_.capacity() * sizeof(T);
+    return usage;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_RESERVOIR_H_

@@ -1,0 +1,111 @@
+#include "sketch/s_sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+namespace {
+
+std::uint64_t AddMod61(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t sum = a + b;
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  return sum;
+}
+
+}  // namespace
+
+SSparseRecovery::SSparseRecovery(std::size_t s, double delta,
+                                 std::uint64_t seed)
+    : s_(s),
+      rows_(0),
+      cols_(2 * s),
+      seed_(seed),
+      cell_seed_(SplitMix64(seed ^ 0xd1b54a32d192ed03ULL)),
+      total_(cell_seed_) {
+  HIMPACT_CHECK(s >= 1);
+  HIMPACT_CHECK(delta > 0.0 && delta < 1.0);
+  // Each non-zero entry is isolated in a fixed row with probability >= 1/2
+  // (pairwise independence, 2s columns, <= s other entries), so
+  // log2(s/delta) rows drive the failure probability below delta by a
+  // union bound over the s entries.
+  const double rows_needed =
+      std::log2(static_cast<double>(s) / delta);
+  rows_ = static_cast<std::size_t>(std::max(2.0, std::ceil(rows_needed)));
+
+  std::uint64_t hash_seed = SplitMix64(seed ^ 0x8bb84b93962eacc9ULL);
+  row_hashes_.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    hash_seed = SplitMix64(hash_seed);
+    row_hashes_.emplace_back(cols_, hash_seed);
+  }
+  // All cells share the fingerprint evaluation point so the completeness
+  // certificate can be checked against `total_`.
+  cells_.assign(rows_ * cols_, OneSparseCell(cell_seed_));
+}
+
+void SSparseRecovery::Update(std::uint64_t index, std::int64_t weight) {
+  if (weight == 0) return;
+  // One shared evaluation point means one modular exponentiation per
+  // update, fanned out to every row's cell.
+  const std::uint64_t term =
+      FingerprintTerm(total_.evaluation_point(), index, weight);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t c = static_cast<std::size_t>(row_hashes_[r](index));
+    cells_[r * cols_ + c].UpdateWithTerm(index, weight, term);
+  }
+  total_.UpdateWithTerm(index, weight, term);
+}
+
+void SSparseRecovery::Merge(const SSparseRecovery& other) {
+  HIMPACT_CHECK_MSG(s_ == other.s_ && rows_ == other.rows_ &&
+                        seed_ == other.seed_,
+                    "merging SSparseRecovery with different parameters");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].Merge(other.cells_[i]);
+  }
+  total_.Merge(other.total_);
+}
+
+SSparseResult SSparseRecovery::Recover() const {
+  SSparseResult result;
+  // Collect verified singletons across all cells; the same entry is
+  // usually recovered from several rows, so dedupe by index.
+  std::map<std::uint64_t, std::int64_t> found;
+  for (const OneSparseCell& cell : cells_) {
+    if (cell.IsZero()) continue;
+    const std::optional<RecoveredEntry> entry = cell.Recover();
+    if (!entry.has_value()) continue;
+    found.emplace(entry->index, entry->weight);
+  }
+
+  // Completeness certificate: the fingerprint of the recovered set must
+  // match the fingerprint of the full update stream.
+  const std::uint64_t r_point = total_.evaluation_point();
+  std::uint64_t recovered_fingerprint = 0;
+  for (const auto& [index, weight] : found) {
+    recovered_fingerprint = AddMod61(recovered_fingerprint,
+                                     FingerprintTerm(r_point, index, weight));
+  }
+  result.exact = (recovered_fingerprint == total_.fingerprint());
+
+  result.entries.reserve(found.size());
+  for (const auto& [index, weight] : found) {
+    result.entries.push_back(RecoveredEntry{index, weight});
+  }
+  return result;
+}
+
+SpaceUsage SSparseRecovery::EstimateSpace() const {
+  SpaceUsage usage;
+  for (const auto& hash : row_hashes_) usage += hash.EstimateSpace();
+  // Cells are structurally identical; count words analytically.
+  usage.words += (cells_.size() + 1) * 5;
+  usage.bytes += sizeof(*this) + cells_.capacity() * sizeof(OneSparseCell);
+  return usage;
+}
+
+}  // namespace himpact

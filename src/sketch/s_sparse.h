@@ -1,0 +1,80 @@
+#ifndef HIMPACT_SKETCH_S_SPARSE_H_
+#define HIMPACT_SKETCH_S_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/space.h"
+#include "hash/k_independent.h"
+#include "sketch/one_sparse.h"
+
+/// \file
+/// s-sparse recovery: a grid of one-sparse cells with pairwise-independent
+/// row hashing. If the sketched vector has at most `s` non-zero entries,
+/// every entry lands alone in some cell of some row with high probability
+/// and can be read back exactly.
+///
+/// A "completeness certificate" — a global fingerprint over all updates —
+/// lets callers distinguish *exact* recoveries from partial ones, which is
+/// what the l0-sampler needs to decide whether a subsampling level was
+/// light enough to decode.
+
+namespace himpact {
+
+/// The outcome of an s-sparse recovery attempt.
+struct SSparseResult {
+  /// True iff the recovered entries provably (up to fingerprint collision
+  /// probability ~ n/2^61) account for the entire sketched vector.
+  bool exact = false;
+
+  /// Recovered (index, weight) pairs, sorted by index, weights non-zero.
+  std::vector<RecoveredEntry> entries;
+};
+
+/// A linear sketch recovering vectors with at most `s` non-zero entries.
+class SSparseRecovery {
+ public:
+  /// Builds a sketch for sparsity `s` with per-query failure probability
+  /// roughly `delta`. Requires `s >= 1`, `0 < delta < 1`.
+  SSparseRecovery(std::size_t s, double delta, std::uint64_t seed);
+
+  /// Applies the update `V[index] += weight`.
+  void Update(std::uint64_t index, std::int64_t weight);
+
+  /// Merges another sketch built with the same `(s, delta, seed)`;
+  /// afterwards this sketch reflects the sum of both update streams.
+  void Merge(const SSparseRecovery& other);
+
+  /// Attempts to recover all non-zero entries.
+  SSparseResult Recover() const;
+
+  /// True iff no net updates are present (vector is zero up to fingerprint
+  /// collisions).
+  bool IsZero() const { return total_.IsZero(); }
+
+  /// The sparsity parameter `s`.
+  std::size_t s() const { return s_; }
+
+  /// Number of hash rows.
+  std::size_t rows() const { return rows_; }
+
+  /// Number of columns per row (`2s`).
+  std::size_t cols() const { return cols_; }
+
+  /// Space used by the structure.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  std::size_t s_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::uint64_t seed_;  // construction seed (merge compatibility check)
+  std::uint64_t cell_seed_;
+  std::vector<PairwiseRangeHash> row_hashes_;
+  std::vector<OneSparseCell> cells_;  // rows_ x cols_, row-major
+  OneSparseCell total_;               // completeness certificate
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_S_SPARSE_H_

@@ -1,0 +1,240 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace himpact {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  HIMPACT_CHECK(capacity >= 1);
+  slots_.reserve(capacity);
+  heap_.reserve(capacity);
+}
+
+void SpaceSaving::SiftDown(std::size_t heap_index) {
+  const std::size_t size = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * heap_index + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = heap_index;
+    if (left < size &&
+        slots_[heap_[left]].count < slots_[heap_[smallest]].count) {
+      smallest = left;
+    }
+    if (right < size &&
+        slots_[heap_[right]].count < slots_[heap_[smallest]].count) {
+      smallest = right;
+    }
+    if (smallest == heap_index) return;
+    std::swap(heap_[heap_index], heap_[smallest]);
+    slots_[heap_[heap_index]].heap_pos = heap_index;
+    slots_[heap_[smallest]].heap_pos = smallest;
+    heap_index = smallest;
+  }
+}
+
+void SpaceSaving::SiftUp(std::size_t heap_index) {
+  while (heap_index > 0) {
+    const std::size_t parent = (heap_index - 1) / 2;
+    if (slots_[heap_[parent]].count <= slots_[heap_[heap_index]].count) {
+      return;
+    }
+    std::swap(heap_[heap_index], heap_[parent]);
+    slots_[heap_[heap_index]].heap_pos = heap_index;
+    slots_[heap_[parent]].heap_pos = parent;
+    heap_index = parent;
+  }
+}
+
+void SpaceSaving::Update(std::uint64_t key, std::uint64_t count) {
+  total_ += count;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Slot& slot = slots_[it->second];
+    slot.count += count;
+    SiftDown(slot.heap_pos);
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    const std::size_t slot_index = slots_.size();
+    slots_.push_back(Slot{key, count, 0, heap_.size()});
+    heap_.push_back(slot_index);
+    index_.emplace(key, slot_index);
+    SiftUp(slots_[slot_index].heap_pos);
+    return;
+  }
+  // Evict the minimum-count slot: the newcomer inherits its count as the
+  // classic SpaceSaving overestimate.
+  const std::size_t victim = heap_.front();
+  Slot& slot = slots_[victim];
+  index_.erase(slot.key);
+  index_.emplace(key, victim);
+  slot.error = slot.count;
+  slot.count += count;
+  slot.key = key;
+  SiftDown(slot.heap_pos);
+}
+
+void SpaceSaving::Merge(const SpaceSaving& other) {
+  HIMPACT_CHECK_MSG(capacity_ == other.capacity_,
+                    "merging SpaceSaving summaries of different capacity");
+  // Minimum monitored count per side: the count any unmonitored key may
+  // have accumulated (0 while a side is below capacity).
+  const auto side_min = [](const SpaceSaving& side) -> std::uint64_t {
+    if (side.slots_.size() < side.capacity_) return 0;
+    return side.slots_[side.heap_.front()].count;
+  };
+  const std::uint64_t min_this = side_min(*this);
+  const std::uint64_t min_other = side_min(other);
+
+  // Union with mergeable-summaries offsets: a key monitored on only one
+  // side may have accumulated up to the other side's minimum count there,
+  // so that minimum is added to both its estimate and its error bound.
+  std::unordered_map<std::uint64_t, HeavyEntry> merged;
+  for (const Slot& slot : slots_) {
+    merged[slot.key] =
+        HeavyEntry{slot.key, slot.count + min_other, slot.error + min_other};
+  }
+  for (const Slot& slot : other.slots_) {
+    auto it = merged.find(slot.key);
+    if (it == merged.end()) {
+      merged[slot.key] =
+          HeavyEntry{slot.key, slot.count + min_this, slot.error + min_this};
+    } else {
+      // Present on both sides: undo this side's min_other offset and add
+      // the other side's true stored values.
+      it->second.count += slot.count - min_other;
+      it->second.error += slot.error - min_other;
+    }
+  }
+
+  // Keep the `capacity` largest estimates.
+  std::vector<HeavyEntry> entries;
+  entries.reserve(merged.size());
+  for (const auto& [key, entry] : merged) entries.push_back(entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const HeavyEntry& a, const HeavyEntry& b) {
+              return a.count > b.count;
+            });
+  if (entries.size() > capacity_) entries.resize(capacity_);
+
+  const std::uint64_t new_total = total_ + other.total_;
+  slots_.clear();
+  heap_.clear();
+  index_.clear();
+  total_ = new_total;
+  for (const HeavyEntry& entry : entries) {
+    const std::size_t slot_index = slots_.size();
+    slots_.push_back(Slot{entry.key, entry.count, entry.error, heap_.size()});
+    heap_.push_back(slot_index);
+    index_.emplace(entry.key, slot_index);
+    SiftUp(slots_[slot_index].heap_pos);
+  }
+}
+
+std::vector<HeavyEntry> SpaceSaving::Entries() const {
+  std::vector<HeavyEntry> entries;
+  entries.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    entries.push_back(HeavyEntry{slot.key, slot.count, slot.error});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const HeavyEntry& a, const HeavyEntry& b) {
+              return a.count > b.count;
+            });
+  return entries;
+}
+
+SpaceUsage SpaceSaving::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = slots_.size() * 3 + heap_.size();
+  usage.bytes = sizeof(*this) + slots_.capacity() * sizeof(Slot) +
+                heap_.capacity() * sizeof(std::size_t) +
+                index_.size() * (sizeof(std::uint64_t) + sizeof(std::size_t)) * 2;
+  return usage;
+}
+
+MisraGries::MisraGries(std::size_t k) : k_(k) {
+  HIMPACT_CHECK(k >= 1);
+}
+
+void MisraGries::Update(std::uint64_t key, std::uint64_t count) {
+  total_ += count;
+  const auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second += count;
+    return;
+  }
+  if (counters_.size() < k_) {
+    counters_.emplace(key, count);
+    return;
+  }
+  // Decrement-all step: subtract the newcomer's weight (bounded by the
+  // smallest counter) from every counter and drop the ones reaching zero.
+  std::uint64_t decrement = count;
+  for (const auto& [existing_key, existing_count] : counters_) {
+    decrement = std::min(decrement, existing_count);
+    (void)existing_key;
+  }
+  for (auto it2 = counters_.begin(); it2 != counters_.end();) {
+    it2->second -= decrement;
+    if (it2->second == 0) {
+      it2 = counters_.erase(it2);
+    } else {
+      ++it2;
+    }
+  }
+  if (count > decrement) {
+    counters_.emplace(key, count - decrement);
+  }
+}
+
+void MisraGries::Merge(const MisraGries& other) {
+  HIMPACT_CHECK_MSG(k_ == other.k_,
+                    "merging MisraGries summaries of different k");
+  for (const auto& [key, count] : other.counters_) {
+    counters_[key] += count;
+  }
+  total_ += other.total_;
+  if (counters_.size() <= k_) return;
+  // Classic MG merge step: subtract the (k+1)-th largest counter value
+  // from everyone and drop the non-positive counters.
+  std::vector<std::uint64_t> counts;
+  counts.reserve(counters_.size());
+  for (const auto& [key, count] : counters_) counts.push_back(count);
+  std::nth_element(counts.begin(), counts.begin() + static_cast<std::ptrdiff_t>(k_),
+                   counts.end(), std::greater<>());
+  const std::uint64_t decrement = counts[k_];
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second <= decrement) {
+      it = counters_.erase(it);
+    } else {
+      it->second -= decrement;
+      ++it;
+    }
+  }
+}
+
+std::vector<HeavyEntry> MisraGries::Entries() const {
+  std::vector<HeavyEntry> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [key, count] : counters_) {
+    entries.push_back(HeavyEntry{key, count, 0});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const HeavyEntry& a, const HeavyEntry& b) {
+              return a.count > b.count;
+            });
+  return entries;
+}
+
+SpaceUsage MisraGries::EstimateSpace() const {
+  SpaceUsage usage;
+  usage.words = counters_.size() * 2;
+  usage.bytes = sizeof(*this) + counters_.size() * sizeof(std::uint64_t) * 3;
+  return usage;
+}
+
+}  // namespace himpact

@@ -1,0 +1,104 @@
+#ifndef HIMPACT_SKETCH_SPACE_SAVING_H_
+#define HIMPACT_SKETCH_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/space.h"
+
+/// \file
+/// Deterministic count-based heavy-hitter summaries: SpaceSaving
+/// (Metwally–Agrawal–El Abbadi) and Misra–Gries. These find users with a
+/// large *total* response count; the T10 experiment contrasts them with
+/// the paper's H-index heavy hitters (Algorithm 8), where a user with one
+/// mega-viral publication is a count heavy hitter but not an H-index one.
+
+namespace himpact {
+
+/// One monitored key in a count-based summary.
+struct HeavyEntry {
+  std::uint64_t key = 0;
+  /// Count estimate (upper bound for SpaceSaving; lower bound + error
+  /// bound semantics for Misra–Gries).
+  std::uint64_t count = 0;
+  /// Maximum overestimation of `count` (SpaceSaving only; 0 for MG).
+  std::uint64_t error = 0;
+};
+
+/// SpaceSaving summary with `capacity` monitored keys. Any key with true
+/// count > total/capacity is guaranteed to be monitored.
+class SpaceSaving {
+ public:
+  /// Requires `capacity >= 1`.
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Adds `count` occurrences of `key`.
+  void Update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Merges another summary of the same capacity (mergeable-summaries
+  /// semantics: keys absent from one side inherit that side's minimum
+  /// count as both estimate and error, then the union is trimmed back to
+  /// `capacity`). The count-bound guarantees are preserved.
+  void Merge(const SpaceSaving& other);
+
+  /// Monitored entries, sorted by descending count estimate.
+  std::vector<HeavyEntry> Entries() const;
+
+  /// Total weight observed.
+  std::uint64_t total() const { return total_; }
+
+  /// Space used by the summary.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::uint64_t count;
+    std::uint64_t error;
+    std::size_t heap_pos;
+  };
+
+  void SiftDown(std::size_t heap_index);
+  void SiftUp(std::size_t heap_index);
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> heap_;  // min-heap over slots_ by count
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> slot
+};
+
+/// Misra–Gries summary: deterministic `count >= true - total/ (k+1)`
+/// frequency lower bounds with `k` counters.
+class MisraGries {
+ public:
+  /// Requires `k >= 1`.
+  explicit MisraGries(std::size_t k);
+
+  /// Adds one occurrence of `key`.
+  void Update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Merges another summary with the same `k` (add counters, then apply
+  /// the Misra–Gries decrement so at most `k` survive; counts remain
+  /// lower bounds within `total/(k+1)`).
+  void Merge(const MisraGries& other);
+
+  /// Surviving entries (counts are lower bounds), sorted descending.
+  std::vector<HeavyEntry> Entries() const;
+
+  /// Total weight observed.
+  std::uint64_t total() const { return total_; }
+
+  /// Space used by the summary.
+  SpaceUsage EstimateSpace() const;
+
+ private:
+  std::size_t k_;
+  std::uint64_t total_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SKETCH_SPACE_SAVING_H_

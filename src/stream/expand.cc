@@ -1,0 +1,91 @@
+#include "stream/expand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace himpact {
+
+CashRegisterStream ExpandToCashRegister(const AggregateStream& values,
+                                        InterleavePolicy policy, Rng& rng) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : values) total += v;
+
+  CashRegisterStream stream;
+  stream.reserve(total);
+  switch (policy) {
+    case InterleavePolicy::kContiguous:
+    case InterleavePolicy::kShuffled: {
+      for (std::size_t paper = 0; paper < values.size(); ++paper) {
+        for (std::uint64_t u = 0; u < values[paper]; ++u) {
+          stream.push_back(CitationEvent{paper, 1});
+        }
+      }
+      if (policy == InterleavePolicy::kShuffled) {
+        Shuffle(stream, rng);
+      }
+      break;
+    }
+    case InterleavePolicy::kRoundRobin: {
+      std::vector<std::uint64_t> remaining = values;
+      bool any = true;
+      while (any) {
+        any = false;
+        for (std::size_t paper = 0; paper < remaining.size(); ++paper) {
+          if (remaining[paper] > 0) {
+            --remaining[paper];
+            stream.push_back(CitationEvent{paper, 1});
+            any = true;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return stream;
+}
+
+CashRegisterStream ExpandToBatchedCashRegister(const AggregateStream& values,
+                                               double mean_batch, Rng& rng) {
+  HIMPACT_CHECK(mean_batch >= 1.0);
+  CashRegisterStream stream;
+  for (std::size_t paper = 0; paper < values.size(); ++paper) {
+    std::uint64_t remaining = values[paper];
+    while (remaining > 0) {
+      // Geometric batch with the requested mean, capped by the remainder.
+      std::uint64_t batch = 1;
+      while (batch < remaining && rng.Bernoulli(1.0 - 1.0 / mean_batch)) {
+        ++batch;
+      }
+      batch = std::min(batch, remaining);
+      stream.push_back(
+          CitationEvent{paper, static_cast<std::int64_t>(batch)});
+      remaining -= batch;
+    }
+  }
+  Shuffle(stream, rng);
+  return stream;
+}
+
+AggregateStream ToRandomOrder(AggregateStream values, Rng& rng) {
+  Shuffle(values, rng);
+  return values;
+}
+
+std::vector<std::uint64_t> AggregateCitations(const CashRegisterStream& stream,
+                                              std::uint64_t num_papers) {
+  std::vector<std::uint64_t> totals(num_papers, 0);
+  for (const CitationEvent& event : stream) {
+    HIMPACT_CHECK(event.paper < num_papers);
+    HIMPACT_CHECK(event.delta >= 0 ||
+                  totals[event.paper] >=
+                      static_cast<std::uint64_t>(-event.delta));
+    totals[event.paper] =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            totals[event.paper]) + event.delta);
+  }
+  return totals;
+}
+
+}  // namespace himpact

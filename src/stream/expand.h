@@ -1,0 +1,62 @@
+#ifndef HIMPACT_STREAM_EXPAND_H_
+#define HIMPACT_STREAM_EXPAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "stream/types.h"
+
+/// \file
+/// Adapters between the paper's stream models (Section 2.3):
+/// aggregate value streams, random-order streams, and cash-register
+/// update streams.
+
+namespace himpact {
+
+/// An aggregate stream of one user: the sequence of per-publication
+/// response counts `R(i, j)` in arrival order.
+using AggregateStream = std::vector<std::uint64_t>;
+
+/// A cash-register stream: a sequence of `(paper, +delta)` updates.
+using CashRegisterStream = std::vector<CitationEvent>;
+
+/// A stream of papers with authors (the heavy-hitter input of Section 4).
+using PaperStream = std::vector<PaperTuple>;
+
+/// How a cash-register expansion interleaves the unit updates of
+/// different papers.
+enum class InterleavePolicy {
+  /// All updates of paper 0 first, then paper 1, ... (adversarial for
+  /// samplers that rely on mixing).
+  kContiguous,
+  /// Updates are globally shuffled (the natural "responses arrive over
+  /// time" order).
+  kShuffled,
+  /// Round-robin over papers, one unit at a time (maximally interleaved).
+  kRoundRobin,
+};
+
+/// Expands aggregate counts into a cash-register stream of unit updates:
+/// paper `j` (0-based) receives `values[j]` updates of `+1`.
+CashRegisterStream ExpandToCashRegister(const AggregateStream& values,
+                                        InterleavePolicy policy, Rng& rng);
+
+/// Expands aggregate counts into a cash-register stream with geometric
+/// batch sizes (models bursts: each event carries `delta >= 1`).
+CashRegisterStream ExpandToBatchedCashRegister(const AggregateStream& values,
+                                               double mean_batch, Rng& rng);
+
+/// Returns a uniformly random permutation of `values` (the random-order
+/// model of Section 3.2).
+AggregateStream ToRandomOrder(AggregateStream values, Rng& rng);
+
+/// Aggregates a cash-register stream back into per-paper totals (the
+/// offline reference used by tests and experiments). Paper ids must be
+/// `< num_papers`.
+std::vector<std::uint64_t> AggregateCitations(const CashRegisterStream& stream,
+                                              std::uint64_t num_papers);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_STREAM_EXPAND_H_

@@ -1,0 +1,68 @@
+#include "workload/academic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "random/zipf.h"
+
+namespace himpact {
+
+PaperStream MakeAcademicCorpus(const AcademicConfig& config,
+                               const std::vector<PlantedAuthor>& planted,
+                               Rng& rng) {
+  HIMPACT_CHECK(config.min_papers >= 1);
+  HIMPACT_CHECK(config.max_papers >= config.min_papers);
+
+  PaperStream papers;
+  const DiscreteParetoSampler productivity(
+      config.min_papers, config.productivity_alpha, config.max_papers);
+  const DiscreteLogNormalSampler citations(
+      config.citation_mu, config.citation_sigma, config.max_citations);
+
+  PaperId next_paper = 0;
+  for (AuthorId author = 0; author < config.num_authors; ++author) {
+    const std::uint64_t num_papers = productivity.Sample(rng);
+    for (std::uint64_t p = 0; p < num_papers; ++p) {
+      PaperTuple paper;
+      paper.paper = next_paper++;
+      paper.authors.PushBack(author);
+      if (config.coauthor_probability > 0.0 &&
+          rng.Bernoulli(config.coauthor_probability) &&
+          config.num_authors >= 2) {
+        AuthorId coauthor = rng.UniformU64(config.num_authors);
+        if (coauthor == author) {
+          coauthor = (coauthor + 1) % config.num_authors;
+        }
+        paper.authors.PushBack(coauthor);
+      }
+      paper.citations = citations.Sample(rng);
+      papers.push_back(paper);
+    }
+  }
+
+  for (const PlantedAuthor& star : planted) {
+    for (std::uint64_t p = 0; p < star.num_papers; ++p) {
+      PaperTuple paper;
+      paper.paper = next_paper++;
+      paper.authors.PushBack(star.author);
+      paper.citations = star.citations_per_paper;
+      papers.push_back(paper);
+    }
+  }
+
+  Shuffle(papers, rng);
+  return papers;
+}
+
+AggregateStream AuthorCitationVector(const PaperStream& papers,
+                                     AuthorId author) {
+  AggregateStream values;
+  for (const PaperTuple& paper : papers) {
+    if (paper.authors.Contains(author)) {
+      values.push_back(paper.citations);
+    }
+  }
+  return values;
+}
+
+}  // namespace himpact

@@ -1,0 +1,67 @@
+#ifndef HIMPACT_WORKLOAD_ACADEMIC_H_
+#define HIMPACT_WORKLOAD_ACADEMIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "stream/expand.h"
+#include "stream/types.h"
+
+/// \file
+/// A synthetic academic corpus: authors with heavy-tailed productivity,
+/// per-paper citation counts drawn log-normally around an author-skill
+/// level, and optional co-authorship. Used by the heavy-hitter
+/// experiments (T8/T9/T10) and the `academic_impact` example.
+///
+/// Optionally plants "star" authors with a prescribed paper count and
+/// per-paper citations, giving exactly known heavy hitters.
+
+namespace himpact {
+
+/// Configuration for `MakeAcademicCorpus`.
+struct AcademicConfig {
+  /// Number of background (non-planted) authors.
+  std::uint64_t num_authors = 1000;
+
+  /// Pareto tail index for papers-per-author (smaller = heavier tail).
+  double productivity_alpha = 1.5;
+
+  /// Minimum / maximum papers per author.
+  std::uint64_t min_papers = 1;
+  std::uint64_t max_papers = 200;
+
+  /// Log-normal parameters for per-paper citations.
+  double citation_mu = 1.0;
+  double citation_sigma = 1.2;
+  std::uint64_t max_citations = 100000;
+
+  /// Probability that a paper has a second (uniformly random) co-author.
+  double coauthor_probability = 0.0;
+};
+
+/// A planted star author.
+struct PlantedAuthor {
+  AuthorId author = 0;
+  /// The star writes `num_papers` papers each with `citations_per_paper`
+  /// citations, so its exact H-index is
+  /// `min(num_papers, citations_per_paper)`.
+  std::uint64_t num_papers = 50;
+  std::uint64_t citations_per_paper = 50;
+};
+
+/// Generates the corpus as a paper stream in shuffled arrival order.
+/// Planted authors use ids disjoint from `[0, num_authors)` (caller's
+/// responsibility). Paper ids are consecutive from 0.
+PaperStream MakeAcademicCorpus(const AcademicConfig& config,
+                               const std::vector<PlantedAuthor>& planted,
+                               Rng& rng);
+
+/// Flattens a paper stream into the single-user aggregate stream of one
+/// author's citation counts (papers not by `author` are skipped).
+AggregateStream AuthorCitationVector(const PaperStream& papers,
+                                     AuthorId author);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_WORKLOAD_ACADEMIC_H_

@@ -1,0 +1,33 @@
+#include "workload/cascade.h"
+
+#include "common/check.h"
+#include "core/exact.h"
+#include "random/zipf.h"
+
+namespace himpact {
+
+RetweetFirehose MakeRetweetFirehose(const CascadeConfig& config, Rng& rng) {
+  HIMPACT_CHECK(config.num_tweets >= 1);
+  HIMPACT_CHECK(config.min_retweets >= 1);
+  HIMPACT_CHECK(config.max_retweets >= config.min_retweets);
+
+  RetweetFirehose firehose;
+  const DiscreteParetoSampler cascade(config.min_retweets,
+                                      config.cascade_alpha,
+                                      config.max_retweets);
+  firehose.totals.reserve(config.num_tweets);
+  for (std::uint64_t t = 0; t < config.num_tweets; ++t) {
+    firehose.totals.push_back(cascade.Sample(rng));
+  }
+  if (config.mean_batch > 1.0) {
+    firehose.events =
+        ExpandToBatchedCashRegister(firehose.totals, config.mean_batch, rng);
+  } else {
+    firehose.events = ExpandToCashRegister(
+        firehose.totals, InterleavePolicy::kShuffled, rng);
+  }
+  firehose.exact_h = ExactHIndex(firehose.totals);
+  return firehose;
+}
+
+}  // namespace himpact

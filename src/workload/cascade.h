@@ -1,0 +1,49 @@
+#ifndef HIMPACT_WORKLOAD_CASCADE_H_
+#define HIMPACT_WORKLOAD_CASCADE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "stream/expand.h"
+
+/// \file
+/// A Twitter-like retweet firehose: tweets (papers) with power-law
+/// cascade sizes whose retweet events (cash-register updates) interleave
+/// over time. Used by the cash-register experiments (T4/T5) and the
+/// `social_firehose` example.
+
+namespace himpact {
+
+/// Configuration for `MakeRetweetFirehose`.
+struct CascadeConfig {
+  /// Number of tweets (the vector dimension / paper universe).
+  std::uint64_t num_tweets = 10000;
+
+  /// Pareto tail index for cascade sizes.
+  double cascade_alpha = 1.2;
+
+  /// Minimum / maximum retweets per tweet.
+  std::uint64_t min_retweets = 1;
+  std::uint64_t max_retweets = 100000;
+
+  /// Mean batch size when retweets arrive in bursts (1 = unit updates).
+  double mean_batch = 1.0;
+};
+
+/// The generated firehose plus its ground truth.
+struct RetweetFirehose {
+  /// The cash-register stream of (tweet, +retweets) events, shuffled.
+  CashRegisterStream events;
+  /// Ground-truth final retweet count per tweet.
+  std::vector<std::uint64_t> totals;
+  /// Exact H-index of `totals`.
+  std::uint64_t exact_h = 0;
+};
+
+/// Generates the firehose.
+RetweetFirehose MakeRetweetFirehose(const CascadeConfig& config, Rng& rng);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_WORKLOAD_CASCADE_H_

@@ -1,0 +1,112 @@
+#include "workload/citation_vectors.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "random/zipf.h"
+
+namespace himpact {
+
+const char* VectorKindName(VectorKind kind) {
+  switch (kind) {
+    case VectorKind::kZipf:
+      return "zipf";
+    case VectorKind::kUniform:
+      return "uniform";
+    case VectorKind::kConstant:
+      return "constant";
+    case VectorKind::kAllDistinct:
+      return "all-distinct";
+    case VectorKind::kPlanted:
+      return "planted";
+    case VectorKind::kSmoothPlanted:
+      return "smooth-planted";
+  }
+  return "unknown";
+}
+
+const char* OrderPolicyName(OrderPolicy policy) {
+  switch (policy) {
+    case OrderPolicy::kAsGenerated:
+      return "as-generated";
+    case OrderPolicy::kAscending:
+      return "ascending";
+    case OrderPolicy::kDescending:
+      return "descending";
+    case OrderPolicy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+AggregateStream MakeVector(const VectorSpec& spec, Rng& rng) {
+  HIMPACT_CHECK(spec.n >= 1);
+  AggregateStream values;
+  values.reserve(spec.n);
+  switch (spec.kind) {
+    case VectorKind::kZipf: {
+      const ZipfSampler zipf(spec.max_value, spec.zipf_s);
+      for (std::uint64_t i = 0; i < spec.n; ++i) {
+        values.push_back(zipf.Sample(rng));
+      }
+      break;
+    }
+    case VectorKind::kUniform: {
+      for (std::uint64_t i = 0; i < spec.n; ++i) {
+        values.push_back(rng.UniformU64(spec.max_value + 1));
+      }
+      break;
+    }
+    case VectorKind::kConstant: {
+      values.assign(spec.n, spec.max_value);
+      break;
+    }
+    case VectorKind::kAllDistinct: {
+      for (std::uint64_t i = 1; i <= spec.n; ++i) {
+        values.push_back(i);
+      }
+      break;
+    }
+    case VectorKind::kPlanted: {
+      HIMPACT_CHECK(spec.target_h <= spec.n);
+      // Exactly `target_h` values in [target_h, 2*target_h], the rest
+      // strictly below target_h, so the exact H-index is target_h
+      // (0 values qualify for target_h + 1 unless target_h == 0).
+      for (std::uint64_t i = 0; i < spec.target_h; ++i) {
+        values.push_back(spec.target_h + rng.UniformU64(spec.target_h + 1));
+      }
+      const std::uint64_t low_cap =
+          spec.target_h == 0 ? 1 : spec.target_h;
+      for (std::uint64_t i = spec.target_h; i < spec.n; ++i) {
+        values.push_back(rng.UniformU64(low_cap));
+      }
+      break;
+    }
+    case VectorKind::kSmoothPlanted: {
+      HIMPACT_CHECK(2 * spec.target_h <= spec.n);
+      for (std::uint64_t i = 0; i < spec.n; ++i) {
+        values.push_back(i < 2 * spec.target_h ? 2 * spec.target_h - i : 0);
+      }
+      break;
+    }
+  }
+  return values;
+}
+
+void ApplyOrder(AggregateStream& values, OrderPolicy policy, Rng& rng) {
+  switch (policy) {
+    case OrderPolicy::kAsGenerated:
+      break;
+    case OrderPolicy::kAscending:
+      std::sort(values.begin(), values.end());
+      break;
+    case OrderPolicy::kDescending:
+      std::sort(values.begin(), values.end(), std::greater<>());
+      break;
+    case OrderPolicy::kRandom:
+      Shuffle(values, rng);
+      break;
+  }
+}
+
+}  // namespace himpact

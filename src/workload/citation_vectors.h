@@ -1,0 +1,76 @@
+#ifndef HIMPACT_WORKLOAD_CITATION_VECTORS_H_
+#define HIMPACT_WORKLOAD_CITATION_VECTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "stream/expand.h"
+
+/// \file
+/// Single-user aggregate workloads: synthetic response-count vectors with
+/// controlled distributions and arrival orders, for the T1/T2/F1/T3
+/// experiments and the property tests.
+
+namespace himpact {
+
+/// Families of response-count distributions.
+enum class VectorKind {
+  /// Zipf(s = 1.1) citation counts — the classic heavy tail.
+  kZipf,
+  /// Uniform counts in [0, max].
+  kUniform,
+  /// All counts equal (h* = min(count, n)).
+  kConstant,
+  /// Counts 1..n, each once (h* ~ n/2).
+  kAllDistinct,
+  /// Planted: exactly `target` values >= `target`, the rest below.
+  /// The sub-`target` values are uniform, so the tail-count function
+  /// `#{v >= theta}` can jump steeply just below h* when `n >> target`.
+  kPlanted,
+  /// Smooth planted: the deterministic ramp `2*target, 2*target-1, ...,
+  /// 1` padded with zeros, giving `#{v >= theta} = 2*target - theta + 1`
+  /// — a slope-(-1) tail count around h* = `target`. This is the
+  /// "generic" shape Algorithm 4's acceptance band assumes (its window
+  /// test brackets `#{v >= theta} ~ theta` near h*; on plateaued inputs
+  /// like kPlanted with n >> target it rejects every guess and the
+  /// Algorithm 2 fallback answers instead).
+  kSmoothPlanted,
+};
+
+/// Returns a printable name for `kind` (bench tables).
+const char* VectorKindName(VectorKind kind);
+
+/// Arrival orders for an aggregate stream.
+enum class OrderPolicy {
+  kAsGenerated,
+  kAscending,   // adversarial: small values first
+  kDescending,  // adversarial: large values first
+  kRandom,      // uniformly random permutation
+};
+
+/// Returns a printable name for `policy` (bench tables).
+const char* OrderPolicyName(OrderPolicy policy);
+
+/// Parameters for `MakeVector`.
+struct VectorSpec {
+  VectorKind kind = VectorKind::kZipf;
+  std::uint64_t n = 10000;
+  /// Maximum response count (cap for the heavy-tailed kinds; the value
+  /// itself for kConstant).
+  std::uint64_t max_value = 1u << 20;
+  /// Zipf exponent (kZipf only).
+  double zipf_s = 1.1;
+  /// Planted H-index (kPlanted only); must be <= n.
+  std::uint64_t target_h = 100;
+};
+
+/// Generates a response-count vector per `spec`.
+AggregateStream MakeVector(const VectorSpec& spec, Rng& rng);
+
+/// Applies an arrival order in place.
+void ApplyOrder(AggregateStream& values, OrderPolicy policy, Rng& rng);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_WORKLOAD_CITATION_VECTORS_H_

@@ -1,0 +1,82 @@
+#include "workload/preferential.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/exact.h"
+
+namespace himpact {
+
+CitationNetwork MakeCitationNetwork(const PreferentialConfig& config,
+                                    Rng& rng) {
+  HIMPACT_CHECK(config.num_papers >= 2);
+  HIMPACT_CHECK(config.citations_per_paper >= 1);
+  HIMPACT_CHECK(config.initial_attractiveness > 0.0);
+
+  CitationNetwork network;
+  network.totals.assign(config.num_papers, 0);
+  // Endpoint urn: one entry per citation received; sampling an entry is
+  // sampling proportionally to the citation count, and mixing with a
+  // uniform paper pick realizes P(cite p) ∝ c_p + a in O(1) per draw.
+  std::vector<PaperId> endpoint_urn;
+  endpoint_urn.reserve(config.num_papers *
+                       static_cast<std::size_t>(config.citations_per_paper));
+
+  if (config.num_authors > 0) {
+    network.author_of.reserve(config.num_papers);
+  }
+
+  std::vector<PaperId> chosen;
+  for (PaperId paper = 0; paper < config.num_papers; ++paper) {
+    if (config.num_authors > 0) {
+      network.author_of.push_back(rng.UniformU64(config.num_authors));
+    }
+    if (paper == 0) continue;  // nothing to cite yet
+
+    const int citations =
+        static_cast<int>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(config.citations_per_paper), paper));
+    chosen.clear();
+    int attempts = 0;
+    while (static_cast<int>(chosen.size()) < citations &&
+           attempts < citations * 20) {
+      ++attempts;
+      const double a_mass =
+          config.initial_attractiveness * static_cast<double>(paper);
+      const double total_mass =
+          a_mass + static_cast<double>(endpoint_urn.size());
+      PaperId target;
+      if (rng.UniformDouble() * total_mass < a_mass) {
+        target = rng.UniformU64(paper);  // uniform over existing papers
+      } else {
+        target = endpoint_urn[static_cast<std::size_t>(
+            rng.UniformU64(endpoint_urn.size()))];
+      }
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;  // cite distinct papers
+      }
+      chosen.push_back(target);
+    }
+    for (const PaperId target : chosen) {
+      network.events.push_back(CitationEvent{target, 1});
+      ++network.totals[target];
+      endpoint_urn.push_back(target);
+    }
+  }
+
+  network.exact_h = ExactHIndex(network.totals);
+
+  if (config.num_authors > 0) {
+    network.papers.reserve(config.num_papers);
+    for (PaperId paper = 0; paper < config.num_papers; ++paper) {
+      PaperTuple tuple;
+      tuple.paper = paper;
+      tuple.authors.PushBack(network.author_of[paper]);
+      tuple.citations = network.totals[paper];
+      network.papers.push_back(tuple);
+    }
+  }
+  return network;
+}
+
+}  // namespace himpact

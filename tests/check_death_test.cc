@@ -1,0 +1,65 @@
+// Precondition violations must abort loudly (HIMPACT_CHECK), never
+// corrupt sketch state silently: merging incompatible sketches, invalid
+// updates, and container overflows.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "sketch/count_min.h"
+#include "sketch/one_sparse.h"
+#include "sketch/s_sparse.h"
+#include "stream/types.h"
+
+namespace himpact {
+namespace {
+
+using ExpH = ExponentialHistogramEstimator;
+
+TEST(CheckDeathTest, HistogramMergeParameterMismatch) {
+  auto a = ExpH::Create(0.1, 1000).value();
+  auto b = ExpH::Create(0.2, 1000).value();
+  EXPECT_DEATH(a.Merge(b), "different parameters");
+}
+
+TEST(CheckDeathTest, HistogramMergeMaxHMismatch) {
+  auto a = ExpH::Create(0.1, 1000).value();
+  auto b = ExpH::Create(0.1, 2000).value();
+  EXPECT_DEATH(a.Merge(b), "different parameters");
+}
+
+TEST(CheckDeathTest, OneSparseMergeSeedMismatch) {
+  OneSparseCell a(1);
+  OneSparseCell b(2);
+  EXPECT_DEATH(a.Merge(b), "different seeds");
+}
+
+TEST(CheckDeathTest, SSparseMergeSeedMismatch) {
+  SSparseRecovery a(4, 0.01, 1);
+  SSparseRecovery b(4, 0.01, 2);
+  EXPECT_DEATH(a.Merge(b), "different parameters");
+}
+
+TEST(CheckDeathTest, CountMinMergeSeedMismatch) {
+  CountMinSketch a(0.1, 0.1, 1);
+  CountMinSketch b(0.1, 0.1, 2);
+  EXPECT_DEATH(a.Merge(b), "different parameters");
+}
+
+TEST(CheckDeathTest, CashRegisterExactRejectsNegativeDelta) {
+  ExactCashRegisterHIndex tracker;
+  EXPECT_DEATH(tracker.Update(1, -1), "non-negative");
+}
+
+TEST(CheckDeathTest, AuthorListOverflowAborts) {
+  AuthorList authors;
+  for (int i = 0; i < kMaxAuthorsPerPaper; ++i) {
+    authors.PushBack(static_cast<AuthorId>(i));
+  }
+  EXPECT_DEATH(authors.PushBack(99), "HIMPACT_CHECK failed");
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,73 @@
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace himpact {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status invalid = Status::InvalidArgument("bad eps");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(invalid.message(), "bad eps");
+  EXPECT_EQ(invalid.ToString(), "INVALID_ARGUMENT: bad eps");
+
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  result.value() = 7;
+  EXPECT_EQ(result.value(), 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  struct MoveOnly {
+    explicit MoveOnly(int v) : value(v) {}
+    MoveOnly(MoveOnly&&) = default;
+    MoveOnly& operator=(MoveOnly&&) = default;
+    MoveOnly(const MoveOnly&) = delete;
+    int value;
+  };
+  StatusOr<MoveOnly> result(MoveOnly(5));
+  ASSERT_TRUE(result.ok());
+  const MoveOnly extracted = std::move(result).value();
+  EXPECT_EQ(extracted.value, 5);
+}
+
+TEST(StatusOrTest, NonDefaultConstructibleValue) {
+  struct NoDefault {
+    explicit NoDefault(std::string s) : tag(std::move(s)) {}
+    std::string tag;
+  };
+  const StatusOr<NoDefault> ok_result(NoDefault("hello"));
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value().tag, "hello");
+  const StatusOr<NoDefault> err_result(Status::Internal("boom"));
+  EXPECT_FALSE(err_result.ok());
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,87 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/per_author.h"
+#include "core/shifting_window.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+
+namespace himpact {
+namespace {
+
+TEST(PerAuthorTest, TracksExactPerAuthor) {
+  PerAuthorHIndex<IncrementalExactHIndex> tracker(
+      [] { return IncrementalExactHIndex(); });
+  // Author 1: {3, 3, 3} -> h = 3. Author 2: {1} -> h = 1.
+  PaperTuple paper;
+  paper.authors.PushBack(1);
+  paper.citations = 3;
+  for (int i = 0; i < 3; ++i) {
+    paper.paper = static_cast<PaperId>(i);
+    tracker.AddPaper(paper);
+  }
+  tracker.Add(2, 1);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(1), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(2), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(999), 0.0);
+  EXPECT_EQ(tracker.num_authors(), 2u);
+}
+
+TEST(PerAuthorTest, CoauthoredPaperCreditsAll) {
+  PerAuthorHIndex<IncrementalExactHIndex> tracker(
+      [] { return IncrementalExactHIndex(); });
+  PaperTuple paper;
+  paper.paper = 0;
+  paper.authors.PushBack(5);
+  paper.authors.PushBack(6);
+  paper.citations = 10;
+  tracker.AddPaper(paper);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(5), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(6), 1.0);
+}
+
+TEST(PerAuthorTest, TopKOrdering) {
+  PerAuthorHIndex<IncrementalExactHIndex> tracker(
+      [] { return IncrementalExactHIndex(); });
+  const auto add_n = [&](AuthorId author, int n, std::uint64_t c) {
+    for (int i = 0; i < n; ++i) tracker.Add(author, c);
+  };
+  add_n(1, 10, 10);  // h = 10
+  add_n(2, 5, 5);    // h = 5
+  add_n(3, 20, 20);  // h = 20
+  const auto top = tracker.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 3u);
+  EXPECT_DOUBLE_EQ(top[0].second, 20.0);
+  EXPECT_EQ(top[1].first, 1u);
+}
+
+TEST(PerAuthorTest, WithStreamingEstimatorApproximates) {
+  Rng rng(1);
+  AcademicConfig config;
+  config.num_authors = 40;
+  config.max_papers = 60;
+  const PaperStream papers = MakeAcademicCorpus(config, {}, rng);
+
+  const double eps = 0.1;
+  PerAuthorHIndex<ShiftingWindowEstimator> approx([&] {
+    auto estimator = ShiftingWindowEstimator::Create(eps);
+    return std::move(estimator).value();
+  });
+  PerAuthorHIndex<IncrementalExactHIndex> exact(
+      [] { return IncrementalExactHIndex(); });
+  for (const PaperTuple& paper : papers) {
+    approx.AddPaper(paper);
+    exact.AddPaper(paper);
+  }
+  for (AuthorId author = 0; author < 40; ++author) {
+    const double truth = exact.Estimate(author);
+    EXPECT_LE(approx.Estimate(author), truth + 1e-9);
+    EXPECT_GE(approx.Estimate(author), (1.0 - eps) * truth - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,218 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/random_order.h"
+#include "random/rng.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+RandomOrderEstimator MakeEstimator(double eps, std::uint64_t n,
+                                   const RandomOrderOptions& options = {}) {
+  auto estimator = RandomOrderEstimator::Create(eps, n, options);
+  EXPECT_TRUE(estimator.ok());
+  return std::move(estimator).value();
+}
+
+TEST(RandomOrderTest, RejectsBadParameters) {
+  EXPECT_FALSE(RandomOrderEstimator::Create(0.0, 100).ok());
+  EXPECT_FALSE(RandomOrderEstimator::Create(1.0, 100).ok());
+  EXPECT_FALSE(RandomOrderEstimator::Create(0.1, 0).ok());
+  RandomOrderOptions bad;
+  bad.beta_scale = 0.0;
+  EXPECT_FALSE(RandomOrderEstimator::Create(0.1, 100, bad).ok());
+}
+
+TEST(RandomOrderTest, PaperBetaIsConservative) {
+  const auto estimator = MakeEstimator(0.1, 1u << 20);
+  // 150 * 1000 * log2 log2 (2^20) ~ 6.5e5.
+  EXPECT_GT(estimator.beta(), 1e5);
+}
+
+TEST(RandomOrderTest, FallbackHandlesSmallH) {
+  // h* far below beta/eps: Algorithm 2 answers, sampler stays silent.
+  Rng rng(1);
+  VectorSpec spec;
+  spec.kind = VectorKind::kPlanted;
+  spec.n = 5000;
+  spec.target_h = 40;
+  AggregateStream values = MakeVector(spec, rng);
+  ApplyOrder(values, OrderPolicy::kRandom, rng);
+
+  const double eps = 0.1;
+  auto estimator = MakeEstimator(eps, values.size());
+  for (const std::uint64_t v : values) estimator.Add(v);
+  EXPECT_DOUBLE_EQ(estimator.sampler_estimate(), 0.0);
+  EXPECT_GE(estimator.Estimate(), (1.0 - eps) * 40.0 - 1e-9);
+  EXPECT_LE(estimator.Estimate(), 40.0);
+}
+
+TEST(RandomOrderTest, SamplerDetectsLargeHIndex) {
+  // With beta_override small, the sampler regime activates: plant
+  // h* = n/2 and check the sampler's own answer is (1 +/- eps)-accurate.
+  const double eps = 0.2;
+  Rng rng(2);
+  int sampler_hits = 0;
+  int within = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    // Smooth-planted: the tail-count shape Algorithm 4's acceptance band
+    // assumes (see workload/citation_vectors.h).
+    VectorSpec spec;
+    spec.kind = VectorKind::kSmoothPlanted;
+    spec.n = 20000;
+    spec.target_h = 10000;
+    AggregateStream values = MakeVector(spec, rng);
+    ApplyOrder(values, OrderPolicy::kRandom, rng);
+
+    RandomOrderOptions options;
+    options.beta_override = 400.0;  // beta/eps = 2000 << h* = 10000
+    auto estimator = MakeEstimator(eps, values.size(), options);
+    for (const std::uint64_t v : values) estimator.Add(v);
+
+    if (estimator.sampler_estimate() > 0.0) {
+      ++sampler_hits;
+      const double truth = 10000.0;
+      if (estimator.sampler_estimate() >= (1.0 - eps) * truth &&
+          estimator.sampler_estimate() <= (1.0 + eps) * truth) {
+        ++within;
+      }
+    }
+  }
+  // The sampler should fire on most random orders and be accurate when
+  // it does.
+  EXPECT_GE(sampler_hits, trials / 2);
+  EXPECT_GE(within, sampler_hits * 7 / 10);
+}
+
+TEST(RandomOrderTest, CombinedEstimateWithinEps) {
+  // End-to-end Theorem 9 check across planted h* values spanning both
+  // regimes (with a practical beta).
+  const double eps = 0.2;
+  Rng rng(3);
+  int failures = 0;
+  int trials = 0;
+  for (const std::uint64_t target : {50ull, 2000ull, 10000ull}) {
+    for (int t = 0; t < 10; ++t) {
+      VectorSpec spec;
+      spec.kind = VectorKind::kPlanted;
+      spec.n = 20000;
+      spec.target_h = target;
+      AggregateStream values = MakeVector(spec, rng);
+      ApplyOrder(values, OrderPolicy::kRandom, rng);
+
+      RandomOrderOptions options;
+      options.beta_override = 400.0;
+      auto estimator = MakeEstimator(eps, values.size(), options);
+      for (const std::uint64_t v : values) estimator.Add(v);
+
+      const double truth = static_cast<double>(target);
+      const double estimate = estimator.Estimate();
+      ++trials;
+      if (estimate < (1.0 - eps) * truth - 1e-9 ||
+          estimate > (1.0 + eps) * truth + 1e-9) {
+        ++failures;
+      }
+    }
+  }
+  // Theorem 9 is a randomized guarantee: allow a small failure budget.
+  EXPECT_LE(failures, trials / 5) << failures << "/" << trials;
+}
+
+TEST(RandomOrderTest, SamplerUsesSixWords) {
+  const auto estimator = MakeEstimator(0.1, 1000);
+  EXPECT_EQ(estimator.SamplerSpaceWords(), 6u);
+}
+
+TEST(RandomOrderTest, BetaMatchesPaperFormula) {
+  const std::uint64_t n = 1u << 20;
+  const double eps = 0.25;
+  const auto estimator = MakeEstimator(eps, n);
+  const double loglog = std::log2(std::log2(static_cast<double>(n)));
+  EXPECT_NEAR(estimator.beta(), 150.0 / (eps * eps * eps) * loglog,
+              estimator.beta() * 1e-9);
+}
+
+TEST(RandomOrderTest, BetaScaleMultiplies) {
+  RandomOrderOptions half;
+  half.beta_scale = 0.5;
+  const auto scaled = MakeEstimator(0.2, 10000, half);
+  const auto unscaled = MakeEstimator(0.2, 10000);
+  EXPECT_NEAR(scaled.beta(), unscaled.beta() / 2.0, 1e-9);
+}
+
+TEST(RandomOrderTest, ExtraElementsBeyondNAreSafe) {
+  // The sampler is sized for exactly n elements; extra ones must not
+  // break it (the fallback keeps consuming).
+  auto estimator = MakeEstimator(0.2, 100);
+  for (int i = 0; i < 300; ++i) estimator.Add(5);
+  EXPECT_GT(estimator.Estimate(), 0.0);
+  EXPECT_LE(estimator.Estimate(), 5.0);
+}
+
+TEST(RandomOrderTest, SamplerStopsAfterAcceptance) {
+  // Once the sampler accepts, its estimate is frozen even as more
+  // elements stream through the fallback.
+  Rng rng(55);
+  VectorSpec spec;
+  spec.kind = VectorKind::kSmoothPlanted;
+  spec.n = 20000;
+  spec.target_h = 10000;
+  AggregateStream values = MakeVector(spec, rng);
+  ApplyOrder(values, OrderPolicy::kRandom, rng);
+
+  RandomOrderOptions options;
+  options.beta_override = 400.0;
+  auto estimator = MakeEstimator(0.2, values.size(), options);
+  double frozen = 0.0;
+  for (const std::uint64_t v : values) {
+    estimator.Add(v);
+    if (frozen == 0.0 && estimator.sampler_estimate() > 0.0) {
+      frozen = estimator.sampler_estimate();
+    }
+  }
+  if (frozen > 0.0) {
+    EXPECT_DOUBLE_EQ(estimator.sampler_estimate(), frozen);
+  }
+}
+
+TEST(RandomOrderTest, ZerosOnlyStream) {
+  auto estimator = MakeEstimator(0.1, 100);
+  for (int i = 0; i < 100; ++i) estimator.Add(0);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), 0.0);
+}
+
+// Property sweep: the fallback path alone obeys the deterministic
+// guarantee for every eps (the sampler can only improve the estimate
+// upward toward h*, never past it... except by its own (1+eps) factor).
+class RandomOrderFallbackProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomOrderFallbackProperty, FallbackGuarantee) {
+  const double eps = GetParam();
+  Rng rng(static_cast<std::uint64_t>(eps * 10007));
+  VectorSpec spec;
+  spec.kind = VectorKind::kZipf;
+  spec.n = 3000;
+  spec.max_value = 2000;
+  AggregateStream values = MakeVector(spec, rng);
+  ApplyOrder(values, OrderPolicy::kRandom, rng);
+
+  auto estimator = MakeEstimator(eps, values.size());
+  for (const std::uint64_t v : values) estimator.Add(v);
+  const double truth = static_cast<double>(ExactHIndex(values));
+  // With the paper's beta, zipf vectors stay in the fallback regime, so
+  // the deterministic Algorithm 2 guarantee applies.
+  EXPECT_LE(estimator.Estimate(), truth + 1e-9);
+  EXPECT_GE(estimator.Estimate(), (1.0 - eps) * truth - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, RandomOrderFallbackProperty,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+}  // namespace
+}  // namespace himpact

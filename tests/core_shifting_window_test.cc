@@ -1,0 +1,155 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "core/shifting_window.h"
+#include "random/rng.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+ShiftingWindowEstimator MakeEstimator(double eps, double divisor = 3.0) {
+  auto estimator = ShiftingWindowEstimator::Create(eps, divisor);
+  EXPECT_TRUE(estimator.ok());
+  return std::move(estimator).value();
+}
+
+TEST(ShiftingWindowTest, RejectsBadParameters) {
+  EXPECT_FALSE(ShiftingWindowEstimator::Create(0.0).ok());
+  EXPECT_FALSE(ShiftingWindowEstimator::Create(1.5).ok());
+  EXPECT_FALSE(ShiftingWindowEstimator::Create(0.1, 0.5).ok());
+}
+
+TEST(ShiftingWindowTest, EmptyStreamIsZero) {
+  const auto estimator = MakeEstimator(0.1);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), 0.0);
+}
+
+TEST(ShiftingWindowTest, SingleElement) {
+  auto estimator = MakeEstimator(0.1);
+  estimator.Add(42);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), 1.0);
+}
+
+TEST(ShiftingWindowTest, NeverOverestimates) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    VectorSpec spec;
+    spec.kind = static_cast<VectorKind>(trial % 4);
+    spec.n = 300 + rng.UniformU64(3000);
+    spec.max_value = 1 + rng.UniformU64(10000);
+    AggregateStream values = MakeVector(spec, rng);
+    ApplyOrder(values, static_cast<OrderPolicy>(trial % 4), rng);
+
+    auto estimator = MakeEstimator(0.15);
+    for (const std::uint64_t v : values) estimator.Add(v);
+    EXPECT_LE(estimator.Estimate(),
+              static_cast<double>(ExactHIndex(values)) + 1e-9);
+  }
+}
+
+TEST(ShiftingWindowTest, WindowShiftsOnGrowingStream) {
+  auto estimator = MakeEstimator(0.2);
+  // h* grows to 1000, far past the initial window.
+  for (int i = 0; i < 1000; ++i) estimator.Add(100000);
+  EXPECT_GT(estimator.num_shifts(), 0u);
+  EXPECT_GT(estimator.window_base(), 0);
+  const double estimate = estimator.Estimate();
+  EXPECT_LE(estimate, 1000.0);
+  EXPECT_GE(estimate, 800.0);
+}
+
+TEST(ShiftingWindowTest, SpaceIndependentOfStreamLength) {
+  auto estimator = MakeEstimator(0.1);
+  const std::uint64_t before = estimator.EstimateSpace().words;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    estimator.Add(rng.UniformU64(1u << 30));
+  }
+  EXPECT_EQ(estimator.EstimateSpace().words, before);
+}
+
+TEST(ShiftingWindowTest, SpaceWithinTheoremBound) {
+  for (const double eps : {0.05, 0.1, 0.2, 0.5}) {
+    const auto estimator = MakeEstimator(eps);
+    EXPECT_LE(static_cast<double>(estimator.EstimateSpace().words),
+              estimator.TheoreticalSpaceWords() + 4.0)
+        << "eps=" << eps;
+  }
+}
+
+TEST(ShiftingWindowTest, SmallerThanExponentialHistogramForLargeN) {
+  const double eps = 0.1;
+  const std::uint64_t n = 1u << 26;
+  const auto window = MakeEstimator(eps);
+  auto histogram = ExponentialHistogramEstimator::Create(eps, n);
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_LT(window.EstimateSpace().words,
+            histogram.value().EstimateSpace().words);
+}
+
+// The headline property: the (1-eps) guarantee on adversarial orders,
+// across eps, distributions and orders.
+class ShiftingWindowGuarantee
+    : public ::testing::TestWithParam<
+          std::tuple<double, VectorKind, OrderPolicy>> {};
+
+TEST_P(ShiftingWindowGuarantee, HoldsEverywhere) {
+  const auto [eps, kind, order] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(eps * 977) + static_cast<int>(kind) * 13 +
+          static_cast<int>(order));
+  VectorSpec spec;
+  spec.kind = kind;
+  spec.n = 3000;
+  spec.max_value = 5000;
+  spec.target_h = 200;
+  AggregateStream values = MakeVector(spec, rng);
+  ApplyOrder(values, order, rng);
+
+  auto estimator = MakeEstimator(eps);
+  for (const std::uint64_t v : values) estimator.Add(v);
+  const double truth = static_cast<double>(ExactHIndex(values));
+  EXPECT_LE(estimator.Estimate(), truth);
+  EXPECT_GE(estimator.Estimate(), (1.0 - eps) * truth - 1e-9)
+      << "h*=" << truth << " estimate=" << estimator.Estimate();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShiftingWindowGuarantee,
+    ::testing::Combine(
+        ::testing::Values(0.05, 0.1, 0.3, 0.6),
+        ::testing::Values(VectorKind::kZipf, VectorKind::kUniform,
+                          VectorKind::kConstant, VectorKind::kAllDistinct,
+                          VectorKind::kPlanted),
+        ::testing::Values(OrderPolicy::kAscending, OrderPolicy::kDescending,
+                          OrderPolicy::kRandom)));
+
+TEST(ShiftingWindowTest, AgreesWithHistogramWithinEps) {
+  // Both algorithms carry the same guarantee; their estimates must be
+  // within each other's error bands.
+  Rng rng(3);
+  VectorSpec spec;
+  spec.kind = VectorKind::kZipf;
+  spec.n = 5000;
+  spec.max_value = 100000;
+  const AggregateStream values = MakeVector(spec, rng);
+
+  const double eps = 0.1;
+  auto window = MakeEstimator(eps);
+  auto histogram_or = ExponentialHistogramEstimator::Create(eps, spec.n);
+  ASSERT_TRUE(histogram_or.ok());
+  auto histogram = std::move(histogram_or).value();
+  for (const std::uint64_t v : values) {
+    window.Add(v);
+    histogram.Add(v);
+  }
+  const double truth = static_cast<double>(ExactHIndex(values));
+  EXPECT_NEAR(window.Estimate(), histogram.Estimate(), eps * truth + 1.0);
+}
+
+}  // namespace
+}  // namespace himpact

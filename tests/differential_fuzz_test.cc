@@ -1,0 +1,155 @@
+// Differential fuzzing: random mixed workloads streamed simultaneously
+// into the streaming estimators and the exact references, with the
+// theorems' invariants asserted *continuously* (mid-stream, not just at
+// the end). Each seed is an independent scenario; the suite sweeps many.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/exponential_histogram.h"
+#include "core/generalized.h"
+#include "core/shifting_window.h"
+#include "random/rng.h"
+#include "random/zipf.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+/// A random stream mixing distributions, bursts of zeros, and occasional
+/// huge outliers — shapes no single workload generator produces.
+std::vector<std::uint64_t> FuzzStream(Rng& rng, std::size_t length) {
+  std::vector<std::uint64_t> values;
+  values.reserve(length);
+  const ZipfSampler zipf(100000, 1.0 + rng.UniformDouble());
+  while (values.size() < length) {
+    const std::uint64_t mode = rng.UniformU64(5);
+    const std::size_t burst =
+        1 + static_cast<std::size_t>(rng.UniformU64(50));
+    for (std::size_t i = 0; i < burst && values.size() < length; ++i) {
+      switch (mode) {
+        case 0:
+          values.push_back(zipf.Sample(rng));
+          break;
+        case 1:
+          values.push_back(0);
+          break;
+        case 2:
+          values.push_back(rng.UniformU64(100));
+          break;
+        case 3:
+          values.push_back(1u << 30);  // huge outlier
+          break;
+        default:
+          values.push_back(rng.UniformU64(5000));
+          break;
+      }
+    }
+  }
+  return values;
+}
+
+class AggregateFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregateFuzz, ContinuousGuarantees) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const double eps = 0.05 + 0.3 * rng.UniformDouble();
+  const std::size_t length = 500 + rng.UniformU64(4000);
+  const std::vector<std::uint64_t> values = FuzzStream(rng, length);
+
+  auto histogram =
+      ExponentialHistogramEstimator::Create(eps, length).value();
+  auto window = ShiftingWindowEstimator::Create(eps).value();
+  IncrementalExactHIndex exact;
+
+  double prev_histogram = 0.0;
+  double prev_window = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    histogram.Add(values[i]);
+    window.Add(values[i]);
+    exact.Add(values[i]);
+    if (i % 97 != 0) continue;  // check periodically, not every step
+
+    const double truth = static_cast<double>(exact.HIndex());
+    const double h1 = histogram.Estimate();
+    const double h2 = window.Estimate();
+    // Guarantee band, at every prefix.
+    ASSERT_LE(h1, truth + 1e-9) << "seed " << seed << " step " << i;
+    ASSERT_GE(h1, (1.0 - eps) * truth - 1e-9)
+        << "seed " << seed << " step " << i << " eps " << eps;
+    ASSERT_LE(h2, truth + 1e-9) << "seed " << seed << " step " << i;
+    ASSERT_GE(h2, (1.0 - eps) * truth - 1e-9)
+        << "seed " << seed << " step " << i << " eps " << eps;
+    // Insert-only H-index estimates never decrease.
+    ASSERT_GE(h1, prev_histogram - 1e-9) << "seed " << seed;
+    ASSERT_GE(h2, prev_window - 1e-9) << "seed " << seed;
+    prev_histogram = h1;
+    prev_window = h2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateFuzz,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{25}));
+
+class CashRegisterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CashRegisterFuzz, ExactTrackerMatchesRecompute) {
+  // The O(1)-amortized exact cash-register tracker against a from-scratch
+  // recompute, under random weighted updates.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 7);
+  const std::uint64_t papers = 5 + rng.UniformU64(200);
+  ExactCashRegisterHIndex tracker;
+  std::vector<std::uint64_t> totals(papers, 0);
+  const std::size_t steps = 200 + static_cast<std::size_t>(rng.UniformU64(2000));
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint64_t paper = rng.UniformU64(papers);
+    const std::int64_t delta = rng.UniformInt(1, 20);
+    tracker.Update(paper, delta);
+    totals[paper] += static_cast<std::uint64_t>(delta);
+    if (i % 37 == 0) {
+      ASSERT_EQ(tracker.HIndex(), ExactHIndex(totals))
+          << "seed " << seed << " step " << i;
+    }
+  }
+  ASSERT_EQ(tracker.HIndex(), ExactHIndex(totals));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CashRegisterFuzz,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{25}));
+
+class PhiFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhiFuzz, StreamingTracksExactPhi) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 101 + 13);
+  const double eps = 0.1 + 0.2 * rng.UniformDouble();
+  const double power = 1.0 + rng.UniformDouble();   // phi in [k, k^2]
+  const double scale = 1.0 + rng.UniformU64(10);
+  PhiSpec phi;
+  phi.power = power;
+  phi.scale = scale;
+
+  const std::size_t length = 500 + rng.UniformU64(3000);
+  const std::vector<std::uint64_t> values = FuzzStream(rng, length);
+  auto estimator = PhiIndexEstimator::Create(eps, length, phi).value();
+  for (const std::uint64_t v : values) estimator.Add(v);
+
+  const double truth = static_cast<double>(ExactPhiIndex(values, phi));
+  EXPECT_LE(estimator.Estimate(), truth + 1.0 + 1e-9) << "seed " << seed;
+  EXPECT_GE(estimator.Estimate(), (1.0 - eps) * truth - eps - 1e-9)
+      << "seed " << seed << " eps " << eps << " power " << power;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhiFuzz,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{20}));
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,83 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace himpact {
+namespace {
+
+TEST(MetricsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeError(1.0, 0.0)));
+}
+
+TEST(MetricsTest, SignedRelativeError) {
+  EXPECT_DOUBLE_EQ(SignedRelativeError(90.0, 100.0), -0.1);
+  EXPECT_DOUBLE_EQ(SignedRelativeError(120.0, 100.0), 0.2);
+  EXPECT_DOUBLE_EQ(SignedRelativeError(0.0, 0.0), 0.0);
+}
+
+TEST(MetricsTest, SummarizeBasic) {
+  const ErrorStats stats = Summarize({0.1, 0.2, 0.3, 0.4, 1.0});
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_NEAR(stats.mean, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.max, 1.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.3);
+  EXPECT_DOUBLE_EQ(stats.p95, 1.0);
+}
+
+TEST(MetricsTest, SummarizeEmpty) {
+  const ErrorStats stats = Summarize({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(MetricsTest, FractionWithin) {
+  EXPECT_DOUBLE_EQ(FractionWithin({0.05, 0.1, 0.2}, 0.1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(FractionWithin({}, 0.1), 1.0);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"name", "value"});
+  table.NewRow().Cell("alpha").Cell(std::uint64_t{42});
+  table.NewRow().Cell("b").Cell(3.14159, 2);
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("3.14"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+  // Header and rule plus two rows = 4 lines.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 4);
+}
+
+TEST(TableTest, ToCsvBasic) {
+  Table table({"name", "value"});
+  table.NewRow().Cell("alpha").Cell(std::uint64_t{42});
+  table.NewRow().Cell("beta").Cell(1.5, 1);
+  EXPECT_EQ(table.ToCsv(), "name,value\nalpha,42\nbeta,1.5\n");
+}
+
+TEST(TableTest, ToCsvQuotesSpecialCells) {
+  Table table({"a", "b"});
+  table.NewRow().Cell("x,y").Cell("he said \"hi\"");
+  EXPECT_EQ(table.ToCsv(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, ToCsvPadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.NewRow().Cell("only");
+  EXPECT_EQ(table.ToCsv(), "a,b,c\nonly,,\n");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,142 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hash/k_independent.h"
+#include "hash/mix.h"
+#include "hash/tabulation.h"
+
+namespace himpact {
+namespace {
+
+TEST(ModMersenne61Test, MatchesDirectModulo) {
+  const unsigned __int128 cases[] = {
+      0,
+      1,
+      kMersenne61 - 1,
+      kMersenne61,
+      kMersenne61 + 1,
+      static_cast<unsigned __int128>(kMersenne61) * kMersenne61,
+      (static_cast<unsigned __int128>(1) << 122) - 1,
+      static_cast<unsigned __int128>(0xdeadbeefcafebabeULL) * 0x123456789abcdefULL,
+  };
+  for (const auto x : cases) {
+    EXPECT_EQ(ModMersenne61(x),
+              static_cast<std::uint64_t>(x % kMersenne61));
+  }
+}
+
+TEST(SplitMix64Test, IsDeterministicAndMixes) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  // A bijective mixer must not collapse consecutive inputs.
+  std::vector<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 100; ++i) outputs.push_back(SplitMix64(i));
+  std::sort(outputs.begin(), outputs.end());
+  EXPECT_EQ(std::adjacent_find(outputs.begin(), outputs.end()),
+            outputs.end());
+}
+
+TEST(KIndependentHashTest, DeterministicPerSeed) {
+  const KIndependentHash h1(4, 42);
+  const KIndependentHash h2(4, 42);
+  const KIndependentHash h3(4, 43);
+  for (std::uint64_t x = 0; x < 50; ++x) {
+    EXPECT_EQ(h1(x), h2(x));
+  }
+  int differences = 0;
+  for (std::uint64_t x = 0; x < 50; ++x) {
+    if (h1(x) != h3(x)) ++differences;
+  }
+  EXPECT_GT(differences, 45);
+}
+
+TEST(KIndependentHashTest, OutputInField) {
+  const KIndependentHash h(3, 7);
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h(x * 0x9e3779b97f4a7c15ULL), kMersenne61);
+  }
+}
+
+TEST(KIndependentHashTest, DegreeOneIsConstant) {
+  const KIndependentHash h(1, 99);
+  const std::uint64_t v = h(0);
+  for (std::uint64_t x = 1; x < 20; ++x) {
+    EXPECT_EQ(h(x), v);
+  }
+}
+
+TEST(KIndependentHashTest, SpaceIsKWords) {
+  const KIndependentHash h(5, 1);
+  EXPECT_EQ(h.EstimateSpace().words, 5u);
+  EXPECT_EQ(h.k(), 5);
+}
+
+TEST(PairwiseRangeHashTest, StaysInRange) {
+  const PairwiseRangeHash h(17, 123);
+  for (std::uint64_t x = 0; x < 5000; ++x) {
+    EXPECT_LT(h(x), 17u);
+  }
+}
+
+TEST(PairwiseRangeHashTest, RoughlyBalanced) {
+  const std::uint64_t range = 16;
+  const PairwiseRangeHash h(range, 2024);
+  std::vector<int> counts(range, 0);
+  const int n = 16000;
+  for (int x = 0; x < n; ++x) {
+    ++counts[h(static_cast<std::uint64_t>(x))];
+  }
+  const double expected = static_cast<double>(n) / range;
+  for (const int c : counts) {
+    // Loose 3-sigma-ish band; pairwise independence gives
+    // variance ~ expected.
+    EXPECT_GT(c, expected * 0.8);
+    EXPECT_LT(c, expected * 1.2);
+  }
+}
+
+TEST(TabulationHashTest, DeterministicAndSeedSensitive) {
+  const TabulationHash h1(5);
+  const TabulationHash h2(5);
+  const TabulationHash h3(6);
+  EXPECT_EQ(h1(0xabcdef), h2(0xabcdef));
+  int differences = 0;
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    if (h1(x) != h3(x)) ++differences;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(TabulationHashTest, BitBalance) {
+  // Each output bit should be ~50% ones over consecutive keys.
+  const TabulationHash h(77);
+  const int n = 4096;
+  int ones_bit0 = 0;
+  int ones_bit63 = 0;
+  for (int x = 0; x < n; ++x) {
+    const std::uint64_t v = h(static_cast<std::uint64_t>(x));
+    ones_bit0 += static_cast<int>(v & 1);
+    ones_bit63 += static_cast<int>(v >> 63);
+  }
+  EXPECT_NEAR(ones_bit0, n / 2, n / 8);
+  EXPECT_NEAR(ones_bit63, n / 2, n / 8);
+}
+
+// Pairwise independence smoke test: empirical collision probability of a
+// pairwise family over a range m must be close to 1/m.
+TEST(KIndependentHashTest, PairwiseCollisionProbability) {
+  const std::uint64_t range = 64;
+  int collisions = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const PairwiseRangeHash h(range, static_cast<std::uint64_t>(t) + 1000);
+    if (h(12345) == h(67890)) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / trials;
+  EXPECT_NEAR(rate, 1.0 / static_cast<double>(range), 0.01);
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,241 @@
+// End-to-end pipelines across modules: workload generation -> streaming
+// estimation (with sharding / checkpointing along the way) -> comparison
+// against the exact baselines.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "core/cash_register.h"
+#include "core/exact.h"
+#include "core/per_author.h"
+#include "core/random_order.h"
+#include "core/shifting_window.h"
+#include "eval/metrics.h"
+#include "heavy/baseline.h"
+#include "heavy/heavy_hitters.h"
+#include "io/stream_io.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+#include "workload/cascade.h"
+#include "workload/citation_vectors.h"
+#include "workload/preferential.h"
+
+namespace himpact {
+namespace {
+
+TEST(IntegrationTest, AcademicCorpusEndToEnd) {
+  // One corpus, three consumers: per-author streaming estimators, the
+  // heavy-hitter sketch, and the exact baseline tying them together.
+  Rng rng(100);
+  AcademicConfig config;
+  config.num_authors = 30;
+  config.max_papers = 40;
+  const std::vector<PlantedAuthor> stars = {{777000, 90, 90}};
+  const PaperStream papers = MakeAcademicCorpus(config, stars, rng);
+
+  const double eps = 0.2;
+  PerAuthorHIndex<ShiftingWindowEstimator> per_author([&] {
+    return ShiftingWindowEstimator::Create(eps).value();
+  });
+  HeavyHitters::Options hh_options;
+  hh_options.eps = 0.25;
+  hh_options.delta = 0.05;
+  hh_options.max_papers = 1u << 16;
+  auto heavy = HeavyHitters::Create(hh_options, 101).value();
+  for (const PaperTuple& paper : papers) {
+    per_author.AddPaper(paper);
+    heavy.AddPaper(paper);
+  }
+
+  // (a) Per-author estimates obey the deterministic guarantee.
+  const std::vector<AuthorHIndex> exact = ExactAuthorHIndices(papers);
+  for (const AuthorHIndex& entry : exact) {
+    const double estimate = per_author.Estimate(entry.author);
+    EXPECT_LE(estimate, static_cast<double>(entry.h_index) + 1e-9);
+    EXPECT_GE(estimate,
+              (1.0 - eps) * static_cast<double>(entry.h_index) - 1e-9);
+  }
+
+  // (b) Every exact eps-heavy author is reported by the sketch.
+  std::vector<std::uint64_t> reported;
+  for (const HeavyHitterReport& report : heavy.ReportHeavy()) {
+    reported.push_back(report.author);
+  }
+  for (const AuthorHIndex& entry :
+       ExactHeavyHitters(papers, hh_options.eps)) {
+    EXPECT_TRUE(std::find(reported.begin(), reported.end(), entry.author) !=
+                reported.end())
+        << "missed heavy author " << entry.author;
+  }
+
+  // (c) The star tops the per-author leaderboard.
+  const auto top = per_author.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 777000u);
+}
+
+TEST(IntegrationTest, ShardedFirehoseWithinAdditiveBound) {
+  // Firehose -> 4 shards -> merge -> estimate, against the exact H-index.
+  Rng rng(102);
+  CascadeConfig config;
+  config.num_tweets = 500;
+  config.cascade_alpha = 1.2;
+  config.max_retweets = 2000;
+  config.mean_batch = 4.0;
+  const RetweetFirehose firehose = MakeRetweetFirehose(config, rng);
+
+  const double eps = 0.2;
+  CashRegisterOptions options;
+  options.num_samplers_override = 64;
+  std::vector<CashRegisterEstimator> shards;
+  for (int s = 0; s < 4; ++s) {
+    shards.push_back(
+        CashRegisterEstimator::Create(eps, 0.1, config.num_tweets, 103,
+                                      options)
+            .value());
+  }
+  for (std::size_t i = 0; i < firehose.events.size(); ++i) {
+    shards[i % 4].Update(firehose.events[i].paper, firehose.events[i].delta);
+  }
+  for (int s = 1; s < 4; ++s) shards[0].Merge(shards[s]);
+
+  EXPECT_NEAR(shards[0].Estimate(), static_cast<double>(firehose.exact_h),
+              eps * static_cast<double>(config.num_tweets) + 1.0);
+}
+
+TEST(IntegrationTest, CheckpointMidStreamPreservesGuarantee) {
+  // Stream half, checkpoint, restore in a "new process", finish: the
+  // final estimate must still obey the deterministic guarantee.
+  Rng rng(104);
+  VectorSpec spec;
+  spec.kind = VectorKind::kZipf;
+  spec.n = 8000;
+  spec.max_value = 1u << 16;
+  const AggregateStream values = MakeVector(spec, rng);
+
+  const double eps = 0.1;
+  auto first_half = ShiftingWindowEstimator::Create(eps).value();
+  for (std::size_t i = 0; i < values.size() / 2; ++i) {
+    first_half.Add(values[i]);
+  }
+  ByteWriter writer;
+  first_half.SerializeTo(writer);
+  const std::vector<std::uint8_t> checkpoint = writer.buffer();
+
+  ByteReader reader(checkpoint);
+  auto second_half = ShiftingWindowEstimator::DeserializeFrom(reader).value();
+  for (std::size_t i = values.size() / 2; i < values.size(); ++i) {
+    second_half.Add(values[i]);
+  }
+  const double truth = static_cast<double>(ExactHIndex(values));
+  EXPECT_LE(second_half.Estimate(), truth + 1e-9);
+  EXPECT_GE(second_half.Estimate(), (1.0 - eps) * truth - 1e-9);
+}
+
+TEST(IntegrationTest, RandomOrderPipelineSamplerRegime) {
+  // Smooth-planted vector, randomly permuted by the workload layer, fed
+  // to the random-order estimator in its sampler regime.
+  Rng rng(105);
+  int ok = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    VectorSpec spec;
+    spec.kind = VectorKind::kSmoothPlanted;
+    spec.n = 30000;
+    spec.target_h = 12000;
+    AggregateStream values = MakeVector(spec, rng);
+    values = ToRandomOrder(std::move(values), rng);
+
+    RandomOrderOptions options;
+    options.beta_override = 400.0;
+    auto estimator =
+        RandomOrderEstimator::Create(0.2, values.size(), options).value();
+    for (const std::uint64_t v : values) estimator.Add(v);
+    const double estimate = estimator.Estimate();
+    if (estimate >= 0.8 * 12000.0 && estimate <= 1.2 * 12000.0) ++ok;
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(IntegrationTest, DatasetFileReplayMatchesDirectFeed) {
+  // Generate a citation network, persist its events through the io
+  // layer, replay the file into a fresh estimator: identical estimate.
+  Rng rng(108);
+  PreferentialConfig config;
+  config.num_papers = 400;
+  config.citations_per_paper = 5;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+
+  const std::string path = ::testing::TempDir() + "/network_events.txt";
+  ASSERT_TRUE(WriteCashRegisterFile(path, network.events).ok());
+  const auto replayed = ReadCashRegisterFile(path);
+  ASSERT_TRUE(replayed.ok());
+
+  CashRegisterOptions options;
+  options.num_samplers_override = 16;
+  auto direct =
+      CashRegisterEstimator::Create(0.2, 0.1, config.num_papers, 109,
+                                    options)
+          .value();
+  auto from_file =
+      CashRegisterEstimator::Create(0.2, 0.1, config.num_papers, 109,
+                                    options)
+          .value();
+  for (const CitationEvent& event : network.events) {
+    direct.Update(event.paper, event.delta);
+  }
+  for (const CitationEvent& event : replayed.value()) {
+    from_file.Update(event.paper, event.delta);
+  }
+  EXPECT_DOUBLE_EQ(from_file.Estimate(), direct.Estimate());
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, CountVsImpactLeaderboardsDiverge) {
+  // The full T10 story as an assertion: build both leaderboards from one
+  // stream and check they disagree on the top author.
+  Rng rng(106);
+  PaperStream papers;
+  PaperId next = 0;
+  {
+    PaperTuple viral;
+    viral.paper = next++;
+    viral.authors.PushBack(1);
+    viral.citations = 1000000;
+    papers.push_back(viral);
+  }
+  for (int p = 0; p < 60; ++p) {
+    PaperTuple paper;
+    paper.paper = next++;
+    paper.authors.PushBack(2);
+    paper.citations = 60;
+    papers.push_back(paper);
+  }
+  Shuffle(papers, rng);
+
+  HeavyHitters::Options options;
+  options.eps = 0.3;
+  options.max_papers = 1u << 12;
+  auto impact = HeavyHitters::Create(options, 107).value();
+  CountHeavyHitterBaseline counts(16);
+  for (const PaperTuple& paper : papers) {
+    impact.AddPaper(paper);
+    counts.AddPaper(paper);
+  }
+
+  const auto impact_top = impact.Report();
+  const auto count_top = counts.Top(1);
+  ASSERT_FALSE(impact_top.empty());
+  ASSERT_FALSE(count_top.empty());
+  EXPECT_EQ(impact_top.front().author, 2u);  // sustained impact
+  EXPECT_EQ(count_top.front().key, 1u);      // raw volume
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,149 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/stream_io.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteText(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(AggregateIoTest, RoundTrip) {
+  const std::string path = TempPath("aggregate_roundtrip.txt");
+  Rng rng(1);
+  VectorSpec spec;
+  spec.kind = VectorKind::kZipf;
+  spec.n = 500;
+  const AggregateStream values = MakeVector(spec, rng);
+
+  ASSERT_TRUE(WriteAggregateFile(path, values).ok());
+  const auto read = ReadAggregateFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), values);
+  std::remove(path.c_str());
+}
+
+TEST(AggregateIoTest, SkipsCommentsAndBlanks) {
+  const std::string path = TempPath("aggregate_comments.txt");
+  WriteText(path, "# header\n\n10\n  \n20\n# trailer\n30\n");
+  const auto read = ReadAggregateFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), (AggregateStream{10, 20, 30}));
+  std::remove(path.c_str());
+}
+
+TEST(AggregateIoTest, RejectsMalformedLine) {
+  const std::string path = TempPath("aggregate_bad.txt");
+  WriteText(path, "10\nnot-a-number\n");
+  const auto read = ReadAggregateFile(path);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(AggregateIoTest, RejectsTrailingGarbage) {
+  const std::string path = TempPath("aggregate_trailing.txt");
+  WriteText(path, "10 garbage\n");
+  EXPECT_FALSE(ReadAggregateFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AggregateIoTest, MissingFileIsUnavailable) {
+  const auto read = ReadAggregateFile(TempPath("does_not_exist.txt"));
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(CashRegisterIoTest, RoundTrip) {
+  const std::string path = TempPath("cash_roundtrip.txt");
+  const CashRegisterStream events = {{5, 1}, {2, 10}, {5, 3}, {0, 7}};
+  ASSERT_TRUE(WriteCashRegisterFile(path, events).ok());
+  const auto read = ReadCashRegisterFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(read.value()[i].paper, events[i].paper);
+    EXPECT_EQ(read.value()[i].delta, events[i].delta);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CashRegisterIoTest, RejectsMissingDelta) {
+  const std::string path = TempPath("cash_bad.txt");
+  WriteText(path, "5\n");
+  EXPECT_FALSE(ReadCashRegisterFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PaperIoTest, RoundTrip) {
+  const std::string path = TempPath("papers_roundtrip.txt");
+  Rng rng(2);
+  AcademicConfig config;
+  config.num_authors = 20;
+  config.max_papers = 10;
+  config.coauthor_probability = 0.5;
+  const PaperStream papers = MakeAcademicCorpus(config, {}, rng);
+
+  ASSERT_TRUE(WritePaperFile(path, papers).ok());
+  const auto read = ReadPaperFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), papers.size());
+  for (std::size_t i = 0; i < papers.size(); ++i) {
+    EXPECT_EQ(read.value()[i].paper, papers[i].paper);
+    EXPECT_EQ(read.value()[i].citations, papers[i].citations);
+    ASSERT_EQ(read.value()[i].authors.size(), papers[i].authors.size());
+    for (int a = 0; a < papers[i].authors.size(); ++a) {
+      EXPECT_EQ(read.value()[i].authors[a], papers[i].authors[a]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PaperIoTest, ParsesMultiAuthorLine) {
+  const std::string path = TempPath("papers_multi.txt");
+  WriteText(path, "7 42 1,2,3\n");
+  const auto read = ReadPaperFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 1u);
+  EXPECT_EQ(read.value()[0].paper, 7u);
+  EXPECT_EQ(read.value()[0].citations, 42u);
+  EXPECT_EQ(read.value()[0].authors.size(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(PaperIoTest, RejectsEmptyAuthorToken) {
+  const std::string path = TempPath("papers_empty_author.txt");
+  WriteText(path, "7 42 1,,3\n");
+  EXPECT_FALSE(ReadPaperFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PaperIoTest, RejectsTooManyAuthors) {
+  const std::string path = TempPath("papers_too_many.txt");
+  WriteText(path, "7 42 1,2,3,4,5,6,7,8,9\n");  // kMaxAuthorsPerPaper = 8
+  EXPECT_FALSE(ReadPaperFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PaperIoTest, RejectsNonNumericAuthor) {
+  const std::string path = TempPath("papers_nonnumeric.txt");
+  WriteText(path, "7 42 1,x\n");
+  EXPECT_FALSE(ReadPaperFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace himpact

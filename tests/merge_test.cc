@@ -1,0 +1,220 @@
+// Merge (sharded-stream) semantics: every linear sketch must produce the
+// same answer whether a stream is processed whole or split across shards
+// that are merged afterwards.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cash_register.h"
+#include "core/exponential_histogram.h"
+#include "random/rng.h"
+#include "random/zipf.h"
+#include "sketch/count_min.h"
+#include "sketch/distinct.h"
+#include "sketch/l0_sampler.h"
+#include "sketch/s_sparse.h"
+#include "sketch/space_saving.h"
+#include "stream/expand.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+TEST(MergeTest, ExponentialHistogramShards) {
+  Rng rng(1);
+  VectorSpec spec;
+  spec.kind = VectorKind::kZipf;
+  spec.n = 5000;
+  spec.max_value = 10000;
+  const AggregateStream values = MakeVector(spec, rng);
+
+  auto whole = ExponentialHistogramEstimator::Create(0.1, spec.n).value();
+  auto shard_a = ExponentialHistogramEstimator::Create(0.1, spec.n).value();
+  auto shard_b = ExponentialHistogramEstimator::Create(0.1, spec.n).value();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.Add(values[i]);
+    (i % 2 == 0 ? shard_a : shard_b).Add(values[i]);
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_DOUBLE_EQ(shard_a.Estimate(), whole.Estimate());
+  for (int level = 0; level < whole.grid().num_levels(); ++level) {
+    EXPECT_EQ(shard_a.Counter(level), whole.Counter(level));
+  }
+}
+
+TEST(MergeTest, SSparseRecoveryShards) {
+  SSparseRecovery whole(8, 0.01, 42);
+  SSparseRecovery shard_a(8, 0.01, 42);
+  SSparseRecovery shard_b(8, 0.01, 42);
+  const std::vector<std::pair<std::uint64_t, std::int64_t>> updates = {
+      {5, 3}, {100, 1}, {5, 2}, {7777, -2}, {100, -1}, {12, 9}};
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    whole.Update(updates[i].first, updates[i].second);
+    (i % 2 == 0 ? shard_a : shard_b)
+        .Update(updates[i].first, updates[i].second);
+  }
+  shard_a.Merge(shard_b);
+  const SSparseResult merged = shard_a.Recover();
+  const SSparseResult reference = whole.Recover();
+  ASSERT_TRUE(merged.exact);
+  ASSERT_TRUE(reference.exact);
+  EXPECT_EQ(merged.entries, reference.entries);
+}
+
+TEST(MergeTest, L0SamplerShards) {
+  L0Sampler whole(1000, 0.05, 7);
+  L0Sampler shard_a(1000, 0.05, 7);
+  L0Sampler shard_b(1000, 0.05, 7);
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t index = rng.UniformU64(1000);
+    const std::int64_t weight = rng.UniformInt(1, 10);
+    whole.Update(index, weight);
+    (i % 2 == 0 ? shard_a : shard_b).Update(index, weight);
+  }
+  shard_a.Merge(shard_b);
+  const auto merged = shard_a.Sample();
+  const auto reference = whole.Sample();
+  ASSERT_EQ(merged.ok(), reference.ok());
+  if (merged.ok()) {
+    EXPECT_EQ(merged.value().index, reference.value().index);
+    EXPECT_EQ(merged.value().value, reference.value().value);
+  }
+}
+
+TEST(MergeTest, L0SamplerCancellationAcrossShards) {
+  // A coordinate inserted on one shard and deleted on the other must
+  // vanish from the merged sketch.
+  L0Sampler shard_a(100, 0.05, 9);
+  L0Sampler shard_b(100, 0.05, 9);
+  shard_a.Update(4, 6);
+  shard_a.Update(9, 2);
+  shard_b.Update(4, -6);
+  shard_a.Merge(shard_b);
+  const auto sample = shard_a.Sample();
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().index, 9u);
+}
+
+TEST(MergeTest, DistinctCounterShards) {
+  DistinctCounter whole(0.1, 0.05, 11);
+  DistinctCounter shard_a(0.1, 0.05, 11);
+  DistinctCounter shard_b(0.1, 0.05, 11);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    whole.Add(i);
+    (i % 2 == 0 ? shard_a : shard_b).Add(i);
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_DOUBLE_EQ(shard_a.Estimate(), whole.Estimate());
+}
+
+TEST(MergeTest, DistinctCounterOverlappingShards) {
+  // Overlapping elements must not double count.
+  DistinctCounter shard_a(0.1, 0.05, 13);
+  DistinctCounter shard_b(0.1, 0.05, 13);
+  for (std::uint64_t i = 0; i < 100; ++i) shard_a.Add(i);
+  for (std::uint64_t i = 50; i < 150; ++i) shard_b.Add(i);
+  shard_a.Merge(shard_b);
+  EXPECT_DOUBLE_EQ(shard_a.Estimate(), 150.0);
+}
+
+TEST(MergeTest, CountMinShards) {
+  CountMinSketch whole(0.01, 0.01, 17);
+  CountMinSketch shard_a(0.01, 0.01, 17);
+  CountMinSketch shard_b(0.01, 0.01, 17);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t key = rng.UniformU64(500);
+    whole.Update(key);
+    (i % 2 == 0 ? shard_a : shard_b).Update(key);
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_EQ(shard_a.total(), whole.total());
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(shard_a.Query(key), whole.Query(key));
+  }
+}
+
+TEST(MergeTest, SpaceSavingShardsKeepGuarantees) {
+  // After merging two sharded summaries, every entry must still satisfy
+  // count - error <= true <= count, and heavy keys must be monitored.
+  const std::size_t capacity = 40;
+  SpaceSaving shard_a(capacity);
+  SpaceSaving shard_b(capacity);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(31);
+  const ZipfSampler zipf(1000, 1.3);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    (i % 2 == 0 ? shard_a : shard_b).Update(key);
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_EQ(shard_a.total(), 20000u);
+  std::unordered_map<std::uint64_t, HeavyEntry> monitored;
+  for (const HeavyEntry& entry : shard_a.Entries()) {
+    monitored[entry.key] = entry;
+    const std::uint64_t true_count =
+        truth.contains(entry.key) ? truth.at(entry.key) : 0;
+    EXPECT_GE(entry.count, true_count) << "key " << entry.key;
+    EXPECT_LE(entry.count - entry.error, true_count) << "key " << entry.key;
+  }
+  // Mergeable-summaries guarantee: error <= 2 * total / capacity, so any
+  // key above that is still monitored after the merge.
+  const std::uint64_t threshold = 2 * shard_a.total() / capacity;
+  for (const auto& [key, count] : truth) {
+    if (count > threshold) {
+      EXPECT_TRUE(monitored.contains(key)) << "heavy key " << key;
+    }
+  }
+}
+
+TEST(MergeTest, MisraGriesShardsKeepLowerBounds) {
+  const std::size_t k = 30;
+  MisraGries shard_a(k);
+  MisraGries shard_b(k);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(32);
+  const ZipfSampler zipf(500, 1.4);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    (i % 2 == 0 ? shard_a : shard_b).Update(key);
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_LE(shard_a.Entries().size(), k);
+  // Counts stay lower bounds, within 2 * total/(k+1) of the truth
+  // (one total/(k+1) slack per side).
+  const double slack = 2.0 * 20000.0 / static_cast<double>(k + 1);
+  for (const HeavyEntry& entry : shard_a.Entries()) {
+    const std::uint64_t true_count =
+        truth.contains(entry.key) ? truth.at(entry.key) : 0;
+    EXPECT_LE(entry.count, true_count);
+    EXPECT_GE(static_cast<double>(entry.count),
+              static_cast<double>(true_count) - slack);
+  }
+}
+
+TEST(MergeTest, CashRegisterEstimatorShards) {
+  CashRegisterOptions options;
+  options.num_samplers_override = 16;
+  auto whole =
+      CashRegisterEstimator::Create(0.2, 0.1, 200, 23, options).value();
+  auto shard_a =
+      CashRegisterEstimator::Create(0.2, 0.1, 200, 23, options).value();
+  auto shard_b =
+      CashRegisterEstimator::Create(0.2, 0.1, 200, 23, options).value();
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t paper = rng.UniformU64(200);
+    whole.Update(paper, 1);
+    (i % 2 == 0 ? shard_a : shard_b).Update(paper, 1);
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_DOUBLE_EQ(shard_a.Estimate(), whole.Estimate());
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,95 @@
+// Executable documentation: the paper's definitions and examples, plus
+// the model equivalences of Section 2.3, encoded as assertions.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "random/rng.h"
+#include "stream/expand.h"
+
+namespace himpact {
+namespace {
+
+// Definition 1: h*(V) is the largest i such that at least i entries of V
+// are >= i; equivalently max_i min(V'[i], i) over the descending sort V'.
+TEST(PaperDefinitions, HIndexEqualsSortedFixedPoint) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> values;
+    const int n = 1 + static_cast<int>(rng.UniformU64(100));
+    for (int i = 0; i < n; ++i) values.push_back(rng.UniformU64(200));
+
+    std::vector<std::uint64_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    std::uint64_t fixed_point = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      fixed_point = std::max(
+          fixed_point, std::min<std::uint64_t>(sorted[i], i + 1));
+    }
+    EXPECT_EQ(ExactHIndex(values), fixed_point);
+  }
+}
+
+// Example 2: ten values (eight 5s, two 6s) have h* = 5, and the support
+// H(V) = {V[i] : V[i] >= h*} covers all ten entries.
+TEST(PaperDefinitions, ExampleTwo) {
+  const std::vector<std::uint64_t> v = {5, 5, 6, 5, 5, 6, 5, 5, 5, 5};
+  EXPECT_EQ(ExactHIndex(v), 5u);
+  EXPECT_EQ(HIndexSupportSize(v), 10u);
+}
+
+// Section 2.3: a cash-register stream is a sequence of updates to the
+// underlying vector; aggregating it recovers the aggregate model, and
+// the H-index only depends on the final vector (not on update order or
+// batching).
+TEST(PaperModels, CashRegisterAggregatesToSameHIndex) {
+  Rng rng(2);
+  AggregateStream totals = {7, 0, 3, 12, 1, 5, 5};
+  const std::uint64_t h = ExactHIndex(totals);
+
+  for (const InterleavePolicy policy :
+       {InterleavePolicy::kContiguous, InterleavePolicy::kShuffled,
+        InterleavePolicy::kRoundRobin}) {
+    const CashRegisterStream events =
+        ExpandToCashRegister(totals, policy, rng);
+    EXPECT_EQ(ExactHIndex(AggregateCitations(events, totals.size())), h);
+  }
+  const CashRegisterStream batched =
+      ExpandToBatchedCashRegister(totals, 3.0, rng);
+  EXPECT_EQ(ExactHIndex(AggregateCitations(batched, totals.size())), h);
+}
+
+// The random-order model is the aggregate model under a uniform
+// permutation: permuting never changes the H-index.
+TEST(PaperModels, RandomOrderPreservesHIndex) {
+  Rng rng(3);
+  AggregateStream values = {9, 2, 4, 4, 0, 8, 1, 7};
+  const std::uint64_t h = ExactHIndex(values);
+  for (int trial = 0; trial < 10; ++trial) {
+    values = ToRandomOrder(std::move(values), rng);
+    EXPECT_EQ(ExactHIndex(values), h);
+  }
+}
+
+// Trivial bounds the paper uses throughout: h* <= n and h* <= max(V).
+TEST(PaperDefinitions, TrivialUpperBounds) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> values;
+    const int n = 1 + static_cast<int>(rng.UniformU64(60));
+    std::uint64_t max_value = 0;
+    for (int i = 0; i < n; ++i) {
+      values.push_back(rng.UniformU64(1000));
+      max_value = std::max(max_value, values.back());
+    }
+    const std::uint64_t h = ExactHIndex(values);
+    EXPECT_LE(h, static_cast<std::uint64_t>(n));
+    EXPECT_LE(h, max_value);
+  }
+}
+
+}  // namespace
+}  // namespace himpact

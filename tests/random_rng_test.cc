@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace himpact {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(1), b(1), c(2);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformU64Bounds) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64BoundOneIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.UniformU64(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremesAndMean) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng rng(23);
+  Rng fork = rng.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.NextU64() == fork.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ShuffleTest, ProducesPermutation) {
+  Rng rng(29);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  Shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(ShuffleTest, UniformFirstPosition) {
+  // Each of 5 elements should land in position 0 about 1/5 of the time.
+  std::vector<int> counts(5, 0);
+  Rng rng(31);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> values = {0, 1, 2, 3, 4};
+    Shuffle(values, rng);
+    ++counts[static_cast<std::size_t>(values[0])];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.2, 0.02);
+  }
+}
+
+TEST(ShuffleTest, HandlesDegenerateSizes) {
+  Rng rng(37);
+  std::vector<int> empty;
+  Shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  Shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace himpact

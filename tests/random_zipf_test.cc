@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "random/zipf.h"
+
+namespace himpact {
+namespace {
+
+TEST(ZipfSamplerTest, StaysInSupport) {
+  Rng rng(1);
+  const ZipfSampler zipf(1000, 1.1);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+  }
+}
+
+TEST(ZipfSamplerTest, SingletonSupport) {
+  Rng rng(2);
+  const ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1u);
+  }
+}
+
+TEST(ZipfSamplerTest, FrequenciesDecreaseInRank) {
+  Rng rng(3);
+  const ZipfSampler zipf(100, 1.2);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  // P[1] must dominate P[10] which must dominate P[100].
+  EXPECT_GT(counts[1], counts[10] * 3);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfSamplerTest, MatchesTheoreticalHeadProbability) {
+  // For s = 2, P[X = 1] = 1 / sum_{k<=n} k^-2 ~ 1 / 1.635 ~ 0.61 (n=100).
+  Rng rng(4);
+  const ZipfSampler zipf(100, 2.0);
+  int ones = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ones += (zipf.Sample(rng) == 1);
+  double norm = 0.0;
+  for (int k = 1; k <= 100; ++k) norm += 1.0 / (k * k);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 1.0 / norm, 0.02);
+}
+
+TEST(ZipfSamplerTest, ExponentOneLimitWorks) {
+  Rng rng(5);
+  const ZipfSampler zipf(1000, 1.0);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = zipf.Sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    max_seen = std::max(max_seen, v);
+  }
+  // s = 1 has a fat tail: large values must actually occur.
+  EXPECT_GT(max_seen, 100u);
+}
+
+TEST(DiscreteParetoTest, RespectsBounds) {
+  Rng rng(6);
+  const DiscreteParetoSampler pareto(5, 1.5, 500);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = pareto.Sample(rng);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 500u);
+  }
+}
+
+TEST(DiscreteParetoTest, TailHeavinessOrdering) {
+  // Smaller alpha -> heavier tail -> more samples above a high threshold.
+  Rng rng(7);
+  const DiscreteParetoSampler heavy(1, 0.8, 1u << 20);
+  const DiscreteParetoSampler light(1, 3.0, 1u << 20);
+  int heavy_big = 0, light_big = 0;
+  for (int i = 0; i < 20000; ++i) {
+    heavy_big += (heavy.Sample(rng) > 100);
+    light_big += (light.Sample(rng) > 100);
+  }
+  EXPECT_GT(heavy_big, light_big * 5);
+}
+
+TEST(DiscreteLogNormalTest, RespectsBounds) {
+  Rng rng(8);
+  const DiscreteLogNormalSampler lognormal(2.0, 1.0, 10000);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = lognormal.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10000u);
+  }
+}
+
+TEST(DiscreteLogNormalTest, MedianNearExpMu) {
+  Rng rng(9);
+  const DiscreteLogNormalSampler lognormal(3.0, 0.5, 1u << 20);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(lognormal.Sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  const double median =
+      static_cast<double>(samples[samples.size() / 2]);
+  EXPECT_NEAR(median, std::exp(3.0), std::exp(3.0) * 0.1);
+}
+
+TEST(StandardNormalTest, MeanAndVariance) {
+  Rng rng(10);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double z = SampleStandardNormal(rng);
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,213 @@
+// Checkpoint/restore round-trips: a restored estimator must agree with
+// the live one exactly — same estimates after the same remaining stream.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "core/exponential_histogram.h"
+#include "core/generalized.h"
+#include "core/shifting_window.h"
+#include "core/sliding_window_hindex.h"
+#include "random/rng.h"
+#include "sketch/dgim.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+TEST(BytesTest, RoundTripPrimitives) {
+  ByteWriter writer;
+  writer.U64(0xdeadbeefcafebabeULL);
+  writer.I64(-42);
+  writer.F64(3.14159);
+  const std::vector<std::uint8_t> buffer = writer.Take();
+  ByteReader reader(buffer);
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  ASSERT_TRUE(reader.U64(&u));
+  ASSERT_TRUE(reader.I64(&i));
+  ASSERT_TRUE(reader.F64(&d));
+  EXPECT_EQ(u, 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(i, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadFails) {
+  ByteWriter writer;
+  writer.U64(1);
+  std::vector<std::uint8_t> buffer = writer.Take();
+  buffer.pop_back();
+  ByteReader reader(buffer);
+  std::uint64_t value = 0;
+  EXPECT_FALSE(reader.U64(&value));
+}
+
+TEST(SerializeTest, ExponentialHistogramRoundTrip) {
+  Rng rng(1);
+  VectorSpec spec;
+  spec.kind = VectorKind::kZipf;
+  spec.n = 2000;
+  spec.max_value = 5000;
+  const AggregateStream values = MakeVector(spec, rng);
+
+  auto live = ExponentialHistogramEstimator::Create(0.1, spec.n).value();
+  for (std::size_t i = 0; i < values.size() / 2; ++i) live.Add(values[i]);
+
+  ByteWriter writer;
+  live.SerializeTo(writer);
+  const std::vector<std::uint8_t> buffer = writer.buffer();
+  ByteReader reader(buffer);
+  auto restored_or = ExponentialHistogramEstimator::DeserializeFrom(reader);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  auto restored = std::move(restored_or).value();
+  EXPECT_TRUE(reader.AtEnd());
+
+  // Finish the stream on both; they must agree exactly.
+  for (std::size_t i = values.size() / 2; i < values.size(); ++i) {
+    live.Add(values[i]);
+    restored.Add(values[i]);
+  }
+  EXPECT_DOUBLE_EQ(live.Estimate(), restored.Estimate());
+}
+
+TEST(SerializeTest, ExponentialHistogramRejectsForeignBuffer) {
+  ByteWriter writer;
+  writer.U64(0x1234);
+  const std::vector<std::uint8_t> buffer = writer.buffer();
+  ByteReader reader(buffer);
+  EXPECT_FALSE(ExponentialHistogramEstimator::DeserializeFrom(reader).ok());
+}
+
+TEST(SerializeTest, ShiftingWindowRoundTrip) {
+  Rng rng(2);
+  VectorSpec spec;
+  spec.kind = VectorKind::kUniform;
+  spec.n = 4000;
+  spec.max_value = 100000;
+  const AggregateStream values = MakeVector(spec, rng);
+
+  auto live = ShiftingWindowEstimator::Create(0.15).value();
+  for (std::size_t i = 0; i < values.size() / 3; ++i) live.Add(values[i]);
+
+  ByteWriter writer;
+  live.SerializeTo(writer);
+  const std::vector<std::uint8_t> buffer = writer.buffer();
+  ByteReader reader(buffer);
+  auto restored_or = ShiftingWindowEstimator::DeserializeFrom(reader);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  auto restored = std::move(restored_or).value();
+
+  EXPECT_EQ(restored.window_base(), live.window_base());
+  EXPECT_EQ(restored.num_shifts(), live.num_shifts());
+  for (std::size_t i = values.size() / 3; i < values.size(); ++i) {
+    live.Add(values[i]);
+    restored.Add(values[i]);
+  }
+  EXPECT_DOUBLE_EQ(live.Estimate(), restored.Estimate());
+  EXPECT_EQ(restored.num_shifts(), live.num_shifts());
+}
+
+TEST(SerializeTest, ShiftingWindowRejectsTruncated) {
+  auto live = ShiftingWindowEstimator::Create(0.2).value();
+  live.Add(5);
+  ByteWriter writer;
+  live.SerializeTo(writer);
+  std::vector<std::uint8_t> buffer = writer.Take();
+  buffer.resize(buffer.size() / 2);
+  ByteReader reader(buffer);
+  EXPECT_FALSE(ShiftingWindowEstimator::DeserializeFrom(reader).ok());
+}
+
+TEST(SerializeTest, DgimRoundTrip) {
+  DgimCounter live(500, 0.1);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) live.Add(rng.Bernoulli(0.4));
+
+  ByteWriter writer;
+  live.SerializeTo(writer);
+  const std::vector<std::uint8_t> buffer = writer.buffer();
+  ByteReader reader(buffer);
+  auto restored_or = DgimCounter::DeserializeFrom(reader);
+  ASSERT_TRUE(restored_or.ok());
+  auto restored = std::move(restored_or).value();
+
+  EXPECT_DOUBLE_EQ(restored.Estimate(), live.Estimate());
+  EXPECT_EQ(restored.position(), live.position());
+  for (int i = 0; i < 1000; ++i) {
+    const bool one = rng.Bernoulli(0.7);
+    live.Add(one);
+    restored.Add(one);
+  }
+  EXPECT_DOUBLE_EQ(restored.Estimate(), live.Estimate());
+}
+
+TEST(SerializeTest, SlidingWindowRoundTrip) {
+  auto live = SlidingWindowHIndex::Create(0.2, 300).value();
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) live.Add(rng.UniformU64(500));
+
+  ByteWriter writer;
+  live.SerializeTo(writer);
+  const std::vector<std::uint8_t> buffer = writer.buffer();
+  ByteReader reader(buffer);
+  auto restored_or = SlidingWindowHIndex::DeserializeFrom(reader);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  auto restored = std::move(restored_or).value();
+
+  EXPECT_DOUBLE_EQ(restored.Estimate(), live.Estimate());
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.UniformU64(500);
+    live.Add(v);
+    restored.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(restored.Estimate(), live.Estimate());
+}
+
+TEST(SerializeTest, PhiIndexRoundTrip) {
+  Rng rng(5);
+  auto live =
+      PhiIndexEstimator::Create(0.1, 5000, PhiSpec::Squared()).value();
+  for (int i = 0; i < 3000; ++i) live.Add(rng.UniformU64(10000));
+
+  ByteWriter writer;
+  live.SerializeTo(writer);
+  const std::vector<std::uint8_t> buffer = writer.buffer();
+  ByteReader reader(buffer);
+  auto restored_or = PhiIndexEstimator::DeserializeFrom(reader);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  auto restored = std::move(restored_or).value();
+
+  EXPECT_DOUBLE_EQ(restored.Estimate(), live.Estimate());
+  EXPECT_DOUBLE_EQ(restored.phi().power, 2.0);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.UniformU64(10000);
+    live.Add(v);
+    restored.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(restored.Estimate(), live.Estimate());
+}
+
+TEST(SerializeTest, ChainedCheckpointsInOneBuffer) {
+  // Multiple sketches can share a buffer back to back.
+  auto histogram = ExponentialHistogramEstimator::Create(0.2, 100).value();
+  histogram.Add(7);
+  DgimCounter dgim(100, 0.2);
+  dgim.Add(true);
+
+  ByteWriter writer;
+  histogram.SerializeTo(writer);
+  dgim.SerializeTo(writer);
+  const std::vector<std::uint8_t> buffer = writer.buffer();
+  ByteReader reader(buffer);
+  ASSERT_TRUE(ExponentialHistogramEstimator::DeserializeFrom(reader).ok());
+  ASSERT_TRUE(DgimCounter::DeserializeFrom(reader).ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,116 @@
+#include <cstdint>
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "sketch/dgim.h"
+
+namespace himpact {
+namespace {
+
+// Exact reference: a buffer of the last `window` bits.
+class ExactWindowCounter {
+ public:
+  explicit ExactWindowCounter(std::uint64_t window) : window_(window) {}
+  void Add(bool one) {
+    bits_.push_front(one);
+    if (bits_.size() > window_) bits_.pop_back();
+  }
+  std::uint64_t Count() const {
+    std::uint64_t count = 0;
+    for (const bool b : bits_) count += b;
+    return count;
+  }
+
+ private:
+  std::uint64_t window_;
+  std::deque<bool> bits_;
+};
+
+TEST(DgimTest, EmptyIsZero) {
+  const DgimCounter counter(100, 0.1);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+}
+
+TEST(DgimTest, ExactWhileFewOnes) {
+  DgimCounter counter(1000, 0.5);
+  for (int i = 0; i < 3; ++i) counter.Add(true);
+  for (int i = 0; i < 10; ++i) counter.Add(false);
+  // With at most max_per_size buckets, no merges happen for 3 ones; the
+  // estimate is exact (oldest bucket size 1: total - 0).
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 3.0);
+}
+
+TEST(DgimTest, OnesExpire) {
+  DgimCounter counter(10, 0.2);
+  for (int i = 0; i < 5; ++i) counter.Add(true);
+  for (int i = 0; i < 10; ++i) counter.Add(false);
+  // All ones fell out of the window.
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+}
+
+TEST(DgimTest, AllOnesWindowApproximation) {
+  const std::uint64_t window = 1 << 12;
+  const double eps = 0.1;
+  DgimCounter counter(window, eps);
+  for (std::uint64_t i = 0; i < 3 * window; ++i) counter.Add(true);
+  EXPECT_NEAR(counter.Estimate(), static_cast<double>(window),
+              eps * static_cast<double>(window));
+}
+
+TEST(DgimTest, BucketCountLogarithmic) {
+  const std::uint64_t window = 1 << 14;
+  DgimCounter counter(window, 0.1);
+  for (std::uint64_t i = 0; i < 2 * window; ++i) counter.Add(true);
+  // (1/eps + 1) buckets per size, log2(window) sizes.
+  EXPECT_LT(counter.num_buckets(), (1.0 / 0.1 + 2) * 15);
+}
+
+// Property sweep: the (1 +/- eps) guarantee against the exact windowed
+// count, over random bit streams with varying densities and eps.
+class DgimProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DgimProperty, TracksExactCount) {
+  const auto [eps, density] = GetParam();
+  const std::uint64_t window = 2000;
+  DgimCounter counter(window, eps);
+  ExactWindowCounter exact(window);
+  Rng rng(static_cast<std::uint64_t>(eps * 1000 + density * 17));
+  for (int i = 0; i < 10000; ++i) {
+    const bool one = rng.Bernoulli(density);
+    counter.Add(one);
+    exact.Add(one);
+    if (i % 100 == 99) {
+      const double truth = static_cast<double>(exact.Count());
+      EXPECT_NEAR(counter.Estimate(), truth, eps * truth + 1.0)
+          << "position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsByDensity, DgimProperty,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25),
+                       ::testing::Values(0.05, 0.3, 0.9)));
+
+TEST(DgimTest, BurstyPattern) {
+  // Alternating bursts of ones and zeros stress expiry and merging.
+  const std::uint64_t window = 500;
+  const double eps = 0.1;
+  DgimCounter counter(window, eps);
+  ExactWindowCounter exact(window);
+  for (int burst = 0; burst < 40; ++burst) {
+    const bool value = burst % 2 == 0;
+    for (int i = 0; i < 130; ++i) {
+      counter.Add(value);
+      exact.Add(value);
+    }
+    const double truth = static_cast<double>(exact.Count());
+    EXPECT_NEAR(counter.Estimate(), truth, eps * truth + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,116 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "sketch/distinct.h"
+#include "sketch/hyperloglog.h"
+
+namespace himpact {
+namespace {
+
+TEST(KmvCoreTest, ExactBelowK) {
+  KmvCore core(64, 1);
+  for (std::uint64_t i = 0; i < 40; ++i) core.Add(i);
+  EXPECT_DOUBLE_EQ(core.Estimate(), 40.0);
+}
+
+TEST(KmvCoreTest, DuplicatesIgnored) {
+  KmvCore core(64, 2);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t i = 0; i < 30; ++i) core.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(core.Estimate(), 30.0);
+}
+
+TEST(KmvCoreTest, EmptyIsZero) {
+  const KmvCore core(16, 3);
+  EXPECT_DOUBLE_EQ(core.Estimate(), 0.0);
+}
+
+TEST(KmvCoreTest, LargeCardinalityWithinTolerance) {
+  KmvCore core(1024, 4);
+  const std::uint64_t truth = 200000;
+  for (std::uint64_t i = 0; i < truth; ++i) core.Add(i * 2654435761u);
+  const double estimate = core.Estimate();
+  EXPECT_NEAR(estimate, static_cast<double>(truth),
+              static_cast<double>(truth) * 0.15);
+}
+
+TEST(DistinctCounterTest, ExactSmall) {
+  DistinctCounter counter(0.1, 0.05, 5);
+  for (std::uint64_t i = 0; i < 100; ++i) counter.Add(i);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 100.0);
+}
+
+TEST(DistinctCounterTest, OddNumberOfCores) {
+  const DistinctCounter counter(0.2, 0.1, 6);
+  EXPECT_EQ(counter.num_cores() % 2, 1u);
+}
+
+// Property sweep: the (1 +/- eps) guarantee across eps values and
+// cardinalities (each configuration is one trial; with delta = 0.05 a
+// failure of any single one is unlikely, and we add slack to eps).
+class DistinctProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DistinctProperty, WithinRelativeError) {
+  const auto [eps, truth] = GetParam();
+  DistinctCounter counter(eps, 0.05,
+                          static_cast<std::uint64_t>(truth) * 31 + 7);
+  for (std::uint64_t i = 0; i < truth; ++i) {
+    counter.Add(i * 0x9e3779b97f4a7c15ULL + 12345);
+  }
+  const double estimate = counter.Estimate();
+  EXPECT_NEAR(estimate, static_cast<double>(truth),
+              static_cast<double>(truth) * (eps * 1.5) + 1.0)
+      << "eps=" << eps << " truth=" << truth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsByCardinality, DistinctProperty,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25),
+                       ::testing::Values(1000ull, 10000ull, 100000ull)));
+
+TEST(DistinctCounterTest, SpaceGrowsAsInverseEpsSquared) {
+  const DistinctCounter coarse(0.5, 0.1, 8);
+  const DistinctCounter fine(0.05, 0.1, 9);
+  EXPECT_GT(fine.k(), coarse.k() * 50);
+}
+
+TEST(HyperLogLogTest, EmptyIsNearZero) {
+  const HyperLogLog hll(10, 1);
+  EXPECT_LT(hll.Estimate(), 1.0);
+}
+
+TEST(HyperLogLogTest, SmallRangeLinearCounting) {
+  HyperLogLog hll(12, 2);
+  for (std::uint64_t i = 0; i < 100; ++i) hll.Add(i);
+  EXPECT_NEAR(hll.Estimate(), 100.0, 10.0);
+}
+
+TEST(HyperLogLogTest, LargeRangeAccuracy) {
+  HyperLogLog hll(12, 3);
+  const std::uint64_t truth = 500000;
+  for (std::uint64_t i = 0; i < truth; ++i) hll.Add(i);
+  // Standard error ~ 1.04/sqrt(4096) ~ 1.6%; allow 6%.
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(truth),
+              static_cast<double>(truth) * 0.06);
+}
+
+TEST(HyperLogLogTest, DuplicateInsensitive) {
+  HyperLogLog a(10, 4);
+  HyperLogLog b(10, 4);
+  for (std::uint64_t i = 0; i < 1000; ++i) a.Add(i);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::uint64_t i = 0; i < 1000; ++i) b.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(HyperLogLogTest, RegisterCount) {
+  const HyperLogLog hll(8, 5);
+  EXPECT_EQ(hll.num_registers(), 256u);
+}
+
+}  // namespace
+}  // namespace himpact

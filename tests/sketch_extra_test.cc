@@ -1,0 +1,132 @@
+// Tests for the CountSketch and BJKST substrates.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "random/zipf.h"
+#include "sketch/bjkst.h"
+#include "sketch/count_sketch.h"
+
+namespace himpact {
+namespace {
+
+// --- CountSketch -------------------------------------------------------------
+
+TEST(CountSketchTest, ExactForIsolatedKey) {
+  CountSketch sketch(128, 5, 1);
+  sketch.Update(42, 100);
+  EXPECT_EQ(sketch.Query(42), 100);
+}
+
+TEST(CountSketchTest, SupportsDeletions) {
+  CountSketch sketch(128, 5, 2);
+  sketch.Update(7, 50);
+  sketch.Update(7, -20);
+  EXPECT_EQ(sketch.Query(7), 30);
+  sketch.Update(7, -30);
+  EXPECT_EQ(sketch.Query(7), 0);
+}
+
+TEST(CountSketchTest, HeavyKeysAccurateUnderZipf) {
+  CountSketch sketch(2048, 5, 3);
+  std::unordered_map<std::uint64_t, std::int64_t> truth;
+  Rng rng(3);
+  const ZipfSampler zipf(5000, 1.2);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    sketch.Update(key);
+  }
+  // The heaviest keys (top of the Zipf) must be estimated within a few
+  // percent: their counts dominate the per-bucket L2 noise.
+  for (std::uint64_t key = 1; key <= 5; ++key) {
+    const double t = static_cast<double>(truth[key]);
+    EXPECT_NEAR(static_cast<double>(sketch.Query(key)), t, 0.1 * t + 50.0)
+        << "key " << key;
+  }
+}
+
+TEST(CountSketchTest, UnbiasedOverSeeds) {
+  // Average the estimate of a mid-weight key over many independent
+  // sketches: the mean must approach the true count (CountSketch is
+  // unbiased; CountMin is not).
+  const std::int64_t true_count = 100;
+  double sum = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    CountSketch sketch(64, 1, static_cast<std::uint64_t>(t) + 500);
+    sketch.Update(1, true_count);
+    // Background noise.
+    for (std::uint64_t k = 2; k < 300; ++k) sketch.Update(k, 10);
+    sum += static_cast<double>(sketch.Query(1));
+  }
+  EXPECT_NEAR(sum / trials, static_cast<double>(true_count), 25.0);
+}
+
+TEST(CountSketchTest, MergeEqualsWhole) {
+  CountSketch whole(256, 5, 7);
+  CountSketch a(256, 5, 7);
+  CountSketch b(256, 5, 7);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.UniformU64(100);
+    whole.Update(key);
+    (i % 2 == 0 ? a : b).Update(key);
+  }
+  a.Merge(b);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(a.Query(key), whole.Query(key));
+  }
+}
+
+// --- BJKST -------------------------------------------------------------------
+
+TEST(BjkstTest, ExactWhileSmall) {
+  BjkstDistinct sketch(0.1, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) sketch.Add(i);
+  EXPECT_EQ(sketch.z(), 0);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 100.0);
+}
+
+TEST(BjkstTest, DuplicatesIgnored) {
+  BjkstDistinct sketch(0.1, 2);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::uint64_t i = 0; i < 50; ++i) sketch.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 50.0);
+}
+
+TEST(BjkstTest, SubsamplesAtScale) {
+  BjkstDistinct sketch(0.2, 3);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    sketch.Add(i * 0x9e3779b97f4a7c15ULL);
+  }
+  EXPECT_GT(sketch.z(), 0);
+  EXPECT_LE(sketch.buffer_size(), 24.0 / (0.2 * 0.2) + 1);
+  EXPECT_NEAR(sketch.Estimate(), 100000.0, 100000.0 * 0.25);
+}
+
+// Property sweep: single-instance accuracy across cardinalities (a lone
+// instance is only constant-probability accurate, so the tolerance is
+// generous; the median-boost wrapper is DistinctCounter's job).
+class BjkstProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BjkstProperty, RoughlyAccurate) {
+  const std::uint64_t truth = GetParam();
+  BjkstDistinct sketch(0.1, truth * 17 + 5);
+  for (std::uint64_t i = 0; i < truth; ++i) {
+    sketch.Add(i * 0xff51afd7ed558ccdULL + 3);
+  }
+  EXPECT_NEAR(sketch.Estimate(), static_cast<double>(truth),
+              static_cast<double>(truth) * 0.3 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, BjkstProperty,
+                         ::testing::Values(10ull, 1000ull, 20000ull,
+                                           500000ull));
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,208 @@
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "random/zipf.h"
+#include "sketch/count_min.h"
+#include "sketch/reservoir.h"
+#include "sketch/space_saving.h"
+
+namespace himpact {
+namespace {
+
+// --- CountMinSketch ---------------------------------------------------------
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketch sketch(0.01, 0.01, 1);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(1);
+  const ZipfSampler zipf(1000, 1.2);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    sketch.Update(key);
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Query(key), count);
+  }
+}
+
+TEST(CountMinTest, OverestimateBounded) {
+  const double eps = 0.005;
+  CountMinSketch sketch(eps, 0.01, 2);
+  Rng rng(2);
+  const ZipfSampler zipf(10000, 1.1);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    sketch.Update(key);
+  }
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (sketch.Query(key) > count + static_cast<std::uint64_t>(
+                                        eps * sketch.total()) ) {
+      ++violations;
+    }
+  }
+  // Guarantee holds per-key w.p. 1-delta; allow a small number of misses.
+  EXPECT_LE(violations, static_cast<int>(truth.size() / 20));
+}
+
+TEST(CountMinTest, UnseenKeySmall) {
+  CountMinSketch sketch(0.001, 0.01, 3);
+  for (std::uint64_t i = 0; i < 1000; ++i) sketch.Update(i);
+  EXPECT_LE(sketch.Query(999999), 1000 * 0.001 * 3);
+}
+
+TEST(CountMinTest, WeightedUpdates) {
+  CountMinSketch sketch(0.01, 0.01, 4);
+  sketch.Update(5, 100);
+  sketch.Update(5, 23);
+  EXPECT_GE(sketch.Query(5), 123u);
+  EXPECT_EQ(sketch.total(), 123u);
+}
+
+TEST(CountMinTest, DimensionsMatchFormula) {
+  const CountMinSketch sketch(0.01, 0.001, 5);
+  EXPECT_EQ(sketch.width(), 272u);  // ceil(e / 0.01)
+  EXPECT_EQ(sketch.depth(), 7u);    // ceil(ln 1000)
+}
+
+// --- SpaceSaving -------------------------------------------------------------
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  SpaceSaving summary(10);
+  summary.Update(1, 5);
+  summary.Update(2, 3);
+  summary.Update(1, 2);
+  const auto entries = summary.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, 1u);
+  EXPECT_EQ(entries[0].count, 7u);
+  EXPECT_EQ(entries[0].error, 0u);
+  EXPECT_EQ(entries[1].key, 2u);
+  EXPECT_EQ(entries[1].count, 3u);
+}
+
+TEST(SpaceSavingTest, GuaranteesHold) {
+  // count - error <= true <= count, and any key with true count >
+  // total/capacity is monitored.
+  const std::size_t capacity = 50;
+  SpaceSaving summary(capacity);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(3);
+  const ZipfSampler zipf(2000, 1.3);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    summary.Update(key);
+  }
+  std::unordered_map<std::uint64_t, HeavyEntry> monitored;
+  for (const HeavyEntry& entry : summary.Entries()) {
+    monitored[entry.key] = entry;
+    const std::uint64_t true_count =
+        truth.contains(entry.key) ? truth.at(entry.key) : 0;
+    EXPECT_GE(entry.count, true_count);
+    EXPECT_LE(entry.count - entry.error, true_count);
+  }
+  const std::uint64_t threshold = summary.total() / capacity;
+  for (const auto& [key, count] : truth) {
+    if (count > threshold) {
+      EXPECT_TRUE(monitored.contains(key)) << "heavy key " << key;
+    }
+  }
+}
+
+TEST(SpaceSavingTest, TotalTracksWeight) {
+  SpaceSaving summary(4);
+  for (std::uint64_t i = 0; i < 100; ++i) summary.Update(i, 2);
+  EXPECT_EQ(summary.total(), 200u);
+  EXPECT_EQ(summary.Entries().size(), 4u);
+}
+
+// --- MisraGries --------------------------------------------------------------
+
+TEST(MisraGriesTest, ExactBelowK) {
+  MisraGries summary(10);
+  summary.Update(7, 4);
+  summary.Update(8, 2);
+  const auto entries = summary.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, 7u);
+  EXPECT_EQ(entries[0].count, 4u);
+}
+
+TEST(MisraGriesTest, LowerBoundGuarantee) {
+  const std::size_t k = 20;
+  MisraGries summary(k);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(4);
+  const ZipfSampler zipf(500, 1.5);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = zipf.Sample(rng);
+    ++truth[key];
+    summary.Update(key);
+  }
+  // Each surviving counter is a lower bound within total/(k+1).
+  const double slack =
+      static_cast<double>(summary.total()) / static_cast<double>(k + 1);
+  for (const HeavyEntry& entry : summary.Entries()) {
+    const std::uint64_t true_count =
+        truth.contains(entry.key) ? truth.at(entry.key) : 0;
+    EXPECT_LE(entry.count, true_count);
+    EXPECT_GE(static_cast<double>(entry.count),
+              static_cast<double>(true_count) - slack);
+  }
+}
+
+TEST(MisraGriesTest, MajorityElementSurvives) {
+  MisraGries summary(1);
+  for (int i = 0; i < 100; ++i) summary.Update(42);
+  for (int i = 0; i < 49; ++i) summary.Update(static_cast<std::uint64_t>(i));
+  const auto entries = summary.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, 42u);
+}
+
+// --- ReservoirSampler --------------------------------------------------------
+
+TEST(ReservoirTest, KeepsAllWhenUnderCapacity) {
+  ReservoirSampler<int> reservoir(10);
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) reservoir.Add(i, rng);
+  EXPECT_EQ(reservoir.sample().size(), 5u);
+  EXPECT_EQ(reservoir.seen(), 5u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  ReservoirSampler<int> reservoir(8);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) reservoir.Add(i, rng);
+  EXPECT_EQ(reservoir.sample().size(), 8u);
+  EXPECT_EQ(reservoir.seen(), 1000u);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Item 0 should be retained with probability capacity/n.
+  const std::size_t capacity = 5;
+  const int n = 50;
+  const int trials = 20000;
+  int retained = 0;
+  Rng rng(7);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> reservoir(capacity);
+    for (int i = 0; i < n; ++i) reservoir.Add(i, rng);
+    for (const int v : reservoir.sample()) {
+      if (v == 0) ++retained;
+    }
+  }
+  const double expected = static_cast<double>(capacity) / n;
+  EXPECT_NEAR(static_cast<double>(retained) / trials, expected,
+              expected * 0.15);
+}
+
+}  // namespace
+}  // namespace himpact

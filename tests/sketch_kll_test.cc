@@ -1,0 +1,131 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/quantile_baseline.h"
+#include "random/rng.h"
+#include "sketch/kll.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+TEST(KllTest, EmptySketch) {
+  const KllSketch sketch(64, 1);
+  EXPECT_EQ(sketch.n(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Rank(100), 0.0);
+  EXPECT_EQ(sketch.Quantile(0.5), 0u);
+}
+
+TEST(KllTest, ExactWhileSmall) {
+  KllSketch sketch(64, 2);
+  for (std::uint64_t v = 1; v <= 30; ++v) sketch.Add(v);
+  // Nothing compacted yet: ranks are exact.
+  EXPECT_DOUBLE_EQ(sketch.Rank(1), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Rank(16), 15.0);
+  EXPECT_DOUBLE_EQ(sketch.Rank(31), 30.0);
+}
+
+TEST(KllTest, WeightsPreserveTotalCount) {
+  // Sum of weights across compactors must equal n (up to the items
+  // currently buffered; compaction conserves weight exactly).
+  KllSketch sketch(32, 3);
+  const std::uint64_t n = 100000;
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < n; ++i) sketch.Add(rng.UniformU64(1 << 20));
+  // Rank at +infinity = total weight.
+  EXPECT_NEAR(sketch.Rank(~std::uint64_t{0}), static_cast<double>(n),
+              static_cast<double>(n) * 0.01);
+}
+
+TEST(KllTest, RankAccuracyUniform) {
+  const std::size_t k = 256;
+  KllSketch sketch(k, 4);
+  const std::uint64_t n = 200000;
+  Rng rng(4);
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.UniformU64(1u << 20);
+    values.push_back(v);
+    sketch.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  // Check rank error at several probe points against ~2n/k.
+  const double budget = 3.0 * static_cast<double>(n) / k;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const std::uint64_t probe =
+        values[static_cast<std::size_t>(q * (n - 1))];
+    const double true_rank = static_cast<double>(
+        std::lower_bound(values.begin(), values.end(), probe) -
+        values.begin());
+    EXPECT_NEAR(sketch.Rank(probe), true_rank, budget) << "q=" << q;
+  }
+}
+
+TEST(KllTest, QuantileMonotone) {
+  KllSketch sketch(128, 5);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) sketch.Add(rng.UniformU64(1000000));
+  std::uint64_t prev = 0;
+  for (const double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const std::uint64_t value = sketch.Quantile(q);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(KllTest, SpaceSublinear) {
+  KllSketch sketch(128, 6);
+  Rng rng(6);
+  for (int i = 0; i < 1000000; ++i) sketch.Add(rng.NextU64());
+  EXPECT_LT(sketch.NumRetained(), 2000u);
+}
+
+TEST(QuantileBaselineTest, RejectsBadK) {
+  EXPECT_FALSE(QuantileHIndexBaseline::Create(4, 1).ok());
+  EXPECT_TRUE(QuantileHIndexBaseline::Create(8, 1).ok());
+}
+
+TEST(QuantileBaselineTest, ExactOnSmallStreams) {
+  auto baseline = QuantileHIndexBaseline::Create(256, 7).value();
+  const std::vector<std::uint64_t> values = {5, 4, 3, 2, 1};
+  for (const std::uint64_t v : values) baseline.Add(v);
+  EXPECT_DOUBLE_EQ(baseline.Estimate(), 3.0);
+}
+
+// Property sweep: additive-error tracking across distributions — the
+// baseline's error budget is ~3n/k, visibly worse (relative to h*) than
+// the paper's multiplicative algorithms when h* << n.
+class QuantileBaselineProperty
+    : public ::testing::TestWithParam<VectorKind> {};
+
+TEST_P(QuantileBaselineProperty, WithinAdditiveBudget) {
+  const VectorKind kind = GetParam();
+  Rng rng(static_cast<std::uint64_t>(kind) + 11);
+  VectorSpec spec;
+  spec.kind = kind;
+  spec.n = 50000;
+  spec.max_value = 1u << 18;
+  spec.target_h = 300;
+  const AggregateStream values = MakeVector(spec, rng);
+
+  const std::size_t k = 512;
+  auto baseline = QuantileHIndexBaseline::Create(k, 13).value();
+  for (const std::uint64_t v : values) baseline.Add(v);
+  const double truth = static_cast<double>(ExactHIndex(values));
+  const double budget = 3.0 * static_cast<double>(spec.n) / k;
+  EXPECT_NEAR(baseline.Estimate(), truth, budget)
+      << VectorKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, QuantileBaselineProperty,
+                         ::testing::Values(VectorKind::kZipf,
+                                           VectorKind::kUniform,
+                                           VectorKind::kAllDistinct,
+                                           VectorKind::kPlanted));
+
+}  // namespace
+}  // namespace himpact

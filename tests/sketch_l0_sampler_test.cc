@@ -1,0 +1,150 @@
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "sketch/l0_sampler.h"
+
+namespace himpact {
+namespace {
+
+TEST(L0SamplerTest, ZeroVectorIsFailedPrecondition) {
+  const L0Sampler sampler(1000, 0.05, 1);
+  const auto sample = sampler.Sample();
+  EXPECT_FALSE(sample.ok());
+  EXPECT_EQ(sample.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(L0SamplerTest, SingletonIsAlwaysReturned) {
+  L0Sampler sampler(1000, 0.05, 2);
+  sampler.Update(77, 5);
+  const auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().index, 77u);
+  EXPECT_EQ(sample.value().value, 5);
+}
+
+TEST(L0SamplerTest, ReturnsAggregatedValue) {
+  L0Sampler sampler(1000, 0.05, 3);
+  sampler.Update(9, 2);
+  sampler.Update(9, 3);
+  sampler.Update(9, 4);
+  const auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().index, 9u);
+  EXPECT_EQ(sample.value().value, 9);
+}
+
+TEST(L0SamplerTest, CancelledCoordinateNeverSampled) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    L0Sampler sampler(100, 0.05, seed);
+    sampler.Update(1, 10);
+    sampler.Update(2, 4);
+    sampler.Update(1, -10);  // coordinate 1 returns to zero
+    const auto sample = sampler.Sample();
+    if (sample.ok()) {
+      EXPECT_EQ(sample.value().index, 2u);
+      EXPECT_EQ(sample.value().value, 4);
+    }
+  }
+}
+
+TEST(L0SamplerTest, FullCancellationIsZeroVector) {
+  L0Sampler sampler(100, 0.05, 4);
+  sampler.Update(5, 3);
+  sampler.Update(5, -3);
+  const auto sample = sampler.Sample();
+  EXPECT_FALSE(sample.ok());
+  EXPECT_EQ(sample.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(L0SamplerTest, FailureRateAtMostDelta) {
+  // Dense vector (all coordinates non-zero) stresses level selection.
+  const double delta = 0.1;
+  int failures = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    L0Sampler sampler(512, delta, static_cast<std::uint64_t>(t) + 100);
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      sampler.Update(i, static_cast<std::int64_t>(i % 7) + 1);
+    }
+    if (!sampler.Sample().ok()) ++failures;
+  }
+  // Allow generous slack over delta * trials = 20.
+  EXPECT_LE(failures, 30);
+}
+
+TEST(L0SamplerTest, SamplesSpreadOverSupport) {
+  // Across many independent samplers, every support coordinate should be
+  // sampled with frequency near uniform (within loose bounds).
+  const std::uint64_t support = 16;
+  std::map<std::uint64_t, int> counts;
+  const int trials = 1600;
+  int successes = 0;
+  for (int t = 0; t < trials; ++t) {
+    L0Sampler sampler(1u << 16, 0.05, static_cast<std::uint64_t>(t) + 999);
+    for (std::uint64_t i = 0; i < support; ++i) {
+      sampler.Update(i * 1000 + 3, static_cast<std::int64_t>(i) + 1);
+    }
+    const auto sample = sampler.Sample();
+    if (!sample.ok()) continue;
+    ++successes;
+    ++counts[sample.value().index];
+  }
+  ASSERT_GT(successes, trials * 9 / 10);
+  // Every coordinate sampled at least once, none dominating.
+  EXPECT_EQ(counts.size(), support);
+  const double expected = static_cast<double>(successes) / support;
+  for (const auto& [index, count] : counts) {
+    EXPECT_GT(count, expected * 0.4) << "index " << index;
+    EXPECT_LT(count, expected * 1.9) << "index " << index;
+  }
+}
+
+TEST(L0SamplerTest, ValueMatchesCoordinateSampled) {
+  // Whatever coordinate is returned, its value must be the true total.
+  Rng rng(5);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    L0Sampler sampler(1u << 20, 0.05, seed * 7 + 1);
+    std::map<std::uint64_t, std::int64_t> truth;
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t index = rng.UniformU64(1u << 20);
+      const std::int64_t weight = rng.UniformInt(1, 100);
+      truth[index] += weight;
+      sampler.Update(index, weight);
+    }
+    const auto sample = sampler.Sample();
+    if (!sample.ok()) continue;
+    ASSERT_TRUE(truth.contains(sample.value().index));
+    EXPECT_EQ(sample.value().value, truth.at(sample.value().index));
+  }
+}
+
+TEST(L0SamplerTest, SpaceScalesWithLogUniverseSquared) {
+  const L0Sampler small(1u << 8, 0.05, 6);
+  const L0Sampler large(1u << 24, 0.05, 7);
+  EXPECT_EQ(small.num_levels(), 9u);
+  EXPECT_EQ(large.num_levels(), 25u);
+  EXPECT_GT(large.EstimateSpace().words, small.EstimateSpace().words);
+}
+
+TEST(L0SamplerTest, DeterministicGivenSeed) {
+  L0Sampler a(1000, 0.05, 42);
+  L0Sampler b(1000, 0.05, 42);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    a.Update(i * 3, 1);
+    b.Update(i * 3, 1);
+  }
+  const auto sa = a.Sample();
+  const auto sb = b.Sample();
+  ASSERT_EQ(sa.ok(), sb.ok());
+  if (sa.ok()) {
+    EXPECT_EQ(sa.value().index, sb.value().index);
+    EXPECT_EQ(sa.value().value, sb.value().value);
+  }
+}
+
+}  // namespace
+}  // namespace himpact

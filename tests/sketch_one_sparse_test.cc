@@ -1,0 +1,152 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "hash/k_independent.h"
+#include "sketch/one_sparse.h"
+
+namespace himpact {
+namespace {
+
+TEST(OneSparseCellTest, FreshCellIsZero) {
+  const OneSparseCell cell(1);
+  EXPECT_TRUE(cell.IsZero());
+  EXPECT_FALSE(cell.Recover().has_value());
+}
+
+TEST(OneSparseCellTest, RecoversSingleEntry) {
+  OneSparseCell cell(2);
+  cell.Update(12345, 7);
+  ASSERT_FALSE(cell.IsZero());
+  const auto entry = cell.Recover();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->index, 12345u);
+  EXPECT_EQ(entry->weight, 7);
+}
+
+TEST(OneSparseCellTest, AccumulatesWeightOnSameIndex) {
+  OneSparseCell cell(3);
+  cell.Update(9, 5);
+  cell.Update(9, 3);
+  cell.Update(9, -2);
+  const auto entry = cell.Recover();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->index, 9u);
+  EXPECT_EQ(entry->weight, 6);
+}
+
+TEST(OneSparseCellTest, ExactCancellationReturnsToZero) {
+  OneSparseCell cell(4);
+  cell.Update(42, 10);
+  cell.Update(42, -10);
+  EXPECT_TRUE(cell.IsZero());
+  EXPECT_FALSE(cell.Recover().has_value());
+}
+
+TEST(OneSparseCellTest, TwoDistinctEntriesRejected) {
+  OneSparseCell cell(5);
+  cell.Update(1, 1);
+  cell.Update(2, 1);
+  EXPECT_FALSE(cell.IsZero());
+  EXPECT_FALSE(cell.Recover().has_value());
+}
+
+TEST(OneSparseCellTest, TwoEntriesCollapsingToValidMeanRejected) {
+  // iota/ell1 = (2*1 + 4*1) / 2 = 3: the division test alone would
+  // "recover" index 3 with weight 2; the fingerprint must veto it.
+  OneSparseCell cell(6);
+  cell.Update(2, 1);
+  cell.Update(4, 1);
+  EXPECT_FALSE(cell.Recover().has_value());
+}
+
+TEST(OneSparseCellTest, NegativeNetWeightRecovered) {
+  OneSparseCell cell(7);
+  cell.Update(77, -4);
+  const auto entry = cell.Recover();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->index, 77u);
+  EXPECT_EQ(entry->weight, -4);
+}
+
+TEST(OneSparseCellTest, ZeroWeightUpdateIsNoop) {
+  OneSparseCell cell(8);
+  cell.Update(5, 0);
+  EXPECT_TRUE(cell.IsZero());
+}
+
+TEST(OneSparseCellTest, MergeCombinesStreams) {
+  OneSparseCell a(9), b(9);
+  a.Update(3, 2);
+  b.Update(3, 5);
+  a.Merge(b);
+  const auto entry = a.Recover();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->weight, 7);
+}
+
+TEST(OneSparseCellTest, MergeCancellation) {
+  OneSparseCell a(10), b(10);
+  a.Update(3, 2);
+  a.Update(8, 1);
+  b.Update(8, -1);
+  a.Merge(b);
+  const auto entry = a.Recover();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->index, 3u);
+  EXPECT_EQ(entry->weight, 2);
+}
+
+TEST(OneSparseCellTest, LargeIndexRecovered) {
+  OneSparseCell cell(11);
+  const std::uint64_t big = (std::uint64_t{1} << 62) + 12345;
+  cell.Update(big, 3);
+  const auto entry = cell.Recover();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->index, big);
+}
+
+TEST(PowModTest, MatchesRepeatedMultiplication) {
+  const std::uint64_t base = 123456789;
+  std::uint64_t expected = 1;
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(PowModMersenne61(base, static_cast<std::uint64_t>(e)), expected);
+    expected = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(expected) * base) % kMersenne61);
+  }
+}
+
+TEST(FingerprintTermTest, NegativeWeightIsFieldNegation) {
+  const std::uint64_t r = 987654321;
+  const std::uint64_t pos = FingerprintTerm(r, 10, 5);
+  const std::uint64_t neg = FingerprintTerm(r, 10, -5);
+  EXPECT_EQ((pos + neg) % kMersenne61, 0u);
+}
+
+TEST(OneSparseCellTest, SpaceIsConstantWords) {
+  const OneSparseCell cell(12);
+  EXPECT_EQ(cell.EstimateSpace().words, 5u);
+}
+
+// Property sweep: many (index, weight) singletons recover exactly.
+class OneSparseProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(OneSparseProperty, SingletonRoundTrip) {
+  const auto [index, weight] = GetParam();
+  OneSparseCell cell(index * 31 + static_cast<std::uint64_t>(weight) + 17);
+  cell.Update(index, weight);
+  const auto entry = cell.Recover();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->index, index);
+  EXPECT_EQ(entry->weight, weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IndexWeightGrid, OneSparseProperty,
+    ::testing::Combine(::testing::Values(0ull, 1ull, 999ull, 1u << 20,
+                                         std::uint64_t{1} << 40),
+                       ::testing::Values(1, 2, 1000, -1, -77)));
+
+}  // namespace
+}  // namespace himpact

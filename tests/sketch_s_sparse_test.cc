@@ -1,0 +1,118 @@
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "sketch/s_sparse.h"
+
+namespace himpact {
+namespace {
+
+std::map<std::uint64_t, std::int64_t> ToMap(
+    const std::vector<RecoveredEntry>& entries) {
+  std::map<std::uint64_t, std::int64_t> m;
+  for (const auto& e : entries) m[e.index] = e.weight;
+  return m;
+}
+
+TEST(SSparseRecoveryTest, EmptyIsExactAndEmpty) {
+  const SSparseRecovery sketch(4, 0.01, 1);
+  EXPECT_TRUE(sketch.IsZero());
+  const SSparseResult result = sketch.Recover();
+  EXPECT_TRUE(result.exact);
+  EXPECT_TRUE(result.entries.empty());
+}
+
+TEST(SSparseRecoveryTest, RecoversWithinSparsity) {
+  SSparseRecovery sketch(8, 0.01, 2);
+  std::map<std::uint64_t, std::int64_t> truth = {
+      {5, 3}, {100, 1}, {7777, -2}, {1u << 30, 9}};
+  for (const auto& [index, weight] : truth) {
+    sketch.Update(index, weight);
+  }
+  const SSparseResult result = sketch.Recover();
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(ToMap(result.entries), truth);
+}
+
+TEST(SSparseRecoveryTest, EntriesSortedByIndex) {
+  SSparseRecovery sketch(8, 0.01, 3);
+  sketch.Update(900, 1);
+  sketch.Update(3, 1);
+  sketch.Update(42, 1);
+  const SSparseResult result = sketch.Recover();
+  ASSERT_TRUE(result.exact);
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_EQ(result.entries[0].index, 3u);
+  EXPECT_EQ(result.entries[1].index, 42u);
+  EXPECT_EQ(result.entries[2].index, 900u);
+}
+
+TEST(SSparseRecoveryTest, CancellationLeavesSurvivors) {
+  SSparseRecovery sketch(4, 0.01, 4);
+  sketch.Update(1, 5);
+  sketch.Update(2, 7);
+  sketch.Update(1, -5);  // index 1 cancels entirely
+  const SSparseResult result = sketch.Recover();
+  EXPECT_TRUE(result.exact);
+  const auto m = ToMap(result.entries);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(2), 7);
+}
+
+TEST(SSparseRecoveryTest, OverloadIsNotReportedExact) {
+  // 200 entries in an s=4 sketch: recovery cannot explain everything and
+  // the completeness certificate must say so.
+  SSparseRecovery sketch(4, 0.01, 5);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sketch.Update(i * 17 + 1, 1);
+  }
+  const SSparseResult result = sketch.Recover();
+  EXPECT_FALSE(result.exact);
+}
+
+TEST(SSparseRecoveryTest, UpdatesWithZeroWeightIgnored) {
+  SSparseRecovery sketch(4, 0.01, 6);
+  sketch.Update(10, 0);
+  EXPECT_TRUE(sketch.IsZero());
+}
+
+// Property sweep over sparsity: random vectors with exactly `s` non-zero
+// entries recover exactly, across many seeds.
+class SSparseProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SSparseProperty, ExactRecoveryAtFullSparsity) {
+  const auto [s, seed] = GetParam();
+  Rng rng(seed);
+  SSparseRecovery sketch(static_cast<std::size_t>(s), 0.01, seed * 97 + 1);
+  std::map<std::uint64_t, std::int64_t> truth;
+  while (truth.size() < static_cast<std::size_t>(s)) {
+    const std::uint64_t index = rng.UniformU64(std::uint64_t{1} << 40);
+    const std::int64_t weight = rng.UniformInt(1, 1000);
+    if (truth.emplace(index, weight).second) {
+      sketch.Update(index, weight);
+    }
+  }
+  const SSparseResult result = sketch.Recover();
+  EXPECT_TRUE(result.exact) << "s=" << s << " seed=" << seed;
+  EXPECT_EQ(ToMap(result.entries), truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsityBySeed, SSparseProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16, 32),
+                       ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull)));
+
+TEST(SSparseRecoveryTest, SpaceGrowsWithSparsity) {
+  const SSparseRecovery small(2, 0.1, 7);
+  const SSparseRecovery large(32, 0.1, 8);
+  EXPECT_GT(large.EstimateSpace().words, small.EstimateSpace().words);
+  EXPECT_EQ(small.cols(), 4u);
+  EXPECT_EQ(large.cols(), 64u);
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,0 +1,119 @@
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/expand.h"
+#include "stream/types.h"
+
+namespace himpact {
+namespace {
+
+TEST(AuthorListTest, PushAndIterate) {
+  AuthorList authors;
+  EXPECT_TRUE(authors.empty());
+  authors.PushBack(5);
+  authors.PushBack(9);
+  EXPECT_EQ(authors.size(), 2);
+  EXPECT_EQ(authors[0], 5u);
+  EXPECT_EQ(authors[1], 9u);
+  std::uint64_t sum = 0;
+  for (const AuthorId a : authors) sum += a;
+  EXPECT_EQ(sum, 14u);
+}
+
+TEST(AuthorListTest, ContainsAndInitializerList) {
+  const AuthorList authors = {1, 2, 3};
+  EXPECT_TRUE(authors.Contains(2));
+  EXPECT_FALSE(authors.Contains(4));
+  EXPECT_EQ(authors.size(), 3);
+}
+
+TEST(ExpandTest, ContiguousPreservesOrderAndTotals) {
+  Rng rng(1);
+  const AggregateStream values = {3, 0, 2};
+  const CashRegisterStream stream =
+      ExpandToCashRegister(values, InterleavePolicy::kContiguous, rng);
+  ASSERT_EQ(stream.size(), 5u);
+  EXPECT_EQ(stream[0].paper, 0u);
+  EXPECT_EQ(stream[2].paper, 0u);
+  EXPECT_EQ(stream[3].paper, 2u);
+  EXPECT_EQ(AggregateCitations(stream, 3), values);
+}
+
+TEST(ExpandTest, ShuffledPreservesTotals) {
+  Rng rng(2);
+  const AggregateStream values = {5, 7, 0, 1, 12};
+  const CashRegisterStream stream =
+      ExpandToCashRegister(values, InterleavePolicy::kShuffled, rng);
+  EXPECT_EQ(stream.size(), 25u);
+  EXPECT_EQ(AggregateCitations(stream, 5), values);
+}
+
+TEST(ExpandTest, RoundRobinInterleaves) {
+  Rng rng(3);
+  const AggregateStream values = {2, 2};
+  const CashRegisterStream stream =
+      ExpandToCashRegister(values, InterleavePolicy::kRoundRobin, rng);
+  ASSERT_EQ(stream.size(), 4u);
+  EXPECT_EQ(stream[0].paper, 0u);
+  EXPECT_EQ(stream[1].paper, 1u);
+  EXPECT_EQ(stream[2].paper, 0u);
+  EXPECT_EQ(stream[3].paper, 1u);
+}
+
+TEST(ExpandTest, BatchedPreservesTotalsWithFewerEvents) {
+  Rng rng(4);
+  const AggregateStream values = {100, 250, 31};
+  const CashRegisterStream stream =
+      ExpandToBatchedCashRegister(values, 8.0, rng);
+  EXPECT_LT(stream.size(), 381u / 2);
+  EXPECT_EQ(AggregateCitations(stream, 3), values);
+  for (const CitationEvent& event : stream) {
+    EXPECT_GE(event.delta, 1);
+  }
+}
+
+TEST(ExpandTest, ToRandomOrderIsPermutation) {
+  Rng rng(5);
+  AggregateStream values(200);
+  std::iota(values.begin(), values.end(), 0);
+  AggregateStream shuffled = ToRandomOrder(values, rng);
+  EXPECT_NE(shuffled, values);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(ExpandTest, AllZeroTotalsYieldEmptyStream) {
+  Rng rng(6);
+  const AggregateStream values = {0, 0, 0};
+  for (const InterleavePolicy policy :
+       {InterleavePolicy::kContiguous, InterleavePolicy::kShuffled,
+        InterleavePolicy::kRoundRobin}) {
+    EXPECT_TRUE(ExpandToCashRegister(values, policy, rng).empty());
+  }
+  EXPECT_TRUE(ExpandToBatchedCashRegister(values, 4.0, rng).empty());
+}
+
+TEST(ExpandTest, RoundRobinUnevenTotals) {
+  Rng rng(7);
+  const AggregateStream values = {3, 1};
+  const CashRegisterStream stream =
+      ExpandToCashRegister(values, InterleavePolicy::kRoundRobin, rng);
+  ASSERT_EQ(stream.size(), 4u);
+  // Paper 1 exhausts after the first round; paper 0 continues alone.
+  EXPECT_EQ(stream[0].paper, 0u);
+  EXPECT_EQ(stream[1].paper, 1u);
+  EXPECT_EQ(stream[2].paper, 0u);
+  EXPECT_EQ(stream[3].paper, 0u);
+}
+
+TEST(AggregateCitationsTest, EmptyStream) {
+  const CashRegisterStream stream;
+  const auto totals = AggregateCitations(stream, 4);
+  EXPECT_EQ(totals, std::vector<std::uint64_t>(4, 0));
+}
+
+}  // namespace
+}  // namespace himpact

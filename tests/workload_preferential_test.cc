@@ -1,0 +1,117 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cash_register.h"
+#include "core/exact.h"
+#include "random/rng.h"
+#include "workload/preferential.h"
+
+namespace himpact {
+namespace {
+
+TEST(PreferentialTest, EventTotalsMatch) {
+  Rng rng(1);
+  PreferentialConfig config;
+  config.num_papers = 2000;
+  config.citations_per_paper = 4;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+
+  std::vector<std::uint64_t> rebuilt(config.num_papers, 0);
+  for (const CitationEvent& event : network.events) {
+    ASSERT_LT(event.paper, config.num_papers);
+    ASSERT_EQ(event.delta, 1);
+    ++rebuilt[event.paper];
+  }
+  EXPECT_EQ(rebuilt, network.totals);
+  EXPECT_EQ(network.exact_h, ExactHIndex(network.totals));
+}
+
+TEST(PreferentialTest, EventCountNearMTimesN) {
+  Rng rng(2);
+  PreferentialConfig config;
+  config.num_papers = 3000;
+  config.citations_per_paper = 5;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+  // Every paper after the warm-up cites exactly m distinct papers.
+  EXPECT_GT(network.events.size(), (config.num_papers - 10) * 5 * 9 / 10);
+  EXPECT_LE(network.events.size(), config.num_papers * 5);
+}
+
+TEST(PreferentialTest, RichGetRicher) {
+  // Preferential attachment concentrates citations on early papers far
+  // beyond a uniform citer would.
+  Rng rng(3);
+  PreferentialConfig config;
+  config.num_papers = 5000;
+  config.citations_per_paper = 5;
+  config.initial_attractiveness = 0.5;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+
+  const std::uint64_t max_citations =
+      *std::max_element(network.totals.begin(), network.totals.end());
+  const double mean =
+      static_cast<double>(network.events.size()) /
+      static_cast<double>(config.num_papers);
+  // Power-law head: the top paper dwarfs the mean.
+  EXPECT_GT(static_cast<double>(max_citations), 15.0 * mean);
+}
+
+TEST(PreferentialTest, CitesOnlyEarlierDistinctPapers) {
+  Rng rng(4);
+  PreferentialConfig config;
+  config.num_papers = 300;
+  config.citations_per_paper = 3;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+  // Replay: track how many papers exist as events stream; paper k's
+  // citations (3 per new paper) must reference already-published ids.
+  std::size_t event_index = 0;
+  for (PaperId citer = 1; citer < config.num_papers; ++citer) {
+    const int cites = std::min<int>(3, static_cast<int>(citer));
+    std::vector<PaperId> seen;
+    for (int c = 0; c < cites && event_index < network.events.size(); ++c) {
+      const PaperId target = network.events[event_index++].paper;
+      EXPECT_LT(target, citer);
+      EXPECT_TRUE(std::find(seen.begin(), seen.end(), target) == seen.end());
+      seen.push_back(target);
+    }
+  }
+}
+
+TEST(PreferentialTest, AuthorsAssignedWhenRequested) {
+  Rng rng(5);
+  PreferentialConfig config;
+  config.num_papers = 500;
+  config.num_authors = 20;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+  ASSERT_EQ(network.author_of.size(), config.num_papers);
+  ASSERT_EQ(network.papers.size(), config.num_papers);
+  for (PaperId p = 0; p < config.num_papers; ++p) {
+    EXPECT_LT(network.author_of[p], config.num_authors);
+    EXPECT_EQ(network.papers[p].citations, network.totals[p]);
+  }
+}
+
+TEST(PreferentialTest, CashRegisterEstimatorOnNaturalStream) {
+  // End-to-end: the temporally faithful event stream through
+  // Algorithm 5/6, within the additive bound.
+  Rng rng(6);
+  PreferentialConfig config;
+  config.num_papers = 600;
+  config.citations_per_paper = 6;
+  const CitationNetwork network = MakeCitationNetwork(config, rng);
+
+  const double eps = 0.2;
+  auto estimator =
+      CashRegisterEstimator::Create(eps, 0.1, config.num_papers, 7).value();
+  for (const CitationEvent& event : network.events) {
+    estimator.Update(event.paper, event.delta);
+  }
+  EXPECT_NEAR(estimator.Estimate(), static_cast<double>(network.exact_h),
+              eps * static_cast<double>(config.num_papers) + 1.0);
+}
+
+}  // namespace
+}  // namespace himpact

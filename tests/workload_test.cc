@@ -1,0 +1,155 @@
+#include <cstdint>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "random/rng.h"
+#include "workload/academic.h"
+#include "workload/cascade.h"
+#include "workload/citation_vectors.h"
+
+namespace himpact {
+namespace {
+
+TEST(CitationVectorsTest, SizesAndBounds) {
+  Rng rng(1);
+  for (const VectorKind kind :
+       {VectorKind::kZipf, VectorKind::kUniform, VectorKind::kConstant,
+        VectorKind::kAllDistinct, VectorKind::kPlanted}) {
+    VectorSpec spec;
+    spec.kind = kind;
+    spec.n = 500;
+    spec.max_value = 1000;
+    spec.target_h = 100;
+    const AggregateStream values = MakeVector(spec, rng);
+    EXPECT_EQ(values.size(), 500u) << VectorKindName(kind);
+  }
+}
+
+TEST(CitationVectorsTest, ConstantVectorH) {
+  Rng rng(2);
+  VectorSpec spec;
+  spec.kind = VectorKind::kConstant;
+  spec.n = 100;
+  spec.max_value = 7;
+  const AggregateStream values = MakeVector(spec, rng);
+  EXPECT_EQ(ExactHIndex(values), 7u);  // min(7, 100)
+}
+
+TEST(CitationVectorsTest, AllDistinctH) {
+  Rng rng(3);
+  VectorSpec spec;
+  spec.kind = VectorKind::kAllDistinct;
+  spec.n = 100;
+  const AggregateStream values = MakeVector(spec, rng);
+  // Values 1..100: h* = 50 (50 values >= 50; only 50 values >= 51).
+  EXPECT_EQ(ExactHIndex(values), 50u);
+}
+
+TEST(CitationVectorsTest, OrdersAreAppliedCorrectly) {
+  Rng rng(4);
+  VectorSpec spec;
+  spec.kind = VectorKind::kUniform;
+  spec.n = 200;
+  spec.max_value = 1000;
+  AggregateStream ascending = MakeVector(spec, rng);
+  ApplyOrder(ascending, OrderPolicy::kAscending, rng);
+  EXPECT_TRUE(std::is_sorted(ascending.begin(), ascending.end()));
+
+  AggregateStream descending = ascending;
+  ApplyOrder(descending, OrderPolicy::kDescending, rng);
+  EXPECT_TRUE(
+      std::is_sorted(descending.begin(), descending.end(), std::greater<>()));
+}
+
+TEST(CitationVectorsTest, NamesAreStable) {
+  EXPECT_STREQ(VectorKindName(VectorKind::kZipf), "zipf");
+  EXPECT_STREQ(OrderPolicyName(OrderPolicy::kRandom), "random");
+}
+
+TEST(AcademicCorpusTest, PaperIdsUniqueAndAuthorsInRange) {
+  Rng rng(5);
+  AcademicConfig config;
+  config.num_authors = 50;
+  config.max_papers = 20;
+  const PaperStream papers = MakeAcademicCorpus(config, {}, rng);
+  ASSERT_FALSE(papers.empty());
+  std::unordered_set<PaperId> ids;
+  for (const PaperTuple& paper : papers) {
+    EXPECT_TRUE(ids.insert(paper.paper).second);
+    ASSERT_GE(paper.authors.size(), 1);
+    for (const AuthorId author : paper.authors) {
+      EXPECT_LT(author, 50u);
+    }
+    EXPECT_GE(paper.citations, 1u);
+    EXPECT_LE(paper.citations, config.max_citations);
+  }
+}
+
+TEST(AcademicCorpusTest, PlantedStarHasExactH) {
+  Rng rng(6);
+  AcademicConfig config;
+  config.num_authors = 20;
+  const std::vector<PlantedAuthor> stars = {{777777, 30, 45}};
+  const PaperStream papers = MakeAcademicCorpus(config, stars, rng);
+  const AggregateStream star_vector = AuthorCitationVector(papers, 777777);
+  EXPECT_EQ(star_vector.size(), 30u);
+  EXPECT_EQ(ExactHIndex(star_vector), 30u);  // min(30 papers, 45 cites)
+}
+
+TEST(AcademicCorpusTest, CoauthorshipProducesTwoAuthorPapers) {
+  Rng rng(7);
+  AcademicConfig config;
+  config.num_authors = 30;
+  config.coauthor_probability = 1.0;
+  const PaperStream papers = MakeAcademicCorpus(config, {}, rng);
+  for (const PaperTuple& paper : papers) {
+    EXPECT_EQ(paper.authors.size(), 2);
+    EXPECT_NE(paper.authors[0], paper.authors[1]);
+  }
+}
+
+TEST(CascadeTest, TotalsMatchEvents) {
+  Rng rng(8);
+  CascadeConfig config;
+  config.num_tweets = 200;
+  config.max_retweets = 500;
+  const RetweetFirehose firehose = MakeRetweetFirehose(config, rng);
+  EXPECT_EQ(firehose.totals.size(), 200u);
+  std::vector<std::uint64_t> rebuilt(200, 0);
+  for (const CitationEvent& event : firehose.events) {
+    ASSERT_LT(event.paper, 200u);
+    ASSERT_GT(event.delta, 0);
+    rebuilt[event.paper] += static_cast<std::uint64_t>(event.delta);
+  }
+  EXPECT_EQ(rebuilt, firehose.totals);
+  EXPECT_EQ(firehose.exact_h, ExactHIndex(firehose.totals));
+}
+
+TEST(CascadeTest, BatchedModeFewerEvents) {
+  Rng rng(9);
+  CascadeConfig unit;
+  unit.num_tweets = 100;
+  unit.cascade_alpha = 1.0;
+  unit.max_retweets = 1000;
+  CascadeConfig batched = unit;
+  batched.mean_batch = 10.0;
+  const RetweetFirehose unit_fh = MakeRetweetFirehose(unit, rng);
+  const RetweetFirehose batched_fh = MakeRetweetFirehose(batched, rng);
+  // Batched events carry more weight each; far fewer events for the same
+  // scale of totals (not an exact comparison since totals differ).
+  std::uint64_t unit_total = 0, batched_total = 0;
+  for (const auto& e : unit_fh.events)
+    unit_total += static_cast<std::uint64_t>(e.delta);
+  for (const auto& e : batched_fh.events)
+    batched_total += static_cast<std::uint64_t>(e.delta);
+  EXPECT_LT(static_cast<double>(batched_fh.events.size()) /
+                static_cast<double>(batched_total),
+            static_cast<double>(unit_fh.events.size()) /
+                    static_cast<double>(unit_total) +
+                1e-9);
+}
+
+}  // namespace
+}  // namespace himpact
