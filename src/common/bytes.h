@@ -19,6 +19,16 @@ namespace himpact {
 /// Appends fixed-width values to a growable byte buffer.
 class ByteWriter {
  public:
+  /// Appends a single byte.
+  void U8(std::uint8_t value) { buffer_.push_back(value); }
+
+  /// Appends a 32-bit unsigned value (little-endian).
+  void U32(std::uint32_t value) {
+    for (int b = 0; b < 4; ++b) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+  }
+
   /// Appends a 64-bit unsigned value (little-endian).
   void U64(std::uint64_t value) {
     for (int b = 0; b < 8; ++b) {
@@ -36,6 +46,11 @@ class ByteWriter {
     std::uint64_t bits;
     std::memcpy(&bits, &value, sizeof(bits));
     U64(bits);
+  }
+
+  /// Appends `n` raw bytes verbatim.
+  void Bytes(const std::uint8_t* data, std::size_t n) {
+    buffer_.insert(buffer_.end(), data, data + n);
   }
 
   /// The accumulated bytes.
@@ -56,9 +71,29 @@ class ByteReader {
   explicit ByteReader(const std::vector<std::uint8_t>& buffer)
       : buffer_(buffer) {}
 
+  /// Reads a single byte. Returns false at end of buffer.
+  bool U8(std::uint8_t* value) {
+    if (remaining() < 1) return false;
+    *value = buffer_[position_];
+    ++position_;
+    return true;
+  }
+
+  /// Reads a 32-bit unsigned value. Returns false at end of buffer.
+  bool U32(std::uint32_t* value) {
+    if (remaining() < 4) return false;
+    std::uint32_t out = 0;
+    for (int b = 0; b < 4; ++b) {
+      out |= static_cast<std::uint32_t>(buffer_[position_ + b]) << (8 * b);
+    }
+    position_ += 4;
+    *value = out;
+    return true;
+  }
+
   /// Reads a 64-bit unsigned value. Returns false at end of buffer.
   bool U64(std::uint64_t* value) {
-    if (position_ + 8 > buffer_.size()) return false;
+    if (remaining() < 8) return false;
     std::uint64_t out = 0;
     for (int b = 0; b < 8; ++b) {
       out |= static_cast<std::uint64_t>(buffer_[position_ + b]) << (8 * b);
@@ -83,6 +118,22 @@ class ByteReader {
     std::memcpy(value, &bits, sizeof(*value));
     return true;
   }
+
+  /// Reads exactly `n` raw bytes into `out` (replacing its contents).
+  /// Returns false — consuming nothing — if fewer than `n` bytes remain.
+  /// The bounds check is overflow-safe: `n` is compared against the bytes
+  /// left rather than added to the cursor.
+  bool Bytes(std::size_t n, std::vector<std::uint8_t>* out) {
+    if (n > remaining()) return false;
+    const auto first =
+        buffer_.begin() + static_cast<std::ptrdiff_t>(position_);
+    out->assign(first, first + static_cast<std::ptrdiff_t>(n));
+    position_ += n;
+    return true;
+  }
+
+  /// Number of unconsumed bytes.
+  std::size_t remaining() const { return buffer_.size() - position_; }
 
   /// True iff every byte has been consumed.
   bool AtEnd() const { return position_ == buffer_.size(); }

@@ -1,0 +1,93 @@
+#include "common/envelope.h"
+
+#include <array>
+
+#include "common/bytes.h"
+
+namespace himpact {
+namespace {
+
+/// The 256-entry CRC32 table for the reflected IEEE 802.3 polynomial,
+/// built once at static-init time.
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = CrcTable();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t Crc32(const std::vector<std::uint8_t>& data) {
+  return Crc32(data.data(), data.size());
+}
+
+std::vector<std::uint8_t> SealEnvelope(
+    CheckpointTag tag, const std::vector<std::uint8_t>& payload) {
+  ByteWriter writer;
+  writer.U32(kEnvelopeMagic);
+  writer.U32(kEnvelopeVersion);
+  writer.U32(static_cast<std::uint32_t>(tag));
+  writer.U64(payload.size());
+  writer.U32(Crc32(payload));
+  writer.Bytes(payload.data(), payload.size());
+  return writer.Take();
+}
+
+StatusOr<std::vector<std::uint8_t>> OpenEnvelope(
+    const std::vector<std::uint8_t>& bytes, CheckpointTag expected_tag) {
+  ByteReader reader(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc = 0;
+  if (!reader.U32(&magic) || !reader.U32(&version) || !reader.U32(&tag) ||
+      !reader.U64(&length) || !reader.U32(&crc)) {
+    return Status::InvalidArgument("checkpoint shorter than envelope header");
+  }
+  if (magic != kEnvelopeMagic) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  if (version != kEnvelopeVersion) {
+    return Status::InvalidArgument("unsupported checkpoint format version");
+  }
+  if (tag != static_cast<std::uint32_t>(expected_tag)) {
+    return Status::InvalidArgument("checkpoint holds a different sketch type");
+  }
+  // Exactly `length` payload bytes must follow: a shorter buffer is a
+  // truncated checkpoint, a longer one carries trailing garbage.
+  if (length != reader.remaining()) {
+    return Status::InvalidArgument(
+        "checkpoint payload length mismatch (truncated or trailing bytes)");
+  }
+  std::vector<std::uint8_t> payload;
+  if (!reader.Bytes(static_cast<std::size_t>(length), &payload)) {
+    return Status::InvalidArgument("truncated checkpoint payload");
+  }
+  if (Crc32(payload) != crc) {
+    return Status::InvalidArgument("checkpoint CRC32 mismatch");
+  }
+  return payload;
+}
+
+}  // namespace himpact

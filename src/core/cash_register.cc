@@ -47,6 +47,7 @@ StatusOr<CashRegisterEstimator> CashRegisterEstimator::Create(
     return Status::InvalidArgument("sampler count must be >= 1");
   }
   CashRegisterEstimator estimator(eps, delta, universe, seed, 0);
+  estimator.sampler_delta_ = options.sampler_delta;
   std::uint64_t sampler_seed = SplitMix64(seed ^ 0xb5297a4d3f84d5b5ULL);
   estimator.samplers_.reserve(x);
   for (std::size_t i = 0; i < x; ++i) {
@@ -65,6 +66,7 @@ CashRegisterEstimator::CashRegisterEstimator(double eps, double delta,
       delta_(delta),
       universe_(universe),
       seed_(seed),
+      sampler_delta_(0.05),
       distinct_(std::min(eps, 0.5), delta,
                 SplitMix64(seed ^ 0x94d049bb133111ebULL)) {
   samplers_.reserve(num_samplers);
@@ -121,6 +123,85 @@ double CashRegisterEstimator::Estimate() const {
     }
   }
   return best;
+}
+
+namespace {
+constexpr std::uint64_t kCashRegisterMagic = 0x48494d5043415348ULL;
+}  // namespace
+
+void CashRegisterEstimator::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kCashRegisterMagic);
+  writer.F64(eps_);
+  writer.F64(delta_);
+  writer.U64(universe_);
+  writer.U64(seed_);
+  writer.F64(sampler_delta_);
+  writer.U64(samplers_.size());
+  for (const L0Sampler& sampler : samplers_) {
+    sampler.SerializeStateTo(writer);
+  }
+  distinct_.SerializeStateTo(writer);
+}
+
+StatusOr<CashRegisterEstimator> CashRegisterEstimator::DeserializeFrom(
+    ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kCashRegisterMagic) {
+    return Status::InvalidArgument("not a CashRegisterEstimator checkpoint");
+  }
+  double eps = 0.0;
+  double delta = 0.0;
+  std::uint64_t universe = 0;
+  std::uint64_t seed = 0;
+  double sampler_delta = 0.0;
+  std::uint64_t num_samplers = 0;
+  if (!reader.F64(&eps) || !reader.F64(&delta) || !reader.U64(&universe) ||
+      !reader.U64(&seed) || !reader.F64(&sampler_delta) ||
+      !reader.U64(&num_samplers)) {
+    return Status::InvalidArgument(
+        "truncated CashRegisterEstimator checkpoint");
+  }
+  // Create() re-validates eps/delta/universe; bound the extra fields that
+  // drive allocation before any sampler is constructed. Each sampler's
+  // serialized state carries at least one word per level, so the sampler
+  // count must be consistent with the remaining bytes.
+  if (!(eps > 1e-3) || !(eps < 1.0) || !(delta > 1e-12) || !(delta < 1.0) ||
+      universe < 1 || !(sampler_delta > 1e-9) || !(sampler_delta < 1.0)) {
+    return Status::InvalidArgument(
+        "corrupt CashRegisterEstimator parameters");
+  }
+  const double per_sampler_cells =
+      [&] {
+        // floor() mirrors L0Sampler's size_t truncation of sparsity.
+        const double sparsity = std::floor(
+            std::max(8.0, 2.0 * std::log2(1.0 / sampler_delta) + 4.0));
+        const double rows = std::max(
+            2.0, std::ceil(std::log2(sparsity / (sampler_delta / 2.0))));
+        const double levels = static_cast<double>(
+            CeilLog2(std::max<std::uint64_t>(2, universe)) + 1);
+        return levels * rows * 2.0 * sparsity;
+      }();
+  if (num_samplers < 1 ||
+      static_cast<double>(num_samplers) * per_sampler_cells * 32.0 >
+          static_cast<double>(reader.remaining())) {
+    return Status::InvalidArgument(
+        "CashRegisterEstimator checkpoint smaller than its declared "
+        "geometry");
+  }
+  CashRegisterOptions options;
+  options.num_samplers_override = static_cast<std::size_t>(num_samplers);
+  options.sampler_delta = sampler_delta;
+  StatusOr<CashRegisterEstimator> estimator =
+      Create(eps, delta, universe, seed, options);
+  if (!estimator.ok()) return estimator.status();
+  for (L0Sampler& sampler : estimator.value().samplers_) {
+    const Status status = sampler.DeserializeStateFrom(reader);
+    if (!status.ok()) return status;
+  }
+  const Status status =
+      estimator.value().distinct_.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return estimator;
 }
 
 SpaceUsage CashRegisterEstimator::EstimateSpace() const {

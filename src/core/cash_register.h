@@ -87,6 +87,14 @@ class CashRegisterEstimator final : public CashRegisterHIndexEstimator {
   /// The distinct-count estimate `y`.
   double DistinctEstimate() const { return distinct_.Estimate(); }
 
+  /// Appends a checkpoint (construction parameters + sampler and distinct
+  /// counter states). The samplers themselves are re-derived from the
+  /// seed chain on restore; only their mutable cells ride along.
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores an estimator from a `SerializeTo` checkpoint.
+  static StatusOr<CashRegisterEstimator> DeserializeFrom(ByteReader& reader);
+
  private:
   CashRegisterEstimator(double eps, double delta, std::uint64_t universe,
                         std::uint64_t seed, std::size_t num_samplers);
@@ -94,7 +102,8 @@ class CashRegisterEstimator final : public CashRegisterHIndexEstimator {
   double eps_;
   double delta_;
   std::uint64_t universe_;
-  std::uint64_t seed_;  // construction seed (merge compatibility check)
+  std::uint64_t seed_;     // construction seed (merge compatibility check)
+  double sampler_delta_;   // per-sampler delta (checkpoint reconstruction)
   std::vector<L0Sampler> samplers_;
   DistinctCounter distinct_;
   mutable std::size_t last_success_ = 0;

@@ -1,6 +1,8 @@
 #include "core/exact.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "common/check.h"
 
@@ -55,6 +57,51 @@ SpaceUsage IncrementalExactHIndex::EstimateSpace() const {
   return usage;
 }
 
+namespace {
+constexpr std::uint64_t kIncrementalExactMagic = 0x48494d5049455831ULL;
+constexpr std::uint64_t kExactCashRegisterMagic = 0x48494d5045435231ULL;
+}  // namespace
+
+void IncrementalExactHIndex::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kIncrementalExactMagic);
+  writer.U64(heap_.size());
+  for (const std::uint64_t value : heap_) writer.U64(value);
+}
+
+StatusOr<IncrementalExactHIndex> IncrementalExactHIndex::DeserializeFrom(
+    ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kIncrementalExactMagic) {
+    return Status::InvalidArgument("not an IncrementalExactHIndex checkpoint");
+  }
+  std::uint64_t size = 0;
+  if (!reader.U64(&size)) {
+    return Status::InvalidArgument("truncated IncrementalExactHIndex");
+  }
+  if (size * 8 > reader.remaining()) {
+    return Status::InvalidArgument("corrupt IncrementalExactHIndex size");
+  }
+  IncrementalExactHIndex tracker;
+  tracker.heap_.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    std::uint64_t value = 0;
+    if (!reader.U64(&value)) {
+      return Status::InvalidArgument("truncated IncrementalExactHIndex");
+    }
+    // Invariant: every retained value counts toward H-index == size.
+    if (value < size) {
+      return Status::InvalidArgument(
+          "IncrementalExactHIndex heap entry below its H-index");
+    }
+    tracker.heap_.push_back(value);
+  }
+  if (!std::is_heap(tracker.heap_.begin(), tracker.heap_.end(),
+                    std::greater<>())) {
+    return Status::InvalidArgument("corrupt IncrementalExactHIndex heap");
+  }
+  return tracker;
+}
+
 void ExactCashRegisterHIndex::Update(std::uint64_t paper, std::int64_t delta) {
   HIMPACT_CHECK_MSG(delta >= 0, "cash-register updates must be non-negative");
   if (delta == 0) return;
@@ -85,6 +132,57 @@ void ExactCashRegisterHIndex::Update(std::uint64_t paper, std::int64_t delta) {
 std::uint64_t ExactCashRegisterHIndex::Count(std::uint64_t paper) const {
   const auto it = counts_.find(paper);
   return it == counts_.end() ? 0 : it->second;
+}
+
+void ExactCashRegisterHIndex::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kExactCashRegisterMagic);
+  writer.U64(counts_.size());
+  // Sort for a deterministic byte stream (map iteration order is not
+  // stable across standard libraries).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+      counts_.begin(), counts_.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [paper, count] : sorted) {
+    writer.U64(paper);
+    writer.U64(count);
+  }
+}
+
+StatusOr<ExactCashRegisterHIndex> ExactCashRegisterHIndex::DeserializeFrom(
+    ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kExactCashRegisterMagic) {
+    return Status::InvalidArgument("not an ExactCashRegisterHIndex checkpoint");
+  }
+  std::uint64_t num_papers = 0;
+  if (!reader.U64(&num_papers)) {
+    return Status::InvalidArgument("truncated ExactCashRegisterHIndex");
+  }
+  if (num_papers * 16 > reader.remaining()) {
+    return Status::InvalidArgument("corrupt ExactCashRegisterHIndex size");
+  }
+  ExactCashRegisterHIndex tracker;
+  for (std::uint64_t i = 0; i < num_papers; ++i) {
+    std::uint64_t paper = 0;
+    std::uint64_t count = 0;
+    if (!reader.U64(&paper) || !reader.U64(&count)) {
+      return Status::InvalidArgument("truncated ExactCashRegisterHIndex");
+    }
+    if (count == 0 ||
+        count > static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max())) {
+      return Status::InvalidArgument(
+          "corrupt ExactCashRegisterHIndex paper count");
+    }
+    if (tracker.counts_.contains(paper)) {
+      return Status::InvalidArgument(
+          "duplicate paper in ExactCashRegisterHIndex checkpoint");
+    }
+    // Replaying each aggregate count through Update rebuilds the
+    // histogram and the H-index incrementally — one code path to trust.
+    tracker.Update(paper, static_cast<std::int64_t>(count));
+  }
+  return tracker;
 }
 
 SpaceUsage ExactCashRegisterHIndex::EstimateSpace() const {

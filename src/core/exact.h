@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "core/estimator.h"
 
 /// \file
@@ -46,6 +48,12 @@ class IncrementalExactHIndex final : public AggregateHIndexEstimator {
   /// The exact H-index of the values added so far.
   std::uint64_t HIndex() const { return heap_.size(); }
 
+  /// Appends a checkpoint (the retained min-heap verbatim).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a tracker from a `SerializeTo` checkpoint.
+  static StatusOr<IncrementalExactHIndex> DeserializeFrom(ByteReader& reader);
+
  private:
   std::vector<std::uint64_t> heap_;  // min-heap, |heap_| == current h
 };
@@ -73,6 +81,13 @@ class ExactCashRegisterHIndex final : public CashRegisterHIndexEstimator {
 
   /// Number of distinct papers seen.
   std::uint64_t NumPapers() const { return counts_.size(); }
+
+  /// Appends a checkpoint (per-paper counts, sorted by paper id; the
+  /// histogram and H-index are re-derived on restore).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a tracker from a `SerializeTo` checkpoint.
+  static StatusOr<ExactCashRegisterHIndex> DeserializeFrom(ByteReader& reader);
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> counts_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -86,6 +87,73 @@ void RandomOrderEstimator::Add(std::uint64_t value) {
   }
   window_end_ = position_ + static_cast<std::uint64_t>(
                                 std::max(1.0, std::round(next_window)));
+}
+
+namespace {
+constexpr std::uint64_t kRandomOrderMagic = 0x48494d52414e4431ULL;
+}  // namespace
+
+void RandomOrderEstimator::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kRandomOrderMagic);
+  writer.F64(eps_);
+  writer.U64(n_);
+  writer.F64(beta_);
+  writer.U64(position_);
+  writer.U64(window_end_);
+  writer.I64(guess_);
+  writer.U64(count_);
+  writer.U64(count_next_);
+  writer.F64(accepted_guess_);
+  writer.U64(sampler_done_ ? 1 : 0);
+  fallback_.SerializeTo(writer);
+}
+
+StatusOr<RandomOrderEstimator> RandomOrderEstimator::DeserializeFrom(
+    ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kRandomOrderMagic) {
+    return Status::InvalidArgument("not a RandomOrderEstimator checkpoint");
+  }
+  double eps = 0.0;
+  std::uint64_t n = 0;
+  double beta = 0.0;
+  std::uint64_t position = 0;
+  std::uint64_t window_end = 0;
+  std::int64_t guess = 0;
+  std::uint64_t count = 0;
+  std::uint64_t count_next = 0;
+  double accepted_guess = 0.0;
+  std::uint64_t sampler_done = 0;
+  if (!reader.F64(&eps) || !reader.U64(&n) || !reader.F64(&beta) ||
+      !reader.U64(&position) || !reader.U64(&window_end) ||
+      !reader.I64(&guess) || !reader.U64(&count) ||
+      !reader.U64(&count_next) || !reader.F64(&accepted_guess) ||
+      !reader.U64(&sampler_done)) {
+    return Status::InvalidArgument(
+        "truncated RandomOrderEstimator checkpoint");
+  }
+  if (!(eps > 0.0) || !(eps < 1.0) || n < 1 || !(beta > 0.0) ||
+      !std::isfinite(beta) || sampler_done > 1 || guess < 0 ||
+      guess > (std::int64_t{1} << 32)) {
+    return Status::InvalidArgument("corrupt RandomOrderEstimator parameters");
+  }
+  RandomOrderOptions options;
+  options.beta_override = beta;
+  StatusOr<RandomOrderEstimator> estimator = Create(eps, n, options);
+  if (!estimator.ok()) return estimator.status();
+  StatusOr<ShiftingWindowEstimator> fallback =
+      ShiftingWindowEstimator::DeserializeFrom(reader);
+  if (!fallback.ok()) return fallback.status();
+  RandomOrderEstimator& out = estimator.value();
+  out.position_ = position;
+  out.window_end_ = window_end;
+  out.guess_ = static_cast<int>(guess);
+  out.count_ = count;
+  out.count_next_ = count_next;
+  out.accepted_guess_ = accepted_guess;
+  out.sampler_done_ = sampler_done == 1;
+  out.fallback_ = std::move(fallback).value();
+  return estimator;
 }
 
 double RandomOrderEstimator::Estimate() const {

@@ -76,6 +76,13 @@ class RandomOrderEstimator final : public AggregateHIndexEstimator {
   /// The fallback estimate from Algorithm 2.
   double fallback_estimate() const { return fallback_.Estimate(); }
 
+  /// Appends a checkpoint (parameters + the six sampler words + the
+  /// Algorithm 2 fallback state).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores an estimator from a `SerializeTo` checkpoint.
+  static StatusOr<RandomOrderEstimator> DeserializeFrom(ByteReader& reader);
+
  private:
   RandomOrderEstimator(double eps, std::uint64_t n,
                        const RandomOrderOptions& options,

@@ -40,6 +40,7 @@ StatusOr<HeavyHitters> HeavyHitters::Create(const Options& options,
 
 HeavyHitters::HeavyHitters(const Options& options, std::uint64_t seed)
     : options_(options),
+      seed_(seed),
       num_rows_(NumRows(options)),
       num_buckets_(NumBuckets(options)) {
   std::uint64_t row_seed = SplitMix64(seed ^ 0xe7037ed1a0b428dbULL);
@@ -160,6 +161,82 @@ std::vector<HeavyHitterReport> HeavyHitters::ReportL2Heavy(
     if (report.h_estimate >= threshold) heavy.push_back(report);
   }
   return heavy;
+}
+
+namespace {
+constexpr std::uint64_t kHeavyHittersMagic = 0x48494d5048485331ULL;
+}  // namespace
+
+void HeavyHitters::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kHeavyHittersMagic);
+  writer.F64(options_.eps);
+  writer.F64(options_.delta);
+  writer.U64(options_.max_papers);
+  writer.U64(options_.num_buckets_override);
+  writer.U64(options_.num_rows_override);
+  writer.F64(options_.detector_eps);
+  writer.F64(options_.detector_delta);
+  writer.U64(seed_);
+  writer.U64(num_papers_);
+  writer.U64(cells_.size());
+  for (const OneHeavyHitter& cell : cells_) {
+    cell.SerializeStateTo(writer);
+  }
+}
+
+StatusOr<HeavyHitters> HeavyHitters::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kHeavyHittersMagic) {
+    return Status::InvalidArgument("not a HeavyHitters checkpoint");
+  }
+  Options options;
+  std::uint64_t num_buckets_override = 0;
+  std::uint64_t num_rows_override = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t num_papers = 0;
+  std::uint64_t num_cells = 0;
+  if (!reader.F64(&options.eps) || !reader.F64(&options.delta) ||
+      !reader.U64(&options.max_papers) || !reader.U64(&num_buckets_override) ||
+      !reader.U64(&num_rows_override) || !reader.F64(&options.detector_eps) ||
+      !reader.F64(&options.detector_delta) || !reader.U64(&seed) ||
+      !reader.U64(&num_papers) || !reader.U64(&num_cells)) {
+    return Status::InvalidArgument("truncated HeavyHitters checkpoint");
+  }
+  // eps drives l = 2/eps^2 buckets, each holding a full detector; bound
+  // everything allocation-relevant before the constructor runs. Each
+  // cell's serialized state is at least 7 words, so the cell count must
+  // be consistent with the remaining bytes.
+  if (!(options.eps > 1e-3) || !(options.eps < 1.0) ||
+      !(options.delta > 1e-12) || !(options.delta < 1.0) ||
+      options.max_papers < 2 ||
+      num_buckets_override > (std::uint64_t{1} << 20) ||
+      num_rows_override > (std::uint64_t{1} << 10) ||
+      (options.detector_eps != 0.0 &&
+       (!(options.detector_eps > 1e-4) || !(options.detector_eps < 1.0))) ||
+      (options.detector_delta != 0.0 &&
+       (!(options.detector_delta > 1e-12) ||
+        !(options.detector_delta < 1.0)))) {
+    return Status::InvalidArgument("corrupt HeavyHitters options");
+  }
+  if (num_cells * 7 * 8 > reader.remaining()) {
+    return Status::InvalidArgument(
+        "HeavyHitters checkpoint smaller than its declared geometry");
+  }
+  options.num_buckets_override =
+      static_cast<std::size_t>(num_buckets_override);
+  options.num_rows_override = static_cast<std::size_t>(num_rows_override);
+  StatusOr<HeavyHitters> sketch = Create(options, seed);
+  if (!sketch.ok()) return sketch.status();
+  HeavyHitters& out = sketch.value();
+  if (num_cells != out.cells_.size()) {
+    return Status::InvalidArgument("HeavyHitters cell-count mismatch");
+  }
+  for (OneHeavyHitter& cell : out.cells_) {
+    const Status status = cell.DeserializeStateFrom(reader);
+    if (!status.ok()) return status;
+  }
+  out.num_papers_ = num_papers;
+  return sketch;
 }
 
 SpaceUsage HeavyHitters::EstimateSpace() const {

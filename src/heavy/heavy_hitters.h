@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/status.h"
 #include "hash/k_independent.h"
 #include "heavy/one_heavy_hitter.h"
@@ -114,10 +115,18 @@ class HeavyHitters {
   /// Space across all cells and hash functions.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (options + every cell detector's state). The
+  /// hash rows and cell structures are re-derived from the seed chain.
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a sketch from a `SerializeTo` checkpoint.
+  static StatusOr<HeavyHitters> DeserializeFrom(ByteReader& reader);
+
  private:
   HeavyHitters(const Options& options, std::uint64_t seed);
 
   Options options_;
+  std::uint64_t seed_;  // construction seed (checkpoint reconstruction)
   std::size_t num_rows_;
   std::size_t num_buckets_;
   std::uint64_t num_papers_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "hash/mix.h"
@@ -38,6 +39,7 @@ StatusOr<OneHeavyHitter> OneHeavyHitter::Create(const Options& options,
 
 OneHeavyHitter::OneHeavyHitter(const Options& options, std::uint64_t seed)
     : options_(options),
+      seed_(seed),
       sample_size_(SampleSize(options)),
       grid_(options.max_papers, options.eps),
       rng_(SplitMix64(seed ^ 0x8ad8a41b5b1f1a2dULL)) {
@@ -107,6 +109,139 @@ std::optional<OneHeavyHitterResult> OneHeavyHitter::Detect() const {
     return std::nullopt;
   }
   return OneHeavyHitterResult{*best_author, grid_.Power(level)};
+}
+
+namespace {
+constexpr std::uint64_t kOneHeavyHitterMagic = 0x48494d504f484831ULL;
+
+void WriteSampledPaper(ByteWriter& writer,
+                       const OneHeavyHitter::SampledPaper& paper) {
+  writer.U64(paper.paper);
+  writer.U64(static_cast<std::uint64_t>(paper.authors.size()));
+  for (const AuthorId author : paper.authors) writer.U64(author);
+}
+
+Status ReadSampledPaper(ByteReader& reader,
+                        OneHeavyHitter::SampledPaper* paper) {
+  std::uint64_t paper_id = 0;
+  std::uint64_t num_authors = 0;
+  if (!reader.U64(&paper_id) || !reader.U64(&num_authors)) {
+    return Status::InvalidArgument("truncated sampled paper");
+  }
+  if (num_authors > static_cast<std::uint64_t>(kMaxAuthorsPerPaper)) {
+    return Status::InvalidArgument("sampled paper has too many authors");
+  }
+  paper->paper = paper_id;
+  paper->authors = AuthorList();
+  for (std::uint64_t i = 0; i < num_authors; ++i) {
+    std::uint64_t author = 0;
+    if (!reader.U64(&author)) {
+      return Status::InvalidArgument("truncated sampled paper");
+    }
+    paper->authors.PushBack(author);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+void OneHeavyHitter::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kOneHeavyHitterMagic);
+  writer.F64(options_.eps);
+  writer.F64(options_.delta);
+  writer.U64(options_.max_papers);
+  writer.U64(options_.sample_size_override);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<OneHeavyHitter> OneHeavyHitter::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kOneHeavyHitterMagic) {
+    return Status::InvalidArgument("not a OneHeavyHitter checkpoint");
+  }
+  Options options;
+  std::uint64_t sample_size_override = 0;
+  std::uint64_t seed = 0;
+  if (!reader.F64(&options.eps) || !reader.F64(&options.delta) ||
+      !reader.U64(&options.max_papers) || !reader.U64(&sample_size_override) ||
+      !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated OneHeavyHitter checkpoint");
+  }
+  // A corrupt eps drives the grid's level count, and a corrupt override
+  // drives every reservoir's capacity; both must stay allocation-sane.
+  if (!(options.eps > 1e-4) || !(options.eps < 1.0) ||
+      !(options.delta > 1e-12) || !(options.delta < 1.0) ||
+      options.max_papers < 2 ||
+      sample_size_override > (std::uint64_t{1} << 24)) {
+    return Status::InvalidArgument("corrupt OneHeavyHitter options");
+  }
+  options.sample_size_override =
+      static_cast<std::size_t>(sample_size_override);
+  StatusOr<OneHeavyHitter> detector = Create(options, seed);
+  if (!detector.ok()) return detector.status();
+  const Status status = detector.value().DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return detector;
+}
+
+void OneHeavyHitter::SerializeStateTo(ByteWriter& writer) const {
+  std::uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (const std::uint64_t word : rng_state) writer.U64(word);
+  writer.U64(num_papers_);
+  writer.U64(bucket_.size());
+  for (const std::uint64_t count : bucket_) writer.U64(count);
+  writer.U64(samples_.size());
+  for (const auto& sample : samples_) {
+    sample.SerializeTo(writer, WriteSampledPaper);
+  }
+}
+
+Status OneHeavyHitter::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t rng_state[4] = {0, 0, 0, 0};
+  std::uint64_t num_papers = 0;
+  std::uint64_t num_buckets = 0;
+  if (!reader.U64(&rng_state[0]) || !reader.U64(&rng_state[1]) ||
+      !reader.U64(&rng_state[2]) || !reader.U64(&rng_state[3]) ||
+      !reader.U64(&num_papers) || !reader.U64(&num_buckets)) {
+    return Status::InvalidArgument("truncated OneHeavyHitter state");
+  }
+  if (num_buckets != bucket_.size()) {
+    return Status::InvalidArgument("OneHeavyHitter bucket-count mismatch");
+  }
+  std::vector<std::uint64_t> bucket;
+  bucket.reserve(num_buckets);
+  for (std::uint64_t i = 0; i < num_buckets; ++i) {
+    std::uint64_t count = 0;
+    if (!reader.U64(&count)) {
+      return Status::InvalidArgument("truncated OneHeavyHitter state");
+    }
+    bucket.push_back(count);
+  }
+  std::uint64_t num_samples = 0;
+  if (!reader.U64(&num_samples) || num_samples != samples_.size()) {
+    return Status::InvalidArgument("OneHeavyHitter reservoir-count mismatch");
+  }
+  std::vector<ReservoirSampler<SampledPaper>> samples;
+  samples.reserve(num_samples);
+  for (std::uint64_t i = 0; i < num_samples; ++i) {
+    StatusOr<ReservoirSampler<SampledPaper>> sample =
+        ReservoirSampler<SampledPaper>::DeserializeFrom(reader,
+                                                        ReadSampledPaper);
+    if (!sample.ok()) return sample.status();
+    if (sample.value().capacity() != sample_size_) {
+      return Status::InvalidArgument(
+          "OneHeavyHitter reservoir capacity mismatch");
+    }
+    samples.push_back(std::move(sample).value());
+  }
+  if (!rng_.RestoreState(rng_state)) {
+    return Status::InvalidArgument("corrupt OneHeavyHitter rng state");
+  }
+  num_papers_ = num_papers;
+  bucket_ = std::move(bucket);
+  samples_ = std::move(samples);
+  return Status::OK();
 }
 
 SpaceUsage OneHeavyHitter::EstimateSpace() const {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/math_util.h"
 #include "common/status.h"
 #include "random/rng.h"
@@ -73,8 +74,29 @@ class OneHeavyHitter {
   /// The per-threshold sample size `s`.
   std::size_t sample_size() const { return sample_size_; }
 
+  /// One reservoir entry: a sampled paper id with its author list
+  /// (public so the checkpoint codec can name it).
+  struct SampledPaper {
+    PaperId paper;
+    AuthorList authors;
+  };
+
   /// Space: counters plus all reservoirs.
   SpaceUsage EstimateSpace() const;
+
+  /// Appends a checkpoint (options + counters + reservoirs + rng state).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a detector from a `SerializeTo` checkpoint.
+  static StatusOr<OneHeavyHitter> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable state; `HeavyHitters` re-derives its cell
+  /// detectors from its own seed chain and checkpoints just this.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this detector,
+  /// which must have been constructed with the same options and seed.
+  Status DeserializeStateFrom(ByteReader& reader);
 
  private:
   OneHeavyHitter(const Options& options, std::uint64_t seed);
@@ -83,17 +105,14 @@ class OneHeavyHitter {
   int WinningLevel() const;
 
   Options options_;
+  std::uint64_t seed_;  // construction seed (checkpoint reconstruction)
   std::size_t sample_size_;
   GeometricGrid grid_;
   mutable Rng rng_;
   std::uint64_t num_papers_ = 0;
   std::vector<std::uint64_t> bucket_;  // exact-level counts (suffix = c_i)
   // One reservoir per threshold: a uniform sample of papers whose count
-  // reached (1+eps)^i. We store (paper id, authors).
-  struct SampledPaper {
-    PaperId paper;
-    AuthorList authors;
-  };
+  // reached (1+eps)^i.
   std::vector<ReservoirSampler<SampledPaper>> samples_;
 };
 

@@ -38,6 +38,20 @@ class Rng {
   /// Forks an independent generator (seeded from this one's stream).
   Rng Fork();
 
+  /// Copies the four xoshiro256** state words into `out` (checkpointing).
+  void SaveState(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+
+  /// Restores a state previously captured by `SaveState`. Returns false
+  /// (leaving the generator untouched) for the all-zero state, which
+  /// xoshiro256** cannot escape — callers reject such checkpoints.
+  bool RestoreState(const std::uint64_t state[4]) {
+    if ((state[0] | state[1] | state[2] | state[3]) == 0) return false;
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+    return true;
+  }
+
  private:
   std::uint64_t state_[4];
 };

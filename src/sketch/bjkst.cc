@@ -1,6 +1,8 @@
 #include "sketch/bjkst.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
 #include "common/math_util.h"
@@ -9,7 +11,10 @@
 namespace himpact {
 
 BjkstDistinct::BjkstDistinct(double eps, std::uint64_t seed)
-    : capacity_(0), hash_(/*k=*/2, SplitMix64(seed ^ 0x5be0cd19137e2179ULL)) {
+    : eps_(eps),
+      seed_(seed),
+      capacity_(0),
+      hash_(/*k=*/2, SplitMix64(seed ^ 0x5be0cd19137e2179ULL)) {
   HIMPACT_CHECK(eps > 0.0 && eps < 1.0);
   // c/eps^2 buffer; c = 24 gives the textbook constant-probability bound.
   capacity_ = static_cast<std::size_t>(std::ceil(24.0 / (eps * eps)));
@@ -43,6 +48,82 @@ void BjkstDistinct::Add(std::uint64_t element) {
 
 double BjkstDistinct::Estimate() const {
   return static_cast<double>(buffer_.size()) * std::ldexp(1.0, z_);
+}
+
+namespace {
+constexpr std::uint64_t kBjkstMagic = 0x48494d5042534b31ULL;
+}  // namespace
+
+void BjkstDistinct::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kBjkstMagic);
+  writer.F64(eps_);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<BjkstDistinct> BjkstDistinct::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kBjkstMagic) {
+    return Status::InvalidArgument("not a BjkstDistinct checkpoint");
+  }
+  double eps = 0.0;
+  std::uint64_t seed = 0;
+  if (!reader.F64(&eps) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated BjkstDistinct checkpoint");
+  }
+  // Bound eps below so capacity = 24/eps^2 cannot explode from a corrupt
+  // field; the 1e-3 floor caps the buffer at 24M slots pre-allocation.
+  if (!(eps > 1e-3) || !(eps < 1.0)) {
+    return Status::InvalidArgument("corrupt BjkstDistinct parameters");
+  }
+  BjkstDistinct sketch(eps, seed);
+  const Status status = sketch.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return sketch;
+}
+
+void BjkstDistinct::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(static_cast<std::uint64_t>(z_));
+  // Sort for a deterministic byte stream (the set iterates in hash order,
+  // which is not stable across runs or standard libraries).
+  std::vector<std::uint64_t> sorted(buffer_.begin(), buffer_.end());
+  std::sort(sorted.begin(), sorted.end());
+  writer.U64(sorted.size());
+  for (const std::uint64_t h : sorted) writer.U64(h);
+}
+
+Status BjkstDistinct::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t z = 0;
+  std::uint64_t size = 0;
+  if (!reader.U64(&z) || !reader.U64(&size)) {
+    return Status::InvalidArgument("truncated BjkstDistinct state");
+  }
+  if (z > 64) {
+    return Status::InvalidArgument("corrupt BjkstDistinct depth");
+  }
+  if (size > capacity_ || size * 8 > reader.remaining()) {
+    return Status::InvalidArgument("corrupt BjkstDistinct buffer size");
+  }
+  std::unordered_set<std::uint64_t> buffer;
+  buffer.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    std::uint64_t h = 0;
+    if (!reader.U64(&h)) {
+      return Status::InvalidArgument("truncated BjkstDistinct state");
+    }
+    // Every retained hash must respect the subsampling invariant.
+    if (TrailingZeros(h) < static_cast<int>(z)) {
+      return Status::InvalidArgument(
+          "BjkstDistinct buffer entry violates depth invariant");
+    }
+    buffer.insert(h);
+  }
+  if (buffer.size() != size) {
+    return Status::InvalidArgument("duplicate values in BjkstDistinct buffer");
+  }
+  z_ = static_cast<int>(z);
+  buffer_ = std::move(buffer);
+  return Status::OK();
 }
 
 SpaceUsage BjkstDistinct::EstimateSpace() const {

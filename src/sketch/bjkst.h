@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "hash/k_independent.h"
 
 /// \file
@@ -40,10 +42,25 @@ class BjkstDistinct {
   /// Space used by the instance.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (construction parameters + buffer contents).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores an instance from a `SerializeTo` checkpoint.
+  static StatusOr<BjkstDistinct> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable state (`z` and the sorted buffer).
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this instance,
+  /// which must have been constructed with the same `(eps, seed)`.
+  Status DeserializeStateFrom(ByteReader& reader);
+
  private:
   /// Number of trailing zero bits of `x` (64 for x == 0).
   static int TrailingZeros(std::uint64_t x);
 
+  double eps_;          // construction eps (checkpoint reconstruction)
+  std::uint64_t seed_;  // construction seed (checkpoint reconstruction)
   std::size_t capacity_;
   KIndependentHash hash_;
   int z_ = 0;

@@ -9,7 +9,7 @@
 namespace himpact {
 
 CountMinSketch::CountMinSketch(double eps, double delta, std::uint64_t seed)
-    : seed_(seed) {
+    : eps_(eps), delta_(delta), seed_(seed) {
   HIMPACT_CHECK(eps > 0.0 && eps < 1.0);
   HIMPACT_CHECK(delta > 0.0 && delta < 1.0);
   width_ = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
@@ -50,6 +50,77 @@ void CountMinSketch::Merge(const CountMinSketch& other) {
     counters_[i] += other.counters_[i];
   }
   total_ += other.total_;
+}
+
+namespace {
+constexpr std::uint64_t kCountMinMagic = 0x48494d50434d5331ULL;
+}  // namespace
+
+void CountMinSketch::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kCountMinMagic);
+  writer.F64(eps_);
+  writer.F64(delta_);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<CountMinSketch> CountMinSketch::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kCountMinMagic) {
+    return Status::InvalidArgument("not a CountMinSketch checkpoint");
+  }
+  double eps = 0.0;
+  double delta = 0.0;
+  std::uint64_t seed = 0;
+  if (!reader.F64(&eps) || !reader.F64(&delta) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated CountMinSketch checkpoint");
+  }
+  // Bound eps below so width = e/eps cannot explode, and check that the
+  // implied counter grid actually fits in the remaining buffer before the
+  // constructor allocates it.
+  if (!(eps > 1e-7) || !(eps < 1.0) || !(delta > 1e-12) || !(delta < 1.0)) {
+    return Status::InvalidArgument("corrupt CountMinSketch parameters");
+  }
+  const double implied_width = std::ceil(std::exp(1.0) / eps);
+  const double implied_depth = std::max(1.0, std::ceil(std::log(1.0 / delta)));
+  if (implied_width * implied_depth * 8.0 >
+      static_cast<double>(reader.remaining())) {
+    return Status::InvalidArgument(
+        "CountMinSketch checkpoint smaller than its declared geometry");
+  }
+  CountMinSketch sketch(eps, delta, seed);
+  const Status status = sketch.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return sketch;
+}
+
+void CountMinSketch::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(total_);
+  writer.U64(counters_.size());
+  for (const std::uint64_t counter : counters_) writer.U64(counter);
+}
+
+Status CountMinSketch::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t total = 0;
+  std::uint64_t num_counters = 0;
+  if (!reader.U64(&total) || !reader.U64(&num_counters)) {
+    return Status::InvalidArgument("truncated CountMinSketch state");
+  }
+  if (num_counters != counters_.size()) {
+    return Status::InvalidArgument("CountMinSketch counter-count mismatch");
+  }
+  std::vector<std::uint64_t> counters;
+  counters.reserve(num_counters);
+  for (std::uint64_t i = 0; i < num_counters; ++i) {
+    std::uint64_t counter = 0;
+    if (!reader.U64(&counter)) {
+      return Status::InvalidArgument("truncated CountMinSketch state");
+    }
+    counters.push_back(counter);
+  }
+  total_ = total;
+  counters_ = std::move(counters);
+  return Status::OK();
 }
 
 SpaceUsage CountMinSketch::EstimateSpace() const {

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "hash/k_independent.h"
 
 /// \file
@@ -44,7 +46,22 @@ class CountMinSketch {
   /// Space used by the sketch.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (construction parameters + counters).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a sketch from a `SerializeTo` checkpoint.
+  static StatusOr<CountMinSketch> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable state (total + counters).
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this sketch,
+  /// which must have been constructed with the same parameters.
+  Status DeserializeStateFrom(ByteReader& reader);
+
  private:
+  double eps_;    // construction eps (checkpoint reconstruction)
+  double delta_;  // construction delta (checkpoint reconstruction)
   std::size_t width_;
   std::size_t depth_;
   std::uint64_t seed_;  // construction seed (merge compatibility check)

@@ -60,6 +60,71 @@ void CountSketch::Merge(const CountSketch& other) {
   }
 }
 
+namespace {
+constexpr std::uint64_t kCountSketchMagic = 0x48494d5043534b31ULL;
+}  // namespace
+
+void CountSketch::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kCountSketchMagic);
+  writer.U64(width_);
+  writer.U64(depth_);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<CountSketch> CountSketch::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kCountSketchMagic) {
+    return Status::InvalidArgument("not a CountSketch checkpoint");
+  }
+  std::uint64_t width = 0;
+  std::uint64_t depth = 0;
+  std::uint64_t seed = 0;
+  if (!reader.U64(&width) || !reader.U64(&depth) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated CountSketch checkpoint");
+  }
+  if (width < 1 || depth < 1 || depth % 2 == 0) {
+    return Status::InvalidArgument("corrupt CountSketch parameters");
+  }
+  // The counter grid must fit in the remaining buffer before allocation.
+  if (static_cast<double>(width) * static_cast<double>(depth) * 8.0 >
+      static_cast<double>(reader.remaining())) {
+    return Status::InvalidArgument(
+        "CountSketch checkpoint smaller than its declared geometry");
+  }
+  CountSketch sketch(static_cast<std::size_t>(width),
+                     static_cast<std::size_t>(depth), seed);
+  const Status status = sketch.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return sketch;
+}
+
+void CountSketch::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(counters_.size());
+  for (const std::int64_t counter : counters_) writer.I64(counter);
+}
+
+Status CountSketch::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t num_counters = 0;
+  if (!reader.U64(&num_counters)) {
+    return Status::InvalidArgument("truncated CountSketch state");
+  }
+  if (num_counters != counters_.size()) {
+    return Status::InvalidArgument("CountSketch counter-count mismatch");
+  }
+  std::vector<std::int64_t> counters;
+  counters.reserve(num_counters);
+  for (std::uint64_t i = 0; i < num_counters; ++i) {
+    std::int64_t counter = 0;
+    if (!reader.I64(&counter)) {
+      return Status::InvalidArgument("truncated CountSketch state");
+    }
+    counters.push_back(counter);
+  }
+  counters_ = std::move(counters);
+  return Status::OK();
+}
+
 SpaceUsage CountSketch::EstimateSpace() const {
   SpaceUsage usage;
   for (const auto& hash : bucket_hashes_) usage += hash.EstimateSpace();

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "hash/k_independent.h"
 
 /// \file
@@ -41,6 +43,19 @@ class CountSketch {
 
   /// Space used by the sketch.
   SpaceUsage EstimateSpace() const;
+
+  /// Appends a checkpoint (construction parameters + counters).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a sketch from a `SerializeTo` checkpoint.
+  static StatusOr<CountSketch> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable counters.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this sketch,
+  /// which must have been constructed with the same parameters.
+  Status DeserializeStateFrom(ByteReader& reader);
 
  private:
   /// Row `d`'s bucket and sign for `key`.

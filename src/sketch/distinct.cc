@@ -56,8 +56,44 @@ SpaceUsage KmvCore::EstimateSpace() const {
   return usage;
 }
 
+void KmvCore::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(heap_.size());
+  for (const std::uint64_t h : heap_) writer.U64(h);
+}
+
+Status KmvCore::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t size = 0;
+  if (!reader.U64(&size)) {
+    return Status::InvalidArgument("truncated KmvCore state");
+  }
+  if (size > k_ || size * 8 > reader.remaining()) {
+    return Status::InvalidArgument("corrupt KmvCore retained-set size");
+  }
+  std::vector<std::uint64_t> heap;
+  heap.reserve(k_);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    std::uint64_t h = 0;
+    if (!reader.U64(&h)) {
+      return Status::InvalidArgument("truncated KmvCore state");
+    }
+    heap.push_back(h);
+  }
+  // The heap is serialized verbatim so resume is bit-identical; reject
+  // orderings that would break the eviction invariant.
+  if (!std::is_heap(heap.begin(), heap.end())) {
+    return Status::InvalidArgument("corrupt KmvCore heap ordering");
+  }
+  std::unordered_set<std::uint64_t> members(heap.begin(), heap.end());
+  if (members.size() != heap.size()) {
+    return Status::InvalidArgument("duplicate values in KmvCore heap");
+  }
+  heap_ = std::move(heap);
+  members_ = std::move(members);
+  return Status::OK();
+}
+
 DistinctCounter::DistinctCounter(double eps, double delta, std::uint64_t seed)
-    : k_(0) {
+    : eps_(eps), delta_(delta), seed_(seed), k_(0) {
   HIMPACT_CHECK(eps > 0.0 && eps < 1.0);
   HIMPACT_CHECK(delta > 0.0 && delta < 1.0);
   // Var[1/v_k] gives relative std ~ 1/sqrt(k); k = 4/eps^2 puts a single
@@ -99,6 +135,61 @@ double DistinctCounter::Estimate() const {
                                            estimates.size() / 2),
                    estimates.end());
   return estimates[estimates.size() / 2];
+}
+
+namespace {
+constexpr std::uint64_t kDistinctMagic = 0x48494d5044435431ULL;
+}  // namespace
+
+void DistinctCounter::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kDistinctMagic);
+  writer.F64(eps_);
+  writer.F64(delta_);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<DistinctCounter> DistinctCounter::DeserializeFrom(
+    ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kDistinctMagic) {
+    return Status::InvalidArgument("not a DistinctCounter checkpoint");
+  }
+  double eps = 0.0;
+  double delta = 0.0;
+  std::uint64_t seed = 0;
+  if (!reader.F64(&eps) || !reader.F64(&delta) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated DistinctCounter checkpoint");
+  }
+  // Bound eps below so k = 4/eps^2 cannot explode from a corrupt field;
+  // the 1e-3 floor caps k at 4M words before any allocation happens.
+  if (!(eps > 1e-3) || !(eps < 1.0) || !(delta > 1e-12) || !(delta < 1.0)) {
+    return Status::InvalidArgument("corrupt DistinctCounter parameters");
+  }
+  DistinctCounter counter(eps, delta, seed);
+  const Status status = counter.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return counter;
+}
+
+void DistinctCounter::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(cores_.size());
+  for (const KmvCore& core : cores_) core.SerializeStateTo(writer);
+}
+
+Status DistinctCounter::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t num_cores = 0;
+  if (!reader.U64(&num_cores)) {
+    return Status::InvalidArgument("truncated DistinctCounter state");
+  }
+  if (num_cores != cores_.size()) {
+    return Status::InvalidArgument("DistinctCounter core-count mismatch");
+  }
+  for (KmvCore& core : cores_) {
+    const Status status = core.DeserializeStateFrom(reader);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
 SpaceUsage DistinctCounter::EstimateSpace() const {

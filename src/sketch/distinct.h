@@ -5,7 +5,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "hash/tabulation.h"
 
 /// \file
@@ -40,6 +42,14 @@ class KmvCore {
 
   /// Space used by the core.
   SpaceUsage EstimateSpace() const;
+
+  /// Appends only the retained hash values; `DistinctCounter` re-derives
+  /// the core structure from its own seed and checkpoints just this.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this core,
+  /// which must have been constructed with the same `(k, seed)`.
+  Status DeserializeStateFrom(ByteReader& reader);
 
  private:
   /// Inserts a precomputed hash value into the bottom-k set.
@@ -79,7 +89,23 @@ class DistinctCounter {
   /// Space used by the estimator.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (construction parameters + all core states).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores an estimator from a `SerializeTo` checkpoint.
+  static StatusOr<DistinctCounter> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable core states.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this counter,
+  /// which must have been constructed with the same parameters.
+  Status DeserializeStateFrom(ByteReader& reader);
+
  private:
+  double eps_;          // construction eps (checkpoint reconstruction)
+  double delta_;        // construction delta (checkpoint reconstruction)
+  std::uint64_t seed_;  // construction seed (checkpoint reconstruction)
   std::size_t k_;
   std::vector<KmvCore> cores_;
 };

@@ -10,6 +10,7 @@ namespace himpact {
 
 HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
     : precision_(precision),
+      seed_(seed),
       hash_(SplitMix64(seed ^ 0x7a4a7b1cd2f6a1adULL)) {
   HIMPACT_CHECK(precision >= 4 && precision <= 18);
   registers_.assign(std::size_t{1} << precision, 0);
@@ -54,6 +55,63 @@ double HyperLogLog::Estimate() const {
     estimate = m * std::log(m / static_cast<double>(zero_registers));
   }
   return estimate;
+}
+
+namespace {
+constexpr std::uint64_t kHyperLogLogMagic = 0x48494d50484c4c31ULL;
+}  // namespace
+
+void HyperLogLog::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kHyperLogLogMagic);
+  writer.U64(static_cast<std::uint64_t>(precision_));
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<HyperLogLog> HyperLogLog::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kHyperLogLogMagic) {
+    return Status::InvalidArgument("not a HyperLogLog checkpoint");
+  }
+  std::uint64_t precision = 0;
+  std::uint64_t seed = 0;
+  if (!reader.U64(&precision) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated HyperLogLog checkpoint");
+  }
+  if (precision < 4 || precision > 18) {
+    return Status::InvalidArgument("corrupt HyperLogLog precision");
+  }
+  HyperLogLog sketch(static_cast<int>(precision), seed);
+  const Status status = sketch.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return sketch;
+}
+
+void HyperLogLog::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(registers_.size());
+  writer.Bytes(registers_.data(), registers_.size());
+}
+
+Status HyperLogLog::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t num_registers = 0;
+  if (!reader.U64(&num_registers)) {
+    return Status::InvalidArgument("truncated HyperLogLog state");
+  }
+  if (num_registers != registers_.size()) {
+    return Status::InvalidArgument("HyperLogLog register-count mismatch");
+  }
+  std::vector<std::uint8_t> registers;
+  if (!reader.Bytes(registers_.size(), &registers)) {
+    return Status::InvalidArgument("truncated HyperLogLog state");
+  }
+  for (const std::uint8_t reg : registers) {
+    // Rank never exceeds 64 (leading-zero count of a 64-bit word + 1).
+    if (reg > 64) {
+      return Status::InvalidArgument("corrupt HyperLogLog register value");
+    }
+  }
+  registers_ = std::move(registers);
+  return Status::OK();
 }
 
 SpaceUsage HyperLogLog::EstimateSpace() const {

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "hash/tabulation.h"
 
 /// \file
@@ -35,8 +37,22 @@ class HyperLogLog {
   /// Space used by the sketch.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (construction parameters + registers).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a sketch from a `SerializeTo` checkpoint.
+  static StatusOr<HyperLogLog> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable registers.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this sketch,
+  /// which must have been constructed with the same `(precision, seed)`.
+  Status DeserializeStateFrom(ByteReader& reader);
+
  private:
   int precision_;
+  std::uint64_t seed_;  // construction seed (checkpoint reconstruction)
   TabulationHash hash_;
   std::vector<std::uint8_t> registers_;
 };

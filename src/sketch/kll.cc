@@ -15,7 +15,7 @@ constexpr double kDecay = 2.0 / 3.0;
 }  // namespace
 
 KllSketch::KllSketch(std::size_t k, std::uint64_t seed)
-    : k_(k), rng_(SplitMix64(seed ^ 0x9b05688c2b3e6c1fULL)) {
+    : k_(k), seed_(seed), rng_(SplitMix64(seed ^ 0x9b05688c2b3e6c1fULL)) {
   HIMPACT_CHECK(k >= 8);
   compactors_.emplace_back();
 }
@@ -99,6 +99,90 @@ std::uint64_t KllSketch::Quantile(double q) const {
     if (cumulative >= target) return item;
   }
   return items.back().first;
+}
+
+namespace {
+constexpr std::uint64_t kKllMagic = 0x48494d504b4c4c31ULL;
+}  // namespace
+
+void KllSketch::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kKllMagic);
+  writer.U64(k_);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<KllSketch> KllSketch::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kKllMagic) {
+    return Status::InvalidArgument("not a KllSketch checkpoint");
+  }
+  std::uint64_t k = 0;
+  std::uint64_t seed = 0;
+  if (!reader.U64(&k) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated KllSketch checkpoint");
+  }
+  if (k < 8 || k > (std::uint64_t{1} << 24)) {
+    return Status::InvalidArgument("corrupt KllSketch parameters");
+  }
+  KllSketch sketch(static_cast<std::size_t>(k), seed);
+  const Status status = sketch.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return sketch;
+}
+
+void KllSketch::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(n_);
+  std::uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (const std::uint64_t word : rng_state) writer.U64(word);
+  writer.U64(compactors_.size());
+  for (const std::vector<std::uint64_t>& compactor : compactors_) {
+    writer.U64(compactor.size());
+    for (const std::uint64_t item : compactor) writer.U64(item);
+  }
+}
+
+Status KllSketch::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t n = 0;
+  std::uint64_t rng_state[4] = {0, 0, 0, 0};
+  std::uint64_t num_compactors = 0;
+  if (!reader.U64(&n) || !reader.U64(&rng_state[0]) ||
+      !reader.U64(&rng_state[1]) || !reader.U64(&rng_state[2]) ||
+      !reader.U64(&rng_state[3]) || !reader.U64(&num_compactors)) {
+    return Status::InvalidArgument("truncated KllSketch state");
+  }
+  // At most ~log2(n) levels ever exist; 64 is an absolute ceiling.
+  if (num_compactors < 1 || num_compactors > 64) {
+    return Status::InvalidArgument("corrupt KllSketch compactor count");
+  }
+  std::vector<std::vector<std::uint64_t>> compactors;
+  compactors.reserve(num_compactors);
+  for (std::uint64_t level = 0; level < num_compactors; ++level) {
+    std::uint64_t size = 0;
+    if (!reader.U64(&size)) {
+      return Status::InvalidArgument("truncated KllSketch state");
+    }
+    if (size > k_ + 1 || size * 8 > reader.remaining()) {
+      return Status::InvalidArgument("corrupt KllSketch compactor size");
+    }
+    std::vector<std::uint64_t> compactor;
+    compactor.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      std::uint64_t item = 0;
+      if (!reader.U64(&item)) {
+        return Status::InvalidArgument("truncated KllSketch state");
+      }
+      compactor.push_back(item);
+    }
+    compactors.push_back(std::move(compactor));
+  }
+  if (!rng_.RestoreState(rng_state)) {
+    return Status::InvalidArgument("corrupt KllSketch rng state");
+  }
+  n_ = n;
+  compactors_ = std::move(compactors);
+  return Status::OK();
 }
 
 std::size_t KllSketch::NumRetained() const {

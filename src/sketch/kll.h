@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "random/rng.h"
 
 /// \file
@@ -54,6 +56,21 @@ class KllSketch {
   /// Space used by the sketch.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (construction parameters + compactors + rng).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a sketch from a `SerializeTo` checkpoint. Resume is
+  /// bit-identical: the rng state rides along, so a restored sketch makes
+  /// the same promotion coin flips the original would have.
+  static StatusOr<KllSketch> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable state (n, rng state, compactor contents).
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this sketch,
+  /// which must have been constructed with the same `(k, seed)`.
+  Status DeserializeStateFrom(ByteReader& reader);
+
  private:
   /// Capacity of `level` counted from the top compactor.
   std::size_t CapacityAt(std::size_t level) const;
@@ -62,6 +79,7 @@ class KllSketch {
   void Compress();
 
   std::size_t k_;
+  std::uint64_t seed_;  // construction seed (checkpoint reconstruction)
   std::uint64_t n_ = 0;
   Rng rng_;
   std::vector<std::vector<std::uint64_t>> compactors_;

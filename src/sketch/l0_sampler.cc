@@ -11,6 +11,7 @@ namespace himpact {
 
 L0Sampler::L0Sampler(std::uint64_t universe, double delta, std::uint64_t seed)
     : universe_(universe),
+      delta_(delta),
       seed_(seed),
       sparsity_(0),
       level_hash_(
@@ -85,6 +86,76 @@ StatusOr<L0Sample> L0Sampler::Sample() const {
     return Status::FailedPrecondition("l0-sampler: vector is zero");
   }
   return Status::Unavailable("l0-sampler: no decodable level");
+}
+
+namespace {
+constexpr std::uint64_t kL0SamplerMagic = 0x48494d504c303101ULL;
+}  // namespace
+
+void L0Sampler::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kL0SamplerMagic);
+  writer.U64(universe_);
+  writer.F64(delta_);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<L0Sampler> L0Sampler::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kL0SamplerMagic) {
+    return Status::InvalidArgument("not an L0Sampler checkpoint");
+  }
+  std::uint64_t universe = 0;
+  double delta = 0.0;
+  std::uint64_t seed = 0;
+  if (!reader.U64(&universe) || !reader.F64(&delta) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated L0Sampler checkpoint");
+  }
+  if (universe < 1 || !(delta > 1e-9) || !(delta < 1.0)) {
+    return Status::InvalidArgument("corrupt L0Sampler parameters");
+  }
+  // The constructor sizes levels x rows x cols from (universe, delta); a
+  // corrupt pair must not trigger a huge allocation. Each serialized cell
+  // is 32 bytes, so the implied state must fit in the remaining buffer.
+  // floor() mirrors the constructor's size_t truncation of sparsity; the
+  // bound must not exceed the true geometry or valid checkpoints fail.
+  const double sparsity = std::floor(
+      std::max(8.0, 2.0 * std::log2(1.0 / delta) + 4.0));
+  const double rows =
+      std::max(2.0, std::ceil(std::log2(sparsity / (delta / 2.0))));
+  const double levels = static_cast<double>(
+      CeilLog2(std::max<std::uint64_t>(2, universe)) + 1);
+  if (levels * rows * 2.0 * sparsity * 32.0 >
+      static_cast<double>(reader.remaining())) {
+    return Status::InvalidArgument(
+        "L0Sampler checkpoint smaller than its declared geometry");
+  }
+  L0Sampler sampler(universe, delta, seed);
+  const Status status = sampler.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return sampler;
+}
+
+void L0Sampler::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(levels_.size());
+  for (const SSparseRecovery& level : levels_) {
+    level.SerializeStateTo(writer);
+  }
+}
+
+Status L0Sampler::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t num_levels = 0;
+  if (!reader.U64(&num_levels)) {
+    return Status::InvalidArgument("truncated L0Sampler state");
+  }
+  if (num_levels != levels_.size()) {
+    return Status::InvalidArgument("L0Sampler level-count mismatch");
+  }
+  for (SSparseRecovery& level : levels_) {
+    const Status status = level.DeserializeStateFrom(reader);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
 SpaceUsage L0Sampler::EstimateSpace() const {

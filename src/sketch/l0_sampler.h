@@ -65,8 +65,23 @@ class L0Sampler {
   /// Space used by the sampler.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (construction parameters + all level states).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a sampler from a `SerializeTo` checkpoint.
+  static StatusOr<L0Sampler> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable level states; `CashRegisterEstimator`
+  /// re-derives its samplers from its own seed and checkpoints just this.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this sampler,
+  /// which must have been constructed with the same parameters.
+  Status DeserializeStateFrom(ByteReader& reader);
+
  private:
   std::uint64_t universe_;
+  double delta_;        // construction delta (checkpoint reconstruction)
   std::uint64_t seed_;  // construction seed (merge compatibility check)
   std::size_t sparsity_;
   KIndependentHash level_hash_;

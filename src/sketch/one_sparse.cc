@@ -85,6 +85,74 @@ std::optional<RecoveredEntry> OneSparseCell::Recover() const {
   return RecoveredEntry{index, ell1_};
 }
 
+namespace {
+constexpr std::uint64_t kOneSparseMagic = 0x48494d504f533101ULL;
+
+/// Splits a signed 128-bit value into two little-endian 64-bit halves.
+void WriteI128(ByteWriter& writer, __int128 value) {
+  const unsigned __int128 bits = static_cast<unsigned __int128>(value);
+  writer.U64(static_cast<std::uint64_t>(bits));
+  writer.U64(static_cast<std::uint64_t>(bits >> 64));
+}
+
+bool ReadI128(ByteReader& reader, __int128* value) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  if (!reader.U64(&lo) || !reader.U64(&hi)) return false;
+  *value = static_cast<__int128>(
+      (static_cast<unsigned __int128>(hi) << 64) | lo);
+  return true;
+}
+}  // namespace
+
+void OneSparseCell::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kOneSparseMagic);
+  writer.U64(r_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<OneSparseCell> OneSparseCell::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kOneSparseMagic) {
+    return Status::InvalidArgument("not a OneSparseCell checkpoint");
+  }
+  std::uint64_t r = 0;
+  if (!reader.U64(&r)) {
+    return Status::InvalidArgument("truncated OneSparseCell checkpoint");
+  }
+  if (r == 0 || r >= kMersenne61) {
+    return Status::InvalidArgument(
+        "corrupt OneSparseCell evaluation point");
+  }
+  OneSparseCell cell(/*seed=*/0);
+  cell.r_ = r;
+  const Status status = cell.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return cell;
+}
+
+void OneSparseCell::SerializeStateTo(ByteWriter& writer) const {
+  writer.I64(ell1_);
+  WriteI128(writer, iota_);
+  writer.U64(tau_);
+}
+
+Status OneSparseCell::DeserializeStateFrom(ByteReader& reader) {
+  std::int64_t ell1 = 0;
+  __int128 iota = 0;
+  std::uint64_t tau = 0;
+  if (!reader.I64(&ell1) || !ReadI128(reader, &iota) || !reader.U64(&tau)) {
+    return Status::InvalidArgument("truncated OneSparseCell state");
+  }
+  if (tau >= kMersenne61) {
+    return Status::InvalidArgument("corrupt OneSparseCell fingerprint");
+  }
+  ell1_ = ell1;
+  iota_ = iota;
+  tau_ = tau;
+  return Status::OK();
+}
+
 SpaceUsage OneSparseCell::EstimateSpace() const {
   SpaceUsage usage;
   usage.words = 5;  // r, ell1, iota (2 words), tau

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 
 /// \file
 /// One-sparse recovery cell: the base primitive of the l0-sampler
@@ -75,6 +77,20 @@ class OneSparseCell {
 
   /// Space used by the cell.
   SpaceUsage EstimateSpace() const;
+
+  /// Appends a checkpoint of the cell (evaluation point + linear sums).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a cell from a `SerializeTo` checkpoint.
+  static StatusOr<OneSparseCell> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable linear sums, not the evaluation point.
+  /// Composite sketches (`SSparseRecovery`, `L0Sampler`) re-derive the
+  /// point from their construction seed and checkpoint just this state.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the sums written by `SerializeStateTo` into this cell.
+  Status DeserializeStateFrom(ByteReader& reader);
 
  private:
   std::uint64_t r_;   // fingerprint evaluation point in [1, p)

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "random/rng.h"
 
 /// \file
@@ -57,6 +59,45 @@ class ReservoirSampler {
     usage.words = capacity_ * CeilDiv(sizeof(T), sizeof(std::uint64_t)) + 1;
     usage.bytes = sizeof(*this) + sample_.capacity() * sizeof(T);
     return usage;
+  }
+
+  /// Appends a checkpoint; `write_item(writer, item)` encodes one sample
+  /// element (T is caller-defined, so the codec is too).
+  template <typename WriteItem>
+  void SerializeTo(ByteWriter& writer, WriteItem&& write_item) const {
+    writer.U64(capacity_);
+    writer.U64(seen_);
+    writer.U64(sample_.size());
+    for (const T& item : sample_) write_item(writer, item);
+  }
+
+  /// Restores a reservoir from a `SerializeTo` checkpoint;
+  /// `read_item(reader, &item)` must return a Status and decode exactly
+  /// what `write_item` wrote.
+  template <typename ReadItem>
+  static StatusOr<ReservoirSampler<T>> DeserializeFrom(ByteReader& reader,
+                                                       ReadItem&& read_item) {
+    std::uint64_t capacity = 0;
+    std::uint64_t seen = 0;
+    std::uint64_t size = 0;
+    if (!reader.U64(&capacity) || !reader.U64(&seen) || !reader.U64(&size)) {
+      return Status::InvalidArgument("truncated ReservoirSampler checkpoint");
+    }
+    // A reservoir never holds more than its capacity or more than it has
+    // seen; a corrupt capacity must not drive a giant reserve().
+    if (capacity < 1 || size > capacity || size > seen ||
+        capacity > (std::uint64_t{1} << 32)) {
+      return Status::InvalidArgument("corrupt ReservoirSampler geometry");
+    }
+    ReservoirSampler<T> sampler(static_cast<std::size_t>(capacity));
+    sampler.seen_ = seen;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      T item;
+      const Status status = read_item(reader, &item);
+      if (!status.ok()) return status;
+      sampler.sample_.push_back(item);
+    }
+    return sampler;
   }
 
  private:

@@ -21,6 +21,7 @@ std::uint64_t AddMod61(std::uint64_t a, std::uint64_t b) {
 SSparseRecovery::SSparseRecovery(std::size_t s, double delta,
                                  std::uint64_t seed)
     : s_(s),
+      delta_(delta),
       rows_(0),
       cols_(2 * s),
       seed_(seed),
@@ -97,6 +98,73 @@ SSparseResult SSparseRecovery::Recover() const {
     result.entries.push_back(RecoveredEntry{index, weight});
   }
   return result;
+}
+
+namespace {
+constexpr std::uint64_t kSSparseMagic = 0x48494d5053535031ULL;
+}  // namespace
+
+void SSparseRecovery::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kSSparseMagic);
+  writer.U64(s_);
+  writer.F64(delta_);
+  writer.U64(seed_);
+  SerializeStateTo(writer);
+}
+
+StatusOr<SSparseRecovery> SSparseRecovery::DeserializeFrom(
+    ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kSSparseMagic) {
+    return Status::InvalidArgument("not an SSparseRecovery checkpoint");
+  }
+  std::uint64_t s = 0;
+  double delta = 0.0;
+  std::uint64_t seed = 0;
+  if (!reader.U64(&s) || !reader.F64(&delta) || !reader.U64(&seed)) {
+    return Status::InvalidArgument("truncated SSparseRecovery checkpoint");
+  }
+  // Bound the parameters before the constructor sizes rows_ x cols_ from
+  // them: a corrupt `s` or a denormal `delta` must not trigger a huge
+  // allocation (or a CHECK-abort) while decoding untrusted bytes. The
+  // implied cell state must actually fit in the remaining buffer.
+  if (s < 1 || s > (std::size_t{1} << 20) || !(delta > 1e-12) ||
+      !(delta < 1.0)) {
+    return Status::InvalidArgument("corrupt SSparseRecovery parameters");
+  }
+  const double implied_rows =
+      std::max(2.0, std::ceil(std::log2(static_cast<double>(s) / delta)));
+  const double implied_cells = implied_rows * 2.0 * static_cast<double>(s);
+  // Each serialized cell is 32 bytes (ell1 + iota lo/hi + tau).
+  if (implied_cells * 32.0 > static_cast<double>(reader.remaining())) {
+    return Status::InvalidArgument(
+        "SSparseRecovery checkpoint smaller than its declared geometry");
+  }
+  SSparseRecovery sketch(static_cast<std::size_t>(s), delta, seed);
+  const Status status = sketch.DeserializeStateFrom(reader);
+  if (!status.ok()) return status;
+  return sketch;
+}
+
+void SSparseRecovery::SerializeStateTo(ByteWriter& writer) const {
+  writer.U64(cells_.size());
+  for (const OneSparseCell& cell : cells_) cell.SerializeStateTo(writer);
+  total_.SerializeStateTo(writer);
+}
+
+Status SSparseRecovery::DeserializeStateFrom(ByteReader& reader) {
+  std::uint64_t num_cells = 0;
+  if (!reader.U64(&num_cells)) {
+    return Status::InvalidArgument("truncated SSparseRecovery state");
+  }
+  if (num_cells != cells_.size()) {
+    return Status::InvalidArgument("SSparseRecovery cell-count mismatch");
+  }
+  for (OneSparseCell& cell : cells_) {
+    const Status status = cell.DeserializeStateFrom(reader);
+    if (!status.ok()) return status;
+  }
+  return total_.DeserializeStateFrom(reader);
 }
 
 SpaceUsage SSparseRecovery::EstimateSpace() const {

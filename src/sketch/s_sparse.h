@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 #include "hash/k_independent.h"
 #include "sketch/one_sparse.h"
 
@@ -64,8 +66,23 @@ class SSparseRecovery {
   /// Space used by the structure.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (construction parameters + all cell sums).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a sketch from a `SerializeTo` checkpoint.
+  static StatusOr<SSparseRecovery> DeserializeFrom(ByteReader& reader);
+
+  /// Appends only the mutable cell sums; `L0Sampler` re-derives the
+  /// structure from its own seed and checkpoints just this state.
+  void SerializeStateTo(ByteWriter& writer) const;
+
+  /// Restores the state written by `SerializeStateTo` into this sketch,
+  /// which must have been constructed with the same `(s, delta, seed)`.
+  Status DeserializeStateFrom(ByteReader& reader);
+
  private:
   std::size_t s_;
+  double delta_;  // construction delta (checkpoint reconstruction)
   std::size_t rows_;
   std::size_t cols_;
   std::uint64_t seed_;  // construction seed (merge compatibility check)

@@ -156,6 +156,127 @@ SpaceUsage SpaceSaving::EstimateSpace() const {
   return usage;
 }
 
+namespace {
+constexpr std::uint64_t kSpaceSavingMagic = 0x48494d5053535631ULL;
+constexpr std::uint64_t kMisraGriesMagic = 0x48494d504d475231ULL;
+}  // namespace
+
+void SpaceSaving::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kSpaceSavingMagic);
+  writer.U64(capacity_);
+  writer.U64(total_);
+  writer.U64(slots_.size());
+  for (const Slot& slot : slots_) {
+    writer.U64(slot.key);
+    writer.U64(slot.count);
+    writer.U64(slot.error);
+  }
+  for (const std::size_t slot_index : heap_) writer.U64(slot_index);
+}
+
+StatusOr<SpaceSaving> SpaceSaving::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kSpaceSavingMagic) {
+    return Status::InvalidArgument("not a SpaceSaving checkpoint");
+  }
+  std::uint64_t capacity = 0;
+  std::uint64_t total = 0;
+  std::uint64_t num_slots = 0;
+  if (!reader.U64(&capacity) || !reader.U64(&total) ||
+      !reader.U64(&num_slots)) {
+    return Status::InvalidArgument("truncated SpaceSaving checkpoint");
+  }
+  if (capacity < 1 || num_slots > capacity ||
+      num_slots * 32 > reader.remaining()) {
+    return Status::InvalidArgument("corrupt SpaceSaving geometry");
+  }
+  SpaceSaving summary(static_cast<std::size_t>(capacity));
+  summary.total_ = total;
+  for (std::uint64_t i = 0; i < num_slots; ++i) {
+    Slot slot{0, 0, 0, 0};
+    if (!reader.U64(&slot.key) || !reader.U64(&slot.count) ||
+        !reader.U64(&slot.error)) {
+      return Status::InvalidArgument("truncated SpaceSaving checkpoint");
+    }
+    if (summary.index_.contains(slot.key)) {
+      return Status::InvalidArgument("duplicate key in SpaceSaving slots");
+    }
+    summary.index_.emplace(slot.key, summary.slots_.size());
+    summary.slots_.push_back(slot);
+  }
+  // The heap must be a permutation of the slot indices that satisfies the
+  // min-heap ordering by count; heap_pos is derived, not trusted.
+  std::vector<bool> used(num_slots, false);
+  for (std::uint64_t i = 0; i < num_slots; ++i) {
+    std::uint64_t slot_index = 0;
+    if (!reader.U64(&slot_index)) {
+      return Status::InvalidArgument("truncated SpaceSaving checkpoint");
+    }
+    if (slot_index >= num_slots || used[slot_index]) {
+      return Status::InvalidArgument("SpaceSaving heap is not a permutation");
+    }
+    used[slot_index] = true;
+    summary.slots_[slot_index].heap_pos = summary.heap_.size();
+    summary.heap_.push_back(static_cast<std::size_t>(slot_index));
+  }
+  for (std::size_t i = 1; i < summary.heap_.size(); ++i) {
+    const std::size_t parent = (i - 1) / 2;
+    if (summary.slots_[summary.heap_[parent]].count >
+        summary.slots_[summary.heap_[i]].count) {
+      return Status::InvalidArgument("SpaceSaving heap ordering violated");
+    }
+  }
+  return summary;
+}
+
+void MisraGries::SerializeTo(ByteWriter& writer) const {
+  writer.U64(kMisraGriesMagic);
+  writer.U64(k_);
+  writer.U64(total_);
+  // Sort for a deterministic byte stream (map iteration order is not
+  // stable across standard libraries).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+      counters_.begin(), counters_.end());
+  std::sort(sorted.begin(), sorted.end());
+  writer.U64(sorted.size());
+  for (const auto& [key, count] : sorted) {
+    writer.U64(key);
+    writer.U64(count);
+  }
+}
+
+StatusOr<MisraGries> MisraGries::DeserializeFrom(ByteReader& reader) {
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kMisraGriesMagic) {
+    return Status::InvalidArgument("not a MisraGries checkpoint");
+  }
+  std::uint64_t k = 0;
+  std::uint64_t total = 0;
+  std::uint64_t num_counters = 0;
+  if (!reader.U64(&k) || !reader.U64(&total) || !reader.U64(&num_counters)) {
+    return Status::InvalidArgument("truncated MisraGries checkpoint");
+  }
+  if (k < 1 || num_counters > k || num_counters * 16 > reader.remaining()) {
+    return Status::InvalidArgument("corrupt MisraGries geometry");
+  }
+  MisraGries summary(static_cast<std::size_t>(k));
+  summary.total_ = total;
+  for (std::uint64_t i = 0; i < num_counters; ++i) {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+    if (!reader.U64(&key) || !reader.U64(&count)) {
+      return Status::InvalidArgument("truncated MisraGries checkpoint");
+    }
+    if (count == 0) {
+      return Status::InvalidArgument("zero counter in MisraGries checkpoint");
+    }
+    if (!summary.counters_.emplace(key, count).second) {
+      return Status::InvalidArgument("duplicate key in MisraGries counters");
+    }
+  }
+  return summary;
+}
+
 MisraGries::MisraGries(std::size_t k) : k_(k) {
   HIMPACT_CHECK(k >= 1);
 }

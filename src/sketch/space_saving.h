@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/space.h"
+#include "common/status.h"
 
 /// \file
 /// Deterministic count-based heavy-hitter summaries: SpaceSaving
@@ -51,6 +53,14 @@ class SpaceSaving {
   /// Space used by the summary.
   SpaceUsage EstimateSpace() const;
 
+  /// Appends a checkpoint (capacity + exact slot/heap state, so resume is
+  /// bit-identical to the uninterrupted run).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a summary from a `SerializeTo` checkpoint, validating the
+  /// heap permutation and ordering invariants.
+  static StatusOr<SpaceSaving> DeserializeFrom(ByteReader& reader);
+
  private:
   struct Slot {
     std::uint64_t key;
@@ -92,6 +102,12 @@ class MisraGries {
 
   /// Space used by the summary.
   SpaceUsage EstimateSpace() const;
+
+  /// Appends a checkpoint (k + total + counters, sorted by key).
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// Restores a summary from a `SerializeTo` checkpoint.
+  static StatusOr<MisraGries> DeserializeFrom(ByteReader& reader);
 
  private:
   std::size_t k_;

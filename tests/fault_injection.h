@@ -1,0 +1,71 @@
+#ifndef HIMPACT_TESTS_FAULT_INJECTION_H_
+#define HIMPACT_TESTS_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file
+/// Byte-level fault injectors for checkpoint robustness tests: simulate
+/// torn writes (truncation), media corruption (bit flips, byte smashes),
+/// and partially written files, then assert every decoder rejects the
+/// result with a clean `Status` instead of crashing or misbehaving.
+
+namespace himpact {
+namespace test {
+
+/// The first `length` bytes of `bytes` (a torn write / short read).
+inline std::vector<std::uint8_t> TruncateAt(
+    const std::vector<std::uint8_t>& bytes, std::size_t length) {
+  if (length > bytes.size()) length = bytes.size();
+  return std::vector<std::uint8_t>(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(length));
+}
+
+/// A copy of `bytes` with bit `bit_index` (0 = LSB of byte 0) flipped.
+inline std::vector<std::uint8_t> FlipBit(const std::vector<std::uint8_t>& bytes,
+                                         std::size_t bit_index) {
+  std::vector<std::uint8_t> flipped = bytes;
+  flipped[bit_index / 8] ^=
+      static_cast<std::uint8_t>(1u << (bit_index % 8));
+  return flipped;
+}
+
+/// A copy of `bytes` with the byte at `index` overwritten by `value`.
+inline std::vector<std::uint8_t> SmashByte(
+    const std::vector<std::uint8_t>& bytes, std::size_t index,
+    std::uint8_t value) {
+  std::vector<std::uint8_t> smashed = bytes;
+  smashed[index] = value;
+  return smashed;
+}
+
+/// A copy of `bytes` with `extra` garbage bytes appended (a write that
+/// landed over a longer previous file without truncating it).
+inline std::vector<std::uint8_t> AppendGarbage(
+    const std::vector<std::uint8_t>& bytes, std::size_t extra) {
+  std::vector<std::uint8_t> grown = bytes;
+  for (std::size_t i = 0; i < extra; ++i) {
+    grown.push_back(static_cast<std::uint8_t>(0xa5u ^ (i & 0xffu)));
+  }
+  return grown;
+}
+
+/// Writes `bytes` to `path` directly — deliberately NOT atomic, so tests
+/// can plant torn or corrupt checkpoint files on disk. Returns false on
+/// I/O failure.
+inline bool WriteFileRaw(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const int close_result = std::fclose(file);
+  return written == bytes.size() && close_result == 0;
+}
+
+}  // namespace test
+}  // namespace himpact
+
+#endif  // HIMPACT_TESTS_FAULT_INJECTION_H_
