@@ -1,10 +1,28 @@
 // F2 — Throughput of every estimator (google-benchmark): items/second of
-// the streaming Add/Update paths as a function of eps. Run in Release
-// for meaningful numbers.
+// the streaming Add/Update paths as a function of eps, plus a sharded
+// ingestion-engine sweep (shards 1 -> N) that reports BENCH{...} json
+// lines before the google-benchmark table. Run in Release for meaningful
+// numbers.
+//
+//   ./bench_f2_throughput --shards 8      # sweep 1,2,4,8 shards
+//
+// The sweep defaults to hardware_concurrency; speedups only manifest
+// when the machine actually has that many cores (the json reports
+// hardware_concurrency so results are interpretable).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
 #include "core/cash_register.h"
+#include "engine/sharded_engine.h"
+#include "engine/traits.h"
 #include "core/exact.h"
 #include "core/exponential_histogram.h"
 #include "core/random_order.h"
@@ -179,6 +197,101 @@ void BM_SlidingWindowAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_SlidingWindowAdd);
 
+// --- sharded ingestion-engine sweep ------------------------------------------
+
+// One BENCH json line per shard count: ingest wall-clock throughput of
+// the parallel engine on a cash-register stream driving a deliberately
+// expensive estimator (16 samplers), so per-event work dominates queue
+// overhead and the sweep measures scaling rather than ring traffic.
+void RunShardSweep(std::size_t max_shards) {
+  using Engine = ShardedEngine<CashRegisterEngineTraits<CashRegisterEstimator>>;
+  const std::uint64_t universe = 1 << 12;
+  const std::size_t num_events = 1 << 17;
+  Rng rng(11);
+  std::vector<CitationEvent> events;
+  events.reserve(num_events);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    events.push_back(CitationEvent{rng.UniformU64(universe), 1});
+  }
+  CashRegisterOptions options;
+  options.num_samplers_override = 16;
+  const auto make = [&](std::size_t) {
+    return CashRegisterEstimator::Create(0.2, 0.1, universe, 13, options)
+        .value();
+  };
+
+  std::vector<std::size_t> shard_counts;
+  for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
+    shard_counts.push_back(shards);
+  }
+  if (shard_counts.empty() || shard_counts.back() != max_shards) {
+    shard_counts.push_back(max_shards);
+  }
+
+  double single_shard_rate = 0.0;
+  double single_shard_estimate = 0.0;
+  for (const std::size_t shards : shard_counts) {
+    EngineOptions engine_options;
+    engine_options.num_shards = shards;
+    engine_options.batch_size = 256;
+    engine_options.queue_capacity = 4096;
+    auto engine = Engine::Create(engine_options, make).value();
+    engine.Start();
+    const auto start = std::chrono::steady_clock::now();
+    for (const CitationEvent& event : events) engine.Ingest(event);
+    engine.Finish();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate = static_cast<double>(num_events) / seconds;
+    const double estimate = engine.MergedEstimator().Estimate();
+    std::uint64_t stalls = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      stalls += engine.shard_counters(s).queue_full_stalls;
+    }
+    if (shards == 1) {
+      single_shard_rate = rate;
+      single_shard_estimate = estimate;
+    }
+    std::printf(
+        "BENCH{\"bench\":\"f2_sharded_engine\",\"shards\":%zu,\"batch\":%zu,"
+        "\"events\":%zu,\"events_per_sec\":%.0f,\"speedup_vs_1\":%.2f,"
+        "\"queue_full_stalls\":%llu,\"merge_ms\":%.3f,\"estimate\":%.2f,"
+        "\"single_shard_estimate\":%.2f,\"hardware_concurrency\":%u}\n",
+        shards, engine_options.batch_size, num_events, rate,
+        single_shard_rate > 0.0 ? rate / single_shard_rate : 1.0,
+        static_cast<unsigned long long>(stalls),
+        engine.last_merge_seconds() * 1e3, estimate, single_shard_estimate,
+        std::thread::hardware_concurrency());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so
+// `--shards N` is parsed and stripped here before Initialize.
+int main(int argc, char** argv) {
+  std::size_t max_shards =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--shards") == 0 && it + 1 != args.end()) {
+      const unsigned long long parsed = std::strtoull(*(it + 1), nullptr, 10);
+      if (parsed >= 1 && parsed <= 256) {
+        max_shards = static_cast<std::size_t>(parsed);
+      }
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  RunShardSweep(max_shards);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

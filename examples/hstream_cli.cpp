@@ -24,6 +24,7 @@
 // Prints the streaming estimates, the exact reference, and the space
 // used by each method.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +40,8 @@
 #include "core/exact.h"
 #include "core/exponential_histogram.h"
 #include "core/shifting_window.h"
+#include "engine/sharded_engine.h"
+#include "engine/traits.h"
 #include "eval/table.h"
 #include "heavy/baseline.h"
 #include "heavy/heavy_hitters.h"
@@ -63,6 +66,8 @@ struct CliOptions {
   std::string checkpoint;             // empty -> checkpointing disabled
   std::uint64_t checkpoint_every = 0;  // 0 -> only at end of stream
   std::uint64_t stop_after = 0;        // 0 -> run to end of stream
+  std::uint64_t shards = 1;            // >= 2 -> parallel sharded engine
+  std::uint64_t batch = 256;           // engine dequeue batch size
 };
 
 // --- flag parsing -----------------------------------------------------------
@@ -141,6 +146,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       if (!next_text(&text) ||
           !ParseUint64Value("--stop-after", text, &options->stop_after))
         return false;
+    } else if (arg == "--shards") {
+      if (!next_text(&text) ||
+          !ParseUint64Value("--shards", text, &options->shards))
+        return false;
+      if (options->shards < 1 || options->shards > 256) {
+        std::fprintf(stderr, "bad value for --shards: '%s' (want 1..256)\n",
+                     text);
+        return false;
+      }
+    } else if (arg == "--batch") {
+      if (!next_text(&text) ||
+          !ParseUint64Value("--batch", text, &options->batch))
+        return false;
+      if (options->batch < 1 || options->batch > (1u << 20)) {
+        std::fprintf(stderr, "bad value for --batch: '%s' (want 1..2^20)\n",
+                     text);
+        return false;
+      }
     } else if (arg == "--mode") {
       if (!next_text(&text)) return false;
       const std::string mode = text;
@@ -564,6 +587,347 @@ int RunPapers(const CliOptions& options) {
   return 0;
 }
 
+// --- sharded mode -----------------------------------------------------------
+//
+// With `--shards N` (N >= 2) ingestion runs on the parallel engine: events
+// are hash-partitioned across N private estimator instances behind SPSC
+// rings and the final answer is the merge of the shard states. Only
+// mergeable estimators can be sharded (docs/ALGORITHMS.md,
+// "Mergeability"): Algorithm 1 / Algorithm 5-6 / Algorithm 8 shard
+// cleanly; the exact references and Algorithm 2 are kept on the producer
+// thread (exact) or skipped with a note (Alg 2, not mergeable).
+//
+// Sharded checkpoints keep the PR 1 envelope conventions but split the
+// state: `FILE` holds the session header (+ producer-side exact state) in
+// a kCliSession envelope, `FILE.engine` the engine manifest, and
+// `FILE.engine.shard-<i>` one framed envelope per shard.
+
+himpact::EngineOptions MakeEngineOptions(const CliOptions& options) {
+  himpact::EngineOptions engine_options;
+  engine_options.num_shards = static_cast<std::size_t>(options.shards);
+  engine_options.batch_size = static_cast<std::size_t>(options.batch);
+  engine_options.queue_capacity =
+      std::max<std::size_t>(4096, engine_options.batch_size * 4);
+  return engine_options;
+}
+
+std::string EnginePath(const CliOptions& options) {
+  return options.checkpoint + ".engine";
+}
+
+template <typename Engine>
+void PrintShardReport(const Engine& engine) {
+  std::printf("\nshard  pushed        batches      queue-full stalls\n");
+  for (std::size_t s = 0; s < engine.num_shards(); ++s) {
+    const himpact::ShardCounters counters = engine.shard_counters(s);
+    std::printf("%-6zu %-13llu %-12llu %llu\n", s,
+                static_cast<unsigned long long>(counters.events_pushed),
+                static_cast<unsigned long long>(counters.batches),
+                static_cast<unsigned long long>(counters.queue_full_stalls));
+  }
+  std::printf("merge latency       : %.3f ms\n",
+              engine.last_merge_seconds() * 1e3);
+}
+
+int RunAggregateSharded(const CliOptions& options) {
+  using namespace himpact;
+  using Engine =
+      ShardedEngine<AggregateEngineTraits<ExponentialHistogramEstimator>>;
+  if (!ExponentialHistogramEstimator::Create(options.eps, options.universe)
+           .ok()) {
+    std::fprintf(stderr, "invalid parameters\n");
+    return 1;
+  }
+  auto engine_or = Engine::Create(MakeEngineOptions(options), [&](std::size_t) {
+    return ExponentialHistogramEstimator::Create(options.eps, options.universe)
+        .value();
+  });
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "%s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine = std::move(engine_or).value();
+  IncrementalExactHIndex exact;
+  std::uint64_t consumed = 0;
+
+  if (!options.checkpoint.empty()) {
+    const auto restore = [&]() -> Status {
+      StatusOr<std::vector<std::uint8_t>> payload =
+          ReadCheckpointFile(options.checkpoint, CheckpointTag::kCliSession);
+      if (!payload.ok()) return payload.status();
+      ByteReader reader(payload.value());
+      Status header = ReadSessionHeader(reader, options, &consumed);
+      if (!header.ok()) return header;
+      auto restored_exact = IncrementalExactHIndex::DeserializeFrom(reader);
+      if (!restored_exact.ok()) return restored_exact.status();
+      if (!reader.AtEnd()) {
+        return Status::InvalidArgument("trailing bytes in session checkpoint");
+      }
+      Status engine_status = engine.RestoreFrom(EnginePath(options));
+      if (!engine_status.ok()) return engine_status;
+      exact = std::move(restored_exact).value();
+      return Status::OK();
+    };
+    const Status status = restore();
+    if (!status.ok()) {
+      LogFallback(options, status);
+      consumed = 0;
+    }
+  }
+
+  const auto save = [&]() -> Status {
+    engine.Drain();
+    ByteWriter writer;
+    WriteSessionHeader(writer, options, consumed);
+    exact.SerializeTo(writer);
+    const Status session = SaveSession(options, std::move(writer));
+    if (!session.ok()) return session;
+    return engine.CheckpointTo(EnginePath(options));
+  };
+
+  engine.Start();
+  const std::uint64_t already = consumed;
+  std::uint64_t position = 0;
+  int exit_code = 0;
+  unsigned long long value = 0;
+  while (std::scanf("%llu", &value) == 1) {
+    ++position;
+    if (position <= already) continue;  // replayed: already in the state
+    engine.Ingest(value);
+    exact.Add(value);
+    ++consumed;
+    if (!AfterEvent(options, consumed, save, &exit_code)) return exit_code;
+  }
+  if (!options.checkpoint.empty() && !SaveFinal(save())) return 1;
+  engine.Finish();
+
+  const ExponentialHistogramEstimator merged = engine.MergedEstimator();
+  std::printf("elements            : %llu  (%llu shards)\n",
+              static_cast<unsigned long long>(consumed),
+              static_cast<unsigned long long>(options.shards));
+  std::printf("exact H-index       : %llu\n",
+              static_cast<unsigned long long>(exact.HIndex()));
+  std::printf("Alg 1 estimate      : %.1f  (%llu words/shard)\n",
+              merged.Estimate(),
+              static_cast<unsigned long long>(merged.EstimateSpace().words));
+  std::printf("Alg 2 estimate      : skipped (shifting window is not "
+              "mergeable; rerun with --shards 1)\n");
+  PrintShardReport(engine);
+  return 0;
+}
+
+int RunCashRegisterSharded(const CliOptions& options) {
+  using namespace himpact;
+  using Engine = ShardedEngine<CashRegisterEngineTraits<CashRegisterEstimator>>;
+  auto probe = CashRegisterEstimator::Create(options.eps, options.delta,
+                                             options.universe, options.seed);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  auto engine_or = Engine::Create(MakeEngineOptions(options), [&](std::size_t) {
+    return CashRegisterEstimator::Create(options.eps, options.delta,
+                                         options.universe, options.seed)
+        .value();
+  });
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "%s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine = std::move(engine_or).value();
+  ExactCashRegisterHIndex exact;
+  std::uint64_t consumed = 0;
+
+  if (!options.checkpoint.empty()) {
+    const auto restore = [&]() -> Status {
+      StatusOr<std::vector<std::uint8_t>> payload =
+          ReadCheckpointFile(options.checkpoint, CheckpointTag::kCliSession);
+      if (!payload.ok()) return payload.status();
+      ByteReader reader(payload.value());
+      Status header = ReadSessionHeader(reader, options, &consumed);
+      if (!header.ok()) return header;
+      auto restored_exact = ExactCashRegisterHIndex::DeserializeFrom(reader);
+      if (!restored_exact.ok()) return restored_exact.status();
+      if (!reader.AtEnd()) {
+        return Status::InvalidArgument("trailing bytes in session checkpoint");
+      }
+      Status engine_status = engine.RestoreFrom(EnginePath(options));
+      if (!engine_status.ok()) return engine_status;
+      exact = std::move(restored_exact).value();
+      return Status::OK();
+    };
+    const Status status = restore();
+    if (!status.ok()) {
+      LogFallback(options, status);
+      consumed = 0;
+    }
+  }
+
+  const auto save = [&]() -> Status {
+    engine.Drain();
+    ByteWriter writer;
+    WriteSessionHeader(writer, options, consumed);
+    exact.SerializeTo(writer);
+    const Status session = SaveSession(options, std::move(writer));
+    if (!session.ok()) return session;
+    return engine.CheckpointTo(EnginePath(options));
+  };
+
+  engine.Start();
+  const std::uint64_t already = consumed;
+  std::uint64_t position = 0;
+  int exit_code = 0;
+  unsigned long long paper = 0;
+  long long delta = 0;
+  while (std::scanf("%llu %lld", &paper, &delta) == 2) {
+    if (paper >= options.universe || delta < 0) {
+      std::fprintf(stderr, "bad event: %llu %lld\n", paper, delta);
+      return 1;
+    }
+    ++position;
+    if (position <= already) continue;  // replayed: already in the state
+    engine.Ingest(CitationEvent{paper, delta});
+    exact.Update(paper, delta);
+    ++consumed;
+    if (!AfterEvent(options, consumed, save, &exit_code)) return exit_code;
+  }
+  if (!options.checkpoint.empty() && !SaveFinal(save())) return 1;
+  engine.Finish();
+
+  const CashRegisterEstimator merged = engine.MergedEstimator();
+  std::printf("events              : %llu  (%llu shards)\n",
+              static_cast<unsigned long long>(consumed),
+              static_cast<unsigned long long>(options.shards));
+  std::printf("exact H-index       : %llu  (%llu words)\n",
+              static_cast<unsigned long long>(exact.HIndex()),
+              static_cast<unsigned long long>(exact.EstimateSpace().words));
+  std::printf("Alg 5/6 estimate    : %.1f  (%llu words/shard, %zu samplers)\n",
+              merged.Estimate(),
+              static_cast<unsigned long long>(merged.EstimateSpace().words),
+              merged.num_samplers());
+  PrintShardReport(engine);
+  return 0;
+}
+
+int RunPapersSharded(const CliOptions& options) {
+  using namespace himpact;
+  using Engine = ShardedEngine<PaperEngineTraits<HeavyHitters>>;
+  HeavyHitters::Options hh_options;
+  hh_options.eps = options.eps < 0.15 ? 0.25 : options.eps;
+  hh_options.delta = options.delta;
+  hh_options.max_papers = options.universe;
+  if (!HeavyHitters::Create(hh_options, options.seed).ok()) {
+    std::fprintf(stderr, "invalid parameters\n");
+    return 1;
+  }
+  auto engine_or = Engine::Create(MakeEngineOptions(options), [&](std::size_t) {
+    return HeavyHitters::Create(hh_options, options.seed).value();
+  });
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "%s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine = std::move(engine_or).value();
+  PaperStream papers;
+  std::uint64_t consumed = 0;
+
+  if (!options.checkpoint.empty()) {
+    const auto restore = [&]() -> Status {
+      StatusOr<std::vector<std::uint8_t>> payload =
+          ReadCheckpointFile(options.checkpoint, CheckpointTag::kCliSession);
+      if (!payload.ok()) return payload.status();
+      ByteReader reader(payload.value());
+      Status header = ReadSessionHeader(reader, options, &consumed);
+      if (!header.ok()) return header;
+      std::uint64_t num_papers = 0;
+      if (!reader.U64(&num_papers) ||
+          num_papers * 17 > reader.remaining()) {  // 17 = minimal record size
+        return Status::InvalidArgument("corrupt paper list in checkpoint");
+      }
+      PaperStream restored_papers;
+      restored_papers.reserve(static_cast<std::size_t>(num_papers));
+      for (std::uint64_t i = 0; i < num_papers; ++i) {
+        PaperTuple paper;
+        if (!ReadPaperTupleRecord(reader, &paper)) {
+          return Status::InvalidArgument("corrupt paper record in checkpoint");
+        }
+        restored_papers.push_back(paper);
+      }
+      if (!reader.AtEnd()) {
+        return Status::InvalidArgument("trailing bytes in session checkpoint");
+      }
+      Status engine_status = engine.RestoreFrom(EnginePath(options));
+      if (!engine_status.ok()) return engine_status;
+      papers = std::move(restored_papers);
+      return Status::OK();
+    };
+    const Status status = restore();
+    if (!status.ok()) {
+      LogFallback(options, status);
+      consumed = 0;
+      papers.clear();
+    }
+  }
+
+  const auto save = [&]() -> Status {
+    engine.Drain();
+    ByteWriter writer;
+    WriteSessionHeader(writer, options, consumed);
+    writer.U64(papers.size());
+    for (const PaperTuple& paper : papers) WritePaperTupleRecord(writer, paper);
+    const Status session = SaveSession(options, std::move(writer));
+    if (!session.ok()) return session;
+    return engine.CheckpointTo(EnginePath(options));
+  };
+
+  engine.Start();
+  const std::uint64_t already = consumed;
+  std::uint64_t position = 0;
+  int exit_code = 0;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (IsSkippableLine(line)) continue;
+    StatusOr<PaperTuple> paper = ParsePaperLine(line);
+    if (!paper.ok()) {
+      std::fprintf(stderr, "stdin:%zu: %s\n", line_number,
+                   paper.status().ToString().c_str());
+      return 1;
+    }
+    ++position;
+    if (position <= already) continue;  // replayed: already in the state
+    engine.Ingest(paper.value());
+    papers.push_back(std::move(paper).value());
+    ++consumed;
+    if (!AfterEvent(options, consumed, save, &exit_code)) return exit_code;
+  }
+  if (!options.checkpoint.empty() && !SaveFinal(save())) return 1;
+  engine.Finish();
+
+  const HeavyHitters merged = engine.MergedEstimator();
+  std::printf("papers              : %zu  (%llu shards)\n\n", papers.size(),
+              static_cast<unsigned long long>(options.shards));
+  Table hh_table({"heavy hitters (Alg 8)", "h estimate", "detections"});
+  for (const HeavyHitterReport& report : merged.Report()) {
+    hh_table.NewRow()
+        .Cell(report.author)
+        .Cell(report.h_estimate, 1)
+        .Cell(report.detections);
+  }
+  hh_table.Print();
+
+  std::printf("\n");
+  Table exact_table({"exact top authors", "h-index"});
+  const auto exact = ExactAuthorHIndices(papers);
+  for (std::size_t i = 0; i < exact.size() && i < 5; ++i) {
+    exact_table.NewRow().Cell(exact[i].author).Cell(exact[i].h_index);
+  }
+  exact_table.Print();
+  PrintShardReport(engine);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -573,16 +937,19 @@ int main(int argc, char** argv) {
                  "usage: hstream_cli [--mode aggregate|cash|papers] "
                  "[--eps E] [--delta D] [--universe N] [--seed S]\n"
                  "                   [--checkpoint FILE] "
-                 "[--checkpoint-every N] [--stop-after K] < data\n");
+                 "[--checkpoint-every N] [--stop-after K]\n"
+                 "                   [--shards N] [--batch B] < data\n");
     return 2;
   }
+  const bool sharded = options.shards >= 2;
   switch (options.mode) {
     case CliMode::kCashRegister:
-      return RunCashRegister(options);
+      return sharded ? RunCashRegisterSharded(options)
+                     : RunCashRegister(options);
     case CliMode::kPapers:
-      return RunPapers(options);
+      return sharded ? RunPapersSharded(options) : RunPapers(options);
     case CliMode::kAggregate:
       break;
   }
-  return RunAggregate(options);
+  return sharded ? RunAggregateSharded(options) : RunAggregate(options);
 }

@@ -59,6 +59,8 @@ enum class CheckpointTag : std::uint32_t {
   kIncrementalExact = 22,
   kExactCashRegister = 23,
   kCliSession = 24,
+  kEngineManifest = 25,
+  kEngineShard = 26,
 };
 
 /// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `data`.

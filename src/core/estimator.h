@@ -8,6 +8,24 @@
 /// \file
 /// Common interfaces for H-index estimators, so tests and the bench
 /// harness can sweep algorithms generically.
+///
+/// Contracts every implementation honors (and the sharded engine in
+/// `engine/sharded_engine.h` relies on):
+///
+/// * **Single-writer**: `Add`/`Update` are not thread-safe; an instance
+///   is owned by exactly one thread at a time. Concurrency comes from
+///   running one instance per shard and merging (see below), never from
+///   sharing an instance.
+/// * **Infallible hot path**: ingestion never fails and never throws;
+///   all parameter validation happens in the `Create` factory.
+/// * **Mergeability is per-type, not part of this interface.** Concrete
+///   estimators that support sharding expose
+///   `Merge(const T& other)` — requiring identical construction
+///   parameters and seeds on both sides — plus
+///   `SerializeTo(ByteWriter&)` / `static DeserializeFrom(ByteReader&)`
+///   for checkpoints. The catalogue of which merges are exact, which
+///   are `(1±ε)`-preserving, and which types cannot merge at all is in
+///   `docs/ALGORITHMS.md` ("Mergeability").
 
 namespace himpact {
 
@@ -17,7 +35,8 @@ class AggregateHIndexEstimator {
  public:
   virtual ~AggregateHIndexEstimator() = default;
 
-  /// Observes one publication's response count.
+  /// Observes one publication's response count. Infallible; not
+  /// thread-safe (single-writer contract, see file comment).
   virtual void Add(std::uint64_t value) = 0;
 
   /// Current H-index estimate (0 when nothing qualifies).
@@ -33,7 +52,10 @@ class CashRegisterHIndexEstimator {
  public:
   virtual ~CashRegisterHIndexEstimator() = default;
 
-  /// Observes `delta` new responses for `paper`.
+  /// Observes `delta` new responses for `paper`. Infallible; not
+  /// thread-safe. All updates for one paper must reach the same
+  /// instance — this is why the sharded engine partitions cash-register
+  /// streams by paper id.
   virtual void Update(std::uint64_t paper, std::int64_t delta) = 0;
 
   /// Current H-index estimate (0 when nothing qualifies).

@@ -1,0 +1,385 @@
+#ifndef HIMPACT_ENGINE_SHARDED_ENGINE_H_
+#define HIMPACT_ENGINE_SHARDED_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/envelope.h"
+#include "common/status.h"
+#include "engine/spsc_ring.h"
+#include "engine/stats.h"
+#include "hash/mix.h"
+#include "io/checkpoint.h"
+
+/// \file
+/// Parallel sharded ingestion engine.
+///
+/// `ShardedEngine<Traits>` hash-partitions a stream of events across N
+/// worker shards. Each shard owns a private estimator instance (built by
+/// a caller-supplied factory so every shard gets identical parameters and
+/// seed), fed through a bounded SPSC ring buffer with batched dequeue.
+/// Queries are answered by merging the shard estimators — which is why
+/// only mergeable estimators can be sharded (see docs/ALGORITHMS.md,
+/// "Mergeability").
+///
+/// Threading model: exactly one producer thread calls `Ingest`; each
+/// shard has one worker thread applying events. `Drain()` is a barrier
+/// (every pushed event applied) after which the producer may read shard
+/// estimators, take a merged snapshot, or checkpoint, and then resume
+/// ingesting. All waiting is yield-based so the engine degrades
+/// gracefully when shards outnumber cores.
+///
+/// Checkpoint layout (crash-safe, PR 1 conventions): one manifest
+/// envelope at `<path>` plus N per-shard framed envelopes at
+/// `<path>.shard-<i>`, each written atomically. Shards are written
+/// before the manifest so a torn checkpoint is detected by manifest
+/// validation on restore.
+
+namespace himpact {
+
+/// Engine geometry. `num_shards` workers, each behind a ring of
+/// `queue_capacity` events (rounded up to a power of two), dequeued in
+/// batches of up to `batch_size`.
+struct EngineOptions {
+  std::size_t num_shards = 2;
+  std::size_t queue_capacity = 4096;
+  std::size_t batch_size = 256;
+};
+
+/// What an engine checkpoint's manifest records.
+struct EngineManifest {
+  std::uint64_t num_shards = 0;
+  std::uint64_t total_events = 0;
+};
+
+/// A `Traits` type adapts one estimator family to the engine:
+///
+/// ```
+/// struct MyTraits {
+///   using Event = ...;       // copyable stream element
+///   using Estimator = ...;   // copyable, mergeable estimator
+///   static std::uint64_t Key(const Event&);          // partition key
+///   static void Apply(Estimator&, const Event&);     // ingest one event
+///   static void Merge(Estimator&, const Estimator&); // into <- from
+///   // Only needed when CheckpointTo/RestoreFrom are used:
+///   static void Serialize(const Estimator&, ByteWriter&);
+///   static StatusOr<Estimator> Deserialize(ByteReader&);
+/// };
+/// ```
+///
+/// Ready-made traits for the repo's estimators live in engine/traits.h.
+template <typename Traits>
+class ShardedEngine {
+ public:
+  using Event = typename Traits::Event;
+  using Estimator = typename Traits::Estimator;
+
+  /// Builds an engine whose shard `i` runs `factory(i)`. The factory must
+  /// hand every shard identical parameters and seed, or later merges will
+  /// die on a compatibility check. Workers are not started yet; call
+  /// `Start()`.
+  template <typename Factory>
+  static StatusOr<ShardedEngine> Create(const EngineOptions& options,
+                                        Factory&& factory) {
+    if (options.num_shards < 1) {
+      return Status::InvalidArgument("num_shards must be >= 1");
+    }
+    if (options.batch_size < 1) {
+      return Status::InvalidArgument("batch_size must be >= 1");
+    }
+    if (options.queue_capacity < options.batch_size) {
+      return Status::InvalidArgument("queue_capacity must be >= batch_size");
+    }
+    ShardedEngine engine(options);
+    engine.shards_.reserve(options.num_shards);
+    for (std::size_t i = 0; i < options.num_shards; ++i) {
+      engine.shards_.push_back(
+          std::make_unique<Shard>(options.queue_capacity, factory(i)));
+    }
+    return StatusOr<ShardedEngine>(std::move(engine));
+  }
+
+  ShardedEngine(ShardedEngine&& other) noexcept
+      : options_(other.options_),
+        shards_(std::move(other.shards_)),
+        workers_(std::move(other.workers_)),
+        stop_(std::move(other.stop_)),
+        started_(other.started_),
+        last_merge_seconds_(other.last_merge_seconds_) {
+    other.started_ = false;
+  }
+
+  ShardedEngine& operator=(ShardedEngine&& other) noexcept {
+    if (this != &other) {
+      if (started_) Finish();
+      options_ = other.options_;
+      shards_ = std::move(other.shards_);
+      workers_ = std::move(other.workers_);
+      stop_ = std::move(other.stop_);
+      started_ = other.started_;
+      last_merge_seconds_ = other.last_merge_seconds_;
+      other.started_ = false;
+    }
+    return *this;
+  }
+
+  ~ShardedEngine() {
+    if (started_) Finish();
+  }
+
+  /// Spawns one worker thread per shard. Idempotent. The engine may be
+  /// moved while running: workers reference only heap state.
+  void Start() {
+    if (started_) return;
+    stop_->store(false, std::memory_order_release);
+    workers_.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      workers_.emplace_back(
+          [raw = shard.get(), stop = stop_.get(),
+           batch_size = options_.batch_size] {
+            WorkerLoop(*raw, *stop, batch_size);
+          });
+    }
+    started_ = true;
+  }
+
+  /// Enqueues one event on its key's shard, yielding (and counting a
+  /// stall) while that shard's ring is full. Producer thread only;
+  /// requires `Start()` to have been called (otherwise a full ring would
+  /// spin forever).
+  void Ingest(const Event& event) {
+    Shard& shard = *shards_[ShardOf(Traits::Key(event))];
+    if (!shard.ring.TryPush(event)) {
+      shard.stats.queue_full_stalls.fetch_add(1, std::memory_order_relaxed);
+      do {
+        std::this_thread::yield();
+      } while (!shard.ring.TryPush(event));
+    }
+    shard.stats.pushed.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Blocks until every pushed event has been applied to its shard's
+  /// estimator. Producer thread only. After `Drain()` returns (and until
+  /// the next `Ingest`), shard estimators are stable and safe to read
+  /// from the producer thread.
+  void Drain() {
+    for (auto& shard : shards_) {
+      const std::uint64_t pushed =
+          shard->stats.pushed.load(std::memory_order_relaxed);
+      while (shard->stats.consumed.load(std::memory_order_acquire) < pushed) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Drains, stops, and joins all workers. Idempotent; the engine can be
+  /// restarted with `Start()` afterwards.
+  void Finish() {
+    if (!started_) return;
+    Drain();
+    stop_->store(true, std::memory_order_release);
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    started_ = false;
+  }
+
+  /// Number of shards.
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Engine geometry.
+  const EngineOptions& options() const { return options_; }
+
+  /// Shard `i`'s estimator. Requires quiescence (after `Drain()` or
+  /// `Finish()`, before the next `Ingest`).
+  const Estimator& shard_estimator(std::size_t i) const {
+    return shards_[i]->estimator;
+  }
+
+  /// Merged view of all shards: a copy of shard 0's estimator with every
+  /// other shard merged in. Requires quiescence. Records the merge
+  /// latency, readable via `last_merge_seconds()`.
+  Estimator MergedEstimator() const {
+    const auto start = std::chrono::steady_clock::now();
+    Estimator merged = shards_[0]->estimator;
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+      Traits::Merge(merged, shards_[i]->estimator);
+    }
+    last_merge_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return merged;
+  }
+
+  /// Wall-clock seconds the most recent `MergedEstimator()` call spent
+  /// merging (0 before the first call).
+  double last_merge_seconds() const { return last_merge_seconds_; }
+
+  /// Snapshot of shard `i`'s counters. Safe from any thread.
+  ShardCounters shard_counters(std::size_t i) const {
+    return shards_[i]->stats.Snapshot();
+  }
+
+  /// Total events pushed across shards. Producer thread only.
+  std::uint64_t total_events() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->stats.pushed.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Checkpoints the engine as a manifest at `path` plus one framed
+  /// envelope per shard at `path.shard-<i>`, each written atomically.
+  /// Requires quiescence.
+  Status CheckpointTo(const std::string& path) const {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ByteWriter writer;
+      writer.U64(kEngineShardMagic);
+      writer.U64(static_cast<std::uint64_t>(i));
+      writer.U64(static_cast<std::uint64_t>(shards_.size()));
+      writer.U64(shards_[i]->stats.pushed.load(std::memory_order_relaxed));
+      Traits::Serialize(shards_[i]->estimator, writer);
+      const Status status = WriteCheckpointFile(
+          ShardPath(path, i), CheckpointTag::kEngineShard, writer.buffer());
+      if (!status.ok()) return status;
+    }
+    ByteWriter manifest;
+    manifest.U64(kEngineManifestMagic);
+    manifest.U64(static_cast<std::uint64_t>(shards_.size()));
+    manifest.U64(total_events());
+    return WriteCheckpointFile(path, CheckpointTag::kEngineManifest,
+                               manifest.buffer());
+  }
+
+  /// Reads just the manifest of an engine checkpoint, so callers can
+  /// learn the shard count before constructing a matching engine.
+  /// `kUnavailable` when no checkpoint exists.
+  static StatusOr<EngineManifest> ReadManifest(const std::string& path) {
+    StatusOr<std::vector<std::uint8_t>> payload =
+        ReadCheckpointFile(path, CheckpointTag::kEngineManifest);
+    if (!payload.ok()) return payload.status();
+    ByteReader reader(payload.value());
+    std::uint64_t magic = 0;
+    EngineManifest out;
+    if (!reader.U64(&magic) || magic != kEngineManifestMagic ||
+        !reader.U64(&out.num_shards) || !reader.U64(&out.total_events) ||
+        !reader.AtEnd()) {
+      return Status::InvalidArgument("corrupt engine manifest");
+    }
+    return out;
+  }
+
+  /// Restores shard estimators (and counters) from a `CheckpointTo`
+  /// checkpoint. The engine must not be running, and its shard count must
+  /// match the manifest's (use `ReadManifest` to size the engine first).
+  Status RestoreFrom(const std::string& path) {
+    HIMPACT_CHECK_MSG(!started_, "RestoreFrom requires a stopped engine");
+    StatusOr<EngineManifest> manifest = ReadManifest(path);
+    if (!manifest.ok()) return manifest.status();
+    if (manifest.value().num_shards != shards_.size()) {
+      return Status::InvalidArgument(
+          "engine checkpoint shard count does not match this engine");
+    }
+    std::vector<Estimator> restored;
+    std::vector<std::uint64_t> restored_events;
+    restored.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      StatusOr<std::vector<std::uint8_t>> payload =
+          ReadCheckpointFile(ShardPath(path, i), CheckpointTag::kEngineShard);
+      if (!payload.ok()) return payload.status();
+      ByteReader reader(payload.value());
+      std::uint64_t magic = 0;
+      std::uint64_t shard_index = 0;
+      std::uint64_t num_shards = 0;
+      std::uint64_t events = 0;
+      if (!reader.U64(&magic) || magic != kEngineShardMagic ||
+          !reader.U64(&shard_index) || shard_index != i ||
+          !reader.U64(&num_shards) || num_shards != shards_.size() ||
+          !reader.U64(&events)) {
+        return Status::InvalidArgument("corrupt engine shard checkpoint");
+      }
+      StatusOr<Estimator> estimator = Traits::Deserialize(reader);
+      if (!estimator.ok()) return estimator.status();
+      if (!reader.AtEnd()) {
+        return Status::InvalidArgument(
+            "engine shard checkpoint has trailing bytes");
+      }
+      restored.push_back(std::move(estimator).value());
+      restored_events.push_back(events);
+    }
+    // All pieces decoded: only now mutate the engine.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->estimator = std::move(restored[i]);
+      shards_[i]->stats.pushed.store(restored_events[i],
+                                     std::memory_order_relaxed);
+      shards_[i]->stats.consumed.store(restored_events[i],
+                                       std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+
+  /// The per-shard envelope path used by `CheckpointTo`.
+  static std::string ShardPath(const std::string& path, std::size_t shard) {
+    return path + ".shard-" + std::to_string(shard);
+  }
+
+ private:
+  struct Shard {
+    Shard(std::size_t queue_capacity, Estimator est)
+        : ring(queue_capacity), estimator(std::move(est)) {}
+    SpscRing<Event> ring;
+    ShardStats stats;
+    Estimator estimator;
+  };
+
+  inline static constexpr std::uint64_t kEngineManifestMagic =
+      0x48494d50454e4731ULL;  // "HIMPENG1"
+  inline static constexpr std::uint64_t kEngineShardMagic =
+      0x48494d5053484431ULL;  // "HIMPSHD1"
+
+  explicit ShardedEngine(const EngineOptions& options) : options_(options) {}
+
+  std::size_t ShardOf(std::uint64_t key) const {
+    if (shards_.size() == 1) return 0;
+    return static_cast<std::size_t>(SplitMix64(key) % shards_.size());
+  }
+
+  static void WorkerLoop(Shard& shard, const std::atomic<bool>& stop,
+                         std::size_t batch_size) {
+    std::vector<Event> batch(batch_size);
+    while (true) {
+      const std::size_t n = shard.ring.PopBatch(batch.data(), batch.size());
+      if (n == 0) {
+        // `stop` is set only after the producer stops pushing (Finish
+        // drains first), so an empty ring after seeing the flag is final.
+        if (stop.load(std::memory_order_acquire)) break;
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        Traits::Apply(shard.estimator, batch[i]);
+      }
+      shard.stats.consumed.fetch_add(n, std::memory_order_release);
+      shard.stats.batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::atomic<bool>> stop_ =
+      std::make_unique<std::atomic<bool>>(false);
+  bool started_ = false;
+  mutable double last_merge_seconds_ = 0.0;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_ENGINE_SHARDED_ENGINE_H_

@@ -1,0 +1,89 @@
+#ifndef HIMPACT_ENGINE_SPSC_RING_H_
+#define HIMPACT_ENGINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file
+/// Bounded single-producer/single-consumer ring buffer — the per-shard
+/// event queue of the sharded ingestion engine.
+///
+/// Lock-free in the classic Lamport style: the producer owns `tail_`, the
+/// consumer owns `head_`, and each side keeps a local cache of the other
+/// side's index so the hot path touches a shared cache line only when its
+/// cached view says the ring might be full (producer) or empty
+/// (consumer). Capacity is rounded up to a power of two so slot indexing
+/// is a mask, and the indices are free-running 64-bit counters (no
+/// wrap-around ambiguity at any realistic stream length).
+
+namespace himpact {
+
+/// A bounded SPSC queue of trivially copyable-ish events. Exactly one
+/// thread may call the producer methods (`TryPush`) and exactly one
+/// thread the consumer methods (`PopBatch`); any thread may call
+/// `capacity()`.
+template <typename T>
+class SpscRing {
+ public:
+  /// Creates a ring holding at least `min_capacity` items (rounded up to
+  /// a power of two). Requires `min_capacity >= 1`.
+  explicit SpscRing(std::size_t min_capacity) {
+    HIMPACT_CHECK(min_capacity >= 1);
+    std::size_t capacity = 1;
+    while (capacity < min_capacity) capacity <<= 1;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  /// Attempts to enqueue one item; returns false when the ring is full.
+  /// Producer thread only.
+  bool TryPush(const T& item) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues up to `max_items` items into `out`, returning how many were
+  /// taken (0 when the ring is empty at the time of the call). Consumer
+  /// thread only.
+  std::size_t PopBatch(T* out, std::size_t max_items) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    std::size_t taken = static_cast<std::size_t>(cached_tail_ - head);
+    if (taken > max_items) taken = max_items;
+    for (std::size_t i = 0; i < taken; ++i) {
+      out[i] = slots_[static_cast<std::size_t>(head + i) & mask_];
+    }
+    head_.store(head + taken, std::memory_order_release);
+    return taken;
+  }
+
+  /// Number of item slots.
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<T> slots_;
+  // Producer-owned index and its cache of the consumer's index; separate
+  // cache lines so the two sides do not false-share.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::uint64_t cached_head_ = 0;
+  // Consumer-owned index and its cache of the producer's index.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::uint64_t cached_tail_ = 0;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_ENGINE_SPSC_RING_H_

@@ -1,0 +1,52 @@
+#ifndef HIMPACT_ENGINE_STATS_H_
+#define HIMPACT_ENGINE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// \file
+/// Per-shard counters for the sharded ingestion engine.
+///
+/// The live counters are atomics updated from two threads (the producer
+/// counts pushes and queue-full stalls, the shard worker counts consumed
+/// events and batches); `ShardCounters` is the plain snapshot form handed
+/// to reporting code.
+
+namespace himpact {
+
+/// A point-in-time snapshot of one shard's counters.
+struct ShardCounters {
+  /// Events handed to this shard by the producer.
+  std::uint64_t events_pushed = 0;
+  /// Events the shard worker has applied to its estimator.
+  std::uint64_t events_consumed = 0;
+  /// Dequeue batches the worker has processed (possibly shorter than the
+  /// configured batch size when the ring ran dry).
+  std::uint64_t batches = 0;
+  /// Times the producer found this shard's ring full and had to yield.
+  std::uint64_t queue_full_stalls = 0;
+};
+
+/// The live, thread-shared form. Producer-side fields are written only by
+/// the ingesting thread, consumer-side fields only by the shard worker;
+/// either side (and reporters) may read everything.
+struct ShardStats {
+  alignas(64) std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> queue_full_stalls{0};
+  alignas(64) std::atomic<std::uint64_t> consumed{0};
+  std::atomic<std::uint64_t> batches{0};
+
+  ShardCounters Snapshot() const {
+    ShardCounters counters;
+    counters.events_pushed = pushed.load(std::memory_order_acquire);
+    counters.events_consumed = consumed.load(std::memory_order_acquire);
+    counters.batches = batches.load(std::memory_order_relaxed);
+    counters.queue_full_stalls =
+        queue_full_stalls.load(std::memory_order_relaxed);
+    return counters;
+  }
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_ENGINE_STATS_H_

@@ -1,0 +1,101 @@
+#ifndef HIMPACT_ENGINE_TRAITS_H_
+#define HIMPACT_ENGINE_TRAITS_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "hash/mix.h"
+#include "stream/types.h"
+
+/// \file
+/// Ready-made `ShardedEngine` traits for the repo's three stream shapes.
+///
+/// Each traits type fixes the event type, the partition key, and how an
+/// event is applied; the estimator stays a template parameter so any
+/// mergeable estimator of the right interface can be sharded. Partition
+/// keys are finalized with `SplitMix64` inside the engine, so correlated
+/// raw keys still spread across shards.
+///
+/// Sharding caveat per stream shape:
+///  - Aggregate streams partition by *value*, so any value-mergeable
+///    estimator (ExponentialHistogramEstimator, KLL, HLL, ...) works.
+///  - Cash-register streams partition by *paper id*: all updates to one
+///    paper land on one shard, which per-paper estimators
+///    (CashRegisterEstimator's samplers, CountMin) tolerate because their
+///    merges are linear.
+///  - Paper streams partition by *paper id*; HeavyHitters' merge demands
+///    identical seeds across shards so author buckets line up.
+
+namespace himpact {
+
+/// Aggregate stream (Definition 1): each event is one paper's final
+/// citation count. `Estimator` needs `Add(uint64_t)`, `Merge`,
+/// `SerializeTo`, and static `DeserializeFrom`.
+template <typename E>
+struct AggregateEngineTraits {
+  using Event = std::uint64_t;
+  using Estimator = E;
+  static std::uint64_t Key(const Event& value) { return value; }
+  static void Apply(Estimator& estimator, const Event& value) {
+    estimator.Add(value);
+  }
+  static void Merge(Estimator& into, const Estimator& from) {
+    into.Merge(from);
+  }
+  static void Serialize(const Estimator& estimator, ByteWriter& writer) {
+    estimator.SerializeTo(writer);
+  }
+  static StatusOr<Estimator> Deserialize(ByteReader& reader) {
+    return Estimator::DeserializeFrom(reader);
+  }
+};
+
+/// Cash-register stream (Definition 2): incremental citation updates.
+/// Partitioned by paper id so each paper's counter lives on one shard.
+/// `Estimator` needs `Update(uint64_t, int64_t)`, `Merge`, `SerializeTo`,
+/// and static `DeserializeFrom`.
+template <typename E>
+struct CashRegisterEngineTraits {
+  using Event = CitationEvent;
+  using Estimator = E;
+  static std::uint64_t Key(const Event& event) { return event.paper; }
+  static void Apply(Estimator& estimator, const Event& event) {
+    estimator.Update(event.paper, event.delta);
+  }
+  static void Merge(Estimator& into, const Estimator& from) {
+    into.Merge(from);
+  }
+  static void Serialize(const Estimator& estimator, ByteWriter& writer) {
+    estimator.SerializeTo(writer);
+  }
+  static StatusOr<Estimator> Deserialize(ByteReader& reader) {
+    return Estimator::DeserializeFrom(reader);
+  }
+};
+
+/// Multi-author paper stream (Section 6): full paper tuples. Partitioned
+/// by paper id. `Estimator` needs `AddPaper(const PaperTuple&)`, `Merge`,
+/// `SerializeTo`, and static `DeserializeFrom`.
+template <typename E>
+struct PaperEngineTraits {
+  using Event = PaperTuple;
+  using Estimator = E;
+  static std::uint64_t Key(const Event& event) { return event.paper; }
+  static void Apply(Estimator& estimator, const Event& event) {
+    estimator.AddPaper(event);
+  }
+  static void Merge(Estimator& into, const Estimator& from) {
+    into.Merge(from);
+  }
+  static void Serialize(const Estimator& estimator, ByteWriter& writer) {
+    estimator.SerializeTo(writer);
+  }
+  static StatusOr<Estimator> Deserialize(ByteReader& reader) {
+    return Estimator::DeserializeFrom(reader);
+  }
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_ENGINE_TRAITS_H_

@@ -81,6 +81,20 @@ void HeavyHitters::AddPaper(const PaperTuple& paper) {
   }
 }
 
+void HeavyHitters::Merge(const HeavyHitters& other) {
+  HIMPACT_CHECK_MSG(
+      options_.eps == other.options_.eps &&
+          options_.delta == other.options_.delta &&
+          options_.max_papers == other.options_.max_papers &&
+          num_rows_ == other.num_rows_ &&
+          num_buckets_ == other.num_buckets_ && seed_ == other.seed_,
+      "merging HeavyHitters with different parameters or seeds");
+  num_papers_ += other.num_papers_;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    cells_[c].Merge(other.cells_[c]);
+  }
+}
+
 std::vector<HeavyHitterReport> HeavyHitters::Report() const {
   // Collect detections per author across the grid.
   std::map<AuthorId, std::vector<double>> detections;

@@ -63,6 +63,14 @@ class HeavyHitters {
   /// Observes one paper tuple: hashed per author, per row.
   void AddPaper(const PaperTuple& paper);
 
+  /// Merges another sketch built with identical options *and seed* (the
+  /// row hashes must map every author to the same cells); each (row,
+  /// bucket) detector is merged pairwise. Afterwards the sketch reflects
+  /// both shards' paper streams: cell counters are exact sums, cell
+  /// samples are uniform over the union sub-streams, so `Report()` /
+  /// `ReportHeavy()` keep the Theorem 18 guarantee on the merged stream.
+  void Merge(const HeavyHitters& other);
+
   /// Detected heavy-hitter *candidates*: every author some bucket's
   /// 1-HH detector fired on, deduplicated and sorted by descending
   /// H-index estimate, capped at `ceil(1/eps)` entries (there can be at

@@ -66,6 +66,23 @@ void OneHeavyHitter::AddPaper(const PaperTuple& paper) {
   }
 }
 
+void OneHeavyHitter::Merge(const OneHeavyHitter& other) {
+  HIMPACT_CHECK_MSG(
+      options_.eps == other.options_.eps &&
+          options_.delta == other.options_.delta &&
+          options_.max_papers == other.options_.max_papers &&
+          sample_size_ == other.sample_size_ &&
+          bucket_.size() == other.bucket_.size(),
+      "merging OneHeavyHitters with different parameters");
+  num_papers_ += other.num_papers_;
+  for (std::size_t i = 0; i < bucket_.size(); ++i) {
+    bucket_[i] += other.bucket_[i];
+  }
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    samples_[i].Merge(other.samples_[i], rng_);
+  }
+}
+
 int OneHeavyHitter::WinningLevel() const {
   std::uint64_t suffix = 0;
   for (int i = grid_.num_levels() - 1; i >= 0; --i) {

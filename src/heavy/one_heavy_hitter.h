@@ -59,6 +59,14 @@ class OneHeavyHitter {
   /// Observes one paper tuple.
   void AddPaper(const PaperTuple& paper);
 
+  /// Merges another detector built with identical options (the grids and
+  /// reservoir capacities must line up). The histogram counters add
+  /// exactly; each threshold's reservoir is merged into a uniform sample
+  /// of the union sub-stream (see `ReservoirSampler::Merge`), so the
+  /// Theorem 17 majority test keeps its guarantee over the concatenated
+  /// stream. Counter state is exact; sample contents are re-randomized.
+  void Merge(const OneHeavyHitter& other);
+
   /// Runs the end-of-stream test: the dominant author and the stream's
   /// H-index estimate, or `nullopt` (the paper's FAIL) if no author
   /// covers a `(1-eps)` fraction of the winning threshold's sample.

@@ -34,6 +34,10 @@ void BjkstDistinct::Add(std::uint64_t element) {
   const std::uint64_t h = hash_(element);
   if (TrailingZeros(h) < z_) return;
   buffer_.insert(h);
+  ShrinkToCapacity();
+}
+
+void BjkstDistinct::ShrinkToCapacity() {
   while (buffer_.size() > capacity_) {
     ++z_;
     for (auto it = buffer_.begin(); it != buffer_.end();) {
@@ -44,6 +48,25 @@ void BjkstDistinct::Add(std::uint64_t element) {
       }
     }
   }
+}
+
+void BjkstDistinct::Merge(const BjkstDistinct& other) {
+  HIMPACT_CHECK_MSG(eps_ == other.eps_ && seed_ == other.seed_,
+                    "merging BjkstDistincts with different parameters");
+  if (other.z_ > z_) {
+    z_ = other.z_;
+    for (auto it = buffer_.begin(); it != buffer_.end();) {
+      if (TrailingZeros(*it) < z_) {
+        it = buffer_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::uint64_t h : other.buffer_) {
+    if (TrailingZeros(h) >= z_) buffer_.insert(h);
+  }
+  ShrinkToCapacity();
 }
 
 double BjkstDistinct::Estimate() const {

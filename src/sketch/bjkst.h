@@ -33,6 +33,13 @@ class BjkstDistinct {
   /// Estimated number of distinct elements: `|buffer| * 2^z`.
   double Estimate() const;
 
+  /// Merges another instance built with the same `(eps, seed)`:
+  /// both buffers are re-filtered at `max(z, other.z)` and unioned, then
+  /// the capacity invariant re-established. Exact merge: the resulting
+  /// state is identical to a single instance that saw both streams
+  /// (the retained set is a pure function of the observed hash set).
+  void Merge(const BjkstDistinct& other);
+
   /// Current subsampling depth `z`.
   int z() const { return z_; }
 
@@ -58,6 +65,9 @@ class BjkstDistinct {
  private:
   /// Number of trailing zero bits of `x` (64 for x == 0).
   static int TrailingZeros(std::uint64_t x);
+
+  /// Raises `z` (dropping now-unqualified entries) until the buffer fits.
+  void ShrinkToCapacity();
 
   double eps_;          // construction eps (checkpoint reconstruction)
   std::uint64_t seed_;  // construction seed (checkpoint reconstruction)

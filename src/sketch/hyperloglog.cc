@@ -57,6 +57,16 @@ double HyperLogLog::Estimate() const {
   return estimate;
 }
 
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  HIMPACT_CHECK_MSG(precision_ == other.precision_ && seed_ == other.seed_,
+                    "merging HyperLogLogs with different parameters");
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
 namespace {
 constexpr std::uint64_t kHyperLogLogMagic = 0x48494d50484c4c31ULL;
 }  // namespace

@@ -31,6 +31,12 @@ class HyperLogLog {
   /// Estimates the number of distinct elements observed.
   double Estimate() const;
 
+  /// Merges another sketch built with the same `(precision, seed)`
+  /// (register-wise max); afterwards the estimate covers the union of
+  /// both streams. Exact merge: the merged registers are identical to
+  /// those of a single sketch that saw both streams, in any order.
+  void Merge(const HyperLogLog& other);
+
   /// Number of registers (`2^precision`).
   std::size_t num_registers() const { return registers_.size(); }
 

@@ -65,6 +65,29 @@ void KllSketch::Compress() {
   }
 }
 
+void KllSketch::Merge(const KllSketch& other) {
+  HIMPACT_CHECK_MSG(k_ == other.k_,
+                    "merging KllSketches with different k");
+  if (other.compactors_.size() > compactors_.size()) {
+    compactors_.resize(other.compactors_.size());
+  }
+  for (std::size_t level = 0; level < other.compactors_.size(); ++level) {
+    compactors_[level].insert(compactors_[level].end(),
+                              other.compactors_[level].begin(),
+                              other.compactors_[level].end());
+  }
+  n_ += other.n_;
+  // Re-establish the capacity invariant; each pass halves every over-full
+  // level, so this terminates in O(log) passes.
+  const auto over_full = [this] {
+    for (std::size_t level = 0; level < compactors_.size(); ++level) {
+      if (compactors_[level].size() >= CapacityAt(level)) return true;
+    }
+    return false;
+  };
+  while (over_full()) Compress();
+}
+
 double KllSketch::Rank(std::uint64_t value) const {
   double rank = 0.0;
   double weight = 1.0;

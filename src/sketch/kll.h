@@ -50,6 +50,13 @@ class KllSketch {
   /// whose estimated rank reaches `q * n`.
   std::uint64_t Quantile(double q) const;
 
+  /// Merges another sketch built with the same `k` (seeds may differ:
+  /// the promotion coins do not affect mergeability). Level-wise append
+  /// followed by compaction; rank error after the merge stays within the
+  /// `(a.n + b.n)`-stream guarantee — KLL is `(1±eps)`-preserving under
+  /// merge, not bit-identical to a single-instance run.
+  void Merge(const KllSketch& other);
+
   /// Number of retained items across all compactors.
   std::size_t NumRetained() const;
 

@@ -44,6 +44,56 @@ class ReservoirSampler {
     }
   }
 
+  /// Merges another reservoir of the same capacity; afterwards the
+  /// sample is uniform over the union of both streams. The number of
+  /// survivors taken from each side is drawn hypergeometrically (one
+  /// sequential without-replacement draw per slot, weighted by the
+  /// remaining stream sizes), and the survivors themselves are a uniform
+  /// subset of each side's sample — a uniform subset of a uniform sample
+  /// is uniform, so the merged reservoir keeps the Algorithm 7 sampling
+  /// guarantee. `(1±eps)`-preserving in distribution, not bit-identical
+  /// to a single-instance run.
+  void Merge(const ReservoirSampler<T>& other, Rng& rng) {
+    HIMPACT_CHECK(capacity_ == other.capacity_);
+    if (other.seen_ == 0) return;
+    if (seen_ == 0) {
+      seen_ = other.seen_;
+      sample_ = other.sample_;
+      return;
+    }
+    std::vector<T> a = std::move(sample_);
+    std::vector<T> b = other.sample_;
+    // Remaining (not-yet-assigned) stream sizes on each side; drawing a
+    // slot from side X with probability rx/(ra+rb) and decrementing makes
+    // the per-side slot counts exactly hypergeometric. The count taken
+    // from a side never exceeds its sample size: it is bounded by both
+    // the target (<= capacity) and the side's stream size, and the
+    // sample holds min(capacity, stream size) items.
+    std::uint64_t ra = seen_;
+    std::uint64_t rb = other.seen_;
+    const std::uint64_t total = seen_ + other.seen_;
+    const std::size_t target = static_cast<std::size_t>(
+        total < capacity_ ? total : static_cast<std::uint64_t>(capacity_));
+    std::vector<T> merged;
+    merged.reserve(target);
+    while (merged.size() < target) {
+      const bool from_a = rng.UniformU64(ra + rb) < ra;
+      std::vector<T>& side = from_a ? a : b;
+      const std::size_t j = static_cast<std::size_t>(
+          rng.UniformU64(static_cast<std::uint64_t>(side.size())));
+      merged.push_back(side[j]);
+      side[j] = side.back();
+      side.pop_back();
+      if (from_a) {
+        --ra;
+      } else {
+        --rb;
+      }
+    }
+    sample_ = std::move(merged);
+    seen_ = total;
+  }
+
   /// The current sample (size `min(capacity, items offered)`).
   const std::vector<T>& sample() const { return sample_; }
 

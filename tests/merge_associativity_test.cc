@@ -1,0 +1,299 @@
+// Merge algebra: the engine merges shard estimators in an arbitrary
+// order, so Merge must be associative — merge(a, merge(b, c)) and
+// merge(merge(a, b), c) must answer identically — and the answer must
+// not depend on how many shards the stream was split across (K-way
+// shard-count invariance, K in {1, 2, 3, 8}).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cash_register.h"
+#include "core/exponential_histogram.h"
+#include "hash/mix.h"
+#include "random/rng.h"
+#include "random/zipf.h"
+#include "sketch/bjkst.h"
+#include "sketch/count_min.h"
+#include "sketch/distinct.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/kll.h"
+
+namespace himpact {
+namespace {
+
+// Feeds `stream` into `num_shards` estimators (partitioned by hashed
+// value, like the engine) plus one reference instance, merges the shards
+// left to right, and hands (merged, reference) to `check`.
+template <typename Estimator, typename MakeFn, typename AddFn,
+          typename CheckFn>
+void CheckShardInvariance(const std::vector<std::uint64_t>& stream,
+                          std::size_t num_shards, MakeFn make, AddFn add,
+                          CheckFn check) {
+  Estimator whole = make();
+  std::vector<Estimator> shards;
+  for (std::size_t s = 0; s < num_shards; ++s) shards.push_back(make());
+  for (const std::uint64_t value : stream) {
+    add(whole, value);
+    add(shards[SplitMix64(value) % num_shards], value);
+  }
+  for (std::size_t s = 1; s < num_shards; ++s) shards[0].Merge(shards[s]);
+  check(shards[0], whole);
+}
+
+std::vector<std::uint64_t> ZipfStream(std::uint64_t seed, std::size_t n,
+                                      std::uint64_t universe) {
+  Rng rng(seed);
+  const ZipfSampler zipf(universe, 1.2);
+  std::vector<std::uint64_t> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) stream.push_back(zipf.Sample(rng));
+  return stream;
+}
+
+const std::size_t kShardCounts[] = {1, 2, 3, 8};
+
+// --- associativity ----------------------------------------------------------
+
+// Splits `stream` in three, ingests each third into estimators a/b/c
+// built by `make`, and returns both association orders:
+// (a + (b + c)) and ((a + b) + c).
+template <typename Estimator, typename MakeFn, typename AddFn>
+std::pair<Estimator, Estimator> BothAssociations(
+    const std::vector<std::uint64_t>& stream, MakeFn make, AddFn add) {
+  std::vector<Estimator> left;   // a, b, c
+  std::vector<Estimator> right;  // copies fed identically
+  for (int i = 0; i < 3; ++i) {
+    left.push_back(make());
+    right.push_back(make());
+  }
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    add(left[i % 3], stream[i]);
+    add(right[i % 3], stream[i]);
+  }
+  // left: a + (b + c)
+  left[1].Merge(left[2]);
+  left[0].Merge(left[1]);
+  // right: (a + b) + c
+  right[0].Merge(right[1]);
+  right[0].Merge(right[2]);
+  return {std::move(left[0]), std::move(right[0])};
+}
+
+TEST(MergeAssociativityTest, ExponentialHistogram) {
+  const auto stream = ZipfStream(11, 9000, 5000);
+  auto [abc, ab_c] = BothAssociations<ExponentialHistogramEstimator>(
+      stream,
+      [] { return ExponentialHistogramEstimator::Create(0.1, 5000).value(); },
+      [](auto& est, std::uint64_t v) { est.Add(v); });
+  EXPECT_DOUBLE_EQ(abc.Estimate(), ab_c.Estimate());
+  for (int level = 0; level < abc.grid().num_levels(); ++level) {
+    EXPECT_EQ(abc.Counter(level), ab_c.Counter(level));
+  }
+}
+
+TEST(MergeAssociativityTest, CountMin) {
+  const auto stream = ZipfStream(12, 9000, 600);
+  auto [abc, ab_c] = BothAssociations<CountMinSketch>(
+      stream, [] { return CountMinSketch(0.01, 0.01, 19); },
+      [](auto& est, std::uint64_t v) { est.Update(v); });
+  EXPECT_EQ(abc.total(), ab_c.total());
+  for (std::uint64_t key = 0; key < 600; ++key) {
+    EXPECT_EQ(abc.Query(key), ab_c.Query(key));
+  }
+}
+
+TEST(MergeAssociativityTest, HyperLogLog) {
+  const auto stream = ZipfStream(13, 9000, 4000);
+  auto [abc, ab_c] = BothAssociations<HyperLogLog>(
+      stream, [] { return HyperLogLog(10, 21); },
+      [](auto& est, std::uint64_t v) { est.Add(v); });
+  // Register-wise max is idempotent and commutative: bit-identical.
+  EXPECT_DOUBLE_EQ(abc.Estimate(), ab_c.Estimate());
+}
+
+TEST(MergeAssociativityTest, Bjkst) {
+  const auto stream = ZipfStream(14, 9000, 4000);
+  auto [abc, ab_c] = BothAssociations<BjkstDistinct>(
+      stream, [] { return BjkstDistinct(0.1, 23); },
+      [](auto& est, std::uint64_t v) { est.Add(v); });
+  // Both orders settle on the same minimal sampling level over the same
+  // hash set, so the estimates agree exactly.
+  EXPECT_DOUBLE_EQ(abc.Estimate(), ab_c.Estimate());
+  EXPECT_EQ(abc.buffer_size(), ab_c.buffer_size());
+}
+
+TEST(MergeAssociativityTest, DistinctCounter) {
+  const auto stream = ZipfStream(15, 9000, 4000);
+  auto [abc, ab_c] = BothAssociations<DistinctCounter>(
+      stream, [] { return DistinctCounter(0.1, 0.05, 25); },
+      [](auto& est, std::uint64_t v) { est.Add(v); });
+  EXPECT_DOUBLE_EQ(abc.Estimate(), ab_c.Estimate());
+}
+
+// Paper ids for the cash-register tests: uniform in [0, universe), since
+// the estimator requires `paper < universe` (Zipf samples are 1-based).
+std::vector<std::uint64_t> PaperStream(std::uint64_t seed, std::size_t n,
+                                       std::uint64_t universe) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) stream.push_back(rng.UniformU64(universe));
+  return stream;
+}
+
+TEST(MergeAssociativityTest, CashRegisterEstimator) {
+  const auto stream = PaperStream(16, 6000, 300);
+  CashRegisterOptions options;
+  options.num_samplers_override = 8;
+  auto [abc, ab_c] = BothAssociations<CashRegisterEstimator>(
+      stream,
+      [&] {
+        return CashRegisterEstimator::Create(0.2, 0.1, 300, 27, options)
+            .value();
+      },
+      [](auto& est, std::uint64_t v) { est.Update(v, 1); });
+  // The state is a bank of linear sketches; merging is addition.
+  EXPECT_DOUBLE_EQ(abc.Estimate(), ab_c.Estimate());
+}
+
+TEST(MergeAssociativityTest, KllQuantilesAgreeWithinEps) {
+  // KLL's merge compacts (samples) when capacity overflows, so the two
+  // association orders need not be bit-identical — but both must stay
+  // within the sketch's rank-error guarantee of the truth.
+  const std::size_t n = 12000;
+  std::vector<std::uint64_t> stream;
+  stream.reserve(n);
+  Rng rng(17);
+  for (std::size_t i = 0; i < n; ++i) stream.push_back(rng.UniformU64(100000));
+  auto [abc, ab_c] = BothAssociations<KllSketch>(
+      stream, [] { return KllSketch(200, 29); },
+      [](auto& est, std::uint64_t v) { est.Add(v); });
+  ASSERT_EQ(abc.n(), n);
+  ASSERT_EQ(ab_c.n(), n);
+  std::vector<std::uint64_t> sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const std::uint64_t truth =
+        sorted[static_cast<std::size_t>(q * static_cast<double>(n - 1))];
+    // Rank() returns an absolute count; normalize to a fraction.
+    EXPECT_NEAR(abc.Rank(truth) / static_cast<double>(n), q, 0.05)
+        << "q=" << q;
+    EXPECT_NEAR(ab_c.Rank(truth) / static_cast<double>(n), q, 0.05)
+        << "q=" << q;
+  }
+}
+
+// --- K-way shard-count invariance -------------------------------------------
+
+TEST(ShardCountInvarianceTest, ExponentialHistogram) {
+  const auto stream = ZipfStream(41, 9000, 5000);
+  for (const std::size_t k : kShardCounts) {
+    CheckShardInvariance<ExponentialHistogramEstimator>(
+        stream, k,
+        [] { return ExponentialHistogramEstimator::Create(0.1, 5000).value(); },
+        [](auto& est, std::uint64_t v) { est.Add(v); },
+        [&](const auto& merged, const auto& whole) {
+          EXPECT_DOUBLE_EQ(merged.Estimate(), whole.Estimate())
+              << "shards=" << k;
+          for (int level = 0; level < whole.grid().num_levels(); ++level) {
+            EXPECT_EQ(merged.Counter(level), whole.Counter(level));
+          }
+        });
+  }
+}
+
+TEST(ShardCountInvarianceTest, CountMin) {
+  const auto stream = ZipfStream(42, 9000, 600);
+  for (const std::size_t k : kShardCounts) {
+    CheckShardInvariance<CountMinSketch>(
+        stream, k, [] { return CountMinSketch(0.01, 0.01, 31); },
+        [](auto& est, std::uint64_t v) { est.Update(v); },
+        [&](const auto& merged, const auto& whole) {
+          EXPECT_EQ(merged.total(), whole.total()) << "shards=" << k;
+          for (std::uint64_t key = 0; key < 600; ++key) {
+            EXPECT_EQ(merged.Query(key), whole.Query(key));
+          }
+        });
+  }
+}
+
+TEST(ShardCountInvarianceTest, HyperLogLog) {
+  const auto stream = ZipfStream(43, 9000, 4000);
+  for (const std::size_t k : kShardCounts) {
+    CheckShardInvariance<HyperLogLog>(
+        stream, k, [] { return HyperLogLog(10, 33); },
+        [](auto& est, std::uint64_t v) { est.Add(v); },
+        [&](const auto& merged, const auto& whole) {
+          EXPECT_DOUBLE_EQ(merged.Estimate(), whole.Estimate())
+              << "shards=" << k;
+        });
+  }
+}
+
+TEST(ShardCountInvarianceTest, Bjkst) {
+  const auto stream = ZipfStream(44, 9000, 4000);
+  for (const std::size_t k : kShardCounts) {
+    CheckShardInvariance<BjkstDistinct>(
+        stream, k, [] { return BjkstDistinct(0.1, 35); },
+        [](auto& est, std::uint64_t v) { est.Add(v); },
+        [&](const auto& merged, const auto& whole) {
+          EXPECT_DOUBLE_EQ(merged.Estimate(), whole.Estimate())
+              << "shards=" << k;
+        });
+  }
+}
+
+TEST(ShardCountInvarianceTest, CashRegisterWithinEps) {
+  // The estimate is derived from linear sketches, so sharding by paper id
+  // reproduces the unsharded estimate exactly; we still phrase the check
+  // as a (1 +/- eps) window to mirror the acceptance criterion.
+  const double eps = 0.2;
+  const auto stream = PaperStream(45, 6000, 300);
+  CashRegisterOptions options;
+  options.num_samplers_override = 8;
+  for (const std::size_t k : kShardCounts) {
+    CheckShardInvariance<CashRegisterEstimator>(
+        stream, k,
+        [&] {
+          return CashRegisterEstimator::Create(eps, 0.1, 300, 37, options)
+              .value();
+        },
+        [](auto& est, std::uint64_t v) { est.Update(v, 1); },
+        [&](const auto& merged, const auto& whole) {
+          EXPECT_DOUBLE_EQ(merged.Estimate(), whole.Estimate())
+              << "shards=" << k;
+          EXPECT_LE(merged.Estimate(), (1 + eps) * whole.Estimate() + 1e-9);
+          EXPECT_GE(merged.Estimate(), (1 - eps) * whole.Estimate() - 1e-9);
+        });
+  }
+}
+
+TEST(ShardCountInvarianceTest, KllWithinEps) {
+  const std::size_t n = 12000;
+  std::vector<std::uint64_t> stream;
+  stream.reserve(n);
+  Rng rng(46);
+  for (std::size_t i = 0; i < n; ++i) stream.push_back(rng.UniformU64(100000));
+  std::vector<std::uint64_t> sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::size_t k : kShardCounts) {
+    CheckShardInvariance<KllSketch>(
+        stream, k, [] { return KllSketch(200, 39); },
+        [](auto& est, std::uint64_t v) { est.Add(v); },
+        [&](const auto& merged, const auto& whole) {
+          ASSERT_EQ(merged.n(), whole.n());
+          for (const double q : {0.1, 0.5, 0.9}) {
+            const std::uint64_t truth = sorted[static_cast<std::size_t>(
+                q * static_cast<double>(n - 1))];
+            EXPECT_NEAR(merged.Rank(truth) / static_cast<double>(n), q, 0.05)
+                << "shards=" << k << " q=" << q;
+          }
+        });
+  }
+}
+
+}  // namespace
+}  // namespace himpact
