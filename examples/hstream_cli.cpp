@@ -36,6 +36,7 @@
 
 #include "common/bytes.h"
 #include "common/envelope.h"
+#include "common/flags.h"
 #include "core/cash_register.h"
 #include "core/exact.h"
 #include "core/exponential_histogram.h"
@@ -71,41 +72,13 @@ struct CliOptions {
 };
 
 // --- flag parsing -----------------------------------------------------------
+//
+// Numeric parsing and the "bad value for --flag" diagnostics live in
+// common/flags.h, shared with hstream_serve and the bench drivers.
 
-bool ParseDoubleValue(const char* flag, const char* text, double* out) {
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr, "bad value for %s: '%s' (expected a number)\n", flag,
-                 text);
-    return false;
-  }
-  *out = value;
-  return true;
-}
-
-bool ParseUint64Value(const char* flag, const char* text, std::uint64_t* out) {
-  // strtoull silently accepts a leading '-' (wrapping the value), so
-  // reject any sign explicitly.
-  if (text[0] == '\0' || text[0] == '-' || text[0] == '+') {
-    std::fprintf(stderr,
-                 "bad value for %s: '%s' (expected an unsigned integer)\n",
-                 flag, text);
-    return false;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr,
-                 "bad value for %s: '%s' (expected an unsigned integer)\n",
-                 flag, text);
-    return false;
-  }
-  *out = value;
-  return true;
-}
+using himpact::ParseDoubleFlag;
+using himpact::ParseUint64Flag;
+using himpact::ParseUint64FlagInRange;
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
@@ -120,50 +93,41 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     };
     const char* text = nullptr;
     if (arg == "--eps") {
-      if (!next_text(&text) || !ParseDoubleValue("--eps", text, &options->eps))
+      if (!next_text(&text) || !ParseDoubleFlag("--eps", text, &options->eps))
         return false;
     } else if (arg == "--delta") {
       if (!next_text(&text) ||
-          !ParseDoubleValue("--delta", text, &options->delta))
+          !ParseDoubleFlag("--delta", text, &options->delta))
         return false;
     } else if (arg == "--universe") {
       if (!next_text(&text) ||
-          !ParseUint64Value("--universe", text, &options->universe))
+          !ParseUint64Flag("--universe", text, &options->universe))
         return false;
     } else if (arg == "--seed") {
       if (!next_text(&text) ||
-          !ParseUint64Value("--seed", text, &options->seed))
+          !ParseUint64Flag("--seed", text, &options->seed))
         return false;
     } else if (arg == "--checkpoint") {
       if (!next_text(&text)) return false;
       options->checkpoint = text;
     } else if (arg == "--checkpoint-every") {
       if (!next_text(&text) ||
-          !ParseUint64Value("--checkpoint-every", text,
-                            &options->checkpoint_every))
+          !ParseUint64Flag("--checkpoint-every", text,
+                           &options->checkpoint_every))
         return false;
     } else if (arg == "--stop-after") {
       if (!next_text(&text) ||
-          !ParseUint64Value("--stop-after", text, &options->stop_after))
+          !ParseUint64Flag("--stop-after", text, &options->stop_after))
         return false;
     } else if (arg == "--shards") {
       if (!next_text(&text) ||
-          !ParseUint64Value("--shards", text, &options->shards))
+          !ParseUint64FlagInRange("--shards", text, 1, 256, &options->shards))
         return false;
-      if (options->shards < 1 || options->shards > 256) {
-        std::fprintf(stderr, "bad value for --shards: '%s' (want 1..256)\n",
-                     text);
-        return false;
-      }
     } else if (arg == "--batch") {
       if (!next_text(&text) ||
-          !ParseUint64Value("--batch", text, &options->batch))
+          !ParseUint64FlagInRange("--batch", text, 1, 1u << 20,
+                                  &options->batch))
         return false;
-      if (options->batch < 1 || options->batch > (1u << 20)) {
-        std::fprintf(stderr, "bad value for --batch: '%s' (want 1..2^20)\n",
-                     text);
-        return false;
-      }
     } else if (arg == "--mode") {
       if (!next_text(&text)) return false;
       const std::string mode = text;

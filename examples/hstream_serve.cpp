@@ -1,0 +1,240 @@
+// hstream_serve: the multi-tenant H-impact query service on stdin/stdout.
+//
+// Speaks the line protocol of service/protocol.h — one command per line,
+// one reply per line:
+//
+//   printf 'add 7 12\nget 7\ntop 3\nstats\nquit\n' | \
+//       ./build/examples/hstream_serve --stripes 4 --budget-mb 16
+//
+// State is the tiered per-user registry plus the striped heavy-hitters
+// grid (src/service/): cold users are exact, active users are promoted
+// to Algorithm 1 sketches, and the least-recently-updated users are
+// frozen when the memory budget is hit. `save <path>` checkpoints the
+// whole service (PR 1 envelopes, engine-style manifest); `--restore
+// <path>` resumes from one at startup, falling back to a fresh service
+// with a note on stderr when the checkpoint is missing or damaged.
+//
+// Replies are deterministic for a given command sequence, which is what
+// the kill-and-resume test leans on: a restored server must answer every
+// query byte-identically to the server that wrote the checkpoint.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "common/flags.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace {
+
+struct ServeOptions {
+  himpact::ServiceOptions service;
+  std::string restore;  // empty -> start fresh
+};
+
+bool ParseArgs(int argc, char** argv, ServeOptions* options) {
+  using himpact::ParseDoubleFlag;
+  using himpact::ParseUint64Flag;
+  using himpact::ParseUint64FlagInRange;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_text = [&](const char** out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* text = nullptr;
+    std::uint64_t u64 = 0;
+    if (arg == "--eps") {
+      if (!next_text(&text) ||
+          !ParseDoubleFlag("--eps", text, &options->service.eps))
+        return false;
+    } else if (arg == "--max-h") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--max-h", text, &options->service.max_h))
+        return false;
+    } else if (arg == "--stripes") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--stripes", text, 1, 4096, &u64))
+        return false;
+      options->service.num_stripes = static_cast<std::size_t>(u64);
+    } else if (arg == "--promote-threshold") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--promote-threshold", text,
+                           &options->service.promote_threshold))
+        return false;
+    } else if (arg == "--budget-mb") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--budget-mb", text, 1, 1u << 20, &u64))
+        return false;
+      options->service.memory_budget_bytes = u64 << 20;
+    } else if (arg == "--board") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--board", text, 1, 1u << 16, &u64))
+        return false;
+      options->service.leaderboard_capacity = static_cast<std::size_t>(u64);
+    } else if (arg == "--no-heavy") {
+      options->service.enable_heavy_hitters = false;
+    } else if (arg == "--seed") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--seed", text, &options->service.seed))
+        return false;
+    } else if (arg == "--restore") {
+      if (!next_text(&text)) return false;
+      options->restore = text;
+    } else if (arg == "--help") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintStats(const himpact::HImpactService& service) {
+  const himpact::ServiceStats stats = service.Stats();
+  const himpact::RegistryStats& r = stats.registry;
+  std::printf(
+      "STATS {\"events\":%llu,\"users\":%llu,\"cold\":%llu,\"hot\":%llu,"
+      "\"frozen\":%llu,\"promotions\":%llu,\"demotions\":%llu,"
+      "\"resident_bytes\":%llu,\"budget_bytes\":%llu,\"hh_papers\":%llu}\n",
+      static_cast<unsigned long long>(r.total_events),
+      static_cast<unsigned long long>(r.num_users),
+      static_cast<unsigned long long>(r.cold_users),
+      static_cast<unsigned long long>(r.hot_users),
+      static_cast<unsigned long long>(r.frozen_users),
+      static_cast<unsigned long long>(r.promotions),
+      static_cast<unsigned long long>(r.demotions),
+      static_cast<unsigned long long>(r.resident_bytes),
+      static_cast<unsigned long long>(r.budget_bytes),
+      static_cast<unsigned long long>(stats.hh_papers));
+}
+
+int Serve(himpact::HImpactService& service) {
+  using himpact::Command;
+  using himpact::CommandKind;
+  using himpact::FormatEstimate;
+  using himpact::StatusOr;
+  using himpact::UserSnapshot;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    StatusOr<Command> parsed = himpact::ParseCommandLine(line);
+    if (!parsed.ok()) {
+      std::printf("ERR %s\n", parsed.status().message().c_str());
+      continue;
+    }
+    const Command& command = parsed.value();
+    switch (command.kind) {
+      case CommandKind::kAdd: {
+        const double estimate =
+            service.RecordResponseCount(command.user, command.value);
+        std::printf("OK %s\n", FormatEstimate(estimate).c_str());
+        break;
+      }
+      case CommandKind::kPaper:
+        service.IngestPaper(command.paper);
+        std::printf("OK %d\n", command.paper.authors.size());
+        break;
+      case CommandKind::kGet: {
+        UserSnapshot snapshot;
+        if (service.Lookup(command.user, &snapshot)) {
+          std::printf("H %llu %s %s %llu\n",
+                      static_cast<unsigned long long>(command.user),
+                      FormatEstimate(snapshot.estimate).c_str(),
+                      himpact::TierName(static_cast<int>(snapshot.tier)),
+                      static_cast<unsigned long long>(snapshot.events));
+        } else {
+          std::printf("H %llu 0 none 0\n",
+                      static_cast<unsigned long long>(command.user));
+        }
+        break;
+      }
+      case CommandKind::kTop: {
+        const std::size_t k = static_cast<std::size_t>(command.value);
+        if (k > service.options().leaderboard_capacity) {
+          std::printf("ERR k exceeds leaderboard capacity (%zu)\n",
+                      service.options().leaderboard_capacity);
+          break;
+        }
+        std::printf("TOP");
+        for (const himpact::LeaderboardEntry& entry : service.TopK(k)) {
+          std::printf(" %llu:%s",
+                      static_cast<unsigned long long>(entry.user),
+                      FormatEstimate(entry.estimate).c_str());
+        }
+        std::printf("\n");
+        break;
+      }
+      case CommandKind::kHeavy: {
+        std::printf("HEAVY");
+        for (const himpact::HeavyHitterReport& report :
+             service.HeavyReport()) {
+          std::printf(" %llu:%s",
+                      static_cast<unsigned long long>(report.author),
+                      FormatEstimate(report.h_estimate).c_str());
+        }
+        std::printf("\n");
+        break;
+      }
+      case CommandKind::kStats:
+        PrintStats(service);
+        break;
+      case CommandKind::kSave: {
+        const himpact::Status saved = service.CheckpointTo(command.path);
+        if (saved.ok()) {
+          std::printf("OK saved %s\n", command.path.c_str());
+        } else {
+          std::printf("ERR %s\n", saved.message().c_str());
+        }
+        break;
+      }
+      case CommandKind::kQuit:
+        std::printf("BYE\n");
+        return 0;
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: hstream_serve [--eps E] [--max-h N] [--stripes S]\n"
+                 "                     [--promote-threshold T] "
+                 "[--budget-mb MB] [--board K]\n"
+                 "                     [--no-heavy] [--seed S] "
+                 "[--restore FILE]\n"
+                 "commands on stdin: add/paper/get/top/heavy/stats/save/"
+                 "quit\n");
+    return 2;
+  }
+  auto service_or = himpact::HImpactService::Create(options.service);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());
+    return 1;
+  }
+  himpact::HImpactService service = std::move(service_or).value();
+  if (!options.restore.empty()) {
+    const himpact::Status restored = service.RestoreFrom(options.restore);
+    if (!restored.ok()) {
+      std::fprintf(stderr,
+                   "checkpoint unavailable (%s): %s; starting fresh\n",
+                   options.restore.c_str(), restored.message().c_str());
+    }
+  }
+  // Line-buffered replies so popen-driven tests and pipelines see each
+  // reply as soon as its command is processed (Serve also flushes).
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  return Serve(service);
+}

@@ -1,18 +1,19 @@
 // Trending authors: the sliding-window extension in a multi-user
 // setting. An editorial dashboard wants "who is impactful *right now*",
-// not all-time: per author we keep a windowed H-index (last W papers of
-// that author) next to the all-time streaming estimate, and watch a
-// rising star overtake a faded legend as the stream progresses.
+// not all-time: the service's tiered registry keeps the all-time
+// streaming estimate per author, and next to it we keep a windowed
+// H-index (last W papers of that author) — then watch a rising star
+// overtake a faded legend as the stream progresses.
 //
 //   ./build/examples/trending_authors
 
 #include <cstdio>
 
 #include "core/per_author.h"
-#include "core/shifting_window.h"
 #include "core/sliding_window_hindex.h"
 #include "eval/table.h"
 #include "random/rng.h"
+#include "service/service.h"
 #include "stream/types.h"
 
 int main() {
@@ -21,10 +22,20 @@ int main() {
   const double eps = 0.15;
   const std::uint64_t window = 60;  // each author's last 60 papers
 
-  // All-time estimates (Algorithm 2) and windowed estimates (DGIM).
-  PerAuthorHIndex<ShiftingWindowEstimator> all_time([&] {
-    return ShiftingWindowEstimator::Create(eps).value();
-  });
+  // All-time estimates come from the query service (tiered registry:
+  // both authors publish enough to be promoted to sketch-backed hot
+  // state); windowed estimates from per-author DGIM — the service has
+  // no forgetting, which is exactly the contrast this demo is about.
+  ServiceOptions options;
+  options.eps = eps;
+  options.promote_threshold = 32;
+  options.enable_heavy_hitters = false;
+  auto service_or = HImpactService::Create(options);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());
+    return 1;
+  }
+  HImpactService service = std::move(service_or).value();
   PerAuthorHIndex<SlidingWindowHIndex> trending([&] {
     return SlidingWindowHIndex::Create(eps, window).value();
   });
@@ -42,7 +53,7 @@ int main() {
     paper.paper = next_paper++;
     paper.authors.PushBack(author);
     paper.citations = citations;
-    all_time.AddPaper(paper);
+    service.IngestPaper(paper);
     trending.AddPaper(paper);
   };
 
@@ -64,13 +75,22 @@ int main() {
     const double riser_trend = trending.Estimate(kRiser);
     table.NewRow()
         .Cell(eras[era])
-        .Cell(all_time.Estimate(kLegend), 1)
+        .Cell(service.PointHIndex(kLegend), 1)
         .Cell(legend_trend, 1)
-        .Cell(all_time.Estimate(kRiser), 1)
+        .Cell(service.PointHIndex(kRiser), 1)
         .Cell(riser_trend, 1)
         .Cell(riser_trend > legend_trend ? "riser" : "legend");
   }
   table.Print();
+
+  const RegistryStats stats = service.Stats().registry;
+  std::printf(
+      "\nregistry: %llu users (%llu hot), %llu events — both careers were\n"
+      "promoted past the cold tier at %llu papers.\n",
+      static_cast<unsigned long long>(stats.num_users),
+      static_cast<unsigned long long>(stats.hot_users),
+      static_cast<unsigned long long>(stats.total_events),
+      static_cast<unsigned long long>(options.promote_threshold));
 
   std::printf(
       "\nthe all-time columns can only grow (an H-index never falls), so\n"

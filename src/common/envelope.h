@@ -61,6 +61,8 @@ enum class CheckpointTag : std::uint32_t {
   kCliSession = 24,
   kEngineManifest = 25,
   kEngineShard = 26,
+  kServiceManifest = 27,
+  kServiceStripe = 28,
 };
 
 /// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `data`.

@@ -1,0 +1,63 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace himpact {
+
+bool ParseUint64Text(const char* text, std::uint64_t* out) {
+  // strtoull silently accepts a leading '-' (wrapping the value), so
+  // reject any sign explicitly.
+  if (text == nullptr || text[0] == '\0' || text[0] == '-' ||
+      text[0] == '+') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleText(const char* text, double* out) {
+  if (text == nullptr || text[0] == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* text, double* out) {
+  if (ParseDoubleText(text, out)) return true;
+  std::fprintf(stderr, "bad value for %s: '%s' (expected a number)\n", flag,
+               text == nullptr ? "" : text);
+  return false;
+}
+
+bool ParseUint64Flag(const char* flag, const char* text, std::uint64_t* out) {
+  if (ParseUint64Text(text, out)) return true;
+  std::fprintf(stderr,
+               "bad value for %s: '%s' (expected an unsigned integer)\n",
+               flag, text == nullptr ? "" : text);
+  return false;
+}
+
+bool ParseUint64FlagInRange(const char* flag, const char* text,
+                            std::uint64_t min, std::uint64_t max,
+                            std::uint64_t* out) {
+  if (!ParseUint64Flag(flag, text, out)) return false;
+  if (*out < min || *out > max) {
+    std::fprintf(stderr,
+                 "bad value for %s: '%s' (want %llu..%llu)\n", flag, text,
+                 static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace himpact

@@ -1,0 +1,44 @@
+#ifndef HIMPACT_COMMON_FLAGS_H_
+#define HIMPACT_COMMON_FLAGS_H_
+
+#include <cstdint>
+
+/// \file
+/// Strict numeric text parsing shared by every binary that reads flags
+/// or a line protocol (`hstream_cli`, `hstream_serve`, the bench
+/// drivers, `service/protocol.h`).
+///
+/// Two layers: the `*Text` functions convert a whole token and report
+/// success without any I/O (protocol parsers turn failures into `ERR`
+/// replies); the `*Flag` functions wrap them with the "bad value for
+/// --flag" stderr diagnostics the CLIs share, plus explicit range checks
+/// so absurd values (0 shards, 2^40 batches) are rejected up front
+/// instead of producing undefined behavior downstream.
+
+namespace himpact {
+
+/// Parses an unsigned decimal integer occupying the whole token.
+/// Rejects empty strings, signs (strtoull silently wraps "-1"), trailing
+/// junk, and out-of-range values. No output on failure.
+bool ParseUint64Text(const char* text, std::uint64_t* out);
+
+/// Parses a floating-point number occupying the whole token. Rejects
+/// empty strings, trailing junk, and overflow. No output on failure.
+bool ParseDoubleText(const char* text, double* out);
+
+/// `ParseDoubleText` with the shared CLI diagnostic
+/// ("bad value for <flag>: ...") printed to stderr on failure.
+bool ParseDoubleFlag(const char* flag, const char* text, double* out);
+
+/// `ParseUint64Text` with the shared CLI diagnostic on failure.
+bool ParseUint64Flag(const char* flag, const char* text, std::uint64_t* out);
+
+/// `ParseUint64Flag` that additionally requires `min <= value <= max`,
+/// printing the accepted range on failure.
+bool ParseUint64FlagInRange(const char* flag, const char* text,
+                            std::uint64_t min, std::uint64_t max,
+                            std::uint64_t* out);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_COMMON_FLAGS_H_

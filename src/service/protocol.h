@@ -1,0 +1,68 @@
+#ifndef HIMPACT_SERVICE_PROTOCOL_H_
+#define HIMPACT_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "stream/types.h"
+
+/// \file
+/// The `hstream_serve` line protocol: one command per line on stdin,
+/// one reply per line on stdout.
+///
+///   add <user> <value>      -> OK <estimate>
+///   paper <id> <citations> <author>[,<author>...]
+///                           -> OK <num_authors>
+///   get <user>              -> H <user> <estimate> <tier> <events>
+///   top <k>                 -> TOP <user>:<estimate> ...
+///   heavy                   -> HEAVY <user>:<estimate> ...
+///   stats                   -> STATS {<json>}
+///   save <path>             -> OK saved <path>
+///   quit                    -> BYE
+///
+/// Malformed input yields `ERR <reason>` and the server keeps reading
+/// (a load generator must not be able to wedge the service with one bad
+/// line). Parsing is strict — unknown verbs, missing or trailing
+/// tokens, and non-numeric operands are all rejected — and pure (no
+/// I/O), so the same parser is unit-tested directly and driven through
+/// the binary end to end.
+
+namespace himpact {
+
+/// The protocol verbs.
+enum class CommandKind {
+  kAdd,
+  kPaper,
+  kGet,
+  kTop,
+  kHeavy,
+  kStats,
+  kSave,
+  kQuit,
+};
+
+/// One parsed protocol line.
+struct Command {
+  CommandKind kind = CommandKind::kQuit;
+  AuthorId user = 0;         // add, get
+  std::uint64_t value = 0;   // add (response count), top (k)
+  PaperTuple paper;          // paper
+  std::string path;          // save
+};
+
+/// Parses one protocol line. `kInvalidArgument` (with a reason suitable
+/// for an `ERR` reply) on malformed input; blank lines are invalid.
+StatusOr<Command> ParseCommandLine(const std::string& line);
+
+/// Formats an H-index estimate the way every reply does (shortest
+/// round-trippable form via %.6g — estimates are small grid powers, so
+/// this is deterministic and stable across runs).
+std::string FormatEstimate(double estimate);
+
+/// The tier names used in `get` replies: "cold", "hot", "frozen".
+const char* TierName(int tier);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SERVICE_PROTOCOL_H_

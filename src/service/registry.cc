@@ -1,0 +1,483 @@
+#include "service/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "hash/mix.h"
+
+namespace himpact {
+namespace {
+
+constexpr std::uint64_t kStripeMagic = 0x48494d5053524731ULL;  // HIMPSRG1
+
+/// Fixed per-user overhead charged against the memory budget: the state
+/// record itself plus an allowance for the hash-map node and bucket.
+constexpr std::uint64_t kMapNodeOverheadBytes = 48;
+
+}  // namespace
+
+StatusOr<TieredUserRegistry> TieredUserRegistry::Create(
+    const ServiceOptions& options) {
+  if (!(options.eps > 0.0 && options.eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (options.max_h < 1) {
+    return Status::InvalidArgument("max_h must be >= 1");
+  }
+  if (options.num_stripes < 1 || options.num_stripes > 4096) {
+    return Status::InvalidArgument("num_stripes must be in 1..4096");
+  }
+  if (options.promote_threshold < 1) {
+    return Status::InvalidArgument("promote_threshold must be >= 1");
+  }
+  if (options.memory_budget_bytes < 1) {
+    return Status::InvalidArgument("memory_budget_bytes must be >= 1");
+  }
+  if (options.leaderboard_capacity < 1) {
+    return Status::InvalidArgument("leaderboard_capacity must be >= 1");
+  }
+  if (options.enable_heavy_hitters) {
+    if (!(options.hh_eps > 0.0 && options.hh_eps < 1.0)) {
+      return Status::InvalidArgument("hh_eps must be in (0, 1)");
+    }
+    if (!(options.hh_delta > 0.0 && options.hh_delta < 1.0)) {
+      return Status::InvalidArgument("hh_delta must be in (0, 1)");
+    }
+    if (options.hh_max_papers < 1) {
+      return Status::InvalidArgument("hh_max_papers must be >= 1");
+    }
+  }
+  return TieredUserRegistry(options);
+}
+
+TieredUserRegistry::TieredUserRegistry(const ServiceOptions& options)
+    : options_(options),
+      stripe_budget_bytes_(std::max<std::uint64_t>(
+          1, options.memory_budget_bytes / options.num_stripes)) {
+  stripes_.reserve(options_.num_stripes);
+  for (std::size_t i = 0; i < options_.num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(MakeSketch()));
+  }
+}
+
+ExponentialHistogramEstimator TieredUserRegistry::MakeSketch() const {
+  return std::move(
+             ExponentialHistogramEstimator::Create(options_.eps,
+                                                   options_.max_h))
+      .value();
+}
+
+std::size_t TieredUserRegistry::StripeOf(AuthorId user) const {
+  return static_cast<std::size_t>(SplitMix64(user) % stripes_.size());
+}
+
+std::uint64_t TieredUserRegistry::BaseBytes() {
+  return sizeof(UserState) + kMapNodeOverheadBytes;
+}
+
+std::uint64_t TieredUserRegistry::ColdExtraBytes(const UserState& state) {
+  return state.values.capacity() * sizeof(std::uint64_t);
+}
+
+std::uint64_t TieredUserRegistry::HotExtraBytes(const UserState& state) {
+  return state.sketch->EstimateSpace().bytes;
+}
+
+std::uint64_t TieredUserRegistry::EntryBytes(const UserState& state) const {
+  switch (state.tier) {
+    case UserTier::kCold:
+      return BaseBytes() + ColdExtraBytes(state);
+    case UserTier::kHot:
+      return BaseBytes() + HotExtraBytes(state);
+    case UserTier::kFrozen:
+      return BaseBytes();
+  }
+  return BaseBytes();
+}
+
+double TieredUserRegistry::EstimateLocked(const UserState& state) const {
+  double estimate = state.floor;
+  switch (state.tier) {
+    case UserTier::kCold:
+      estimate = std::max(estimate, static_cast<double>(state.cold_h));
+      break;
+    case UserTier::kHot:
+      estimate = std::max(estimate, state.sketch->Estimate());
+      break;
+    case UserTier::kFrozen:
+      break;
+  }
+  return estimate;
+}
+
+void TieredUserRegistry::PromoteLocked(Stripe& stripe, UserState& state) {
+  auto sketch =
+      std::make_unique<ExponentialHistogramEstimator>(MakeSketch());
+  for (const std::uint64_t value : state.values) sketch->Add(value);
+  // The exact cold H-index is a valid lower bound forever (H-indexes
+  // are monotone), so carry it as the floor under the sketch estimate.
+  state.floor = std::max(state.floor, static_cast<double>(state.cold_h));
+  state.values.clear();
+  state.values.shrink_to_fit();
+  state.sketch = std::move(sketch);
+  state.tier = UserTier::kHot;
+  ++stripe.promotions;
+}
+
+void TieredUserRegistry::DemoteLocked(Stripe& stripe, UserState& state) {
+  state.floor = std::max(state.floor, EstimateLocked(state));
+  switch (state.tier) {
+    case UserTier::kHot:
+      // Keep the demoted user's mass queryable in aggregate: merge the
+      // per-user sketch into the stripe archive before dropping it.
+      stripe.archive.Merge(*state.sketch);
+      state.sketch.reset();
+      break;
+    case UserTier::kCold:
+      for (const std::uint64_t value : state.values) {
+        stripe.archive.Add(value);
+      }
+      state.values.clear();
+      state.values.shrink_to_fit();
+      break;
+    case UserTier::kFrozen:
+      return;  // already demoted
+  }
+  state.tier = UserTier::kFrozen;
+  ++stripe.demotions;
+}
+
+void TieredUserRegistry::UpdateBoardLocked(Stripe& stripe, AuthorId user,
+                                           double estimate) {
+  for (LeaderboardEntry& entry : stripe.board) {
+    if (entry.user == user) {
+      entry.estimate = std::max(entry.estimate, estimate);
+      return;
+    }
+  }
+  if (stripe.board.size() < options_.leaderboard_capacity) {
+    stripe.board.push_back({user, estimate});
+    return;
+  }
+  // Replace the smallest entry if this estimate beats it. Because
+  // maintained estimates are monotone non-decreasing and the board is
+  // touched on every Add, the board min never decreases, so any user
+  // that ever cleared the bar is (and stays) on the board.
+  std::size_t min_index = 0;
+  for (std::size_t i = 1; i < stripe.board.size(); ++i) {
+    if (stripe.board[i].estimate < stripe.board[min_index].estimate) {
+      min_index = i;
+    }
+  }
+  if (estimate > stripe.board[min_index].estimate) {
+    stripe.board[min_index] = {user, estimate};
+  }
+}
+
+void TieredUserRegistry::EnforceBudgetLocked(Stripe& stripe) {
+  if (stripe.resident_bytes <= stripe_budget_bytes_) return;
+  // Hysteresis: demote down to 90% of the budget so one oversized add
+  // does not trigger a scan per event.
+  const std::uint64_t target = stripe_budget_bytes_ - stripe_budget_bytes_ / 10;
+  // Oldest-first victim list (hot and cold users both shed their
+  // variable storage when frozen; frozen users are already minimal).
+  std::vector<std::pair<std::uint64_t, AuthorId>> victims;
+  victims.reserve(stripe.users.size());
+  for (const auto& [user, state] : stripe.users) {
+    if (state.tier != UserTier::kFrozen) {
+      victims.emplace_back(state.last_touch, user);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [touch, user] : victims) {
+    if (stripe.resident_bytes <= target) break;
+    UserState& state = stripe.users.find(user)->second;
+    const std::uint64_t before = EntryBytes(state);
+    DemoteLocked(stripe, state);
+    stripe.resident_bytes -= before - EntryBytes(state);
+  }
+  // If every user is frozen the budget may still be exceeded by the
+  // irreducible per-user records; nothing more to shed without
+  // forgetting users outright.
+}
+
+double TieredUserRegistry::Add(AuthorId user, std::uint64_t value) {
+  Stripe& stripe = *stripes_[StripeOf(user)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  ++stripe.events;
+
+  auto [it, inserted] = stripe.users.try_emplace(user);
+  UserState& state = it->second;
+  const std::uint64_t before = inserted ? 0 : EntryBytes(state);
+  ++state.events;
+  state.last_touch = ++stripe.touch_clock;
+
+  switch (state.tier) {
+    case UserTier::kCold: {
+      state.values.push_back(value);
+      // One value arrived, so the exact H-index can rise by at most 1:
+      // a single count-above-threshold scan settles it.
+      if (value >= state.cold_h + 1) {
+        std::uint64_t at_least = 0;
+        for (const std::uint64_t v : state.values) {
+          if (v >= state.cold_h + 1) ++at_least;
+        }
+        if (at_least >= state.cold_h + 1) ++state.cold_h;
+      }
+      if (state.events >= options_.promote_threshold) {
+        PromoteLocked(stripe, state);
+      }
+      break;
+    }
+    case UserTier::kHot:
+      state.sketch->Add(value);
+      break;
+    case UserTier::kFrozen: {
+      // Reactivation: fresh sketch over the post-demotion suffix; the
+      // frozen floor keeps the estimate a valid lower bound.
+      state.sketch =
+          std::make_unique<ExponentialHistogramEstimator>(MakeSketch());
+      state.sketch->Add(value);
+      state.tier = UserTier::kHot;
+      ++stripe.promotions;
+      break;
+    }
+  }
+
+  stripe.resident_bytes += EntryBytes(state) - before;
+  const double estimate = EstimateLocked(state);
+  UpdateBoardLocked(stripe, user, estimate);
+  EnforceBudgetLocked(stripe);
+  return estimate;
+}
+
+double TieredUserRegistry::PointHIndex(AuthorId user) const {
+  const Stripe& stripe = *stripes_[StripeOf(user)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.users.find(user);
+  if (it == stripe.users.end()) return 0.0;
+  return EstimateLocked(it->second);
+}
+
+bool TieredUserRegistry::Lookup(AuthorId user, UserSnapshot* out) const {
+  const Stripe& stripe = *stripes_[StripeOf(user)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.users.find(user);
+  if (it == stripe.users.end()) return false;
+  out->user = user;
+  out->tier = it->second.tier;
+  out->events = it->second.events;
+  out->estimate = EstimateLocked(it->second);
+  return true;
+}
+
+std::vector<LeaderboardEntry> TieredUserRegistry::TopK(std::size_t k) const {
+  HIMPACT_CHECK_MSG(k <= options_.leaderboard_capacity,
+                    "TopK k exceeds leaderboard_capacity");
+  std::vector<LeaderboardEntry> merged;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    merged.insert(merged.end(), stripe->board.begin(), stripe->board.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const LeaderboardEntry& a, const LeaderboardEntry& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.user < b.user;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+RegistryStats TieredUserRegistry::Stats() const {
+  RegistryStats stats;
+  stats.budget_bytes = options_.memory_budget_bytes;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stats.total_events += stripe->events;
+    stats.num_users += stripe->users.size();
+    for (const auto& [user, state] : stripe->users) {
+      switch (state.tier) {
+        case UserTier::kCold:
+          ++stats.cold_users;
+          break;
+        case UserTier::kHot:
+          ++stats.hot_users;
+          break;
+        case UserTier::kFrozen:
+          ++stats.frozen_users;
+          break;
+      }
+    }
+    stats.promotions += stripe->promotions;
+    stats.demotions += stripe->demotions;
+    stats.resident_bytes += stripe->resident_bytes;
+  }
+  return stats;
+}
+
+void TieredUserRegistry::SerializeStripe(std::size_t i,
+                                         ByteWriter& writer) const {
+  HIMPACT_CHECK(i < stripes_.size());
+  const Stripe& stripe = *stripes_[i];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+
+  writer.U64(kStripeMagic);
+  writer.U64(static_cast<std::uint64_t>(i));
+  writer.U64(static_cast<std::uint64_t>(stripes_.size()));
+  writer.U64(stripe.events);
+  writer.U64(stripe.promotions);
+  writer.U64(stripe.demotions);
+  writer.U64(stripe.touch_clock);
+  stripe.archive.SerializeTo(writer);
+
+  // Users in sorted id order so the encoding is deterministic (the map
+  // iteration order is not).
+  std::vector<AuthorId> ids;
+  ids.reserve(stripe.users.size());
+  for (const auto& [user, state] : stripe.users) ids.push_back(user);
+  std::sort(ids.begin(), ids.end());
+  writer.U64(ids.size());
+  for (const AuthorId user : ids) {
+    const UserState& state = stripe.users.find(user)->second;
+    writer.U64(user);
+    writer.U8(static_cast<std::uint8_t>(state.tier));
+    writer.U64(state.events);
+    writer.U64(state.last_touch);
+    writer.F64(state.floor);
+    writer.U64(state.cold_h);
+    switch (state.tier) {
+      case UserTier::kCold:
+        writer.U64(state.values.size());
+        for (const std::uint64_t v : state.values) writer.U64(v);
+        break;
+      case UserTier::kHot:
+        state.sketch->SerializeTo(writer);
+        break;
+      case UserTier::kFrozen:
+        break;
+    }
+  }
+
+  // The leaderboard in stored order, so a restored registry answers
+  // TopK byte-identically (ordering among ties is positional).
+  writer.U64(stripe.board.size());
+  for (const LeaderboardEntry& entry : stripe.board) {
+    writer.U64(entry.user);
+    writer.F64(entry.estimate);
+  }
+}
+
+Status TieredUserRegistry::DeserializeStripe(std::size_t i,
+                                             ByteReader& reader) {
+  HIMPACT_CHECK(i < stripes_.size());
+
+  std::uint64_t magic = 0;
+  std::uint64_t index = 0;
+  std::uint64_t num_stripes = 0;
+  if (!reader.U64(&magic) || magic != kStripeMagic) {
+    return Status::InvalidArgument("not a registry stripe checkpoint");
+  }
+  if (!reader.U64(&index) || !reader.U64(&num_stripes)) {
+    return Status::InvalidArgument("truncated stripe header");
+  }
+  if (index != i || num_stripes != stripes_.size()) {
+    return Status::InvalidArgument(
+        "stripe checkpoint recorded for a different stripe layout");
+  }
+
+  // Decode into scratch state first; commit only a fully valid stripe.
+  std::uint64_t events = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t touch_clock = 0;
+  if (!reader.U64(&events) || !reader.U64(&promotions) ||
+      !reader.U64(&demotions) || !reader.U64(&touch_clock)) {
+    return Status::InvalidArgument("truncated stripe counters");
+  }
+  StatusOr<ExponentialHistogramEstimator> archive =
+      ExponentialHistogramEstimator::DeserializeFrom(reader);
+  if (!archive.ok()) return archive.status();
+
+  std::uint64_t num_users = 0;
+  if (!reader.U64(&num_users)) {
+    return Status::InvalidArgument("truncated user count");
+  }
+  std::unordered_map<AuthorId, UserState> users;
+  users.reserve(static_cast<std::size_t>(num_users));
+  std::uint64_t resident_bytes = 0;
+  for (std::uint64_t u = 0; u < num_users; ++u) {
+    std::uint64_t user = 0;
+    std::uint8_t tier = 0;
+    UserState state;
+    if (!reader.U64(&user) || !reader.U8(&tier) ||
+        !reader.U64(&state.events) || !reader.U64(&state.last_touch) ||
+        !reader.F64(&state.floor) || !reader.U64(&state.cold_h)) {
+      return Status::InvalidArgument("truncated user record");
+    }
+    if (tier > static_cast<std::uint8_t>(UserTier::kFrozen)) {
+      return Status::InvalidArgument("unknown user tier");
+    }
+    state.tier = static_cast<UserTier>(tier);
+    switch (state.tier) {
+      case UserTier::kCold: {
+        std::uint64_t n = 0;
+        if (!reader.U64(&n) || n > reader.remaining() / sizeof(std::uint64_t)) {
+          return Status::InvalidArgument("bad cold value count");
+        }
+        state.values.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t v = 0; v < n; ++v) {
+          std::uint64_t value = 0;
+          if (!reader.U64(&value)) {
+            return Status::InvalidArgument("truncated cold values");
+          }
+          state.values.push_back(value);
+        }
+        break;
+      }
+      case UserTier::kHot: {
+        StatusOr<ExponentialHistogramEstimator> sketch =
+            ExponentialHistogramEstimator::DeserializeFrom(reader);
+        if (!sketch.ok()) return sketch.status();
+        state.sketch = std::make_unique<ExponentialHistogramEstimator>(
+            std::move(sketch).value());
+        break;
+      }
+      case UserTier::kFrozen:
+        break;
+    }
+    resident_bytes += EntryBytes(state);
+    if (!users.emplace(user, std::move(state)).second) {
+      return Status::InvalidArgument("duplicate user in stripe checkpoint");
+    }
+  }
+
+  std::uint64_t board_size = 0;
+  if (!reader.U64(&board_size) ||
+      board_size > options_.leaderboard_capacity) {
+    return Status::InvalidArgument("bad leaderboard size");
+  }
+  std::vector<LeaderboardEntry> board;
+  board.reserve(static_cast<std::size_t>(board_size));
+  for (std::uint64_t b = 0; b < board_size; ++b) {
+    LeaderboardEntry entry;
+    if (!reader.U64(&entry.user) || !reader.F64(&entry.estimate)) {
+      return Status::InvalidArgument("truncated leaderboard");
+    }
+    board.push_back(entry);
+  }
+
+  Stripe& stripe = *stripes_[i];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.events = events;
+  stripe.promotions = promotions;
+  stripe.demotions = demotions;
+  stripe.touch_clock = touch_clock;
+  stripe.archive = std::move(archive).value();
+  stripe.users = std::move(users);
+  stripe.board = std::move(board);
+  stripe.resident_bytes = resident_bytes;
+  return Status::OK();
+}
+
+}  // namespace himpact

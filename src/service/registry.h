@@ -1,0 +1,216 @@
+#ifndef HIMPACT_SERVICE_REGISTRY_H_
+#define HIMPACT_SERVICE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/exponential_histogram.h"
+#include "stream/types.h"
+
+/// \file
+/// Sharded per-user tiered state for the multi-tenant H-impact service.
+///
+/// The registry owns one state record per user, partitioned across
+/// lock-striped shards ("stripes") by a SplitMix64 hash of the user id,
+/// and keeps total memory under a configured budget with three tiers:
+///
+///  * **cold** — a user seen fewer than `promote_threshold` times keeps
+///    its raw response counts and an exactly maintained H-index. Most
+///    users of a heavy-tailed population stay here forever, in a few
+///    dozen bytes each.
+///  * **hot** — once a user crosses the threshold, the raw values are
+///    replayed into a per-user Algorithm 1 sketch
+///    (`ExponentialHistogramEstimator`, `2/eps log max_h` words
+///    regardless of further volume) and the raw values are dropped.
+///  * **frozen** — when a stripe exceeds its share of the memory
+///    budget, its least-recently-updated hot users are demoted: the
+///    sketch's estimate is frozen as a floor, the sketch itself is
+///    merged into the stripe's *archive* sketch (so its mass is not
+///    lost to aggregate queries), and the per-user footprint drops to a
+///    bare record. A frozen user that becomes active again is
+///    re-promoted to a fresh hot sketch; because an H-index is monotone
+///    non-decreasing, `max(floor, fresh estimate)` remains a valid
+///    lower bound with the usual one-sided Algorithm 1 guarantee on the
+///    post-reactivation stream. See docs/SERVICE.md for the accounting
+///    and staleness rules.
+///
+/// Thread safety: every public method is safe to call from any thread;
+/// each stripe is guarded by its own mutex, so operations on users in
+/// different stripes proceed in parallel. Single operations never take
+/// more than one stripe lock (cross-stripe queries lock stripes one at
+/// a time), so the registry cannot deadlock against itself.
+
+namespace himpact {
+
+/// Configuration of the service layer (registry + query service).
+struct ServiceOptions {
+  /// Approximation parameter of the per-user hot-tier sketches.
+  double eps = 0.1;
+  /// Upper bound on any single user's H-index (the sketch guess cap).
+  std::uint64_t max_h = 1u << 20;
+  /// Number of lock stripes (hash shards) for per-user state.
+  std::size_t num_stripes = 8;
+  /// Events after which a cold user is promoted to a hot sketch.
+  std::uint64_t promote_threshold = 64;
+  /// Total per-user state budget across all stripes, in bytes.
+  std::uint64_t memory_budget_bytes = 64ull << 20;
+  /// Per-stripe leaderboard capacity; `TopK(k)` requires `k <=`
+  /// this (the maintained board is the TopK source of truth).
+  std::size_t leaderboard_capacity = 64;
+  /// Feed every event through an Algorithm 8 heavy-hitters grid too
+  /// (service-level; the registry itself ignores this).
+  bool enable_heavy_hitters = true;
+  /// Heavy-hitters grid parameters (see heavy/heavy_hitters.h).
+  double hh_eps = 0.25;
+  double hh_delta = 0.1;
+  std::uint64_t hh_max_papers = 1u << 20;
+  /// Seed for the heavy-hitters hash grid.
+  std::uint64_t seed = 2017;
+};
+
+/// Which tier a user's state currently occupies.
+enum class UserTier : std::uint8_t { kCold = 0, kHot = 1, kFrozen = 2 };
+
+/// One leaderboard row.
+struct LeaderboardEntry {
+  AuthorId user = 0;
+  double estimate = 0.0;
+};
+
+/// Point-lookup result for one user.
+struct UserSnapshot {
+  AuthorId user = 0;
+  UserTier tier = UserTier::kCold;
+  std::uint64_t events = 0;
+  double estimate = 0.0;
+};
+
+/// Aggregate registry counters (all stripes summed).
+struct RegistryStats {
+  std::uint64_t total_events = 0;
+  std::uint64_t num_users = 0;
+  std::uint64_t cold_users = 0;
+  std::uint64_t hot_users = 0;
+  std::uint64_t frozen_users = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t budget_bytes = 0;
+};
+
+/// The sharded, budgeted, tiered per-user store.
+class TieredUserRegistry {
+ public:
+  /// Validates options and builds an empty registry.
+  static StatusOr<TieredUserRegistry> Create(const ServiceOptions& options);
+
+  TieredUserRegistry(TieredUserRegistry&&) noexcept = default;
+  TieredUserRegistry& operator=(TieredUserRegistry&&) noexcept = default;
+
+  /// Observes one response count for `user` (one paper / post with
+  /// `value` responses, aggregate model) and returns the user's updated
+  /// H-index estimate. Thread-safe; may promote the user or demote
+  /// colder users to stay under budget.
+  double Add(AuthorId user, std::uint64_t value);
+
+  /// The user's current H-index estimate (0 if never seen). For cold
+  /// users this is exact; for hot users it carries Algorithm 1's
+  /// one-sided `(1-eps)` guarantee; for frozen users it is the frozen
+  /// lower bound. Thread-safe.
+  double PointHIndex(AuthorId user) const;
+
+  /// Detailed lookup; returns false if the user was never seen.
+  bool Lookup(AuthorId user, UserSnapshot* out) const;
+
+  /// The `k` users with the largest maintained estimates, descending
+  /// (ties broken by smaller user id). Served from the per-stripe
+  /// leaderboards; requires `k <= leaderboard_capacity`.
+  std::vector<LeaderboardEntry> TopK(std::size_t k) const;
+
+  /// Aggregate counters across stripes. Thread-safe; the snapshot is
+  /// per-stripe consistent, not a global atomic cut.
+  RegistryStats Stats() const;
+
+  /// Number of lock stripes.
+  std::size_t num_stripes() const { return stripes_.size(); }
+
+  /// The stripe index `user` hashes to (stable across restarts).
+  std::size_t StripeOf(AuthorId user) const;
+
+  /// The registry's configuration.
+  const ServiceOptions& options() const { return options_; }
+
+  /// Serializes stripe `i` (users, archive sketch, leaderboard,
+  /// counters) into `writer`. Takes that stripe's lock.
+  void SerializeStripe(std::size_t i, ByteWriter& writer) const;
+
+  /// Restores stripe `i` from a `SerializeStripe` payload, replacing
+  /// its current contents. Rejects foreign or corrupt payloads (and
+  /// payloads recorded for a different stripe index or stripe count)
+  /// with `kInvalidArgument`, leaving the stripe unchanged.
+  Status DeserializeStripe(std::size_t i, ByteReader& reader);
+
+ private:
+  struct UserState {
+    UserTier tier = UserTier::kCold;
+    std::uint64_t events = 0;
+    std::uint64_t last_touch = 0;
+    /// Carried lower bound (frozen estimate survives demotion cycles).
+    double floor = 0.0;
+    /// Cold tier: exactly maintained H-index of `values`.
+    std::uint64_t cold_h = 0;
+    /// Cold tier: the raw response counts, replayed on promotion.
+    std::vector<std::uint64_t> values;
+    /// Hot tier: the per-user Algorithm 1 sketch.
+    std::unique_ptr<ExponentialHistogramEstimator> sketch;
+  };
+
+  struct Stripe {
+    explicit Stripe(ExponentialHistogramEstimator archive_sketch)
+        : archive(std::move(archive_sketch)) {}
+
+    mutable std::mutex mu;
+    std::unordered_map<AuthorId, UserState> users;
+    /// Merged sketches of every demoted user (their mass is retained
+    /// here even after the per-user state is frozen).
+    ExponentialHistogramEstimator archive;
+    /// Maintained top-`leaderboard_capacity` users of this stripe, in
+    /// insertion order (sorted on query).
+    std::vector<LeaderboardEntry> board;
+    std::uint64_t events = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t touch_clock = 0;
+    std::uint64_t resident_bytes = 0;
+  };
+
+  explicit TieredUserRegistry(const ServiceOptions& options);
+
+  // Per-entry byte model (approximate but consistent, used for budget
+  // accounting): a fixed overhead per tracked user plus the tier's
+  // variable storage.
+  static std::uint64_t BaseBytes();
+  static std::uint64_t ColdExtraBytes(const UserState& state);
+  static std::uint64_t HotExtraBytes(const UserState& state);
+  std::uint64_t EntryBytes(const UserState& state) const;
+
+  double EstimateLocked(const UserState& state) const;
+  void PromoteLocked(Stripe& stripe, UserState& state);
+  void DemoteLocked(Stripe& stripe, UserState& state);
+  void UpdateBoardLocked(Stripe& stripe, AuthorId user, double estimate);
+  void EnforceBudgetLocked(Stripe& stripe);
+  ExponentialHistogramEstimator MakeSketch() const;
+
+  ServiceOptions options_;
+  std::uint64_t stripe_budget_bytes_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SERVICE_REGISTRY_H_

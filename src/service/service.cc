@@ -1,0 +1,275 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "io/checkpoint.h"
+
+namespace himpact {
+namespace {
+
+constexpr std::uint64_t kServiceManifestMagic =
+    0x48494d5053564d31ULL;  // HIMPSVM1
+
+HeavyHitters::Options HhOptions(const ServiceOptions& options) {
+  HeavyHitters::Options hh;
+  hh.eps = options.hh_eps;
+  hh.delta = options.hh_delta;
+  hh.max_papers = options.hh_max_papers;
+  return hh;
+}
+
+}  // namespace
+
+StatusOr<HImpactService> HImpactService::Create(
+    const ServiceOptions& options) {
+  StatusOr<TieredUserRegistry> registry = TieredUserRegistry::Create(options);
+  if (!registry.ok()) return registry.status();
+  if (options.enable_heavy_hitters) {
+    // Validate the heavy-hitters parameters before building per-stripe
+    // grids (Create is the only entry point that reports bad options).
+    StatusOr<HeavyHitters> probe =
+        HeavyHitters::Create(HhOptions(options), options.seed);
+    if (!probe.ok()) return probe.status();
+  }
+  return HImpactService(std::move(registry).value());
+}
+
+HImpactService::HImpactService(TieredUserRegistry registry)
+    : registry_(std::move(registry)),
+      hh_stripes_(MakeHhStripes()),
+      ingest_latency_(std::make_unique<LatencyRecorder>()),
+      point_latency_(std::make_unique<LatencyRecorder>()),
+      topk_latency_(std::make_unique<LatencyRecorder>()) {}
+
+std::vector<std::unique_ptr<HImpactService::HhStripe>>
+HImpactService::MakeHhStripes() const {
+  std::vector<std::unique_ptr<HhStripe>> stripes;
+  stripes.reserve(registry_.num_stripes());
+  for (std::size_t i = 0; i < registry_.num_stripes(); ++i) {
+    auto stripe = std::make_unique<HhStripe>();
+    if (options().enable_heavy_hitters) {
+      // Every stripe shares options *and seed*, the HeavyHitters::Merge
+      // precondition, so HeavyReport can merge the shards on query.
+      stripe->hh = std::move(HeavyHitters::Create(HhOptions(options()),
+                                                  options().seed))
+                       .value();
+    }
+    stripes.push_back(std::move(stripe));
+  }
+  return stripes;
+}
+
+double HImpactService::RecordResponseCount(AuthorId user,
+                                           std::uint64_t value) {
+  ScopedLatency timer(*ingest_latency_);
+  const double estimate = registry_.Add(user, value);
+  if (options().enable_heavy_hitters) {
+    HhStripe& stripe = *hh_stripes_[registry_.StripeOf(user)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    PaperTuple tuple;
+    tuple.paper = stripe.next_paper * registry_.num_stripes() +
+                  registry_.StripeOf(user);
+    ++stripe.next_paper;
+    tuple.authors.PushBack(user);
+    tuple.citations = value;
+    stripe.hh->AddPaper(tuple);
+  }
+  return estimate;
+}
+
+void HImpactService::IngestPaper(const PaperTuple& paper) {
+  ScopedLatency timer(*ingest_latency_);
+  if (paper.authors.empty()) return;
+  for (const AuthorId author : paper.authors) {
+    registry_.Add(author, paper.citations);
+  }
+  if (options().enable_heavy_hitters) {
+    // The tuple is fed once (not per author): AddPaper hashes every
+    // author internally. Partition by first author for determinism.
+    HhStripe& stripe = *hh_stripes_[registry_.StripeOf(paper.authors[0])];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.hh->AddPaper(paper);
+  }
+}
+
+double HImpactService::PointHIndex(AuthorId user) const {
+  ScopedLatency timer(*point_latency_);
+  return registry_.PointHIndex(user);
+}
+
+bool HImpactService::Lookup(AuthorId user, UserSnapshot* out) const {
+  ScopedLatency timer(*point_latency_);
+  return registry_.Lookup(user, out);
+}
+
+std::vector<LeaderboardEntry> HImpactService::TopK(std::size_t k) const {
+  ScopedLatency timer(*topk_latency_);
+  return registry_.TopK(k);
+}
+
+std::vector<HeavyHitterReport> HImpactService::HeavyReport() const {
+  if (!options().enable_heavy_hitters) return {};
+  std::optional<HeavyHitters> merged;
+  for (const auto& stripe : hh_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (!merged.has_value()) {
+      merged = *stripe->hh;
+    } else {
+      merged->Merge(*stripe->hh);
+    }
+  }
+  return merged->Report();
+}
+
+ServiceStats HImpactService::Stats() const {
+  ServiceStats stats;
+  stats.registry = registry_.Stats();
+  if (options().enable_heavy_hitters) {
+    for (const auto& stripe : hh_stripes_) {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      stats.hh_papers += stripe->hh->num_papers();
+    }
+  }
+  return stats;
+}
+
+std::string HImpactService::StripePath(const std::string& path,
+                                       std::size_t i) {
+  return path + ".stripe-" + std::to_string(i);
+}
+
+Status HImpactService::CheckpointTo(const std::string& path) const {
+  // Stripes first, manifest last: an openable manifest implies every
+  // stripe it references was durably written (same discipline as the
+  // sharded engine's checkpoint).
+  for (std::size_t i = 0; i < registry_.num_stripes(); ++i) {
+    ByteWriter writer;
+    registry_.SerializeStripe(i, writer);
+    writer.U8(options().enable_heavy_hitters ? 1 : 0);
+    if (options().enable_heavy_hitters) {
+      const HhStripe& stripe = *hh_stripes_[i];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.hh->SerializeTo(writer);
+      writer.U64(stripe.next_paper);
+    }
+    Status written = WriteCheckpointFile(
+        StripePath(path, i), CheckpointTag::kServiceStripe, writer.buffer());
+    if (!written.ok()) return written;
+  }
+
+  ByteWriter manifest;
+  manifest.U64(kServiceManifestMagic);
+  const ServiceOptions& opts = options();
+  manifest.F64(opts.eps);
+  manifest.U64(opts.max_h);
+  manifest.U64(static_cast<std::uint64_t>(opts.num_stripes));
+  manifest.U64(opts.promote_threshold);
+  manifest.U64(opts.memory_budget_bytes);
+  manifest.U64(static_cast<std::uint64_t>(opts.leaderboard_capacity));
+  manifest.U8(opts.enable_heavy_hitters ? 1 : 0);
+  manifest.F64(opts.hh_eps);
+  manifest.F64(opts.hh_delta);
+  manifest.U64(opts.hh_max_papers);
+  manifest.U64(opts.seed);
+  manifest.U64(registry_.Stats().total_events);
+  return WriteCheckpointFile(path, CheckpointTag::kServiceManifest,
+                             manifest.buffer());
+}
+
+StatusOr<ServiceManifest> HImpactService::ReadManifest(
+    const std::string& path) {
+  StatusOr<std::vector<std::uint8_t>> payload =
+      ReadCheckpointFile(path, CheckpointTag::kServiceManifest);
+  if (!payload.ok()) return payload.status();
+  ByteReader reader(payload.value());
+
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kServiceManifestMagic) {
+    return Status::InvalidArgument("not a service manifest");
+  }
+  ServiceManifest manifest;
+  ServiceOptions& opts = manifest.options;
+  std::uint64_t num_stripes = 0;
+  std::uint64_t leaderboard_capacity = 0;
+  std::uint8_t hh_enabled = 0;
+  if (!reader.F64(&opts.eps) || !reader.U64(&opts.max_h) ||
+      !reader.U64(&num_stripes) || !reader.U64(&opts.promote_threshold) ||
+      !reader.U64(&opts.memory_budget_bytes) ||
+      !reader.U64(&leaderboard_capacity) || !reader.U8(&hh_enabled) ||
+      !reader.F64(&opts.hh_eps) || !reader.F64(&opts.hh_delta) ||
+      !reader.U64(&opts.hh_max_papers) || !reader.U64(&opts.seed) ||
+      !reader.U64(&manifest.total_events)) {
+    return Status::InvalidArgument("truncated service manifest");
+  }
+  if (hh_enabled > 1) {
+    return Status::InvalidArgument("bad heavy-hitters flag in manifest");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("service manifest has trailing bytes");
+  }
+  opts.num_stripes = static_cast<std::size_t>(num_stripes);
+  opts.leaderboard_capacity = static_cast<std::size_t>(leaderboard_capacity);
+  opts.enable_heavy_hitters = hh_enabled == 1;
+  return manifest;
+}
+
+Status HImpactService::RestoreFrom(const std::string& path) {
+  StatusOr<ServiceManifest> manifest = ReadManifest(path);
+  if (!manifest.ok()) return manifest.status();
+  const ServiceOptions& recorded = manifest.value().options;
+  const ServiceOptions& mine = options();
+  if (recorded.eps != mine.eps || recorded.max_h != mine.max_h ||
+      recorded.num_stripes != mine.num_stripes ||
+      recorded.promote_threshold != mine.promote_threshold ||
+      recorded.memory_budget_bytes != mine.memory_budget_bytes ||
+      recorded.leaderboard_capacity != mine.leaderboard_capacity ||
+      recorded.enable_heavy_hitters != mine.enable_heavy_hitters ||
+      recorded.hh_eps != mine.hh_eps || recorded.hh_delta != mine.hh_delta ||
+      recorded.hh_max_papers != mine.hh_max_papers ||
+      recorded.seed != mine.seed) {
+    return Status::FailedPrecondition(
+        "service checkpoint was recorded with different options");
+  }
+
+  // Decode every stripe into fresh state; commit only if all succeed.
+  StatusOr<TieredUserRegistry> fresh_registry =
+      TieredUserRegistry::Create(mine);
+  if (!fresh_registry.ok()) return fresh_registry.status();
+  std::vector<std::unique_ptr<HhStripe>> fresh_hh = MakeHhStripes();
+
+  for (std::size_t i = 0; i < mine.num_stripes; ++i) {
+    StatusOr<std::vector<std::uint8_t>> payload = ReadCheckpointFile(
+        StripePath(path, i), CheckpointTag::kServiceStripe);
+    if (!payload.ok()) return payload.status();
+    ByteReader reader(payload.value());
+    Status stripe_status = fresh_registry.value().DeserializeStripe(i, reader);
+    if (!stripe_status.ok()) return stripe_status;
+    std::uint8_t hh_flag = 0;
+    if (!reader.U8(&hh_flag)) {
+      return Status::InvalidArgument("truncated stripe heavy-hitters flag");
+    }
+    if ((hh_flag == 1) != mine.enable_heavy_hitters) {
+      return Status::InvalidArgument(
+          "stripe heavy-hitters flag disagrees with the manifest");
+    }
+    if (hh_flag == 1) {
+      StatusOr<HeavyHitters> hh = HeavyHitters::DeserializeFrom(reader);
+      if (!hh.ok()) return hh.status();
+      if (!reader.U64(&fresh_hh[i]->next_paper)) {
+        return Status::InvalidArgument("truncated stripe paper counter");
+      }
+      fresh_hh[i]->hh = std::move(hh).value();
+    }
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument("stripe payload has trailing bytes");
+    }
+  }
+
+  registry_ = std::move(fresh_registry).value();
+  hh_stripes_ = std::move(fresh_hh);
+  return Status::OK();
+}
+
+}  // namespace himpact

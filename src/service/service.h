@@ -1,0 +1,145 @@
+#ifndef HIMPACT_SERVICE_SERVICE_H_
+#define HIMPACT_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "heavy/heavy_hitters.h"
+#include "service/latency.h"
+#include "service/registry.h"
+#include "stream/types.h"
+
+/// \file
+/// The multi-tenant H-impact query service.
+///
+/// `HImpactService` composes the tiered per-user registry
+/// (service/registry.h) with a striped Algorithm 8 heavy-hitters grid
+/// and per-operation latency capture, and adds service-level
+/// checkpoint/restore. It is the layer `hstream_serve`, the examples,
+/// and the F4 load harness sit on: ingest threads call
+/// `RecordResponseCount` / `IngestPaper` while query threads call
+/// `PointHIndex` / `TopK` / `HeavyReport` / `Stats` concurrently.
+///
+/// Checkpoint layout (mirrors the engine's manifest convention from
+/// engine/sharded_engine.h): one `kServiceStripe` envelope per stripe at
+/// `path.stripe-<i>` holding that stripe's registry state plus its
+/// heavy-hitters shard, written *before* a final `kServiceManifest`
+/// envelope at `path` that records the configuration — so a manifest
+/// that opens implies the stripes it references were durably written.
+/// `RestoreFrom` decodes everything into fresh state and only then
+/// swaps it in; a damaged checkpoint leaves the service unchanged.
+
+namespace himpact {
+
+/// Decoded `kServiceManifest` contents.
+struct ServiceManifest {
+  ServiceOptions options;
+  std::uint64_t total_events = 0;
+};
+
+/// Aggregate service counters for `Stats()` reporting.
+struct ServiceStats {
+  RegistryStats registry;
+  /// Papers observed by the heavy-hitters grid (0 when disabled).
+  std::uint64_t hh_papers = 0;
+};
+
+/// A thread-safe multi-tenant H-impact store with point, top-k, and
+/// heavy-hitter queries.
+class HImpactService {
+ public:
+  /// Validates options and builds an empty service.
+  static StatusOr<HImpactService> Create(const ServiceOptions& options);
+
+  HImpactService(HImpactService&&) noexcept = default;
+  HImpactService& operator=(HImpactService&&) noexcept = default;
+
+  /// Observes one response count for `user` (the aggregate model: one
+  /// paper / post whose total responses are `value`) and returns the
+  /// user's updated H-index estimate. A synthetic paper id is minted
+  /// for the heavy-hitters grid. Thread-safe.
+  double RecordResponseCount(AuthorId user, std::uint64_t value);
+
+  /// Observes one multi-author paper tuple: each author's registry
+  /// state absorbs the paper's response count, and the tuple is fed
+  /// once to the heavy-hitters grid. Thread-safe.
+  void IngestPaper(const PaperTuple& paper);
+
+  /// The user's current H-index estimate (0 if never seen).
+  double PointHIndex(AuthorId user) const;
+
+  /// Detailed per-user lookup; false if the user was never seen.
+  bool Lookup(AuthorId user, UserSnapshot* out) const;
+
+  /// The `k` users with the largest maintained estimates.
+  std::vector<LeaderboardEntry> TopK(std::size_t k) const;
+
+  /// Heavy-hitter candidates from the merged grid (empty when the grid
+  /// is disabled). Merging on query mirrors the engine's
+  /// merge-on-query discipline; cost is proportional to grid size.
+  std::vector<HeavyHitterReport> HeavyReport() const;
+
+  /// Aggregate counters (per-stripe consistent snapshot).
+  ServiceStats Stats() const;
+
+  /// Latency histograms, populated by the calls above.
+  const LatencyRecorder& ingest_latency() const { return *ingest_latency_; }
+  const LatencyRecorder& point_latency() const { return *point_latency_; }
+  const LatencyRecorder& topk_latency() const { return *topk_latency_; }
+
+  /// Writes per-stripe envelopes to `path.stripe-<i>`, then the
+  /// manifest to `path`. Concurrent ingest is allowed (each stripe is
+  /// snapshotted under its own lock), so the checkpoint is per-stripe
+  /// consistent rather than a global cut.
+  Status CheckpointTo(const std::string& path) const;
+
+  /// Reads and decodes the manifest at `path`.
+  static StatusOr<ServiceManifest> ReadManifest(const std::string& path);
+
+  /// Restores service state from a `CheckpointTo` checkpoint whose
+  /// configuration matches this service's options
+  /// (`kFailedPrecondition` otherwise). All-or-nothing: decodes into
+  /// fresh state before swapping it in.
+  Status RestoreFrom(const std::string& path);
+
+  /// The per-stripe envelope path (`path.stripe-<i>`).
+  static std::string StripePath(const std::string& path, std::size_t i);
+
+  /// The registry's (and service's) configuration.
+  const ServiceOptions& options() const { return registry_.options(); }
+
+  /// Read access to the underlying registry (tests, examples).
+  const TieredUserRegistry& registry() const { return registry_; }
+
+ private:
+  /// One heavy-hitters shard; all shards share options and seed so the
+  /// on-query merge is legal (see HeavyHitters::Merge).
+  struct HhStripe {
+    mutable std::mutex mu;
+    std::optional<HeavyHitters> hh;
+    /// Mints synthetic paper ids for `RecordResponseCount`:
+    /// `next_paper * num_stripes + stripe_index` is unique globally and
+    /// deterministic per stripe (checkpointed so resumed runs continue
+    /// the same id sequence).
+    std::uint64_t next_paper = 0;
+  };
+
+  explicit HImpactService(TieredUserRegistry registry);
+
+  std::vector<std::unique_ptr<HhStripe>> MakeHhStripes() const;
+
+  TieredUserRegistry registry_;
+  std::vector<std::unique_ptr<HhStripe>> hh_stripes_;
+  std::unique_ptr<LatencyRecorder> ingest_latency_;
+  std::unique_ptr<LatencyRecorder> point_latency_;
+  std::unique_ptr<LatencyRecorder> topk_latency_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SERVICE_SERVICE_H_

@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,9 +19,11 @@
 #include "random/zipf.h"
 #include "sketch/bjkst.h"
 #include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
 #include "sketch/distinct.h"
 #include "sketch/hyperloglog.h"
 #include "sketch/kll.h"
+#include "sketch/space_saving.h"
 
 namespace himpact {
 namespace {
@@ -133,6 +137,93 @@ TEST(MergeAssociativityTest, DistinctCounter) {
   EXPECT_DOUBLE_EQ(abc.Estimate(), ab_c.Estimate());
 }
 
+TEST(MergeAssociativityTest, CountSketch) {
+  const auto stream = ZipfStream(18, 9000, 600);
+  auto [abc, ab_c] = BothAssociations<CountSketch>(
+      stream, [] { return CountSketch(512, 5, 51); },
+      [](auto& est, std::uint64_t v) { est.Update(v); });
+  // Linear sketch: merging is counter addition, so the association order
+  // cannot matter — every point estimate agrees exactly.
+  for (std::uint64_t key = 1; key <= 600; ++key) {
+    EXPECT_EQ(abc.Query(key), ab_c.Query(key));
+  }
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t> TrueCounts(
+    const std::vector<std::uint64_t>& stream) {
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (const std::uint64_t value : stream) ++truth[value];
+  return truth;
+}
+
+TEST(MergeAssociativityTest, SpaceSavingKeepsGuaranteesInBothOrders) {
+  // SpaceSaving's merge trims the union back to `capacity`, so the two
+  // association orders need not carry identical slots — but each must
+  // independently keep the count-bracketing guarantee (estimate is an
+  // upper bound, estimate - error a lower bound) and still monitor every
+  // genuinely heavy key.
+  const auto stream = ZipfStream(19, 9000, 2000);
+  const auto truth = TrueCounts(stream);
+  constexpr std::size_t kCapacity = 64;
+  auto [abc, ab_c] = BothAssociations<SpaceSaving>(
+      stream, [] { return SpaceSaving(kCapacity); },
+      [](auto& est, std::uint64_t v) { est.Update(v); });
+  for (const SpaceSaving* summary : {&abc, &ab_c}) {
+    EXPECT_EQ(summary->total(), stream.size());
+    const auto entries = summary->Entries();
+    EXPECT_LE(entries.size(), kCapacity);
+    std::unordered_set<std::uint64_t> monitored;
+    for (const HeavyEntry& entry : entries) {
+      monitored.insert(entry.key);
+      const auto it = truth.find(entry.key);
+      const std::uint64_t true_count = it == truth.end() ? 0 : it->second;
+      EXPECT_GE(entry.count, true_count) << "key=" << entry.key;
+      EXPECT_LE(entry.count - entry.error, true_count) << "key=" << entry.key;
+    }
+    // Mergeable-summaries bound: unmonitored keys have true count at most
+    // ~total/capacity; keys clearly above that (2x slack for the merge's
+    // inherited-minimum offsets) must survive the trim.
+    for (const auto& [key, count] : truth) {
+      if (count > 2 * stream.size() / kCapacity) {
+        EXPECT_TRUE(monitored.contains(key)) << "heavy key " << key
+                                             << " (count " << count
+                                             << ") fell out of the summary";
+      }
+    }
+  }
+}
+
+TEST(MergeAssociativityTest, MisraGriesKeepsGuaranteesInBothOrders) {
+  // Misra–Gries' merge applies the (k+1)-th-largest decrement, so slots
+  // can differ between association orders; what must hold for both is the
+  // deterministic sandwich true - total/(k+1) <= estimate <= true, with
+  // absent keys counting as estimate 0.
+  const auto stream = ZipfStream(20, 9000, 2000);
+  const auto truth = TrueCounts(stream);
+  constexpr std::size_t kCounters = 64;
+  auto [abc, ab_c] = BothAssociations<MisraGries>(
+      stream, [] { return MisraGries(kCounters); },
+      [](auto& est, std::uint64_t v) { est.Update(v); });
+  for (const MisraGries* summary : {&abc, &ab_c}) {
+    EXPECT_EQ(summary->total(), stream.size());
+    const auto entries = summary->Entries();
+    EXPECT_LE(entries.size(), kCounters);
+    std::unordered_map<std::uint64_t, std::uint64_t> estimates;
+    for (const HeavyEntry& entry : entries) {
+      estimates.emplace(entry.key, entry.count);
+      const auto it = truth.find(entry.key);
+      ASSERT_NE(it, truth.end()) << "phantom key " << entry.key;
+      EXPECT_LE(entry.count, it->second) << "key=" << entry.key;
+    }
+    const std::uint64_t max_undercount = stream.size() / (kCounters + 1);
+    for (const auto& [key, count] : truth) {
+      const auto it = estimates.find(key);
+      const std::uint64_t estimate = it == estimates.end() ? 0 : it->second;
+      EXPECT_LE(count - estimate, max_undercount) << "key=" << key;
+    }
+  }
+}
+
 // Paper ids for the cash-register tests: uniform in [0, universe), since
 // the estimator requires `paper < universe` (Zipf samples are 1-based).
 std::vector<std::uint64_t> PaperStream(std::uint64_t seed, std::size_t n,
@@ -215,6 +306,20 @@ TEST(ShardCountInvarianceTest, CountMin) {
           EXPECT_EQ(merged.total(), whole.total()) << "shards=" << k;
           for (std::uint64_t key = 0; key < 600; ++key) {
             EXPECT_EQ(merged.Query(key), whole.Query(key));
+          }
+        });
+  }
+}
+
+TEST(ShardCountInvarianceTest, CountSketch) {
+  const auto stream = ZipfStream(47, 9000, 600);
+  for (const std::size_t k : kShardCounts) {
+    CheckShardInvariance<CountSketch>(
+        stream, k, [] { return CountSketch(512, 5, 53); },
+        [](auto& est, std::uint64_t v) { est.Update(v); },
+        [&](const auto& merged, const auto& whole) {
+          for (std::uint64_t key = 1; key <= 600; ++key) {
+            EXPECT_EQ(merged.Query(key), whole.Query(key)) << "shards=" << k;
           }
         });
   }

@@ -1,0 +1,213 @@
+// Tests for the hstream_serve line protocol: the strict parser directly
+// (service/protocol.h is pure, no I/O), then the real binary through
+// popen (path injected via HSTREAM_SERVE_PATH), including the
+// kill-and-resume property at the protocol level — a server restarted
+// from `save` answers the same queries with byte-identical replies.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+
+namespace {
+
+using namespace himpact;
+
+// --- parser ------------------------------------------------------------------
+
+TEST(ParseCommandLine, ParsesEveryVerb) {
+  Command command = ParseCommandLine("add 7 12").value();
+  EXPECT_EQ(command.kind, CommandKind::kAdd);
+  EXPECT_EQ(command.user, 7u);
+  EXPECT_EQ(command.value, 12u);
+
+  command = ParseCommandLine("paper 3 9 1,2,5").value();
+  EXPECT_EQ(command.kind, CommandKind::kPaper);
+  EXPECT_EQ(command.paper.paper, 3u);
+  EXPECT_EQ(command.paper.citations, 9u);
+  ASSERT_EQ(command.paper.authors.size(), 3);
+  EXPECT_EQ(command.paper.authors[0], 1u);
+  EXPECT_EQ(command.paper.authors[2], 5u);
+
+  command = ParseCommandLine("get 42").value();
+  EXPECT_EQ(command.kind, CommandKind::kGet);
+  EXPECT_EQ(command.user, 42u);
+
+  command = ParseCommandLine("top 5").value();
+  EXPECT_EQ(command.kind, CommandKind::kTop);
+  EXPECT_EQ(command.value, 5u);
+
+  EXPECT_EQ(ParseCommandLine("heavy").value().kind, CommandKind::kHeavy);
+  EXPECT_EQ(ParseCommandLine("stats").value().kind, CommandKind::kStats);
+  command = ParseCommandLine("save /tmp/x.ckpt").value();
+  EXPECT_EQ(command.kind, CommandKind::kSave);
+  EXPECT_EQ(command.path, "/tmp/x.ckpt");
+  EXPECT_EQ(ParseCommandLine("quit").value().kind, CommandKind::kQuit);
+}
+
+TEST(ParseCommandLine, RejectsMalformedInput) {
+  // One reason per rejection class; the server turns each into ERR.
+  EXPECT_FALSE(ParseCommandLine("").ok());
+  EXPECT_FALSE(ParseCommandLine("   ").ok());
+  EXPECT_FALSE(ParseCommandLine("frobnicate 1").ok());
+  EXPECT_FALSE(ParseCommandLine("add 7").ok());           // missing value
+  EXPECT_FALSE(ParseCommandLine("add 7 12 9").ok());      // trailing token
+  EXPECT_FALSE(ParseCommandLine("add -1 5").ok());        // signed id
+  EXPECT_FALSE(ParseCommandLine("add 7 1.5").ok());       // non-integer
+  EXPECT_FALSE(ParseCommandLine("add  7 5").ok());        // doubled space
+  EXPECT_FALSE(ParseCommandLine("get").ok());
+  EXPECT_FALSE(ParseCommandLine("top 0").ok());           // k must be >= 1
+  EXPECT_FALSE(ParseCommandLine("top x").ok());
+  EXPECT_FALSE(ParseCommandLine("heavy now").ok());
+  EXPECT_FALSE(ParseCommandLine("save").ok());
+  EXPECT_FALSE(ParseCommandLine("quit please").ok());
+  EXPECT_FALSE(ParseCommandLine("paper 1 2").ok());       // no authors
+  EXPECT_FALSE(ParseCommandLine("paper 1 2 3,3").ok());   // duplicate author
+  EXPECT_FALSE(ParseCommandLine("paper 1 2 ,").ok());     // empty ids
+  EXPECT_FALSE(
+      ParseCommandLine("paper 1 2 1,2,3,4,5,6,7,8,9").ok());  // > max authors
+}
+
+TEST(FormatEstimate, IsStableAndCompact) {
+  EXPECT_EQ(FormatEstimate(0.0), "0");
+  EXPECT_EQ(FormatEstimate(4.0), "4");
+  EXPECT_EQ(FormatEstimate(4.4), "4.4");
+}
+
+TEST(TierName, NamesEveryTier) {
+  EXPECT_STREQ(TierName(0), "cold");
+  EXPECT_STREQ(TierName(1), "hot");
+  EXPECT_STREQ(TierName(2), "frozen");
+  EXPECT_STREQ(TierName(7), "unknown");
+}
+
+// --- the real binary ---------------------------------------------------------
+
+std::string TempPath(const char* name) {
+  std::string path = "/tmp/himpact_serve_test_";
+  path += name;
+  path += ".";
+  path += std::to_string(static_cast<long long>(::getpid()));
+  return path;
+}
+
+void WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), file), text.size());
+  ASSERT_EQ(std::fclose(file), 0);
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+RunResult RunServe(const std::string& args, const std::string& input_path) {
+  const std::string command = std::string(HSTREAM_SERVE_PATH) + " " + args +
+                              " < " + input_path + " 2>/dev/null";
+  RunResult result;
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    result.stdout_text.append(chunk, n);
+  }
+  const int raw = ::pclose(pipe);
+  result.exit_code = raw >= 0 && WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  return result;
+}
+
+std::string IngestScript(int offset, int count) {
+  std::string script;
+  for (int i = 0; i < count; ++i) {
+    const int user = 1 + (i * 37 + offset) % 50;
+    const int value = 1 + (i * 13) % 200;
+    script += "add " + std::to_string(user) + " " + std::to_string(value) +
+              "\n";
+  }
+  return script;
+}
+
+std::string QueryScript() {
+  std::string script;
+  for (int user = 1; user <= 50; ++user) {
+    script += "get " + std::to_string(user) + "\n";
+  }
+  script += "top 10\nstats\nquit\n";
+  return script;
+}
+
+TEST(ServeBinary, AnswersTheBasicSession) {
+  const std::string input = TempPath("basic_in");
+  WriteTextFile(input,
+                "add 7 12\nadd 7 5\nget 7\nget 404\npaper 1 9 2,3\n"
+                "top 3\nbogus\nadd 7\nquit\n");
+  const RunResult result = RunServe("--stripes 2 --no-heavy", input);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text,
+            "OK 1\nOK 2\nH 7 2 cold 2\nH 404 0 none 0\nOK 2\n"
+            "TOP 7:2 2:1 3:1\nERR unknown command 'bogus'\n"
+            "ERR usage: add <user> <value>\nBYE\n");
+  std::remove(input.c_str());
+}
+
+TEST(ServeBinary, RejectsBadFlags) {
+  const std::string input = TempPath("flags_in");
+  WriteTextFile(input, "quit\n");
+  EXPECT_EQ(RunServe("--stripes 0", input).exit_code, 2);
+  EXPECT_EQ(RunServe("--stripes banana", input).exit_code, 2);
+  EXPECT_EQ(RunServe("--budget-mb -4", input).exit_code, 2);
+  EXPECT_EQ(RunServe("--frobnicate", input).exit_code, 2);
+  std::remove(input.c_str());
+}
+
+TEST(ServeBinary, SaveThenRestoreAnswersByteIdentically) {
+  const std::string checkpoint = TempPath("resume_ckpt");
+  const std::string save_input = TempPath("resume_save_in");
+  const std::string query_input = TempPath("resume_query_in");
+  const std::string flags = "--stripes 4 --promote-threshold 8";
+
+  // Session 1: ingest, checkpoint, then answer the query battery.
+  WriteTextFile(save_input, IngestScript(0, 2000) + "save " + checkpoint +
+                                "\n" + QueryScript());
+  const RunResult first = RunServe(flags, save_input);
+  ASSERT_EQ(first.exit_code, 0);
+  const std::size_t saved_marker =
+      first.stdout_text.find("OK saved " + checkpoint);
+  ASSERT_NE(saved_marker, std::string::npos);
+  const std::string first_answers =
+      first.stdout_text.substr(first.stdout_text.find('\n', saved_marker) + 1);
+
+  // Session 2 ("the restarted server"): restore, answer the same
+  // battery — replies must match byte for byte.
+  WriteTextFile(query_input, QueryScript());
+  const RunResult second =
+      RunServe(flags + " --restore " + checkpoint, query_input);
+  ASSERT_EQ(second.exit_code, 0);
+  EXPECT_EQ(second.stdout_text, first_answers);
+
+  // A mismatched configuration falls back to a fresh service (stderr
+  // note, discarded here) instead of silently restoring.
+  const RunResult mismatched = RunServe(
+      "--stripes 4 --promote-threshold 9 --restore " + checkpoint,
+      query_input);
+  ASSERT_EQ(mismatched.exit_code, 0);
+  EXPECT_NE(mismatched.stdout_text, first_answers);
+
+  std::remove(save_input.c_str());
+  std::remove(query_input.c_str());
+  std::remove(checkpoint.c_str());
+  for (int i = 0; i < 4; ++i) {
+    std::remove((checkpoint + ".stripe-" + std::to_string(i)).c_str());
+  }
+}
+
+}  // namespace

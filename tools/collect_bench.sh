@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs every BENCH-emitting experiment binary and aggregates their json
+# lines into one machine-readable report, stamped with the git revision
+# the numbers were measured at.
+#
+#   tools/collect_bench.sh                      # full run -> BENCH_PR3.json
+#   tools/collect_bench.sh --quick              # CI sizing, same schema
+#   tools/collect_bench.sh --build-dir build-x --output /tmp/bench.json
+#
+# BENCH emitters (each prints lines of the form `BENCH{...json...}`):
+#   bench_f2_throughput   sharded ingestion-engine sweep
+#   bench_a5_checkpoint_sizes   checkpoint envelope sizes
+#   bench_f4_service_qps  multi-tenant service closed-loop load harness
+#
+# The aggregate is a single json object: {"git_sha", "quick", "results"}
+# where results is the array of BENCH payloads in emission order. A ctest
+# registration (`collect_bench_quick`) runs the --quick variant so the
+# pipeline breaks loudly if a bench stops emitting parseable lines.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+output="${repo_root}/BENCH_PR3.json"
+quick=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --output) output="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+bench_dir="${build_dir}/bench"
+for binary in bench_f2_throughput bench_a5_checkpoint_sizes \
+              bench_f4_service_qps; do
+  if [[ ! -x "${bench_dir}/${binary}" ]]; then
+    echo "missing ${bench_dir}/${binary}; build the repo first" >&2
+    exit 1
+  fi
+done
+
+# Flag sets: --quick shrinks the work, never the schema.
+if [[ "${quick}" -eq 1 ]]; then
+  f2_flags=(--shards 2)
+  f4_flags=(--users 10000 --ops 50000 --threads 2)
+else
+  f2_flags=()
+  f4_flags=()
+fi
+
+lines_file="$(mktemp)"
+trap 'rm -f "${lines_file}"' EXIT
+
+run_bench() {
+  # Keep only the BENCH lines; everything else (google-benchmark tables,
+  # progress chatter) goes to stderr so interactive runs stay readable.
+  "$@" | tee /dev/stderr | grep '^BENCH{' >> "${lines_file}" || {
+    echo "$1 emitted no BENCH lines" >&2
+    exit 1
+  }
+}
+
+# --benchmark_filter that matches nothing: only the sweep's BENCH lines.
+run_bench "${bench_dir}/bench_f2_throughput" \
+    --benchmark_filter='^$' "${f2_flags[@]+"${f2_flags[@]}"}"
+run_bench "${bench_dir}/bench_a5_checkpoint_sizes"
+run_bench "${bench_dir}/bench_f4_service_qps" \
+    "${f4_flags[@]+"${f4_flags[@]}"}"
+
+# HEAD sha, with a -dirty suffix when the numbers were measured from an
+# uncommitted tree (the honest stamp for a pre-commit run).
+git_sha="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
+if ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
+  git_sha="${git_sha}-dirty"
+fi
+
+{
+  printf '{\n'
+  printf '  "git_sha": "%s",\n' "${git_sha}"
+  printf '  "quick": %s,\n' "$([[ ${quick} -eq 1 ]] && echo true || echo false)"
+  printf '  "results": [\n'
+  # Strip the BENCH prefix and join the payloads with commas.
+  sed -e 's/^BENCH//' -e 's/^/    /' "${lines_file}" | sed '$!s/$/,/'
+  printf '  ]\n'
+  printf '}\n'
+} > "${output}"
+
+count="$(wc -l < "${lines_file}")"
+echo "wrote ${output} (${count} results @ ${git_sha})"
