@@ -1,0 +1,347 @@
+// F5 — Overload and recovery harness for the fault-tolerance layer
+// (src/fault/, docs/ROBUSTNESS.md). Two phases, both emitting BENCH
+// json lines:
+//
+//  * Ramp: closed-loop worker counts climb past the admission gate's
+//    --max-inflight watermark. Per stage we report sustained qps, the
+//    shed rate (RESOURCE_EXHAUSTED per offered op), deadline misses,
+//    and client-observed p50/p99 latency. The design claim under test:
+//    past saturation, admitted-op p99 stays flat and the excess load is
+//    shed explicitly instead of queueing into latency collapse.
+//
+//  * Recovery: a fresh single-stripe service takes a 500ms injected
+//    worker stall (FaultPoint::kWorkerStall wedges the stripe mutex)
+//    under steady load; completions are bucketed to measure how long
+//    throughput takes to return to steady state after the stall clears.
+//
+//   ./bench_f5_overload                            # full sizing
+//   ./bench_f5_overload --stage-ms 200 --stall-ms 150   # quick/CI sizing
+//
+// Run in Release for meaningful numbers; the shed-rate and recovery
+// numbers are meaningful in any build.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "fault/fault.h"
+#include "random/rng.h"
+#include "random/zipf.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace himpact;
+using Clock = std::chrono::steady_clock;
+
+struct HarnessOptions {
+  std::uint64_t users = 1u << 16;
+  std::uint64_t stage_ms = 1000;       // wall time per ramp stage
+  std::uint64_t max_inflight = 4;      // admission watermark under ramp
+  std::uint64_t deadline_us = 2000;    // per-op deadline under ramp
+  std::uint64_t stall_ms = 500;        // injected stall in the recovery phase
+  std::uint64_t recovery_ms = 2000;    // wall time of the recovery phase
+  std::uint64_t stripes = 8;
+  std::uint64_t seed = 2017;
+};
+
+bool ParseArgs(int argc, char** argv, HarnessOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_text = [&](const char** out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* text = nullptr;
+    if (arg == "--users") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--users", text, 1, 1ull << 40,
+                                  &options->users))
+        return false;
+    } else if (arg == "--stage-ms") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--stage-ms", text, 50, 600000,
+                                  &options->stage_ms))
+        return false;
+    } else if (arg == "--max-inflight") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--max-inflight", text, 1, 4096,
+                                  &options->max_inflight))
+        return false;
+    } else if (arg == "--deadline-us") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--deadline-us", text, &options->deadline_us))
+        return false;
+    } else if (arg == "--stall-ms") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--stall-ms", text, 10, 60000,
+                                  &options->stall_ms))
+        return false;
+    } else if (arg == "--recovery-ms") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--recovery-ms", text, 100, 600000,
+                                  &options->recovery_ms))
+        return false;
+    } else if (arg == "--stripes") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--stripes", text, 1, 4096,
+                                  &options->stripes))
+        return false;
+    } else if (arg == "--seed") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--seed", text, &options->seed))
+        return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+double QuantileMicros(std::vector<double>& sorted_micros, double q) {
+  if (sorted_micros.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_micros.size() - 1));
+  return sorted_micros[index];
+}
+
+// One ramp stage: `threads` closed-loop workers hammer Try* ops until
+// the deadline. Shed ops are retried after a short client-side pause
+// (a real client's backoff), and every op's client-observed latency is
+// recorded — including the shed ones, which is the point: shedding must
+// be cheap.
+struct StageResult {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;
+  std::vector<double> latencies_us;
+};
+
+StageResult RunStage(HImpactService& service, const HarnessOptions& options,
+                     std::uint64_t threads) {
+  std::vector<StageResult> per_thread(threads);
+  std::vector<std::thread> workers;
+  const Clock::time_point stop =
+      Clock::now() + std::chrono::milliseconds(options.stage_ms);
+  for (std::uint64_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      StageResult& mine = per_thread[t];
+      Rng rng(options.seed * 2654435761u + t);
+      const ZipfSampler user_sampler(options.users, 1.1);
+      while (Clock::now() < stop) {
+        const AuthorId user = user_sampler.Sample(rng);
+        const Clock::time_point begin = Clock::now();
+        StatusOr<double> result =
+            service.TryRecordResponseCount(user, 1 + rng.UniformU64(50));
+        const double micros =
+            std::chrono::duration<double, std::micro>(Clock::now() - begin)
+                .count();
+        ++mine.offered;
+        mine.latencies_us.push_back(micros);
+        if (result.ok()) {
+          ++mine.admitted;
+        } else if (result.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          ++mine.shed;
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        } else if (result.status().code() ==
+                   StatusCode::kDeadlineExceeded) {
+          ++mine.deadline_missed;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  StageResult total;
+  for (StageResult& part : per_thread) {
+    total.offered += part.offered;
+    total.admitted += part.admitted;
+    total.shed += part.shed;
+    total.deadline_missed += part.deadline_missed;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              part.latencies_us.begin(),
+                              part.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  return total;
+}
+
+int RunRamp(const HarnessOptions& options) {
+  ServiceOptions service_options;
+  service_options.num_stripes = static_cast<std::size_t>(options.stripes);
+  service_options.enable_heavy_hitters = false;
+  service_options.seed = options.seed;
+  OverloadOptions overload;
+  overload.max_inflight = options.max_inflight;
+  overload.op_deadline_nanos = options.deadline_us * 1000;
+  auto service_or = HImpactService::Create(service_options, overload);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());
+    return 1;
+  }
+  HImpactService service = std::move(service_or).value();
+
+  const std::uint64_t ramp[] = {1, 2, 4, 8, 16};
+  for (const std::uint64_t threads : ramp) {
+    StageResult stage = RunStage(service, options, threads);
+    const double seconds = static_cast<double>(options.stage_ms) / 1000.0;
+    const double shed_rate =
+        stage.offered == 0
+            ? 0.0
+            : static_cast<double>(stage.shed) /
+                  static_cast<double>(stage.offered);
+    std::printf(
+        "BENCH{\"bench\":\"f5_overload_ramp\",\"threads\":%llu,"
+        "\"max_inflight\":%llu,\"deadline_us\":%llu,\"stage_ms\":%llu,"
+        "\"offered\":%llu,\"admitted\":%llu,\"shed\":%llu,"
+        "\"deadline_missed\":%llu,\"shed_rate\":%.4f,"
+        "\"admitted_qps\":%.0f,\"client_p50_us\":%.2f,"
+        "\"client_p99_us\":%.2f}\n",
+        static_cast<unsigned long long>(threads),
+        static_cast<unsigned long long>(options.max_inflight),
+        static_cast<unsigned long long>(options.deadline_us),
+        static_cast<unsigned long long>(options.stage_ms),
+        static_cast<unsigned long long>(stage.offered),
+        static_cast<unsigned long long>(stage.admitted),
+        static_cast<unsigned long long>(stage.shed),
+        static_cast<unsigned long long>(stage.deadline_missed), shed_rate,
+        static_cast<double>(stage.admitted) / seconds,
+        QuantileMicros(stage.latencies_us, 0.5),
+        QuantileMicros(stage.latencies_us, 0.99));
+  }
+  return 0;
+}
+
+// Recovery phase: a single-stripe service (so the stall blocks every
+// writer, worst case) takes one kWorkerStall of --stall-ms at the start
+// of the load window. Completion timestamps are bucketed; recovery time
+// is the end of the last bucket whose throughput is under half the
+// steady-state (second-half median) rate.
+int RunRecovery(const HarnessOptions& options) {
+  ServiceOptions service_options;
+  service_options.num_stripes = 1;
+  service_options.enable_heavy_hitters = false;
+  service_options.seed = options.seed;
+  auto service_or = HImpactService::Create(service_options);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());
+    return 1;
+  }
+  HImpactService service = std::move(service_or).value();
+
+  const std::string spec = std::string(FaultRegistry::Name(
+                               FaultPoint::kWorkerStall)) +
+                           ":0:1:" + std::to_string(options.stall_ms * 1000);
+  const Status armed = FaultRegistry::Global().ArmFromText(spec);
+  if (!armed.ok()) {
+    std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+    return 1;
+  }
+
+  constexpr std::uint64_t kBinMs = 20;
+  constexpr std::uint64_t kThreads = 2;
+  std::vector<std::vector<double>> offsets(kThreads);
+  std::vector<double> max_latency(kThreads, 0.0);
+  std::vector<std::thread> workers;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop =
+      start + std::chrono::milliseconds(options.recovery_ms);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(options.seed * 40503u + t);
+      const ZipfSampler user_sampler(options.users, 1.1);
+      while (Clock::now() < stop) {
+        const Clock::time_point begin = Clock::now();
+        service.RecordResponseCount(user_sampler.Sample(rng),
+                                    1 + rng.UniformU64(50));
+        const Clock::time_point end = Clock::now();
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(end - begin).count();
+        max_latency[t] = std::max(max_latency[t], latency_ms);
+        offsets[t].push_back(
+            std::chrono::duration<double, std::milli>(end - start).count());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  FaultRegistry::Global().Reset();
+
+  const std::size_t num_bins =
+      static_cast<std::size_t>(options.recovery_ms / kBinMs) + 1;
+  std::vector<std::uint64_t> bins(num_bins, 0);
+  std::uint64_t completions = 0;
+  double worst_latency_ms = 0.0;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    worst_latency_ms = std::max(worst_latency_ms, max_latency[t]);
+    for (const double offset_ms : offsets[t]) {
+      const std::size_t bin = static_cast<std::size_t>(offset_ms / kBinMs);
+      if (bin < num_bins) ++bins[bin];
+      ++completions;
+    }
+  }
+
+  // Steady rate: median bucket of the second half of the window, which
+  // is past any plausible stall + catch-up.
+  std::vector<std::uint64_t> tail(bins.begin() + num_bins / 2, bins.end());
+  std::sort(tail.begin(), tail.end());
+  const std::uint64_t steady = tail.empty() ? 0 : tail[tail.size() / 2];
+  std::size_t last_depressed = 0;
+  bool saw_dip = false;
+  for (std::size_t bin = 0; bin < num_bins / 2; ++bin) {
+    if (bins[bin] < steady / 2) {
+      last_depressed = bin;
+      saw_dip = true;
+    }
+  }
+  const double recovery_time_ms =
+      saw_dip ? static_cast<double>((last_depressed + 1) * kBinMs) : 0.0;
+
+  std::printf(
+      "BENCH{\"bench\":\"f5_overload_recovery\",\"stall_ms\":%llu,"
+      "\"window_ms\":%llu,\"completions\":%llu,"
+      "\"steady_per_bin\":%llu,\"bin_ms\":%llu,"
+      "\"recovery_time_ms\":%.0f,\"worst_op_latency_ms\":%.1f,"
+      "\"stall_fired\":%s}\n",
+      static_cast<unsigned long long>(options.stall_ms),
+      static_cast<unsigned long long>(options.recovery_ms),
+      static_cast<unsigned long long>(completions),
+      static_cast<unsigned long long>(steady),
+      static_cast<unsigned long long>(kBinMs), recovery_time_ms,
+      worst_latency_ms,
+      FaultRegistry::Global().fires(FaultPoint::kWorkerStall) > 0 ||
+              worst_latency_ms >= static_cast<double>(options.stall_ms)
+          ? "true"
+          : "false");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  HarnessOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: bench_f5_overload [--users N] [--stage-ms MS] "
+                 "[--max-inflight N]\n"
+                 "                         [--deadline-us U] [--stall-ms MS] "
+                 "[--recovery-ms MS]\n"
+                 "                         [--stripes P] [--seed S]\n");
+    return 2;
+  }
+  const int ramp_status = RunRamp(options);
+  if (ramp_status != 0) return ramp_status;
+  return RunRecovery(options);
+}

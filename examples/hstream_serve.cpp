@@ -3,7 +3,7 @@
 // Speaks the line protocol of service/protocol.h — one command per line,
 // one reply per line:
 //
-//   printf 'add 7 12\nget 7\ntop 3\nstats\nquit\n' | \
+//   printf 'add 7 12\nget 7\ntop 3\nstats\nquit\n' |
 //       ./build/examples/hstream_serve --stripes 4 --budget-mb 16
 //
 // State is the tiered per-user registry plus the striped heavy-hitters
@@ -12,7 +12,16 @@
 // frozen when the memory budget is hit. `save <path>` checkpoints the
 // whole service (PR 1 envelopes, engine-style manifest); `--restore
 // <path>` resumes from one at startup, falling back to a fresh service
-// with a note on stderr when the checkpoint is missing or damaged.
+// with a note on stderr when the checkpoint is missing or damaged, and
+// `--checkpoint <path> --checkpoint-every N` re-saves automatically
+// after every N applied mutations (the kill-and-resume drill's hook).
+//
+// Robustness surface (docs/ROBUSTNESS.md): `--max-inflight` and
+// `--deadline-us` arm the admission gate (overload replies
+// RESOURCE_EXHAUSTED / DEADLINE_EXCEEDED, all counted), `--faults` (or
+// the HIMPACT_FAULTS env var) arms fault-injection points, malformed
+// lines are quarantined behind a `rejected_lines` counter, and the
+// `health` verb reports all of it as one JSON line.
 //
 // Replies are deterministic for a given command sequence, which is what
 // the kill-and-resume test leans on: a restored server must answer every
@@ -24,6 +33,7 @@
 #include <utility>
 
 #include "common/flags.h"
+#include "fault/fault.h"
 #include "service/protocol.h"
 #include "service/service.h"
 
@@ -31,7 +41,18 @@ namespace {
 
 struct ServeOptions {
   himpact::ServiceOptions service;
-  std::string restore;  // empty -> start fresh
+  himpact::OverloadOptions overload;
+  std::string restore;     // empty -> start fresh
+  std::string checkpoint;  // empty -> no automatic checkpoints
+  std::uint64_t checkpoint_every = 0;  // mutations per auto-checkpoint
+  std::string faults;      // fault-arming spec (merged with env)
+};
+
+// Quarantine and checkpoint counters surfaced by the `health` verb.
+struct ServeCounters {
+  std::uint64_t rejected_lines = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_failures = 0;
 };
 
 bool ParseArgs(int argc, char** argv, ServeOptions* options) {
@@ -87,6 +108,26 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
     } else if (arg == "--restore") {
       if (!next_text(&text)) return false;
       options->restore = text;
+    } else if (arg == "--checkpoint") {
+      if (!next_text(&text)) return false;
+      options->checkpoint = text;
+    } else if (arg == "--checkpoint-every") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--checkpoint-every", text,
+                           &options->checkpoint_every))
+        return false;
+    } else if (arg == "--max-inflight") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--max-inflight", text,
+                           &options->overload.max_inflight))
+        return false;
+    } else if (arg == "--deadline-us") {
+      if (!next_text(&text) || !ParseUint64Flag("--deadline-us", text, &u64))
+        return false;
+      options->overload.op_deadline_nanos = u64 * 1000;
+    } else if (arg == "--faults") {
+      if (!next_text(&text)) return false;
+      options->faults = text;
     } else if (arg == "--help") {
       return false;
     } else {
@@ -116,32 +157,112 @@ void PrintStats(const himpact::HImpactService& service) {
       static_cast<unsigned long long>(stats.hh_papers));
 }
 
-int Serve(himpact::HImpactService& service) {
+void PrintHealth(const himpact::HImpactService& service,
+                 const ServeCounters& counters) {
+  const himpact::AdmissionCounters admission = service.admission().Counters();
+  const std::uint64_t alloc_failures =
+      service.Stats().registry.alloc_failures;
+  std::printf(
+      "HEALTH {\"inflight\":%llu,\"admitted\":%llu,\"shed\":%llu,"
+      "\"deadline_exceeded\":%llu,\"rejected_lines\":%llu,"
+      "\"alloc_failures\":%llu,\"checkpoints\":%llu,"
+      "\"checkpoint_failures\":%llu}\n",
+      static_cast<unsigned long long>(admission.inflight),
+      static_cast<unsigned long long>(admission.admitted),
+      static_cast<unsigned long long>(admission.shed),
+      static_cast<unsigned long long>(admission.deadline_exceeded),
+      static_cast<unsigned long long>(counters.rejected_lines),
+      static_cast<unsigned long long>(alloc_failures),
+      static_cast<unsigned long long>(counters.checkpoints),
+      static_cast<unsigned long long>(counters.checkpoint_failures));
+}
+
+// The wire spelling of a shed/deadline status ("RESOURCE_EXHAUSTED ..."
+// or "DEADLINE_EXCEEDED ..."); anything else degrades to ERR.
+void PrintStatusReply(const himpact::Status& status) {
+  const char* code = "ERR";
+  switch (status.code()) {
+    case himpact::StatusCode::kResourceExhausted:
+      code = "RESOURCE_EXHAUSTED";
+      break;
+    case himpact::StatusCode::kDeadlineExceeded:
+      code = "DEADLINE_EXCEEDED";
+      break;
+    default:
+      break;
+  }
+  std::printf("%s %s\n", code, status.message().c_str());
+}
+
+int Serve(himpact::HImpactService& service, const ServeOptions& options) {
   using himpact::Command;
   using himpact::CommandKind;
   using himpact::FormatEstimate;
   using himpact::StatusOr;
   using himpact::UserSnapshot;
 
+  ServeCounters counters;
+  std::uint64_t mutations_since_checkpoint = 0;
+  // Auto-checkpoint, armed by --checkpoint/--checkpoint-every. Failures
+  // go to stderr (and a counter), never stdout: replies must stay
+  // deterministic for the kill-and-resume drill.
+  const auto maybe_checkpoint = [&] {
+    if (options.checkpoint.empty() || options.checkpoint_every == 0) return;
+    if (++mutations_since_checkpoint < options.checkpoint_every) return;
+    mutations_since_checkpoint = 0;
+    const himpact::Status saved = service.CheckpointTo(options.checkpoint);
+    if (saved.ok()) {
+      ++counters.checkpoints;
+    } else {
+      ++counters.checkpoint_failures;
+      std::fprintf(stderr, "auto-checkpoint failed: %s\n",
+                   saved.message().c_str());
+    }
+  };
+
   std::string line;
   while (std::getline(std::cin, line)) {
     StatusOr<Command> parsed = himpact::ParseCommandLine(line);
     if (!parsed.ok()) {
+      // Quarantine, never abort: the bad line is counted and dropped,
+      // and the reply loop keeps its one-reply-per-line invariant.
+      ++counters.rejected_lines;
       std::printf("ERR %s\n", parsed.status().message().c_str());
+      std::fflush(stdout);
       continue;
     }
     const Command& command = parsed.value();
     switch (command.kind) {
       case CommandKind::kAdd: {
-        const double estimate =
-            service.RecordResponseCount(command.user, command.value);
-        std::printf("OK %s\n", FormatEstimate(estimate).c_str());
+        StatusOr<double> estimate =
+            service.TryRecordResponseCount(command.user, command.value);
+        if (estimate.ok()) {
+          std::printf("OK %s\n", FormatEstimate(estimate.value()).c_str());
+          maybe_checkpoint();
+        } else {
+          PrintStatusReply(estimate.status());
+          if (estimate.status().code() ==
+              himpact::StatusCode::kDeadlineExceeded) {
+            maybe_checkpoint();  // the write was applied, late
+          }
+        }
         break;
       }
-      case CommandKind::kPaper:
-        service.IngestPaper(command.paper);
-        std::printf("OK %d\n", command.paper.authors.size());
+      case CommandKind::kPaper: {
+        const himpact::Status ingested = service.TryIngestPaper(command.paper);
+        if (ingested.ok() ||
+            ingested.code() == himpact::StatusCode::kDeadlineExceeded) {
+          if (ingested.ok()) {
+            std::printf("OK %d\n", command.paper.authors.size());
+          } else {
+            PrintStatusReply(ingested);
+          }
+          maybe_checkpoint();
+        } else {
+          PrintStatusReply(ingested);
+        }
         break;
+      }
       case CommandKind::kGet: {
         UserSnapshot snapshot;
         if (service.Lookup(command.user, &snapshot)) {
@@ -163,8 +284,20 @@ int Serve(himpact::HImpactService& service) {
                       service.options().leaderboard_capacity);
           break;
         }
-        std::printf("TOP");
-        for (const himpact::LeaderboardEntry& entry : service.TopK(k)) {
+        StatusOr<himpact::TopKResult> top = service.TryTopK(k);
+        if (!top.ok()) {
+          PrintStatusReply(top.status());
+          break;
+        }
+        // A deadline-degraded scan is tagged TOP-LB <skipped stripes>:
+        // the entries are a valid lower-bound board over the stripes
+        // that answered in time.
+        if (top.value().stripes_skipped > 0) {
+          std::printf("TOP-LB %zu", top.value().stripes_skipped);
+        } else {
+          std::printf("TOP");
+        }
+        for (const himpact::LeaderboardEntry& entry : top.value().entries) {
           std::printf(" %llu:%s",
                       static_cast<unsigned long long>(entry.user),
                       FormatEstimate(entry.estimate).c_str());
@@ -185,6 +318,9 @@ int Serve(himpact::HImpactService& service) {
       }
       case CommandKind::kStats:
         PrintStats(service);
+        break;
+      case CommandKind::kHealth:
+        PrintHealth(service, counters);
         break;
       case CommandKind::kSave: {
         const himpact::Status saved = service.CheckpointTo(command.path);
@@ -215,11 +351,31 @@ int main(int argc, char** argv) {
                  "[--budget-mb MB] [--board K]\n"
                  "                     [--no-heavy] [--seed S] "
                  "[--restore FILE]\n"
-                 "commands on stdin: add/paper/get/top/heavy/stats/save/"
-                 "quit\n");
+                 "                     [--checkpoint FILE] "
+                 "[--checkpoint-every N]\n"
+                 "                     [--max-inflight N] [--deadline-us U] "
+                 "[--faults SPEC]\n"
+                 "commands on stdin: add/paper/get/top/heavy/stats/health/"
+                 "save/quit\n");
     return 2;
   }
-  auto service_or = himpact::HImpactService::Create(options.service);
+  {
+    const himpact::Status armed = himpact::FaultRegistry::Global().ArmFromEnv();
+    if (armed.ok() && !options.faults.empty()) {
+      const himpact::Status flag_armed =
+          himpact::FaultRegistry::Global().ArmFromText(options.faults);
+      if (!flag_armed.ok()) {
+        std::fprintf(stderr, "--faults: %s\n", flag_armed.message().c_str());
+        return 2;
+      }
+    }
+    if (!armed.ok()) {
+      std::fprintf(stderr, "HIMPACT_FAULTS: %s\n", armed.message().c_str());
+      return 2;
+    }
+  }
+  auto service_or =
+      himpact::HImpactService::Create(options.service, options.overload);
   if (!service_or.ok()) {
     std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());
     return 1;
@@ -236,5 +392,5 @@ int main(int argc, char** argv) {
   // Line-buffered replies so popen-driven tests and pipelines see each
   // reply as soon as its command is processed (Serve also flushes).
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
-  return Serve(service);
+  return Serve(service, options);
 }

@@ -24,6 +24,8 @@ enum class StatusCode {
   kOutOfRange = 3,
   kInternal = 4,
   kUnavailable = 5,
+  kResourceExhausted = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Result of an operation: either OK or a code plus a human-readable message.
@@ -67,6 +69,20 @@ class Status {
   /// with probability delta.
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+
+  /// Returns a `kResourceExhausted` status with the given message. Used
+  /// by the admission layer when load is shed at a watermark (the wire
+  /// reply is `RESOURCE_EXHAUSTED`; see docs/ROBUSTNESS.md).
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+
+  /// Returns a `kDeadlineExceeded` status with the given message. Used
+  /// when a per-operation deadline expires before the operation could
+  /// complete (partial answers remain valid lower bounds).
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   /// True iff the status is OK.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -15,6 +16,9 @@
 #include "common/status.h"
 #include "engine/spsc_ring.h"
 #include "engine/stats.h"
+#include "fault/backoff.h"
+#include "fault/fault.h"
+#include "fault/health.h"
 #include "hash/mix.h"
 #include "io/checkpoint.h"
 
@@ -38,19 +42,51 @@
 ///
 /// Checkpoint layout (crash-safe, PR 1 conventions): one manifest
 /// envelope at `<path>` plus N per-shard framed envelopes at
-/// `<path>.shard-<i>`, each written atomically. Shards are written
-/// before the manifest so a torn checkpoint is detected by manifest
-/// validation on restore.
+/// `<path>.shard-<i>`, each written atomically — and, since the runtime
+/// fault-tolerance layer, each retried with jittered backoff on
+/// transient I/O failure (fault/backoff.h).
+///
+/// Fault tolerance (docs/ROBUSTNESS.md): each shard carries a
+/// `HealthTracker` polled by the producer (`PollHealth`), `TryIngest`
+/// offers an event without blocking so callers can shed at a full ring,
+/// and `MergedEstimatorDegraded` answers queries within a deadline by
+/// merging only the shards that caught up — a monotone lower bound on
+/// the full answer, tagged with how much was skipped.
 
 namespace himpact {
 
 /// Engine geometry. `num_shards` workers, each behind a ring of
 /// `queue_capacity` events (rounded up to a power of two), dequeued in
 /// batches of up to `batch_size`.
+///
+/// The producer-wait knobs bound how long `Ingest` busy-waits at a full
+/// ring before sleeping (`producer_sleep_micros` per nap), and `health`
+/// configures the per-shard watchdog (fault/health.h). Checkpoint writes
+/// retry transient failures per `checkpoint_retry`.
 struct EngineOptions {
   std::size_t num_shards = 2;
   std::size_t queue_capacity = 4096;
   std::size_t batch_size = 256;
+  std::size_t producer_spin_limit = 64;
+  std::size_t producer_yield_limit = 64;
+  std::uint64_t producer_sleep_micros = 50;
+  HealthOptions health;
+  RetryOptions checkpoint_retry;
+};
+
+/// Result of a degraded (deadline-bounded) merge-on-query: the merge of
+/// every shard that caught up within the deadline. Because each shard
+/// estimator summarizes a disjoint sub-stream and H-impact estimates are
+/// monotone in the stream, the partial merge is a valid lower bound on
+/// the full answer; `skipped_events` bounds how much of the stream the
+/// answer has not seen. `estimator` is empty only when no shard caught
+/// up at all.
+template <typename Estimator>
+struct DegradedSnapshot {
+  std::optional<Estimator> estimator;
+  std::size_t shards_merged = 0;
+  std::size_t shards_skipped = 0;
+  std::uint64_t skipped_events = 0;
 };
 
 /// What an engine checkpoint's manifest records.
@@ -100,8 +136,8 @@ class ShardedEngine {
     ShardedEngine engine(options);
     engine.shards_.reserve(options.num_shards);
     for (std::size_t i = 0; i < options.num_shards; ++i) {
-      engine.shards_.push_back(
-          std::make_unique<Shard>(options.queue_capacity, factory(i)));
+      engine.shards_.push_back(std::make_unique<Shard>(
+          options.queue_capacity, options.health, factory(i)));
     }
     return StatusOr<ShardedEngine>(std::move(engine));
   }
@@ -150,19 +186,38 @@ class ShardedEngine {
     started_ = true;
   }
 
-  /// Enqueues one event on its key's shard, yielding (and counting a
-  /// stall) while that shard's ring is full. Producer thread only;
-  /// requires `Start()` to have been called (otherwise a full ring would
-  /// spin forever).
+  /// Enqueues one event on its key's shard, escalating from bounded
+  /// spins to bounded yields to short sleeps while that shard's ring is
+  /// full (each full encounter counts one stall; each exhausted bounded
+  /// wait counts a producer stall in the ring). Blocking by contract —
+  /// it does not return until the event is enqueued — but never burns a
+  /// core unboundedly. Producer thread only; requires `Start()` to have
+  /// been called. Callers that must not block use `TryIngest`.
   void Ingest(const Event& event) {
     Shard& shard = *shards_[ShardOf(Traits::Key(event))];
-    if (!shard.ring.TryPush(event)) {
+    if (!shard.ring.PushBounded(event, options_.producer_spin_limit,
+                                options_.producer_yield_limit)) {
       shard.stats.queue_full_stalls.fetch_add(1, std::memory_order_relaxed);
       do {
-        std::this_thread::yield();
-      } while (!shard.ring.TryPush(event));
+        SleepForMicros(options_.producer_sleep_micros);
+      } while (!shard.ring.PushBounded(event, options_.producer_spin_limit,
+                                       options_.producer_yield_limit));
     }
     shard.stats.pushed.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Non-blocking offer: spins briefly at a full ring but never yields
+  /// or sleeps. Returns false (counting a rejected offer — the event was
+  /// NOT enqueued) so the caller can shed load explicitly. Producer
+  /// thread only.
+  bool TryIngest(const Event& event) {
+    Shard& shard = *shards_[ShardOf(Traits::Key(event))];
+    if (!shard.ring.PushBounded(event, options_.producer_spin_limit, 0)) {
+      shard.stats.offers_rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shard.stats.pushed.fetch_add(1, std::memory_order_release);
+    return true;
   }
 
   /// Blocks until every pushed event has been applied to its shard's
@@ -177,6 +232,89 @@ class ShardedEngine {
         std::this_thread::yield();
       }
     }
+  }
+
+  /// `Drain` with a deadline: returns true if every shard caught up
+  /// within `timeout_nanos` of the call, false if the wait was cut
+  /// short. Producer thread only. Timing goes through `FaultClock` so
+  /// the clock-skew fault point exercises this path.
+  bool DrainWithDeadline(std::uint64_t timeout_nanos) {
+    const std::uint64_t deadline = FaultClock::NowNanos() + timeout_nanos;
+    for (auto& shard : shards_) {
+      const std::uint64_t pushed =
+          shard->stats.pushed.load(std::memory_order_relaxed);
+      while (shard->stats.consumed.load(std::memory_order_acquire) < pushed) {
+        if (FaultClock::NowNanos() >= deadline) return false;
+        std::this_thread::yield();
+      }
+    }
+    return true;
+  }
+
+  /// Advances every shard's health state machine from its current
+  /// counters. Producer (or any single watchdog) thread only; the
+  /// resulting states are published for any thread to read via
+  /// `shard_health`.
+  void PollHealth() {
+    const std::uint64_t now = FaultClock::NowNanos();
+    for (auto& shard : shards_) {
+      const std::uint64_t pushed =
+          shard->stats.pushed.load(std::memory_order_acquire);
+      const std::uint64_t consumed =
+          shard->stats.consumed.load(std::memory_order_acquire);
+      const ShardHealth state = shard->health.Poll(pushed, consumed, now);
+      shard->published_health.store(static_cast<int>(state),
+                                    std::memory_order_release);
+    }
+  }
+
+  /// Shard `i`'s health as of the last `PollHealth()` call (healthy
+  /// before the first poll). Safe from any thread.
+  ShardHealth shard_health(std::size_t i) const {
+    return static_cast<ShardHealth>(
+        shards_[i]->published_health.load(std::memory_order_acquire));
+  }
+
+  /// Deadline-bounded merge-on-query: waits up to `timeout_nanos` total
+  /// for shards to catch up, merging each shard that did and skipping —
+  /// entirely — each shard that did not (a lagging worker may still be
+  /// mutating its estimator, so a partial shard cannot be read safely).
+  /// The result is a monotone lower bound on `MergedEstimator()`s
+  /// answer, tagged with the skipped backlog as a staleness bound.
+  /// Producer thread only, engine running or quiescent.
+  DegradedSnapshot<Estimator> MergedEstimatorDegraded(
+      std::uint64_t timeout_nanos) {
+    const std::uint64_t deadline = FaultClock::NowNanos() + timeout_nanos;
+    DegradedSnapshot<Estimator> snapshot;
+    for (auto& shard : shards_) {
+      const std::uint64_t pushed =
+          shard->stats.pushed.load(std::memory_order_relaxed);
+      bool caught_up = true;
+      std::uint64_t consumed =
+          shard->stats.consumed.load(std::memory_order_acquire);
+      while (consumed < pushed) {
+        if (FaultClock::NowNanos() >= deadline) {
+          caught_up = false;
+          break;
+        }
+        std::this_thread::yield();
+        consumed = shard->stats.consumed.load(std::memory_order_acquire);
+      }
+      if (!caught_up) {
+        ++snapshot.shards_skipped;
+        snapshot.skipped_events += pushed - consumed;
+        continue;
+      }
+      // The consumed acquire-load above synchronizes with the worker's
+      // release after its last apply, so this estimator read is stable.
+      if (!snapshot.estimator.has_value()) {
+        snapshot.estimator = shard->estimator;
+      } else {
+        Traits::Merge(*snapshot.estimator, shard->estimator);
+      }
+      ++snapshot.shards_merged;
+    }
+    return snapshot;
   }
 
   /// Drains, stops, and joins all workers. Idempotent; the engine can be
@@ -223,7 +361,9 @@ class ShardedEngine {
 
   /// Snapshot of shard `i`'s counters. Safe from any thread.
   ShardCounters shard_counters(std::size_t i) const {
-    return shards_[i]->stats.Snapshot();
+    ShardCounters counters = shards_[i]->stats.Snapshot();
+    counters.producer_stalls = shards_[i]->ring.producer_stalls();
+    return counters;
   }
 
   /// Total events pushed across shards. Producer thread only.
@@ -236,8 +376,9 @@ class ShardedEngine {
   }
 
   /// Checkpoints the engine as a manifest at `path` plus one framed
-  /// envelope per shard at `path.shard-<i>`, each written atomically.
-  /// Requires quiescence.
+  /// envelope per shard at `path.shard-<i>`, each written atomically and
+  /// retried with jittered backoff on transient I/O failure. Requires
+  /// quiescence.
   Status CheckpointTo(const std::string& path) const {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       ByteWriter writer;
@@ -246,16 +387,22 @@ class ShardedEngine {
       writer.U64(static_cast<std::uint64_t>(shards_.size()));
       writer.U64(shards_[i]->stats.pushed.load(std::memory_order_relaxed));
       Traits::Serialize(shards_[i]->estimator, writer);
-      const Status status = WriteCheckpointFile(
-          ShardPath(path, i), CheckpointTag::kEngineShard, writer.buffer());
+      const Status status =
+          RetryWithBackoff(options_.checkpoint_retry, [&] {
+            return WriteCheckpointFile(ShardPath(path, i),
+                                       CheckpointTag::kEngineShard,
+                                       writer.buffer());
+          });
       if (!status.ok()) return status;
     }
     ByteWriter manifest;
     manifest.U64(kEngineManifestMagic);
     manifest.U64(static_cast<std::uint64_t>(shards_.size()));
     manifest.U64(total_events());
-    return WriteCheckpointFile(path, CheckpointTag::kEngineManifest,
-                               manifest.buffer());
+    return RetryWithBackoff(options_.checkpoint_retry, [&] {
+      return WriteCheckpointFile(path, CheckpointTag::kEngineManifest,
+                                 manifest.buffer());
+    });
   }
 
   /// Reads just the manifest of an engine checkpoint, so callers can
@@ -332,10 +479,16 @@ class ShardedEngine {
 
  private:
   struct Shard {
-    Shard(std::size_t queue_capacity, Estimator est)
-        : ring(queue_capacity), estimator(std::move(est)) {}
+    Shard(std::size_t queue_capacity, const HealthOptions& health_options,
+          Estimator est)
+        : ring(queue_capacity),
+          health(health_options),
+          estimator(std::move(est)) {}
     SpscRing<Event> ring;
     ShardStats stats;
+    HealthTracker health;
+    // Last `PollHealth` verdict, published for cross-thread reads.
+    std::atomic<int> published_health{static_cast<int>(ShardHealth::kHealthy)};
     Estimator estimator;
   };
 
@@ -355,6 +508,14 @@ class ShardedEngine {
                          std::size_t batch_size) {
     std::vector<Event> batch(batch_size);
     while (true) {
+      // Fault hook: a firing `worker-stall` freezes this worker for the
+      // armed parameter (microseconds), simulating a wedged shard so the
+      // health watchdog and degraded queries can be exercised.
+      if (FaultRegistry::Global().AnyArmed() &&
+          FaultRegistry::Global().ShouldFire(FaultPoint::kWorkerStall)) {
+        SleepForMicros(
+            FaultRegistry::Global().param(FaultPoint::kWorkerStall));
+      }
       const std::size_t n = shard.ring.PopBatch(batch.data(), batch.size());
       if (n == 0) {
         // `stop` is set only after the producer stops pushing (Finish

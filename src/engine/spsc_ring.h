@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "fault/fault.h"
 
 /// \file
 /// Bounded single-producer/single-consumer ring buffer — the per-shard
@@ -18,13 +20,22 @@
 /// (consumer). Capacity is rounded up to a power of two so slot indexing
 /// is a mask, and the indices are free-running 64-bit counters (no
 /// wrap-around ambiguity at any realistic stream length).
+///
+/// Full-ring waiting is bounded: `PushBounded` spins with a cpu-relax a
+/// bounded number of times, then yields a bounded number of times, then
+/// gives up and reports failure — counting a producer stall — so a
+/// stalled consumer can never make the producer burn a core silently.
+/// Callers escalate to sleeping or shedding (see
+/// `engine/sharded_engine.h`). The `ring-full` fault point
+/// (fault/fault.h) forces the full-ring path deterministically for
+/// tests.
 
 namespace himpact {
 
 /// A bounded SPSC queue of trivially copyable-ish events. Exactly one
-/// thread may call the producer methods (`TryPush`) and exactly one
-/// thread the consumer methods (`PopBatch`); any thread may call
-/// `capacity()`.
+/// thread may call the producer methods (`TryPush`, `PushBounded`) and
+/// exactly one thread the consumer methods (`PopBatch`); any thread may
+/// call `capacity()` and the counters.
 template <typename T>
 class SpscRing {
  public:
@@ -38,9 +49,13 @@ class SpscRing {
     mask_ = capacity - 1;
   }
 
-  /// Attempts to enqueue one item; returns false when the ring is full.
-  /// Producer thread only.
+  /// Attempts to enqueue one item; returns false when the ring is full
+  /// (or the `ring-full` fault is firing). Producer thread only.
   bool TryPush(const T& item) {
+    if (FaultRegistry::Global().AnyArmed() &&
+        FaultRegistry::Global().ShouldFire(FaultPoint::kRingFull)) {
+      return false;
+    }
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ > mask_) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -49,6 +64,26 @@ class SpscRing {
     slots_[static_cast<std::size_t>(tail) & mask_] = item;
     tail_.store(tail + 1, std::memory_order_release);
     return true;
+  }
+
+  /// `TryPush` with a bounded wait when the ring is full: up to
+  /// `max_spins` cpu-relax spins, then up to `max_yields` scheduler
+  /// yields. Returns false (after counting one producer stall) if the
+  /// ring is still full — the caller decides whether to sleep, retry,
+  /// or shed; this method never waits unboundedly. Producer thread only.
+  bool PushBounded(const T& item, std::size_t max_spins,
+                   std::size_t max_yields) {
+    if (TryPush(item)) return true;
+    for (std::size_t spin = 0; spin < max_spins; ++spin) {
+      CpuRelax();
+      if (TryPush(item)) return true;
+    }
+    for (std::size_t yielded = 0; yielded < max_yields; ++yielded) {
+      std::this_thread::yield();
+      if (TryPush(item)) return true;
+    }
+    producer_stalls_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 
   /// Dequeues up to `max_items` items into `out`, returning how many were
@@ -72,6 +107,23 @@ class SpscRing {
   /// Number of item slots.
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Times `PushBounded` exhausted both its spin and yield budgets
+  /// without finding a free slot. Readable from any thread.
+  std::uint64_t producer_stalls() const {
+    return producer_stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// One polite busy-wait iteration (PAUSE on x86, YIELD on ARM).
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
  private:
   std::size_t mask_ = 0;
   std::vector<T> slots_;
@@ -82,6 +134,7 @@ class SpscRing {
   // Consumer-owned index and its cache of the producer's index.
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::uint64_t cached_tail_ = 0;
+  alignas(64) std::atomic<std::uint64_t> producer_stalls_{0};
 };
 
 }  // namespace himpact

@@ -8,9 +8,12 @@
 /// Per-shard counters for the sharded ingestion engine.
 ///
 /// The live counters are atomics updated from two threads (the producer
-/// counts pushes and queue-full stalls, the shard worker counts consumed
-/// events and batches); `ShardCounters` is the plain snapshot form handed
-/// to reporting code.
+/// counts pushes, queue-full stalls, and rejected offers; the shard
+/// worker counts consumed events and batches); `ShardCounters` is the
+/// plain snapshot form handed to reporting code. The overload-related
+/// counters exist so no backpressure event is silent: every full-ring
+/// wait, bounded-wait exhaustion, and shed offer is visible in the
+/// snapshot (see docs/ROBUSTNESS.md).
 
 namespace himpact {
 
@@ -23,8 +26,14 @@ struct ShardCounters {
   /// Dequeue batches the worker has processed (possibly shorter than the
   /// configured batch size when the ring ran dry).
   std::uint64_t batches = 0;
-  /// Times the producer found this shard's ring full and had to yield.
+  /// Times the producer found this shard's ring full and had to wait.
   std::uint64_t queue_full_stalls = 0;
+  /// Times a bounded push exhausted both its spin and yield budgets
+  /// (the ring's producer-stall counter; see engine/spsc_ring.h).
+  std::uint64_t producer_stalls = 0;
+  /// Non-blocking offers (`TryIngest`) rejected because the ring was
+  /// full — the caller shed or retried; the event was NOT enqueued.
+  std::uint64_t offers_rejected = 0;
 };
 
 /// The live, thread-shared form. Producer-side fields are written only by
@@ -33,6 +42,7 @@ struct ShardCounters {
 struct ShardStats {
   alignas(64) std::atomic<std::uint64_t> pushed{0};
   std::atomic<std::uint64_t> queue_full_stalls{0};
+  std::atomic<std::uint64_t> offers_rejected{0};
   alignas(64) std::atomic<std::uint64_t> consumed{0};
   std::atomic<std::uint64_t> batches{0};
 
@@ -43,6 +53,8 @@ struct ShardStats {
     counters.batches = batches.load(std::memory_order_relaxed);
     counters.queue_full_stalls =
         queue_full_stalls.load(std::memory_order_relaxed);
+    counters.offers_rejected =
+        offers_rejected.load(std::memory_order_relaxed);
     return counters;
   }
 };

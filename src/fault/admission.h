@@ -1,0 +1,163 @@
+#ifndef HIMPACT_FAULT_ADMISSION_H_
+#define HIMPACT_FAULT_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "fault/backoff.h"
+#include "fault/fault.h"
+
+/// \file
+/// Bounded admission for the service boundary.
+///
+/// An `AdmissionController` gates operations with two watermarks:
+///
+///  * **In-flight depth** — at most `max_inflight` operations may be
+///    inside the service at once; the excess is shed immediately with
+///    `kResourceExhausted` (surfaced as `RESOURCE_EXHAUSTED` on the
+///    wire) and counted. Shedding is loud by construction: there is no
+///    code path that drops an operation without bumping `shed()`.
+///  * **Per-op deadline** — each admitted operation carries an absolute
+///    `FaultClock` deadline; long multi-stripe scans check it between
+///    stripes and abandon the rest with `kDeadlineExceeded`, returning
+///    whatever partial (monotone lower-bound) answer they assembled.
+///
+/// Both watermarks are optional (0 disables), in which case admission
+/// is two relaxed atomic increments — cheap enough to leave on every
+/// operation so the counters stay trustworthy.
+///
+/// Usage is RAII:
+///
+/// ```
+/// AdmissionTicket ticket(controller_.get());
+/// if (!ticket.ok()) return Status::ResourceExhausted("...");
+/// ... do the work, consulting ticket.deadline_nanos() ...
+/// ```
+
+namespace himpact {
+
+/// Overload-protection configuration for a service boundary.
+struct OverloadOptions {
+  /// Maximum concurrent operations before shedding (0 = unlimited).
+  std::uint64_t max_inflight = 0;
+  /// Per-operation time budget in nanoseconds (0 = none).
+  std::uint64_t op_deadline_nanos = 0;
+  /// Retry policy for the boundary's checkpoint writer (transient write
+  /// failures back off with jitter instead of failing the save).
+  RetryOptions checkpoint_retry;
+};
+
+/// Aggregate admission counters, for `Stats()`/`health` reporting.
+struct AdmissionCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t inflight = 0;
+};
+
+/// The thread-safe admission gate.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const OverloadOptions& options)
+      : options_(options) {}
+
+  /// Attempts to admit one operation. On success the caller MUST call
+  /// `Release()` exactly once; on failure a shed is counted.
+  bool TryAdmit() {
+    if (options_.max_inflight != 0) {
+      const std::uint64_t depth =
+          inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (depth > options_.max_inflight) {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Releases one admitted operation.
+  void Release() {
+    if (options_.max_inflight != 0) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  /// The absolute `FaultClock` deadline for an operation admitted now
+  /// (0 when deadlines are disabled).
+  std::uint64_t DeadlineFromNow() const {
+    if (options_.op_deadline_nanos == 0) return 0;
+    return FaultClock::NowNanos() + options_.op_deadline_nanos;
+  }
+
+  /// True iff `deadline_nanos` is set and has passed. Callers report
+  /// the miss with `CountDeadlineExceeded()` so no deadline abandon is
+  /// silent.
+  static bool DeadlinePassed(std::uint64_t deadline_nanos) {
+    return deadline_nanos != 0 && FaultClock::NowNanos() > deadline_nanos;
+  }
+
+  /// Counts one operation abandoned (fully or partially) on deadline.
+  void CountDeadlineExceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the counters.
+  AdmissionCounters Counters() const {
+    AdmissionCounters counters;
+    counters.admitted = admitted_.load(std::memory_order_relaxed);
+    counters.shed = shed_.load(std::memory_order_relaxed);
+    counters.deadline_exceeded =
+        deadline_exceeded_.load(std::memory_order_relaxed);
+    counters.inflight = inflight_.load(std::memory_order_relaxed);
+    return counters;
+  }
+
+  /// The configured watermarks.
+  const OverloadOptions& options() const { return options_; }
+
+ private:
+  OverloadOptions options_;
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+};
+
+/// RAII admission: admits on construction, releases on destruction.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {
+    if (controller_ == nullptr) {
+      admitted_ = true;
+      return;
+    }
+    admitted_ = controller_->TryAdmit();
+    if (admitted_) deadline_nanos_ = controller_->DeadlineFromNow();
+  }
+
+  ~AdmissionTicket() {
+    if (admitted_ && controller_ != nullptr) controller_->Release();
+  }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  /// True iff the operation was admitted.
+  bool ok() const { return admitted_; }
+
+  /// The operation's absolute deadline (0 = none).
+  std::uint64_t deadline_nanos() const { return deadline_nanos_; }
+
+ private:
+  AdmissionController* controller_;
+  bool admitted_ = false;
+  std::uint64_t deadline_nanos_ = 0;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_FAULT_ADMISSION_H_

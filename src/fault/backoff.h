@@ -1,0 +1,93 @@
+#ifndef HIMPACT_FAULT_BACKOFF_H_
+#define HIMPACT_FAULT_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "fault/fault.h"
+#include "hash/mix.h"
+
+/// \file
+/// Retry with jittered exponential backoff for transient failures.
+///
+/// `JitteredBackoff` produces the classic doubling delay sequence with
+/// deterministic +/-50% jitter (SplitMix64 of a caller seed, so tests
+/// replay exactly); `RetryWithBackoff` wraps a fallible operation and
+/// retries `kInternal`/`kUnavailable` failures, sleeping the backoff
+/// between attempts. The engine's and service's checkpoint writers use
+/// it so a transient I/O fault (or an injected `torn-checkpoint`) costs
+/// a retry, not a lost checkpoint; non-transient failures
+/// (`kInvalidArgument`, `kFailedPrecondition`) are returned immediately
+/// because retrying cannot fix them.
+
+namespace himpact {
+
+/// Retry policy: attempts and backoff shape.
+struct RetryOptions {
+  /// Total tries (first attempt included). 1 disables retrying.
+  std::uint32_t max_attempts = 3;
+  /// Delay before the first retry; doubles per retry.
+  std::uint64_t base_backoff_nanos = 1'000'000;  // 1 ms
+  /// Cap on any single delay.
+  std::uint64_t max_backoff_nanos = 50'000'000;  // 50 ms
+  /// Jitter seed (deterministic sequences for tests).
+  std::uint64_t seed = 0x5242ULL;
+};
+
+/// The delay generator: exponential growth, +/-50% deterministic jitter.
+class JitteredBackoff {
+ public:
+  explicit JitteredBackoff(const RetryOptions& options)
+      : options_(options), state_(options.seed) {}
+
+  /// Delay to sleep before the next retry, in nanoseconds.
+  std::uint64_t NextDelayNanos() {
+    std::uint64_t base = options_.base_backoff_nanos;
+    for (std::uint32_t i = 0; i < retries_ && base < options_.max_backoff_nanos;
+         ++i) {
+      base <<= 1;
+    }
+    if (base > options_.max_backoff_nanos) base = options_.max_backoff_nanos;
+    ++retries_;
+    // Jitter in [base/2, 3*base/2): decorrelates retry storms from
+    // concurrent writers without changing the expected delay.
+    state_ = SplitMix64(state_);
+    if (base == 0) return 0;
+    return base / 2 + state_ % base;
+  }
+
+  /// Retries generated so far.
+  std::uint32_t retries() const { return retries_; }
+
+ private:
+  RetryOptions options_;
+  std::uint64_t state_;
+  std::uint32_t retries_ = 0;
+};
+
+/// True for failures worth retrying (transient by contract).
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+/// Runs `operation` (a `Status()` callable) up to `max_attempts` times,
+/// sleeping a jittered backoff between retryable failures. Returns the
+/// first success, the first non-retryable failure, or the last failure.
+template <typename Operation>
+Status RetryWithBackoff(const RetryOptions& options, Operation&& operation) {
+  JitteredBackoff backoff(options);
+  Status status = Status::OK();
+  for (std::uint32_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    status = operation();
+    if (status.ok() || !IsRetryable(status)) return status;
+    if (attempt + 1 < options.max_attempts) {
+      SleepForMicros(backoff.NextDelayNanos() / 1000);
+    }
+  }
+  return status;
+}
+
+}  // namespace himpact
+
+#endif  // HIMPACT_FAULT_BACKOFF_H_

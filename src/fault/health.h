@@ -1,0 +1,115 @@
+#ifndef HIMPACT_FAULT_HEALTH_H_
+#define HIMPACT_FAULT_HEALTH_H_
+
+#include <cstdint>
+
+/// \file
+/// The per-shard health state machine of the fault-tolerance layer.
+///
+/// A `HealthTracker` watches one worker's (pushed, consumed) counter
+/// pair through periodic polls and classifies the worker as
+///
+///   healthy --(backlog > lag watermark)--> lagging
+///   lagging --(no progress for stall timeout)--> stalled
+///   any     --(caught up / progressing again)--> healthy or lagging
+///
+/// The tracker is pure and deterministic — counters and timestamps are
+/// passed in, nothing is read from a clock — so the transitions are
+/// unit-testable without threads. The engine embeds one tracker per
+/// shard and polls it from the producer thread with `FaultClock` time
+/// (`engine/sharded_engine.h`); merge-on-query skips shards the tracker
+/// reports stalled and tags the answer as a monotone lower bound (see
+/// docs/ROBUSTNESS.md, "Degraded answers").
+///
+/// `stalled` requires both a non-empty backlog and no consumed-counter
+/// progress for the stall timeout: an idle worker with an empty ring is
+/// healthy, not stalled, no matter how long it sits.
+
+namespace himpact {
+
+/// Worker health, from the watchdog's point of view.
+enum class ShardHealth : std::uint8_t {
+  /// Consuming, and the backlog is under the lag watermark.
+  kHealthy = 0,
+  /// Consuming, but the backlog is above the lag watermark.
+  kLagging = 1,
+  /// Non-empty backlog with no progress for the stall timeout.
+  kStalled = 2,
+};
+
+/// The health verb / log name of a state ("healthy", "lagging",
+/// "stalled").
+inline const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kLagging:
+      return "lagging";
+    case ShardHealth::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
+/// Watchdog thresholds.
+struct HealthOptions {
+  /// Backlog (pushed - consumed) above which a progressing worker is
+  /// reported lagging.
+  std::uint64_t lag_watermark = 1024;
+  /// No-progress window after which a backlogged worker is reported
+  /// stalled.
+  std::uint64_t stall_timeout_nanos = 100'000'000;  // 100 ms
+};
+
+/// The state machine for one worker. Poll from a single thread.
+class HealthTracker {
+ public:
+  HealthTracker() = default;
+  explicit HealthTracker(const HealthOptions& options) : options_(options) {}
+
+  /// Feeds one observation and returns the resulting state.
+  ShardHealth Poll(std::uint64_t pushed, std::uint64_t consumed,
+                   std::uint64_t now_nanos) {
+    backlog_ = pushed - consumed;
+    const bool progressed =
+        !observed_once_ || consumed != last_consumed_ || backlog_ == 0;
+    if (progressed) {
+      last_progress_nanos_ = now_nanos;
+      last_consumed_ = consumed;
+      observed_once_ = true;
+      state_ = backlog_ > options_.lag_watermark ? ShardHealth::kLagging
+                                                 : ShardHealth::kHealthy;
+      return state_;
+    }
+    if (now_nanos - last_progress_nanos_ >= options_.stall_timeout_nanos) {
+      state_ = ShardHealth::kStalled;
+    } else if (backlog_ > options_.lag_watermark) {
+      state_ = ShardHealth::kLagging;
+    }
+    return state_;
+  }
+
+  /// The most recent `Poll` classification.
+  ShardHealth state() const { return state_; }
+
+  /// Backlog at the most recent poll.
+  std::uint64_t backlog() const { return backlog_; }
+
+  /// Timestamp of the most recent poll that observed progress.
+  std::uint64_t last_progress_nanos() const { return last_progress_nanos_; }
+
+  /// The thresholds in force.
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  HealthOptions options_;
+  ShardHealth state_ = ShardHealth::kHealthy;
+  std::uint64_t last_consumed_ = 0;
+  std::uint64_t last_progress_nanos_ = 0;
+  std::uint64_t backlog_ = 0;
+  bool observed_once_ = false;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_FAULT_HEALTH_H_

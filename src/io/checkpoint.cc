@@ -7,6 +7,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "fault/fault.h"
+
 namespace himpact {
 namespace {
 
@@ -56,6 +58,28 @@ Status WriteFileAtomic(const std::string& path,
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return IoError("open", tmp_path);
+
+  // Fault hook: a firing `torn-checkpoint` writes only half the payload
+  // to the temp file and fails before the rename, modeling a crash (or
+  // full disk) mid-write. The destination keeps its previous good
+  // contents — which is exactly the crash-safety property restores rely
+  // on — and the error is retryable (see fault/backoff.h).
+  if (FaultRegistry::Global().AnyArmed() &&
+      FaultRegistry::Global().ShouldFire(FaultPoint::kTornCheckpoint)) {
+    const std::size_t half = bytes.size() / 2;
+    std::size_t torn_written = 0;
+    while (torn_written < half) {
+      const ssize_t n =
+          ::write(fd, bytes.data() + torn_written, half - torn_written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      torn_written += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return Status::Internal("injected torn checkpoint write: " + tmp_path);
+  }
 
   std::size_t written = 0;
   while (written < bytes.size()) {

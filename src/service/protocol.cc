@@ -122,6 +122,11 @@ StatusOr<Command> ParseCommandLine(const std::string& line) {
     command.kind = CommandKind::kStats;
     return command;
   }
+  if (verb == "health") {
+    if (tokens.size() != 1) return BadLine("usage: health");
+    command.kind = CommandKind::kHealth;
+    return command;
+  }
   if (verb == "save") {
     if (tokens.size() != 2 || tokens[1].empty()) {
       return BadLine("usage: save <path>");

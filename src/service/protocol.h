@@ -18,12 +18,19 @@
 ///   top <k>                 -> TOP <user>:<estimate> ...
 ///   heavy                   -> HEAVY <user>:<estimate> ...
 ///   stats                   -> STATS {<json>}
+///   health                  -> HEALTH {<json>}
 ///   save <path>             -> OK saved <path>
 ///   quit                    -> BYE
 ///
+/// Overloaded servers reply `RESOURCE_EXHAUSTED shed` (watermark hit,
+/// command not applied) or `DEADLINE_EXCEEDED ...` (see
+/// docs/ROBUSTNESS.md) instead of the success form; both are counted,
+/// never silent.
+///
 /// Malformed input yields `ERR <reason>` and the server keeps reading
 /// (a load generator must not be able to wedge the service with one bad
-/// line). Parsing is strict — unknown verbs, missing or trailing
+/// line) while bumping a `rejected_lines` quarantine counter reported
+/// by `health`. Parsing is strict — unknown verbs, missing or trailing
 /// tokens, and non-numeric operands are all rejected — and pure (no
 /// I/O), so the same parser is unit-tested directly and driven through
 /// the binary end to end.
@@ -38,6 +45,7 @@ enum class CommandKind {
   kTop,
   kHeavy,
   kStats,
+  kHealth,
   kSave,
   kQuit,
 };

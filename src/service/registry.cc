@@ -1,9 +1,11 @@
 #include "service/registry.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "fault/fault.h"
 #include "hash/mix.h"
 
 namespace himpact {
@@ -112,6 +114,15 @@ double TieredUserRegistry::EstimateLocked(const UserState& state) const {
 }
 
 void TieredUserRegistry::PromoteLocked(Stripe& stripe, UserState& state) {
+  // Fault hook: a firing `alloc-fail` models the promotion sketch's
+  // allocation failing. The promotion is abandoned — the user keeps its
+  // exact cold state (a correct answer, just costlier) and the next
+  // event over the threshold retries.
+  if (FaultRegistry::Global().AnyArmed() &&
+      FaultRegistry::Global().ShouldFire(FaultPoint::kAllocFail)) {
+    ++stripe.alloc_failures;
+    return;
+  }
   auto sketch =
       std::make_unique<ExponentialHistogramEstimator>(MakeSketch());
   for (const std::uint64_t value : state.values) sketch->Add(value);
@@ -205,6 +216,14 @@ void TieredUserRegistry::EnforceBudgetLocked(Stripe& stripe) {
 double TieredUserRegistry::Add(AuthorId user, std::uint64_t value) {
   Stripe& stripe = *stripes_[StripeOf(user)];
   std::lock_guard<std::mutex> lock(stripe.mu);
+  // Fault hook: a firing `worker-stall` wedges this stripe for the armed
+  // parameter (microseconds) while holding its lock — queries against
+  // the same stripe block behind it, which is what per-op deadlines and
+  // degraded queries exist to survive.
+  if (FaultRegistry::Global().AnyArmed() &&
+      FaultRegistry::Global().ShouldFire(FaultPoint::kWorkerStall)) {
+    SleepForMicros(FaultRegistry::Global().param(FaultPoint::kWorkerStall));
+  }
   ++stripe.events;
 
   auto [it, inserted] = stripe.users.try_emplace(user);
@@ -235,7 +254,14 @@ double TieredUserRegistry::Add(AuthorId user, std::uint64_t value) {
       break;
     case UserTier::kFrozen: {
       // Reactivation: fresh sketch over the post-demotion suffix; the
-      // frozen floor keeps the estimate a valid lower bound.
+      // frozen floor keeps the estimate a valid lower bound. Under an
+      // `alloc-fail` fault the reactivation is skipped — the user keeps
+      // serving its floor and the next event retries.
+      if (FaultRegistry::Global().AnyArmed() &&
+          FaultRegistry::Global().ShouldFire(FaultPoint::kAllocFail)) {
+        ++stripe.alloc_failures;
+        break;
+      }
       state.sketch =
           std::make_unique<ExponentialHistogramEstimator>(MakeSketch());
       state.sketch->Add(value);
@@ -289,6 +315,37 @@ std::vector<LeaderboardEntry> TieredUserRegistry::TopK(std::size_t k) const {
   return merged;
 }
 
+std::vector<LeaderboardEntry> TieredUserRegistry::TopKDegraded(
+    std::size_t k, std::uint64_t deadline_nanos,
+    std::size_t* stripes_skipped) const {
+  HIMPACT_CHECK_MSG(k <= options_.leaderboard_capacity,
+                    "TopK k exceeds leaderboard_capacity");
+  *stripes_skipped = 0;
+  std::vector<LeaderboardEntry> merged;
+  for (const auto& stripe : stripes_) {
+    std::unique_lock<std::mutex> lock(stripe->mu, std::try_to_lock);
+    while (!lock.owns_lock()) {
+      if (deadline_nanos != 0 && FaultClock::NowNanos() >= deadline_nanos) {
+        break;
+      }
+      std::this_thread::yield();
+      lock.try_lock();
+    }
+    if (!lock.owns_lock()) {
+      ++*stripes_skipped;
+      continue;
+    }
+    merged.insert(merged.end(), stripe->board.begin(), stripe->board.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const LeaderboardEntry& a, const LeaderboardEntry& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.user < b.user;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
 RegistryStats TieredUserRegistry::Stats() const {
   RegistryStats stats;
   stats.budget_bytes = options_.memory_budget_bytes;
@@ -312,6 +369,7 @@ RegistryStats TieredUserRegistry::Stats() const {
     stats.promotions += stripe->promotions;
     stats.demotions += stripe->demotions;
     stats.resident_bytes += stripe->resident_bytes;
+    stats.alloc_failures += stripe->alloc_failures;
   }
   return stats;
 }

@@ -101,6 +101,10 @@ struct RegistryStats {
   std::uint64_t demotions = 0;
   std::uint64_t resident_bytes = 0;
   std::uint64_t budget_bytes = 0;
+  /// Sketch allocations vetoed by the `alloc-fail` fault point. Each one
+  /// kept the user on its previous (exact or frozen-floor) state, so
+  /// estimates stay valid lower bounds; see docs/ROBUSTNESS.md.
+  std::uint64_t alloc_failures = 0;
 };
 
 /// The sharded, budgeted, tiered per-user store.
@@ -131,6 +135,16 @@ class TieredUserRegistry {
   /// (ties broken by smaller user id). Served from the per-stripe
   /// leaderboards; requires `k <= leaderboard_capacity`.
   std::vector<LeaderboardEntry> TopK(std::size_t k) const;
+
+  /// `TopK` under an absolute `FaultClock` deadline (0 behaves like
+  /// `TopK`): a stripe whose lock cannot be acquired before the deadline
+  /// — e.g. one wedged behind a stalled writer — is skipped and counted
+  /// in `*stripes_skipped`. Because maintained estimates only grow, the
+  /// partial board is a valid lower-bound leaderboard over the merged
+  /// stripes (see docs/ROBUSTNESS.md, "Degraded answers").
+  std::vector<LeaderboardEntry> TopKDegraded(
+      std::size_t k, std::uint64_t deadline_nanos,
+      std::size_t* stripes_skipped) const;
 
   /// Aggregate counters across stripes. Thread-safe; the snapshot is
   /// per-stripe consistent, not a global atomic cut.
@@ -187,6 +201,9 @@ class TieredUserRegistry {
     std::uint64_t demotions = 0;
     std::uint64_t touch_clock = 0;
     std::uint64_t resident_bytes = 0;
+    /// Sketch allocations vetoed by the `alloc-fail` fault point
+    /// (runtime counter; deliberately not checkpointed).
+    std::uint64_t alloc_failures = 0;
   };
 
   explicit TieredUserRegistry(const ServiceOptions& options);

@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "fault/backoff.h"
 #include "io/checkpoint.h"
 
 namespace himpact {
@@ -23,7 +24,7 @@ HeavyHitters::Options HhOptions(const ServiceOptions& options) {
 }  // namespace
 
 StatusOr<HImpactService> HImpactService::Create(
-    const ServiceOptions& options) {
+    const ServiceOptions& options, const OverloadOptions& overload) {
   StatusOr<TieredUserRegistry> registry = TieredUserRegistry::Create(options);
   if (!registry.ok()) return registry.status();
   if (options.enable_heavy_hitters) {
@@ -33,12 +34,14 @@ StatusOr<HImpactService> HImpactService::Create(
         HeavyHitters::Create(HhOptions(options), options.seed);
     if (!probe.ok()) return probe.status();
   }
-  return HImpactService(std::move(registry).value());
+  return HImpactService(std::move(registry).value(), overload);
 }
 
-HImpactService::HImpactService(TieredUserRegistry registry)
+HImpactService::HImpactService(TieredUserRegistry registry,
+                               const OverloadOptions& overload)
     : registry_(std::move(registry)),
       hh_stripes_(MakeHhStripes()),
+      admission_(std::make_unique<AdmissionController>(overload)),
       ingest_latency_(std::make_unique<LatencyRecorder>()),
       point_latency_(std::make_unique<LatencyRecorder>()),
       topk_latency_(std::make_unique<LatencyRecorder>()) {}
@@ -132,7 +135,62 @@ ServiceStats HImpactService::Stats() const {
       stats.hh_papers += stripe->hh->num_papers();
     }
   }
+  stats.admission = admission_->Counters();
   return stats;
+}
+
+StatusOr<double> HImpactService::TryRecordResponseCount(AuthorId user,
+                                                        std::uint64_t value) {
+  AdmissionTicket ticket(admission_.get());
+  if (!ticket.ok()) {
+    return Status::ResourceExhausted("ingest shed: in-flight watermark hit");
+  }
+  const double estimate = RecordResponseCount(user, value);
+  if (AdmissionController::DeadlinePassed(ticket.deadline_nanos())) {
+    admission_->CountDeadlineExceeded();
+    return Status::DeadlineExceeded("ingest applied but missed its deadline");
+  }
+  return estimate;
+}
+
+Status HImpactService::TryIngestPaper(const PaperTuple& paper) {
+  AdmissionTicket ticket(admission_.get());
+  if (!ticket.ok()) {
+    return Status::ResourceExhausted("ingest shed: in-flight watermark hit");
+  }
+  IngestPaper(paper);
+  if (AdmissionController::DeadlinePassed(ticket.deadline_nanos())) {
+    admission_->CountDeadlineExceeded();
+    return Status::DeadlineExceeded("ingest applied but missed its deadline");
+  }
+  return Status::OK();
+}
+
+StatusOr<double> HImpactService::TryPointHIndex(AuthorId user) {
+  AdmissionTicket ticket(admission_.get());
+  if (!ticket.ok()) {
+    return Status::ResourceExhausted("query shed: in-flight watermark hit");
+  }
+  const double estimate = PointHIndex(user);
+  if (AdmissionController::DeadlinePassed(ticket.deadline_nanos())) {
+    admission_->CountDeadlineExceeded();
+    return Status::DeadlineExceeded("point query missed its deadline");
+  }
+  return estimate;
+}
+
+StatusOr<TopKResult> HImpactService::TryTopK(std::size_t k) {
+  AdmissionTicket ticket(admission_.get());
+  if (!ticket.ok()) {
+    return Status::ResourceExhausted("query shed: in-flight watermark hit");
+  }
+  ScopedLatency timer(*topk_latency_);
+  TopKResult result;
+  result.entries =
+      registry_.TopKDegraded(k, ticket.deadline_nanos(),
+                             &result.stripes_skipped);
+  if (result.stripes_skipped > 0) admission_->CountDeadlineExceeded();
+  return result;
 }
 
 std::string HImpactService::StripePath(const std::string& path,
@@ -154,8 +212,12 @@ Status HImpactService::CheckpointTo(const std::string& path) const {
       stripe.hh->SerializeTo(writer);
       writer.U64(stripe.next_paper);
     }
-    Status written = WriteCheckpointFile(
-        StripePath(path, i), CheckpointTag::kServiceStripe, writer.buffer());
+    Status written =
+        RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
+          return WriteCheckpointFile(StripePath(path, i),
+                                     CheckpointTag::kServiceStripe,
+                                     writer.buffer());
+        });
     if (!written.ok()) return written;
   }
 
@@ -174,8 +236,10 @@ Status HImpactService::CheckpointTo(const std::string& path) const {
   manifest.U64(opts.hh_max_papers);
   manifest.U64(opts.seed);
   manifest.U64(registry_.Stats().total_events);
-  return WriteCheckpointFile(path, CheckpointTag::kServiceManifest,
-                             manifest.buffer());
+  return RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
+    return WriteCheckpointFile(path, CheckpointTag::kServiceManifest,
+                               manifest.buffer());
+  });
 }
 
 StatusOr<ServiceManifest> HImpactService::ReadManifest(

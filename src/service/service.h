@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/admission.h"
 #include "heavy/heavy_hitters.h"
 #include "service/latency.h"
 #include "service/registry.h"
@@ -47,14 +48,30 @@ struct ServiceStats {
   RegistryStats registry;
   /// Papers observed by the heavy-hitters grid (0 when disabled).
   std::uint64_t hh_papers = 0;
+  /// Admission-gate counters (admitted / shed / deadline_exceeded /
+  /// inflight) for the `Try*` boundary.
+  AdmissionCounters admission;
+};
+
+/// A top-k answer that may be degraded: when `stripes_skipped > 0` the
+/// deadline cut the scan short and `entries` covers only the merged
+/// stripes — still a valid lower-bound leaderboard, explicitly tagged.
+struct TopKResult {
+  std::vector<LeaderboardEntry> entries;
+  std::size_t stripes_skipped = 0;
 };
 
 /// A thread-safe multi-tenant H-impact store with point, top-k, and
 /// heavy-hitter queries.
 class HImpactService {
  public:
-  /// Validates options and builds an empty service.
-  static StatusOr<HImpactService> Create(const ServiceOptions& options);
+  /// Validates options and builds an empty service. `overload`
+  /// configures the admission gate for the `Try*` boundary (default:
+  /// unlimited, no deadlines). Overload config is runtime-only — it is
+  /// NOT part of the checkpoint manifest, so a checkpoint restores into
+  /// a service with any watermarks.
+  static StatusOr<HImpactService> Create(const ServiceOptions& options,
+                                         const OverloadOptions& overload = {});
 
   HImpactService(HImpactService&&) noexcept = default;
   HImpactService& operator=(HImpactService&&) noexcept = default;
@@ -87,6 +104,29 @@ class HImpactService {
   /// Aggregate counters (per-stripe consistent snapshot).
   ServiceStats Stats() const;
 
+  /// Admission-gated ingest: `kResourceExhausted` when the in-flight
+  /// watermark sheds the call (state untouched), `kDeadlineExceeded`
+  /// when the write was applied but missed its deadline (the mutation
+  /// is NOT rolled back — the error marks the response late, and the
+  /// miss is counted). Otherwise the updated estimate.
+  StatusOr<double> TryRecordResponseCount(AuthorId user, std::uint64_t value);
+
+  /// Admission-gated paper ingest; same shed/deadline semantics as
+  /// `TryRecordResponseCount`.
+  Status TryIngestPaper(const PaperTuple& paper);
+
+  /// Admission-gated point query; `kResourceExhausted` on shed,
+  /// `kDeadlineExceeded` when the lookup outlived its budget (the value
+  /// is withheld — the caller asked for a bounded-latency answer).
+  StatusOr<double> TryPointHIndex(AuthorId user);
+
+  /// Admission-gated top-k. Under its deadline this degrades instead of
+  /// blocking: stripes it cannot lock in time are skipped (and counted
+  /// in the result tag and the deadline_exceeded counter), so a wedged
+  /// stripe costs coverage, not availability. `kResourceExhausted` only
+  /// on shed.
+  StatusOr<TopKResult> TryTopK(std::size_t k);
+
   /// Latency histograms, populated by the calls above.
   const LatencyRecorder& ingest_latency() const { return *ingest_latency_; }
   const LatencyRecorder& point_latency() const { return *point_latency_; }
@@ -116,6 +156,9 @@ class HImpactService {
   /// Read access to the underlying registry (tests, examples).
   const TieredUserRegistry& registry() const { return registry_; }
 
+  /// The admission gate guarding the `Try*` boundary.
+  const AdmissionController& admission() const { return *admission_; }
+
  private:
   /// One heavy-hitters shard; all shards share options and seed so the
   /// on-query merge is legal (see HeavyHitters::Merge).
@@ -129,12 +172,13 @@ class HImpactService {
     std::uint64_t next_paper = 0;
   };
 
-  explicit HImpactService(TieredUserRegistry registry);
+  HImpactService(TieredUserRegistry registry, const OverloadOptions& overload);
 
   std::vector<std::unique_ptr<HhStripe>> MakeHhStripes() const;
 
   TieredUserRegistry registry_;
   std::vector<std::unique_ptr<HhStripe>> hh_stripes_;
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<LatencyRecorder> ingest_latency_;
   std::unique_ptr<LatencyRecorder> point_latency_;
   std::unique_ptr<LatencyRecorder> topk_latency_;

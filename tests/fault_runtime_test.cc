@@ -1,0 +1,622 @@
+// Runtime fault-tolerance layer (src/fault/): the injection registry's
+// fire-window arithmetic and env syntax, the health state machine, the
+// admission gate, jittered-backoff retries, and — threaded through the
+// real engine/io/service code — the guarantees docs/ROBUSTNESS.md pairs
+// with each fault point: no crash or deadlock, tagged monotone
+// lower-bound answers during the fault, and post-recovery answers equal
+// to a fault-free run.
+//
+// Every test arms the process-global FaultRegistry and must Reset() it
+// on exit (the fixture enforces this), so tests stay order-independent.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exponential_histogram.h"
+#include "engine/sharded_engine.h"
+#include "engine/spsc_ring.h"
+#include "engine/traits.h"
+#include "fault/admission.h"
+#include "fault/backoff.h"
+#include "fault/fault.h"
+#include "fault/health.h"
+#include "io/checkpoint.h"
+#include "random/rng.h"
+#include "service/service.h"
+
+namespace himpact {
+namespace {
+
+using AggregateEngine =
+    ShardedEngine<AggregateEngineTraits<ExponentialHistogramEstimator>>;
+
+// A scratch path unique to this process (tests may run in parallel).
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "fault_runtime_" + name + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+class FaultRuntimeTest : public testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Reset(); }
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+// --- FaultRegistry ----------------------------------------------------------
+
+TEST_F(FaultRuntimeTest, DisarmedProbesNeverFireAndCostNoCounters) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  EXPECT_FALSE(registry.AnyArmed());
+  EXPECT_FALSE(registry.ShouldFire(FaultPoint::kAllocFail));
+  // Counters are only maintained while armed (the disarmed fast path is
+  // a single load), so the probe above left no trace.
+  EXPECT_EQ(registry.hits(FaultPoint::kAllocFail), 0u);
+}
+
+TEST_F(FaultRuntimeTest, FireWindowSkipsThenFiresThenExpires) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.skip = 2;
+  spec.max_fires = 3;
+  registry.Arm(FaultPoint::kRingFull, spec);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) {
+    fired.push_back(registry.ShouldFire(FaultPoint::kRingFull));
+  }
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(registry.hits(FaultPoint::kRingFull), 8u);
+  EXPECT_EQ(registry.fires(FaultPoint::kRingFull), 3u);
+}
+
+TEST_F(FaultRuntimeTest, ArmFromTextParsesClausesAndRejectsGarbage) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  ASSERT_TRUE(registry
+                  .ArmFromText("alloc-fail,worker-stall:5:2:1000,"
+                               "clock-skew:0:1:999")
+                  .ok());
+  EXPECT_TRUE(registry.armed(FaultPoint::kAllocFail));
+  EXPECT_TRUE(registry.armed(FaultPoint::kWorkerStall));
+  EXPECT_EQ(registry.param(FaultPoint::kWorkerStall), 1000u);
+  EXPECT_EQ(registry.param(FaultPoint::kClockSkew), 999u);
+  EXPECT_FALSE(registry.armed(FaultPoint::kTornCheckpoint));
+
+  EXPECT_FALSE(registry.ArmFromText("no-such-point").ok());
+  EXPECT_FALSE(registry.ArmFromText("alloc-fail:not-a-number").ok());
+
+  registry.Reset();
+  EXPECT_FALSE(registry.AnyArmed());
+  EXPECT_EQ(registry.hits(FaultPoint::kAllocFail), 0u);
+}
+
+TEST_F(FaultRuntimeTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    const FaultPoint point = static_cast<FaultPoint>(i);
+    const auto parsed = FaultRegistry::FromName(FaultRegistry::Name(point));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, point);
+  }
+  EXPECT_FALSE(FaultRegistry::FromName("bogus").has_value());
+}
+
+TEST_F(FaultRuntimeTest, ClockSkewShiftsFaultClockForward) {
+  const std::uint64_t before = FaultClock::NowNanos();
+  FaultSpec spec;
+  spec.param = 60'000'000'000ull;  // one minute
+  FaultRegistry::Global().Arm(FaultPoint::kClockSkew, spec);
+  const std::uint64_t skewed = FaultClock::NowNanos();
+  EXPECT_GE(skewed, before + spec.param);
+  FaultRegistry::Global().Reset();
+  EXPECT_LT(FaultClock::NowNanos(), before + spec.param);
+}
+
+// --- HealthTracker ----------------------------------------------------------
+
+TEST_F(FaultRuntimeTest, HealthTrackerFollowsTheStateMachine) {
+  HealthOptions options;
+  options.lag_watermark = 10;
+  options.stall_timeout_nanos = 1'000'000;  // 1ms, driven synthetically
+  HealthTracker tracker(options);
+
+  // Idle and caught up: healthy.
+  EXPECT_EQ(tracker.Poll(0, 0, 0), ShardHealth::kHealthy);
+  // Small backlog with progress: healthy.
+  EXPECT_EQ(tracker.Poll(5, 2, 100), ShardHealth::kHealthy);
+  // Backlog over the watermark while still progressing: lagging.
+  EXPECT_EQ(tracker.Poll(100, 3, 200), ShardHealth::kLagging);
+  // No progress, backlog pending, timeout elapsed: stalled.
+  EXPECT_EQ(tracker.Poll(100, 3, 200 + 2'000'000), ShardHealth::kStalled);
+  EXPECT_EQ(tracker.backlog(), 97u);
+  // Progress resumes: back to lagging (still over watermark)...
+  EXPECT_EQ(tracker.Poll(100, 50, 200 + 3'000'000), ShardHealth::kLagging);
+  // ...and to healthy once the backlog clears.
+  EXPECT_EQ(tracker.Poll(100, 100, 200 + 4'000'000), ShardHealth::kHealthy);
+  // An idle (empty) shard never stalls, no matter how long it sits.
+  EXPECT_EQ(tracker.Poll(100, 100, 200 + 60'000'000'000ull),
+            ShardHealth::kHealthy);
+}
+
+// --- AdmissionController / backoff ------------------------------------------
+
+TEST_F(FaultRuntimeTest, AdmissionShedsAboveTheWatermarkAndCounts) {
+  OverloadOptions options;
+  options.max_inflight = 2;
+  AdmissionController controller(options);
+
+  EXPECT_TRUE(controller.TryAdmit());
+  EXPECT_TRUE(controller.TryAdmit());
+  EXPECT_FALSE(controller.TryAdmit()) << "third concurrent op must shed";
+  controller.Release();
+  EXPECT_TRUE(controller.TryAdmit());
+  controller.Release();
+  controller.Release();
+
+  const AdmissionCounters counters = controller.Counters();
+  EXPECT_EQ(counters.admitted, 3u);
+  EXPECT_EQ(counters.shed, 1u);
+  EXPECT_EQ(counters.inflight, 0u);
+}
+
+TEST_F(FaultRuntimeTest, AdmissionTicketReleasesOnScopeExit) {
+  OverloadOptions options;
+  options.max_inflight = 1;
+  AdmissionController controller(options);
+  {
+    AdmissionTicket ticket(&controller);
+    EXPECT_TRUE(ticket.ok());
+    AdmissionTicket shed(&controller);
+    EXPECT_FALSE(shed.ok());
+  }
+  EXPECT_EQ(controller.Counters().inflight, 0u);
+  AdmissionTicket unguarded(nullptr);
+  EXPECT_TRUE(unguarded.ok()) << "null controller means always admitted";
+}
+
+TEST_F(FaultRuntimeTest, JitteredBackoffStaysWithinBounds) {
+  RetryOptions options;
+  options.base_backoff_nanos = 1'000'000;
+  options.max_backoff_nanos = 8'000'000;
+  JitteredBackoff backoff(options);
+  std::uint64_t cap = options.base_backoff_nanos;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const std::uint64_t delay = backoff.NextDelayNanos();
+    EXPECT_GE(delay, cap / 2);
+    EXPECT_LT(delay, cap + cap / 2);
+    cap = std::min(cap * 2, options.max_backoff_nanos);
+  }
+}
+
+TEST_F(FaultRuntimeTest, RetryWithBackoffRecoversFromTransientFailures) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.base_backoff_nanos = 1000;  // keep the test fast
+  int calls = 0;
+  const Status ok = RetryWithBackoff(options, [&] {
+    ++calls;
+    return calls < 3 ? Status::Internal("transient") : Status::OK();
+  });
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(calls, 3);
+
+  calls = 0;
+  const Status invalid = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::InvalidArgument("permanent");
+  });
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(calls, 1) << "non-retryable codes must not be retried";
+}
+
+// --- ring-full fault / bounded producer waits -------------------------------
+
+TEST_F(FaultRuntimeTest, RingFullFaultForcesTheShedPathOnAnEmptyRing) {
+  SpscRing<int> ring(8);
+  FaultSpec spec;
+  spec.max_fires = 1;
+  FaultRegistry::Global().Arm(FaultPoint::kRingFull, spec);
+  EXPECT_FALSE(ring.TryPush(1)) << "armed ring-full must reject the push";
+  EXPECT_TRUE(ring.TryPush(2)) << "window expired, pushes flow again";
+  EXPECT_EQ(FaultRegistry::Global().fires(FaultPoint::kRingFull), 1u);
+}
+
+TEST_F(FaultRuntimeTest, PushBoundedGivesUpAndCountsAProducerStall) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.TryPush(0));
+  ASSERT_TRUE(ring.TryPush(1));
+  // Genuinely full with no consumer: the bounded wait must return (no
+  // unbounded spin) and count exactly one stall per failed push.
+  EXPECT_FALSE(ring.PushBounded(2, 16, 4));
+  EXPECT_EQ(ring.producer_stalls(), 1u);
+  int out[2];
+  ASSERT_EQ(ring.PopBatch(out, 2), 2u);
+  EXPECT_TRUE(ring.PushBounded(2, 16, 4));
+  EXPECT_EQ(ring.producer_stalls(), 1u);
+}
+
+TEST_F(FaultRuntimeTest, EngineTryIngestShedsLoudlyUnderRingFullFault) {
+  EngineOptions options;
+  options.num_shards = 1;
+  auto engine_or = AggregateEngine::Create(options, [](std::size_t) {
+    return std::move(ExponentialHistogramEstimator::Create(0.1, 1 << 20))
+        .value();
+  });
+  ASSERT_TRUE(engine_or.ok());
+  AggregateEngine engine = std::move(engine_or).value();
+  engine.Start();
+
+  // Fire on every probe: TryIngest's bounded offer must reject (spins
+  // included), count the rejection, and leave the event un-enqueued.
+  FaultRegistry::Global().Arm(FaultPoint::kRingFull, FaultSpec{});
+  EXPECT_FALSE(engine.TryIngest(7));
+  FaultRegistry::Global().Reset();
+  EXPECT_TRUE(engine.TryIngest(7));
+
+  const ShardCounters counters = engine.shard_counters(0);
+  EXPECT_EQ(counters.offers_rejected, 1u);
+  EXPECT_EQ(counters.events_pushed, 1u);
+  engine.Finish();
+  EXPECT_EQ(engine.shard_counters(0).events_consumed, 1u);
+}
+
+TEST_F(FaultRuntimeTest, BlockingIngestSurvivesABoundedRingFullWindow) {
+  EngineOptions options;
+  options.num_shards = 1;
+  options.producer_spin_limit = 2;
+  options.producer_yield_limit = 2;
+  options.producer_sleep_micros = 10;
+  auto engine_or = AggregateEngine::Create(options, [](std::size_t) {
+    return std::move(ExponentialHistogramEstimator::Create(0.1, 1 << 20))
+        .value();
+  });
+  ASSERT_TRUE(engine_or.ok());
+  AggregateEngine engine = std::move(engine_or).value();
+  engine.Start();
+
+  // ~50 forced-full probes, then the fault expires: Ingest must ride
+  // through the window (escalating spin -> yield -> sleep) and deliver.
+  FaultSpec spec;
+  spec.max_fires = 50;
+  FaultRegistry::Global().Arm(FaultPoint::kRingFull, spec);
+  for (std::uint64_t value = 1; value <= 8; ++value) engine.Ingest(value);
+  engine.Drain();
+  EXPECT_EQ(engine.shard_counters(0).events_consumed, 8u);
+  EXPECT_GT(engine.shard_counters(0).queue_full_stalls +
+                engine.shard_counters(0).producer_stalls,
+            0u)
+      << "the forced-full window must be visible in a counter";
+  engine.Finish();
+}
+
+// --- worker-stall fault / health watchdog / degraded merge ------------------
+
+TEST_F(FaultRuntimeTest, StalledShardIsDetectedSkippedAndRecovers) {
+  EngineOptions options;
+  options.num_shards = 2;
+  options.health.lag_watermark = 4;
+  options.health.stall_timeout_nanos = 20'000'000;  // 20ms
+  auto make = [](std::size_t) {
+    return std::move(ExponentialHistogramEstimator::Create(0.1, 1 << 20))
+        .value();
+  };
+  auto engine_or = AggregateEngine::Create(options, make);
+  ASSERT_TRUE(engine_or.ok());
+  AggregateEngine engine = std::move(engine_or).value();
+
+  // One worker (whichever probes first) freezes for 800ms on startup.
+  FaultSpec stall;
+  stall.max_fires = 1;
+  stall.param = 800'000;  // microseconds
+  FaultRegistry::Global().Arm(FaultPoint::kWorkerStall, stall);
+  engine.Start();
+  while (FaultRegistry::Global().fires(FaultPoint::kWorkerStall) == 0) {
+    std::this_thread::yield();
+  }
+
+  std::vector<std::uint64_t> values;
+  Rng rng(2026);
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(1 + rng.UniformU64(50));
+  }
+  for (const std::uint64_t value : values) engine.Ingest(value);
+
+  // The watchdog must see the wedged shard: with the stalled worker
+  // holding its backlog, repeated polls cross the stall timeout.
+  bool saw_stalled = false;
+  for (int poll = 0; poll < 200 && !saw_stalled; ++poll) {
+    engine.PollHealth();
+    for (std::size_t i = 0; i < engine.num_shards(); ++i) {
+      if (engine.shard_health(i) == ShardHealth::kStalled) saw_stalled = true;
+    }
+    SleepForMicros(1000);
+  }
+  EXPECT_TRUE(saw_stalled) << "watchdog never flagged the wedged shard";
+
+  // Degraded merge-on-query: the healthy shard answers, the stalled one
+  // is skipped entirely, and the tag bounds the staleness.
+  const DegradedSnapshot<ExponentialHistogramEstimator> degraded =
+      engine.MergedEstimatorDegraded(100'000'000);  // 100ms << 800ms stall
+  ASSERT_TRUE(degraded.estimator.has_value());
+  EXPECT_EQ(degraded.shards_merged, 1u);
+  EXPECT_EQ(degraded.shards_skipped, 1u);
+  EXPECT_GT(degraded.skipped_events, 0u);
+
+  // Recovery: once the stall ends and the backlog drains, the merged
+  // answer must equal a fault-free run over the same stream — and the
+  // degraded answer must have been a monotone lower bound on it.
+  engine.Drain();
+  engine.Finish();
+  const double full = engine.MergedEstimator().Estimate();
+  EXPECT_LE(degraded.estimator->Estimate(), full);
+
+  FaultRegistry::Global().Reset();
+  auto reference_or = AggregateEngine::Create(options, make);
+  ASSERT_TRUE(reference_or.ok());
+  AggregateEngine reference = std::move(reference_or).value();
+  reference.Start();
+  for (const std::uint64_t value : values) reference.Ingest(value);
+  reference.Finish();
+  EXPECT_EQ(full, reference.MergedEstimator().Estimate());
+}
+
+// --- torn-checkpoint fault / retry / crash-safety ---------------------------
+
+TEST_F(FaultRuntimeTest, TornCheckpointKeepsThePreviousFileAndRetries) {
+  const std::string path = TempPath("torn");
+  const std::vector<std::uint8_t> first = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(WriteCheckpointFile(path, CheckpointTag::kEngineManifest, first)
+                  .ok());
+
+  // Unbounded tearing: every write attempt fails, and the previous
+  // envelope must still open (atomic tmp+rename never exposed the torn
+  // bytes under the real name).
+  FaultRegistry::Global().Arm(FaultPoint::kTornCheckpoint, FaultSpec{});
+  const std::vector<std::uint8_t> second = {9, 9, 9};
+  EXPECT_FALSE(
+      WriteCheckpointFile(path, CheckpointTag::kEngineManifest, second).ok());
+  StatusOr<std::vector<std::uint8_t>> readback =
+      ReadCheckpointFile(path, CheckpointTag::kEngineManifest);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), first);
+
+  // Bounded tearing + retry: the jittered-backoff wrapper rides through
+  // two torn attempts and lands the third.
+  FaultSpec torn_twice;
+  torn_twice.max_fires = 2;
+  FaultRegistry::Global().Arm(FaultPoint::kTornCheckpoint, torn_twice);
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_nanos = 1000;
+  const Status written = RetryWithBackoff(retry, [&] {
+    return WriteCheckpointFile(path, CheckpointTag::kEngineManifest, second);
+  });
+  EXPECT_TRUE(written.ok());
+  readback = ReadCheckpointFile(path, CheckpointTag::kEngineManifest);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), second);
+  EXPECT_EQ(FaultRegistry::Global().fires(FaultPoint::kTornCheckpoint), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultRuntimeTest, EngineCheckpointRecoversFromTornWritesViaRetry) {
+  EngineOptions options;
+  options.num_shards = 2;
+  options.checkpoint_retry.max_attempts = 4;
+  options.checkpoint_retry.base_backoff_nanos = 1000;
+  auto make = [](std::size_t) {
+    return std::move(ExponentialHistogramEstimator::Create(0.1, 1 << 20))
+        .value();
+  };
+  auto engine_or = AggregateEngine::Create(options, make);
+  ASSERT_TRUE(engine_or.ok());
+  AggregateEngine engine = std::move(engine_or).value();
+  engine.Start();
+  for (std::uint64_t value = 1; value <= 200; ++value) {
+    engine.Ingest(value % 40 + 1);
+  }
+  engine.Finish();
+
+  // Tear the first two write attempts; the retry wrapper must land a
+  // complete, restorable checkpoint anyway.
+  const std::string path = TempPath("engine_torn");
+  FaultSpec torn_twice;
+  torn_twice.max_fires = 2;
+  FaultRegistry::Global().Arm(FaultPoint::kTornCheckpoint, torn_twice);
+  ASSERT_TRUE(engine.CheckpointTo(path).ok());
+  FaultRegistry::Global().Reset();
+
+  auto restored_or = AggregateEngine::Create(options, make);
+  ASSERT_TRUE(restored_or.ok());
+  AggregateEngine restored = std::move(restored_or).value();
+  ASSERT_TRUE(restored.RestoreFrom(path).ok());
+  EXPECT_EQ(restored.MergedEstimator().Estimate(),
+            engine.MergedEstimator().Estimate());
+  for (std::size_t i = 0; i < options.num_shards; ++i) {
+    std::remove(AggregateEngine::ShardPath(path, i).c_str());
+  }
+  std::remove(path.c_str());
+}
+
+// --- alloc-fail fault / service degradation ---------------------------------
+
+TEST_F(FaultRuntimeTest, AllocFailDegradesPromotionWithoutLosingAnswers) {
+  ServiceOptions options;
+  options.num_stripes = 1;
+  options.promote_threshold = 4;
+  options.enable_heavy_hitters = false;
+  auto service_or = HImpactService::Create(options);
+  ASSERT_TRUE(service_or.ok());
+  HImpactService service = std::move(service_or).value();
+
+  // Every promotion attempt fails: the user must stay cold (exact), the
+  // failures must be counted, and estimates keep their meaning.
+  FaultRegistry::Global().Arm(FaultPoint::kAllocFail, FaultSpec{});
+  for (int i = 0; i < 8; ++i) service.RecordResponseCount(7, 10);
+  UserSnapshot snapshot;
+  ASSERT_TRUE(service.Lookup(7, &snapshot));
+  EXPECT_EQ(snapshot.tier, UserTier::kCold);
+  EXPECT_EQ(snapshot.estimate, 8.0) << "cold path stays exact";
+  EXPECT_GE(service.Stats().registry.alloc_failures, 1u);
+
+  // Disarm: the next event over the threshold promotes as usual.
+  FaultRegistry::Global().Reset();
+  service.RecordResponseCount(7, 10);
+  ASSERT_TRUE(service.Lookup(7, &snapshot));
+  EXPECT_EQ(snapshot.tier, UserTier::kHot);
+  EXPECT_GE(snapshot.estimate, 8.0)
+      << "promotion carries the exact floor forward";
+}
+
+// --- service admission boundary ---------------------------------------------
+
+TEST_F(FaultRuntimeTest, ServiceDeadlineExceededIsReportedNotSilent) {
+  ServiceOptions options;
+  options.num_stripes = 1;
+  options.enable_heavy_hitters = false;
+  OverloadOptions overload;
+  overload.op_deadline_nanos = 1;  // everything is late by construction
+  auto service_or = HImpactService::Create(options, overload);
+  ASSERT_TRUE(service_or.ok());
+  HImpactService service = std::move(service_or).value();
+
+  const StatusOr<double> late = service.TryRecordResponseCount(1, 5);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  // The mutation was applied (deadline marks the response late, it does
+  // not roll back state) and the miss was counted.
+  EXPECT_EQ(service.PointHIndex(1), 1.0);
+  EXPECT_EQ(service.Stats().admission.deadline_exceeded, 1u);
+
+  const StatusOr<double> query = service.TryPointHIndex(1);
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FaultRuntimeTest, ServiceShedsAtTheInflightWatermark) {
+  ServiceOptions options;
+  options.num_stripes = 2;
+  options.enable_heavy_hitters = false;
+  OverloadOptions overload;
+  overload.max_inflight = 1;
+  auto service_or = HImpactService::Create(options, overload);
+  ASSERT_TRUE(service_or.ok());
+  HImpactService service = std::move(service_or).value();
+
+  // Wedge stripe workers behind a stalled Add, then drive ingest from a
+  // second thread: with max_inflight=1 the overlapping op must shed
+  // with kResourceExhausted rather than queue without bound.
+  FaultSpec stall;
+  stall.max_fires = 1;
+  stall.param = 400'000;  // 400ms
+  FaultRegistry::Global().Arm(FaultPoint::kWorkerStall, stall);
+  std::thread stalled([&] { service.TryRecordResponseCount(1, 3); });
+  while (FaultRegistry::Global().fires(FaultPoint::kWorkerStall) == 0) {
+    std::this_thread::yield();
+  }
+  StatusOr<double> shed = service.TryRecordResponseCount(2, 3);
+  stalled.join();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.Stats().admission.shed, 1u);
+  EXPECT_EQ(service.PointHIndex(2), 0.0) << "shed ops must not mutate state";
+  // After the stall the boundary admits again.
+  EXPECT_TRUE(service.TryRecordResponseCount(2, 3).ok());
+}
+
+TEST_F(FaultRuntimeTest, DegradedTopKSkipsAWedgedStripeAndTagsTheAnswer) {
+  ServiceOptions options;
+  options.num_stripes = 4;
+  options.enable_heavy_hitters = false;
+  OverloadOptions overload;
+  overload.op_deadline_nanos = 50'000'000;  // 50ms
+  auto service_or = HImpactService::Create(options, overload);
+  ASSERT_TRUE(service_or.ok());
+  HImpactService service = std::move(service_or).value();
+  // Distinct estimates: user u gets u responses of count 100, so the
+  // exact cold-tier h-index is u and the board has no ties.
+  for (std::uint64_t user = 1; user <= 40; ++user) {
+    for (std::uint64_t i = 0; i < user; ++i) {
+      service.RecordResponseCount(user, 100);
+    }
+  }
+  const std::vector<LeaderboardEntry> full = service.TopK(10);
+  std::map<AuthorId, double> reference;
+  for (std::uint64_t user = 1; user <= 40; ++user) {
+    UserSnapshot snapshot;
+    ASSERT_TRUE(service.Lookup(user, &snapshot));
+    reference[user] = snapshot.estimate;
+  }
+
+  // Wedge one stripe for 600ms and query under the 50ms deadline: the
+  // answer must come back (availability), tagged with the skipped
+  // stripe, and be a subset of the fault-free board.
+  FaultSpec stall;
+  stall.max_fires = 1;
+  stall.param = 600'000;
+  FaultRegistry::Global().Arm(FaultPoint::kWorkerStall, stall);
+  std::thread stalled([&] { service.RecordResponseCount(1, 1); });
+  while (FaultRegistry::Global().fires(FaultPoint::kWorkerStall) == 0) {
+    std::this_thread::yield();
+  }
+  const StatusOr<TopKResult> degraded = service.TryTopK(10);
+  stalled.join();
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded.value().stripes_skipped, 1u);
+  EXPECT_GE(service.Stats().admission.deadline_exceeded, 1u);
+  // Lower-bound guarantee: every degraded entry reports at most the
+  // user's true estimate (stripes that answered are exact; the wedged
+  // stripe's users are simply absent, never misreported).
+  for (const LeaderboardEntry& entry : degraded.value().entries) {
+    const auto it = reference.find(entry.user);
+    ASSERT_NE(it, reference.end()) << "degraded entry " << entry.user
+                                   << " is not a tracked user";
+    EXPECT_LE(entry.estimate, it->second)
+        << "degraded entry " << entry.user
+        << " overstates the fault-free estimate";
+  }
+
+  // Post-recovery parity: the undegraded query matches the fault-free
+  // answer (the wedged stripe's state was never corrupted).
+  const std::vector<LeaderboardEntry> after = service.TopK(10);
+  ASSERT_EQ(after.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(after[i].user, full[i].user);
+    EXPECT_GE(after[i].estimate, full[i].estimate);
+  }
+}
+
+TEST_F(FaultRuntimeTest, ClockSkewTripsDeadlinesInsteadOfHangingThem) {
+  ServiceOptions options;
+  options.num_stripes = 1;
+  options.enable_heavy_hitters = false;
+  OverloadOptions overload;
+  overload.op_deadline_nanos = 60'000'000'000ull;  // a minute: never hit
+  auto service_or = HImpactService::Create(options, overload);
+  ASSERT_TRUE(service_or.ok());
+  HImpactService service = std::move(service_or).value();
+  ASSERT_TRUE(service.TryRecordResponseCount(1, 5).ok());
+
+  // skip=1: the deadline is computed from an unskewed read, then every
+  // later FaultClock read jumps two minutes forward — the op must come
+  // back as a counted deadline miss, not a wedge.
+  FaultSpec skew;
+  skew.skip = 1;
+  skew.param = 120'000'000'000ull;
+  FaultRegistry::Global().Arm(FaultPoint::kClockSkew, skew);
+  const StatusOr<double> late = service.TryPointHIndex(1);
+  FaultRegistry::Global().Reset();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(service.Stats().admission.deadline_exceeded, 1u);
+}
+
+}  // namespace
+}  // namespace himpact

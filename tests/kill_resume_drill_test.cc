@@ -1,0 +1,215 @@
+// Kill-and-resume drill: SIGKILL a live hstream_serve that is
+// auto-checkpointing under load (--checkpoint --checkpoint-every), then
+// restart from the checkpoint and verify the surviving state — in a
+// loop. The properties under drill:
+//
+//  * the restart never fails: SIGKILL may land mid-checkpoint-write,
+//    and the atomic tmp+fsync+rename discipline (src/io/checkpoint.cc)
+//    must leave either the old or the new checkpoint complete under the
+//    real name, never a torn hybrid;
+//  * state is monotone across restarts: every auto-checkpoint extends
+//    the state restored at the round's start, so each round's verified
+//    estimates must be >= the previous round's for every battery user
+//    (H-indexes only grow). A failed restore silently falling back to a
+//    fresh service would crater the estimates and trip this check.
+//
+// The child's death is asserted to be exactly our SIGKILL — a crash or
+// CHECK-abort under load would surface as a different termination.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+constexpr int kRounds = 4;
+constexpr int kBatteryUsers = 20;
+constexpr int kAddsPerRound = 120;
+constexpr const char* kCheckpointEvery = "7";
+
+std::string TempPath(const char* name) {
+  std::string path = "/tmp/himpact_drill_";
+  path += name;
+  path += ".";
+  path += std::to_string(static_cast<long long>(::getpid()));
+  return path;
+}
+
+// Spawns hstream_serve reading a pipe we hold the write end of, with
+// stdout/stderr discarded (replies are not consumed under kill load).
+pid_t SpawnServe(const std::string& checkpoint, int* stdin_fd) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return -1;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    ::dup2(fds[0], STDIN_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+      ::close(devnull);
+    }
+    const char* argv[] = {HSTREAM_SERVE_PATH,
+                          "--stripes",
+                          "2",
+                          "--no-heavy",
+                          "--restore",
+                          checkpoint.c_str(),
+                          "--checkpoint",
+                          checkpoint.c_str(),
+                          "--checkpoint-every",
+                          kCheckpointEvery,
+                          nullptr};
+    ::execv(HSTREAM_SERVE_PATH, const_cast<char* const*>(argv));
+    ::_exit(127);
+  }
+  ::close(fds[0]);
+  *stdin_fd = fds[1];
+  return pid;
+}
+
+// Writes one full line to the child, tolerating nothing: a short write
+// or EPIPE means the child died, which the caller treats as failure.
+bool WriteLine(int fd, const std::string& line) {
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + written,
+                              line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Queries the battery through a fresh (checkpoint-restored, read-only)
+// server session and returns the per-user estimates; nullopt-style
+// failure is reported through the bool.
+bool QueryBattery(const std::string& checkpoint,
+                  std::vector<double>* estimates) {
+  const std::string input_path = TempPath("query_in");
+  std::string script;
+  for (int user = 1; user <= kBatteryUsers; ++user) {
+    script += "get " + std::to_string(user) + "\n";
+  }
+  script += "quit\n";
+  std::FILE* file = std::fopen(input_path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fwrite(script.data(), 1, script.size(), file);
+  std::fclose(file);
+
+  const std::string command = std::string(HSTREAM_SERVE_PATH) +
+                              " --stripes 2 --no-heavy --restore " +
+                              checkpoint + " < " + input_path +
+                              " 2>/dev/null";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::string output;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    output.append(chunk, n);
+  }
+  const int raw = ::pclose(pipe);
+  std::remove(input_path.c_str());
+  if (!(raw >= 0 && WIFEXITED(raw) && WEXITSTATUS(raw) == 0)) return false;
+
+  estimates->clear();
+  std::size_t start = 0;
+  for (int user = 1; user <= kBatteryUsers; ++user) {
+    const std::size_t end = output.find('\n', start);
+    if (end == std::string::npos) return false;
+    const std::string line = output.substr(start, end - start);
+    start = end + 1;
+    // "H <user> <estimate> <tier> <events>"
+    const std::string prefix = "H " + std::to_string(user) + " ";
+    if (line.rfind(prefix, 0) != 0) return false;
+    estimates->push_back(std::strtod(line.c_str() + prefix.size(), nullptr));
+  }
+  return true;
+}
+
+TEST(KillResumeDrill, StateSurvivesRepeatedSigkillMonotonically) {
+  // The child dying between our writes raises SIGPIPE in the parent;
+  // turn it into a visible write error instead of a test-killer.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const std::string checkpoint = TempPath("ckpt");
+  std::vector<double> previous(kBatteryUsers, 0.0);
+
+  for (int round = 0; round < kRounds; ++round) {
+    int stdin_fd = -1;
+    const pid_t pid = SpawnServe(checkpoint, &stdin_fd);
+    ASSERT_GT(pid, 0) << "spawn failed in round " << round;
+
+    // Live load: battery users accumulate response counts, with the
+    // values keyed off the round so estimates keep growing. Writes are
+    // paced lightly so several auto-checkpoints land before the kill.
+    bool wrote_all = true;
+    for (int i = 0; i < kAddsPerRound && wrote_all; ++i) {
+      const int user = 1 + i % kBatteryUsers;
+      const int value = 1 + (round * kAddsPerRound + i) % 40;
+      wrote_all = WriteLine(stdin_fd, "add " + std::to_string(user) + " " +
+                                          std::to_string(value) + "\n");
+      if (i % 16 == 0) ::usleep(2000);
+    }
+    EXPECT_TRUE(wrote_all) << "child died before the kill in round "
+                           << round;
+
+    // SIGKILL mid-load: no shutdown path, no final save. Whatever the
+    // last completed auto-checkpoint was is what must survive.
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    ::close(stdin_fd);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited on its own with status " << status;
+    ASSERT_EQ(WTERMSIG(status), SIGKILL)
+        << "child died of an unexpected signal (a crash under load?)";
+
+    // Restart and verify: the checkpoint must restore (atomic writes
+    // guarantee a complete file) and every battery estimate must be at
+    // least what the previous round verified.
+    std::vector<double> current;
+    ASSERT_TRUE(QueryBattery(checkpoint, &current))
+        << "post-kill restore/query session failed in round " << round;
+    ASSERT_EQ(current.size(), previous.size());
+    for (int user = 0; user < kBatteryUsers; ++user) {
+      EXPECT_GE(current[user], previous[user])
+          << "round " << round << " regressed user " << (user + 1)
+          << " — restored from a stale or fresh state";
+    }
+    previous = std::move(current);
+  }
+
+  // After several rounds of checkpointed load, state must be visibly
+  // non-trivial (a silently-fresh service every round would stay at 0).
+  double total = 0.0;
+  for (const double estimate : previous) total += estimate;
+  EXPECT_GT(total, 0.0);
+
+  std::remove(checkpoint.c_str());
+  std::remove((checkpoint + ".stripe-0").c_str());
+  std::remove((checkpoint + ".stripe-1").c_str());
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Protocol fuzz / quarantine: hstream_serve must survive arbitrary junk
+// on stdin — random bytes, truncated commands, oversized author lists,
+// overflowing numbers — without aborting, corrupting state, or ever
+// dropping a line silently. Every rejected line earns exactly one ERR
+// reply and one tick of the `rejected_lines` counter reported by the
+// `health` verb; valid lines interleaved with the junk must keep
+// answering correctly.
+//
+// The generator is seeded (random/rng.h), so a failure reproduces.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "service/protocol.h"
+
+namespace {
+
+using namespace himpact;
+
+std::string TempPath(const char* name) {
+  std::string path = "/tmp/himpact_fuzz_test_";
+  path += name;
+  path += ".";
+  path += std::to_string(static_cast<long long>(::getpid()));
+  return path;
+}
+
+void WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), file), text.size());
+  ASSERT_EQ(std::fclose(file), 0);
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+RunResult RunServe(const std::string& args, const std::string& input_path) {
+  const std::string command = std::string(HSTREAM_SERVE_PATH) + " " + args +
+                              " < " + input_path + " 2>/dev/null";
+  RunResult result;
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    result.stdout_text.append(chunk, n);
+  }
+  const int raw = ::pclose(pipe);
+  result.exit_code = raw >= 0 && WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  return result;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+// One junk line that is guaranteed malformed: a leading "zz" byte pair
+// can never match a verb, so whatever follows, the parser rejects it
+// with exactly one ERR. Payload bytes avoid '\n' (line framing) and
+// '\0' (C-string plumbing in the test itself, not the server).
+std::string JunkLine(Rng& rng) {
+  std::string line = "zz";
+  const std::size_t length = rng.UniformU64(60);
+  for (std::size_t i = 0; i < length; ++i) {
+    char byte = static_cast<char>(1 + rng.UniformU64(255));
+    if (byte == '\n' || byte == '\0') byte = '?';
+    line += byte;
+  }
+  return line;
+}
+
+// Structured-but-invalid lines: near-misses of every verb, the kind a
+// broken load generator actually produces.
+std::string NearMissLine(Rng& rng) {
+  static const char* kNearMisses[] = {
+      "add 5",                              // missing value
+      "add 5 6 7",                          // trailing token
+      "add 18446744073709551616 1",         // u64 overflow
+      "add -3 4",                           // signed id
+      "paper 1 2",                          // no author list
+      "paper 1 2 1,2,3,4,5,6,7,8,9,10,11",  // oversized author list
+      "paper 1 2 7,7",                      // duplicate author
+      "paper 1 2 ,,,",                      // empty author ids
+      "get",                                // missing user
+      "top 0",                              // k < 1
+      "top banana",                         // non-numeric k
+      "heavy metal",                        // trailing token
+      "stats  ",                            // trailing spaces
+      "health check",                       // trailing token
+      "save",                               // missing path
+      "quit now",                           // trailing token
+      "",                                   // blank line
+      " add 5 6",                           // leading space
+      "ADD 5 6",                            // wrong case
+  };
+  constexpr std::size_t kCount = sizeof(kNearMisses) / sizeof(kNearMisses[0]);
+  return kNearMisses[rng.UniformU64(kCount)];
+}
+
+TEST(ProtocolFuzz, JunkIsQuarantinedCountedAndNeverWedgesTheServer) {
+  Rng rng(20260805);
+  std::string input;
+  std::uint64_t bad_lines = 0;
+  std::uint64_t good_adds = 0;
+
+  // Interleave valid traffic with junk so quarantine and real work are
+  // exercised against each other, not in separate phases.
+  for (int i = 0; i < 600; ++i) {
+    const std::uint64_t roll = rng.UniformU64(4);
+    if (roll == 0) {
+      input += "add " + std::to_string(1 + rng.UniformU64(20)) + " " +
+               std::to_string(1 + rng.UniformU64(100)) + "\n";
+      ++good_adds;
+    } else if (roll == 1) {
+      input += JunkLine(rng) + "\n";
+      ++bad_lines;
+    } else if (roll == 2) {
+      input += NearMissLine(rng) + "\n";
+      ++bad_lines;
+    } else {
+      input += "get " + std::to_string(1 + rng.UniformU64(20)) + "\n";
+    }
+  }
+  input += "health\nstats\nquit\n";
+
+  const std::string path = TempPath("junk_in");
+  WriteTextFile(path, input);
+  const RunResult result = RunServe("--stripes 2 --no-heavy", path);
+
+  // Survival: clean exit through `quit`, never a crash or a wedge.
+  ASSERT_EQ(result.exit_code, 0);
+  const std::vector<std::string> replies = SplitLines(result.stdout_text);
+  ASSERT_GE(replies.size(), 3u);
+  EXPECT_EQ(replies.back(), "BYE");
+
+  // One reply per input line: nothing was silently swallowed. The input
+  // line count equals the newline count since every line is terminated.
+  std::size_t input_lines = 0;
+  for (const char byte : input) input_lines += byte == '\n' ? 1 : 0;
+  EXPECT_EQ(replies.size(), input_lines);
+
+  // Every bad line produced exactly one ERR...
+  std::size_t err_replies = 0;
+  for (const std::string& reply : replies) {
+    if (reply.rfind("ERR ", 0) == 0 || reply == "ERR") ++err_replies;
+  }
+  EXPECT_EQ(err_replies, bad_lines);
+
+  // ...and exactly one rejected_lines tick, reported by `health`.
+  const std::string& health = replies[replies.size() - 3];
+  ASSERT_EQ(health.rfind("HEALTH ", 0), 0u) << health;
+  const std::string needle = "\"rejected_lines\":" + std::to_string(bad_lines);
+  EXPECT_NE(health.find(needle), std::string::npos)
+      << "health line " << health << " lacks " << needle;
+
+  // State was not corrupted by the junk: stats still counts exactly the
+  // valid adds.
+  const std::string& stats = replies[replies.size() - 2];
+  ASSERT_EQ(stats.rfind("STATS ", 0), 0u) << stats;
+  const std::string events = "\"events\":" + std::to_string(good_adds);
+  EXPECT_NE(stats.find(events), std::string::npos)
+      << "stats line " << stats << " lacks " << events;
+
+  std::remove(path.c_str());
+}
+
+TEST(ProtocolFuzz, TruncatedFinalLineWithoutNewlineStillAnswers) {
+  // A generator dying mid-line must not wedge the reply loop: getline
+  // yields the unterminated fragment, which parses (or ERRs) as usual,
+  // and EOF ends the session without `quit` (exit 0, no BYE).
+  const std::string path = TempPath("trunc_in");
+  WriteTextFile(path, "add 3 9\nget 3\nadd 3 ");
+  const RunResult result = RunServe("--stripes 1 --no-heavy", path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text,
+            "OK 1\nH 3 1 cold 1\nERR bad value ''\n");
+  std::remove(path.c_str());
+}
+
+TEST(ProtocolFuzz, OversizedAuthorListsNeverReachTheAuthorCapacityCheck) {
+  // AuthorList's PushBack CHECK-aborts past kMaxAuthorsPerPaper; the
+  // parser must reject long lists before ever constructing one. 300
+  // authors would abort the process if the guard slipped.
+  std::string line = "paper 1 2 ";
+  for (int i = 0; i < 300; ++i) {
+    if (i > 0) line += ",";
+    line += std::to_string(i + 1);
+  }
+  const std::string path = TempPath("authors_in");
+  WriteTextFile(path, line + "\nget 1\nquit\n");
+  const RunResult result = RunServe("--stripes 1 --no-heavy", path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text,
+            "ERR too many authors (max 8)\nH 1 0 none 0\nBYE\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
