@@ -1,8 +1,9 @@
 // F2 — Throughput of every estimator (google-benchmark): items/second of
-// the streaming Add/Update paths as a function of eps, plus a sharded
-// ingestion-engine sweep (shards 1 -> N) that reports BENCH{...} json
-// lines before the google-benchmark table. Run in Release for meaningful
-// numbers.
+// the streaming Add/Update paths as a function of eps, plus two sharded
+// ingestion-engine sweeps that report BENCH{...} json lines before the
+// google-benchmark table: shards 1 -> N at fixed batch size, and dequeue
+// batch size B in {1, 64, 256, 1024} at fixed shards (ns/event from the
+// per-shard apply_nanos counter). Run in Release for meaningful numbers.
 //
 //   ./bench_f2_throughput --shards 8      # sweep 1,2,4,8 shards
 //
@@ -266,6 +267,66 @@ void RunShardSweep(std::size_t max_shards) {
   }
 }
 
+// One BENCH json line per dequeue batch size B: the same engine and
+// stream at fixed shard count, sweeping `batch_size` so the cost of the
+// batched hot path (engine/traits.h ApplyBatch) is visible as ns/event.
+// ns/event comes from the per-shard `apply_nanos` counter (time inside
+// ApplyBatch only), so it isolates estimator work from ring traffic;
+// `events_per_sec` is end-to-end wall clock for the same run.
+void RunBatchSweep(std::size_t max_shards) {
+  using Engine = ShardedEngine<CashRegisterEngineTraits<CashRegisterEstimator>>;
+  const std::uint64_t universe = 1 << 12;
+  const std::size_t num_events = 1 << 17;
+  Rng rng(12);
+  std::vector<CitationEvent> events;
+  events.reserve(num_events);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    events.push_back(CitationEvent{rng.UniformU64(universe), 1});
+  }
+  CashRegisterOptions options;
+  options.num_samplers_override = 16;
+  const auto make = [&](std::size_t) {
+    return CashRegisterEstimator::Create(0.2, 0.1, universe, 13, options)
+        .value();
+  };
+
+  const std::size_t shards = std::min<std::size_t>(2, max_shards);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{256}, std::size_t{1024}}) {
+    EngineOptions engine_options;
+    engine_options.num_shards = shards;
+    engine_options.batch_size = batch;
+    engine_options.queue_capacity = 4096;
+    auto engine = Engine::Create(engine_options, make).value();
+    engine.Start();
+    const auto start = std::chrono::steady_clock::now();
+    for (const CitationEvent& event : events) engine.Ingest(event);
+    engine.Finish();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::uint64_t apply_nanos = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t max_batch = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const ShardCounters counters = engine.shard_counters(s);
+      apply_nanos += counters.apply_nanos;
+      consumed += counters.events_consumed;
+      max_batch = std::max(max_batch, counters.max_batch);
+    }
+    std::printf(
+        "BENCH{\"bench\":\"f2_batch_sweep\",\"shards\":%zu,\"batch\":%zu,"
+        "\"events\":%zu,\"events_per_sec\":%.0f,\"apply_ns_per_event\":%.2f,"
+        "\"max_batch\":%llu}\n",
+        shards, batch, num_events,
+        static_cast<double>(num_events) / seconds,
+        consumed == 0 ? 0.0
+                      : static_cast<double>(apply_nanos) /
+                            static_cast<double>(consumed),
+        static_cast<unsigned long long>(max_batch));
+  }
+}
+
 }  // namespace
 
 // Custom main: google-benchmark rejects flags it does not know, so
@@ -291,6 +352,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   RunShardSweep(max_shards);
+  RunBatchSweep(max_shards);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -581,16 +581,28 @@ std::string EnginePath(const CliOptions& options) {
 
 template <typename Engine>
 void PrintShardReport(const Engine& engine) {
-  std::printf("\nshard  pushed        batches      queue-full stalls\n");
+  std::printf(
+      "\nshard  pushed        batches      max-batch  ns/event  "
+      "queue-full stalls\n");
   for (std::size_t s = 0; s < engine.num_shards(); ++s) {
     const himpact::ShardCounters counters = engine.shard_counters(s);
-    std::printf("%-6zu %-13llu %-12llu %llu\n", s,
+    const double ns_per_event =
+        counters.events_consumed == 0
+            ? 0.0
+            : static_cast<double>(counters.apply_nanos) /
+                  static_cast<double>(counters.events_consumed);
+    std::printf("%-6zu %-13llu %-12llu %-10llu %-9.1f %llu\n", s,
                 static_cast<unsigned long long>(counters.events_pushed),
                 static_cast<unsigned long long>(counters.batches),
+                static_cast<unsigned long long>(counters.max_batch),
+                ns_per_event,
                 static_cast<unsigned long long>(counters.queue_full_stalls));
   }
   std::printf("merge latency       : %.3f ms\n",
               engine.last_merge_seconds() * 1e3);
+  std::printf("merge cache         : %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(engine.merge_cache_hits()),
+              static_cast<unsigned long long>(engine.merge_cache_misses()));
 }
 
 int RunAggregateSharded(const CliOptions& options) {

@@ -144,7 +144,9 @@ void PrintStats(const himpact::HImpactService& service) {
   std::printf(
       "STATS {\"events\":%llu,\"users\":%llu,\"cold\":%llu,\"hot\":%llu,"
       "\"frozen\":%llu,\"promotions\":%llu,\"demotions\":%llu,"
-      "\"resident_bytes\":%llu,\"budget_bytes\":%llu,\"hh_papers\":%llu}\n",
+      "\"resident_bytes\":%llu,\"budget_bytes\":%llu,\"hh_papers\":%llu,"
+      "\"topk_cache_hits\":%llu,\"topk_cache_misses\":%llu,"
+      "\"hh_report_cache_hits\":%llu,\"hh_report_cache_misses\":%llu}\n",
       static_cast<unsigned long long>(r.total_events),
       static_cast<unsigned long long>(r.num_users),
       static_cast<unsigned long long>(r.cold_users),
@@ -154,7 +156,11 @@ void PrintStats(const himpact::HImpactService& service) {
       static_cast<unsigned long long>(r.demotions),
       static_cast<unsigned long long>(r.resident_bytes),
       static_cast<unsigned long long>(r.budget_bytes),
-      static_cast<unsigned long long>(stats.hh_papers));
+      static_cast<unsigned long long>(stats.hh_papers),
+      static_cast<unsigned long long>(r.topk_cache_hits),
+      static_cast<unsigned long long>(r.topk_cache_misses),
+      static_cast<unsigned long long>(stats.hh_report_cache_hits),
+      static_cast<unsigned long long>(stats.hh_report_cache_misses));
 }
 
 void PrintHealth(const himpact::HImpactService& service,

@@ -81,6 +81,30 @@ void CashRegisterEstimator::Update(std::uint64_t paper, std::int64_t delta) {
   distinct_.Add(paper);
 }
 
+void CashRegisterEstimator::UpdateBatch(std::span<const CitationEvent> events,
+                                        BatchArena& arena) {
+  // Validate and compact once, then run sampler-outer loops: each
+  // l0-sampler hashes the whole batch while its level structures are in
+  // cache, instead of every sampler being touched per event. All
+  // sub-sketches are linear, so reordering across events per sampler
+  // leaves the serialized state identical to the scalar sequence.
+  std::uint64_t* const papers = arena.U64(events.size());
+  std::int64_t* const deltas = arena.I64(events.size());
+  std::size_t m = 0;
+  for (const CitationEvent& event : events) {
+    HIMPACT_CHECK(event.paper < universe_);
+    if (event.delta == 0) continue;
+    papers[m] = event.paper;
+    deltas[m] = event.delta;
+    ++m;
+  }
+  if (m == 0) return;
+  for (L0Sampler& sampler : samplers_) {
+    sampler.UpdateBatch(papers, deltas, m);
+  }
+  distinct_.AddBatch(papers, m);
+}
+
 void CashRegisterEstimator::Merge(const CashRegisterEstimator& other) {
   HIMPACT_CHECK_MSG(eps_ == other.eps_ && universe_ == other.universe_ &&
                         seed_ == other.seed_ &&

@@ -2,13 +2,16 @@
 #define HIMPACT_CORE_CASH_REGISTER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/batch.h"
 #include "common/math_util.h"
 #include "common/status.h"
 #include "core/estimator.h"
 #include "sketch/distinct.h"
 #include "sketch/l0_sampler.h"
+#include "stream/types.h"
 
 /// \file
 /// Algorithms 5/6 ("Unbiased Sampling", Theorem 14): H-index estimation
@@ -64,6 +67,14 @@ class CashRegisterEstimator final : public CashRegisterHIndexEstimator {
   /// Observes `delta` new responses for `paper`.
   /// Requires `paper < universe`.
   void Update(std::uint64_t paper, std::int64_t delta) override;
+
+  /// Batched `Update`: splits the events once into parallel paper/delta
+  /// arrays borrowed from `arena` (validating and dropping zero-delta
+  /// events up front), then walks each l0-sampler over the whole batch so
+  /// a sampler's levels stay hot across events. Every sub-sketch is
+  /// linear, so the final state is byte-identical to the scalar sequence.
+  /// Zero allocations once the arena has warmed up.
+  void UpdateBatch(std::span<const CitationEvent> events, BatchArena& arena);
 
   /// Merges another estimator built with identical parameters and seed
   /// (every sub-sketch is linear); afterwards this estimator reflects

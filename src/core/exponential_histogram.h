@@ -2,6 +2,7 @@
 #define HIMPACT_CORE_EXPONENTIAL_HISTOGRAM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -38,6 +39,11 @@ class ExponentialHistogramEstimator final : public AggregateHIndexEstimator {
   /// counters as suffix sums at query time. The outputs are identical and
   /// the per-update cost drops from O(levels) to O(log levels).
   void Add(std::uint64_t value) override;
+
+  /// Batched `Add`: identical final state to calling `Add` per element
+  /// (the buckets are order-invariant sums), with the grid lookup inlined
+  /// and hoisted out of the per-event virtual dispatch. Zero allocations.
+  void AddBatch(std::span<const std::uint64_t> values);
 
   /// The greatest guess `(1+eps)^i` with `c_i >= (1+eps)^i` (0 if none).
   double Estimate() const override;

@@ -61,6 +61,33 @@ void ShiftingWindowEstimator::Add(std::uint64_t value) {
   }
 }
 
+void ShiftingWindowEstimator::AddBatch(std::span<const std::uint64_t> values) {
+  // Order-dependent (shifts change which counters later elements touch):
+  // apply in order. The prefix increment walks deque iterators instead of
+  // `operator[]` — each subscript re-derives the block/offset pair, while
+  // the iterators advance in place. Same operations on the same state in
+  // the same order, so the result is byte-identical to scalar Add calls.
+  for (const std::uint64_t value : values) {
+    if (value == 0) continue;
+    const double v = static_cast<double>(value);
+    auto counter = counters_.begin();
+    auto power = powers_.begin();
+    for (; counter != counters_.end(); ++counter, ++power) {
+      if (v < *power) break;
+      ++*counter;
+    }
+    while (counters_.size() >= 2 &&
+           static_cast<double>(counters_[1]) >= powers_[1]) {
+      counters_.pop_front();
+      powers_.pop_front();
+      ++base_level_;
+      ++num_shifts_;
+      counters_.push_back(0);
+      powers_.push_back(powers_.back() * (1.0 + internal_eps_));
+    }
+  }
+}
+
 double ShiftingWindowEstimator::Estimate() const {
   for (std::size_t j = counters_.size(); j-- > 0;) {
     if (static_cast<double>(counters_[j]) >= powers_[j]) {

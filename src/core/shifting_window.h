@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -39,6 +40,12 @@ class ShiftingWindowEstimator final : public AggregateHIndexEstimator {
 
   /// Observes one publication's response count.
   void Add(std::uint64_t value) override;
+
+  /// Batched `Add`. The window shifts depend on the order counters fill,
+  /// so the loop stays strictly in-order; the win over per-event calls is
+  /// skipping the virtual dispatch and letting the compiler keep the
+  /// window deques hot. Byte-identical to the scalar sequence.
+  void AddBatch(std::span<const std::uint64_t> values);
 
   /// The greatest in-window guess whose counter reached it (0 if the
   /// stream had no positive element).

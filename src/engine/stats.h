@@ -34,6 +34,13 @@ struct ShardCounters {
   /// Non-blocking offers (`TryIngest`) rejected because the ring was
   /// full — the caller shed or retried; the event was NOT enqueued.
   std::uint64_t offers_rejected = 0;
+  /// Nanoseconds the worker has spent inside `Traits::ApplyBatch` (the
+  /// estimator hot path, excluding dequeue and idle waits). Divide by
+  /// `events_consumed` for the shard's ns/event.
+  std::uint64_t apply_nanos = 0;
+  /// Largest dequeue batch the worker has applied so far (how close the
+  /// drain runs to the configured `batch_size`).
+  std::uint64_t max_batch = 0;
 };
 
 /// The live, thread-shared form. Producer-side fields are written only by
@@ -45,6 +52,8 @@ struct ShardStats {
   std::atomic<std::uint64_t> offers_rejected{0};
   alignas(64) std::atomic<std::uint64_t> consumed{0};
   std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> apply_nanos{0};
+  std::atomic<std::uint64_t> max_batch{0};
 
   ShardCounters Snapshot() const {
     ShardCounters counters;
@@ -55,6 +64,8 @@ struct ShardStats {
         queue_full_stalls.load(std::memory_order_relaxed);
     counters.offers_rejected =
         offers_rejected.load(std::memory_order_relaxed);
+    counters.apply_nanos = apply_nanos.load(std::memory_order_relaxed);
+    counters.max_batch = max_batch.load(std::memory_order_relaxed);
     return counters;
   }
 };

@@ -1,8 +1,11 @@
 #ifndef HIMPACT_ENGINE_TRAITS_H_
 #define HIMPACT_ENGINE_TRAITS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
+#include "common/batch.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "hash/mix.h"
@@ -16,6 +19,14 @@
 /// mergeable estimator of the right interface can be sharded. Partition
 /// keys are finalized with `SplitMix64` inside the engine, so correlated
 /// raw keys still spread across shards.
+///
+/// `ApplyBatch` is the devirtualized hot path (docs/PERFORMANCE.md): the
+/// engine worker hands a whole dequeued batch to the *concrete* estimator
+/// in one statically dispatched call. When the estimator exposes a batch
+/// method (`AddBatch` / `UpdateBatch` / `AddPaperBatch` — detected at
+/// compile time with a `requires` expression), the batch goes straight to
+/// it; otherwise the traits fall back to a tight scalar loop, which is
+/// still virtual-call-free because `Estimator` is the concrete type.
 ///
 /// Sharding caveat per stream shape:
 ///  - Aggregate streams partition by *value*, so any value-mergeable
@@ -40,6 +51,17 @@ struct AggregateEngineTraits {
   static void Apply(Estimator& estimator, const Event& value) {
     estimator.Add(value);
   }
+  static void ApplyBatch(Estimator& estimator, const Event* events,
+                         std::size_t n, BatchArena& arena) {
+    (void)arena;
+    if constexpr (requires {
+                    estimator.AddBatch(std::span<const Event>(events, n));
+                  }) {
+      estimator.AddBatch(std::span<const Event>(events, n));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) estimator.Add(events[i]);
+    }
+  }
   static void Merge(Estimator& into, const Estimator& from) {
     into.Merge(from);
   }
@@ -63,6 +85,20 @@ struct CashRegisterEngineTraits {
   static void Apply(Estimator& estimator, const Event& event) {
     estimator.Update(event.paper, event.delta);
   }
+  static void ApplyBatch(Estimator& estimator, const Event* events,
+                         std::size_t n, BatchArena& arena) {
+    if constexpr (requires {
+                    estimator.UpdateBatch(std::span<const Event>(events, n),
+                                          arena);
+                  }) {
+      estimator.UpdateBatch(std::span<const Event>(events, n), arena);
+    } else {
+      (void)arena;
+      for (std::size_t i = 0; i < n; ++i) {
+        estimator.Update(events[i].paper, events[i].delta);
+      }
+    }
+  }
   static void Merge(Estimator& into, const Estimator& from) {
     into.Merge(from);
   }
@@ -84,6 +120,17 @@ struct PaperEngineTraits {
   static std::uint64_t Key(const Event& event) { return event.paper; }
   static void Apply(Estimator& estimator, const Event& event) {
     estimator.AddPaper(event);
+  }
+  static void ApplyBatch(Estimator& estimator, const Event* events,
+                         std::size_t n, BatchArena& arena) {
+    (void)arena;
+    if constexpr (requires {
+                    estimator.AddPaperBatch(std::span<const Event>(events, n));
+                  }) {
+      estimator.AddPaperBatch(std::span<const Event>(events, n));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) estimator.AddPaper(events[i]);
+    }
   }
   static void Merge(Estimator& into, const Estimator& from) {
     into.Merge(from);

@@ -5,18 +5,6 @@
 
 namespace himpact {
 
-std::uint64_t ModMersenne61(unsigned __int128 x) {
-  // Fold twice: any 128-bit value fits in 61 bits after two folds plus a
-  // conditional subtraction.
-  std::uint64_t lo = static_cast<std::uint64_t>(x & kMersenne61);
-  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
-  std::uint64_t sum = lo + (hi & kMersenne61) + static_cast<std::uint64_t>(
-                                                    (static_cast<unsigned __int128>(hi) >> 61));
-  if (sum >= kMersenne61) sum -= kMersenne61;
-  if (sum >= kMersenne61) sum -= kMersenne61;
-  return sum;
-}
-
 namespace {
 
 std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) {

@@ -20,8 +20,33 @@ namespace himpact {
 /// The Mersenne prime 2^61 - 1 used as the field modulus.
 inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
 
+/// Exact `x % d` for a runtime divisor via Barrett reduction: `m` must be
+/// `~0ULL / d` (precomputed once per divisor). The reciprocal multiply
+/// undershoots the quotient by at most a few, so the fixup loop runs 0-3
+/// iterations and the result is exact for all inputs — this replaces a
+/// ~25-cycle hardware divide with two multiplies on hot paths.
+inline std::uint64_t BarrettMod(std::uint64_t x, std::uint64_t d,
+                                std::uint64_t m) {
+  const std::uint64_t q = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * m) >> 64);
+  std::uint64_t r = x - q * d;
+  while (r >= d) r -= d;
+  return r;
+}
+
 /// Reduces `x` modulo 2^61 - 1 given `x < 2^122` (as a 128-bit value).
-std::uint64_t ModMersenne61(unsigned __int128 x);
+inline std::uint64_t ModMersenne61(unsigned __int128 x) {
+  // Fold twice: any 128-bit value fits in 61 bits after two folds plus a
+  // conditional subtraction.
+  std::uint64_t lo = static_cast<std::uint64_t>(x & kMersenne61);
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t sum =
+      lo + (hi & kMersenne61) +
+      static_cast<std::uint64_t>(static_cast<unsigned __int128>(hi) >> 61);
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  return sum;
+}
 
 /// A hash function drawn from a k-wise independent family
 /// `h(x) = sum_i a_i x^i mod (2^61 - 1)`, with output in `[0, 2^61 - 1)`.
@@ -38,6 +63,13 @@ class KIndependentHash {
 
   /// The independence parameter `k`.
   int k() const { return static_cast<int>(coefficients_.size()); }
+
+  /// The polynomial coefficients `a_0 .. a_{k-1}` (all `< 2^61 - 1`).
+  /// Exposed so batch hot paths can hoist them into registers; evaluating
+  /// the polynomial by hand must reproduce `operator()` exactly.
+  const std::vector<std::uint64_t>& coefficients() const {
+    return coefficients_;
+  }
 
   /// Space used by the function description.
   SpaceUsage EstimateSpace() const;
@@ -59,6 +91,36 @@ class PairwiseRangeHash {
   /// Maps `x` to a bucket in `[0, range)`.
   std::uint64_t operator()(std::uint64_t x) const {
     return hash_(x) % range_;
+  }
+
+  /// Maps `n` keys to buckets, `out[i] == (*this)(keys[i])` exactly.
+  ///
+  /// The pairwise (degree-1) polynomial is unrolled inline with both
+  /// coefficients hoisted into registers, so the per-key cost is two
+  /// multiplies and a reduction instead of a cross-TU call plus a Horner
+  /// loop over a heap-allocated coefficient vector. The loop mirrors
+  /// `KIndependentHash::operator()`'s Horner evaluation for k == 2
+  /// step-for-step; any other k falls back to the general path.
+  void HashBatch(const std::uint64_t* keys, std::uint64_t* out,
+                 std::size_t n) const {
+    const std::vector<std::uint64_t>& c = hash_.coefficients();
+    if (c.size() == 2) {
+      const std::uint64_t a0 = c[0];
+      const std::uint64_t a1 = c[1];
+      const std::uint64_t range = range_;
+      const std::uint64_t barrett = ~std::uint64_t{0} / range;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t xr = keys[i] % kMersenne61;
+        // Horner: acc = a1; acc = acc * xr + a0 (mod 2^61 - 1).
+        std::uint64_t acc =
+            ModMersenne61(static_cast<unsigned __int128>(a1) * xr);
+        acc += a0;
+        if (acc >= kMersenne61) acc -= kMersenne61;
+        out[i] = BarrettMod(acc, range, barrett);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(keys[i]);
   }
 
   /// The bucket count.

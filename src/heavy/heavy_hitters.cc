@@ -81,6 +81,12 @@ void HeavyHitters::AddPaper(const PaperTuple& paper) {
   }
 }
 
+void HeavyHitters::AddPaperBatch(std::span<const PaperTuple> papers) {
+  // Order-dependent per cell (each detector's reservoir rng): apply in
+  // order. AddPaper() lives in this TU, so the call inlines.
+  for (const PaperTuple& paper : papers) AddPaper(paper);
+}
+
 void HeavyHitters::Merge(const HeavyHitters& other) {
   HIMPACT_CHECK_MSG(
       options_.eps == other.options_.eps &&

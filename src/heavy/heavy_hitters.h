@@ -2,6 +2,7 @@
 #define HIMPACT_HEAVY_HEAVY_HITTERS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -62,6 +63,12 @@ class HeavyHitters {
 
   /// Observes one paper tuple: hashed per author, per row.
   void AddPaper(const PaperTuple& paper);
+
+  /// Batched `AddPaper`, strictly in-order (every cell detector draws
+  /// reservoir coins from its own rng, and the cells a paper touches
+  /// depend on its authors). Byte-identical to the scalar sequence; the
+  /// win is the inlined call and the row hashes staying hot.
+  void AddPaperBatch(std::span<const PaperTuple> papers);
 
   /// Merges another sketch built with identical options *and seed* (the
   /// row hashes must map every author to the same cells); each (row,

@@ -66,6 +66,12 @@ void OneHeavyHitter::AddPaper(const PaperTuple& paper) {
   }
 }
 
+void OneHeavyHitter::AddPaperBatch(std::span<const PaperTuple> papers) {
+  // Order-dependent (reservoir coins): apply in order. AddPaper() lives
+  // in this TU, so the call inlines.
+  for (const PaperTuple& paper : papers) AddPaper(paper);
+}
+
 void OneHeavyHitter::Merge(const OneHeavyHitter& other) {
   HIMPACT_CHECK_MSG(
       options_.eps == other.options_.eps &&

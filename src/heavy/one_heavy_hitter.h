@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -58,6 +59,11 @@ class OneHeavyHitter {
 
   /// Observes one paper tuple.
   void AddPaper(const PaperTuple& paper);
+
+  /// Batched `AddPaper`. Reservoir admissions consume `rng_` draws, so
+  /// the loop is strictly in-order to keep the coin sequence — and hence
+  /// the serialized state — byte-identical to the scalar sequence.
+  void AddPaperBatch(std::span<const PaperTuple> papers);
 
   /// Merges another detector built with identical options (the grids and
   /// reservoir capacities must line up). The histogram counters add

@@ -1,6 +1,7 @@
 #include "service/registry.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <thread>
 #include <utility>
 
@@ -61,6 +62,7 @@ TieredUserRegistry::TieredUserRegistry(const ServiceOptions& options)
   for (std::size_t i = 0; i < options_.num_stripes; ++i) {
     stripes_.push_back(std::make_unique<Stripe>(MakeSketch()));
   }
+  topk_cache_ = std::make_unique<TopKCache>();
 }
 
 ExponentialHistogramEstimator TieredUserRegistry::MakeSketch() const {
@@ -163,12 +165,16 @@ void TieredUserRegistry::UpdateBoardLocked(Stripe& stripe, AuthorId user,
                                            double estimate) {
   for (LeaderboardEntry& entry : stripe.board) {
     if (entry.user == user) {
-      entry.estimate = std::max(entry.estimate, estimate);
+      if (estimate > entry.estimate) {
+        entry.estimate = estimate;
+        stripe.version.fetch_add(1, std::memory_order_release);
+      }
       return;
     }
   }
   if (stripe.board.size() < options_.leaderboard_capacity) {
     stripe.board.push_back({user, estimate});
+    stripe.version.fetch_add(1, std::memory_order_release);
     return;
   }
   // Replace the smallest entry if this estimate beats it. Because
@@ -183,6 +189,7 @@ void TieredUserRegistry::UpdateBoardLocked(Stripe& stripe, AuthorId user,
   }
   if (estimate > stripe.board[min_index].estimate) {
     stripe.board[min_index] = {user, estimate};
+    stripe.version.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -301,18 +308,45 @@ bool TieredUserRegistry::Lookup(AuthorId user, UserSnapshot* out) const {
 std::vector<LeaderboardEntry> TieredUserRegistry::TopK(std::size_t k) const {
   HIMPACT_CHECK_MSG(k <= options_.leaderboard_capacity,
                     "TopK k exceeds leaderboard_capacity");
-  std::vector<LeaderboardEntry> merged;
+  TopKCache& cache = *topk_cache_;
+  std::lock_guard<std::mutex> cache_lock(cache.mu);
+
+  // Capture every stripe's board epoch BEFORE touching any board. A
+  // write that lands mid-merge bumps its epoch past the captured tag,
+  // so the next query re-merges; the cache can be stale-tagged-fresh
+  // never, only fresh-tagged-stale (one redundant re-merge).
+  std::vector<std::uint64_t> versions;
+  versions.reserve(stripes_.size());
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
-    merged.insert(merged.end(), stripe->board.begin(), stripe->board.end());
+    versions.push_back(stripe->version.load(std::memory_order_acquire));
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const LeaderboardEntry& a, const LeaderboardEntry& b) {
-              if (a.estimate != b.estimate) return a.estimate > b.estimate;
-              return a.user < b.user;
-            });
-  if (merged.size() > k) merged.resize(k);
-  return merged;
+
+  const bool hit = cache.valid && cache.versions == versions;
+  if (hit) {
+    ++cache.hits;
+  } else {
+    std::vector<LeaderboardEntry> merged;
+    for (const auto& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      merged.insert(merged.end(), stripe->board.begin(), stripe->board.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const LeaderboardEntry& a, const LeaderboardEntry& b) {
+                if (a.estimate != b.estimate) return a.estimate > b.estimate;
+                return a.user < b.user;
+              });
+    cache.entries = std::move(merged);
+    cache.versions = std::move(versions);
+    cache.valid = true;
+    ++cache.misses;
+  }
+
+  // The cache holds the FULL merged sorted board, so any k up to the
+  // leaderboard capacity is a prefix of it.
+  const std::size_t n = std::min(k, cache.entries.size());
+  return std::vector<LeaderboardEntry>(cache.entries.begin(),
+                                       cache.entries.begin() +
+                                           static_cast<std::ptrdiff_t>(n));
 }
 
 std::vector<LeaderboardEntry> TieredUserRegistry::TopKDegraded(
@@ -370,6 +404,11 @@ RegistryStats TieredUserRegistry::Stats() const {
     stats.demotions += stripe->demotions;
     stats.resident_bytes += stripe->resident_bytes;
     stats.alloc_failures += stripe->alloc_failures;
+  }
+  {
+    std::lock_guard<std::mutex> lock(topk_cache_->mu);
+    stats.topk_cache_hits = topk_cache_->hits;
+    stats.topk_cache_misses = topk_cache_->misses;
   }
   return stats;
 }
@@ -535,6 +574,11 @@ Status TieredUserRegistry::DeserializeStripe(std::size_t i,
   stripe.users = std::move(users);
   stripe.board = std::move(board);
   stripe.resident_bytes = resident_bytes;
+  // The board was wholesale-replaced: advance the epoch so a TopK cache
+  // tagged with the pre-restore epoch cannot serve the old board. (The
+  // epoch itself is runtime-only — deliberately not checkpointed — so a
+  // restored stripe's counter keeps climbing from wherever it was.)
+  stripe.version.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

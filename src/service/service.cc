@@ -41,6 +41,7 @@ HImpactService::HImpactService(TieredUserRegistry registry,
                                const OverloadOptions& overload)
     : registry_(std::move(registry)),
       hh_stripes_(MakeHhStripes()),
+      hh_report_cache_(std::make_unique<HhReportCache>()),
       admission_(std::make_unique<AdmissionController>(overload)),
       ingest_latency_(std::make_unique<LatencyRecorder>()),
       point_latency_(std::make_unique<LatencyRecorder>()),
@@ -78,6 +79,7 @@ double HImpactService::RecordResponseCount(AuthorId user,
     tuple.authors.PushBack(user);
     tuple.citations = value;
     stripe.hh->AddPaper(tuple);
+    stripe.version.fetch_add(1, std::memory_order_release);
   }
   return estimate;
 }
@@ -94,6 +96,7 @@ void HImpactService::IngestPaper(const PaperTuple& paper) {
     HhStripe& stripe = *hh_stripes_[registry_.StripeOf(paper.authors[0])];
     std::lock_guard<std::mutex> lock(stripe.mu);
     stripe.hh->AddPaper(paper);
+    stripe.version.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -114,6 +117,24 @@ std::vector<LeaderboardEntry> HImpactService::TopK(std::size_t k) const {
 
 std::vector<HeavyHitterReport> HImpactService::HeavyReport() const {
   if (!options().enable_heavy_hitters) return {};
+  HhReportCache& cache = *hh_report_cache_;
+  std::lock_guard<std::mutex> cache_lock(cache.mu);
+
+  // Capture every stripe's ingest epoch BEFORE merging any grid: a
+  // paper that lands mid-merge bumps its epoch past the captured tag,
+  // so the next query re-merges (the cache can be tagged conservatively
+  // stale, never stale-served-as-fresh).
+  std::vector<std::uint64_t> versions;
+  versions.reserve(hh_stripes_.size());
+  for (const auto& stripe : hh_stripes_) {
+    versions.push_back(stripe->version.load(std::memory_order_acquire));
+  }
+
+  if (cache.valid && cache.versions == versions) {
+    ++cache.hits;
+    return cache.reports;
+  }
+
   std::optional<HeavyHitters> merged;
   for (const auto& stripe : hh_stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
@@ -123,7 +144,11 @@ std::vector<HeavyHitterReport> HImpactService::HeavyReport() const {
       merged->Merge(*stripe->hh);
     }
   }
-  return merged->Report();
+  cache.reports = merged->Report();
+  cache.versions = std::move(versions);
+  cache.valid = true;
+  ++cache.misses;
+  return cache.reports;
 }
 
 ServiceStats HImpactService::Stats() const {
@@ -134,6 +159,11 @@ ServiceStats HImpactService::Stats() const {
       std::lock_guard<std::mutex> lock(stripe->mu);
       stats.hh_papers += stripe->hh->num_papers();
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(hh_report_cache_->mu);
+    stats.hh_report_cache_hits = hh_report_cache_->hits;
+    stats.hh_report_cache_misses = hh_report_cache_->misses;
   }
   stats.admission = admission_->Counters();
   return stats;
@@ -333,6 +363,17 @@ Status HImpactService::RestoreFrom(const std::string& path) {
 
   registry_ = std::move(fresh_registry).value();
   hh_stripes_ = std::move(fresh_hh);
+  // The fresh stripes restart their ingest epochs at 0. A cache tagged
+  // with the pre-restore epochs could coincidentally match (e.g. an
+  // all-zeros tag captured before any ingest), so invalidate
+  // explicitly — the hh-stripe epochs themselves give no restore
+  // signal, unlike the registry's (bumped by DeserializeStripe).
+  {
+    std::lock_guard<std::mutex> lock(hh_report_cache_->mu);
+    hh_report_cache_->valid = false;
+    hh_report_cache_->versions.clear();
+    hh_report_cache_->reports.clear();
+  }
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef HIMPACT_SERVICE_SERVICE_H_
 #define HIMPACT_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,11 @@ struct ServiceStats {
   RegistryStats registry;
   /// Papers observed by the heavy-hitters grid (0 when disabled).
   std::uint64_t hh_papers = 0;
+  /// `HeavyReport` answers served from the epoch-tagged merged-grid
+  /// cache vs recomputed because some heavy-hitters stripe advanced
+  /// (see docs/PERFORMANCE.md, "Epoch-cached merge-on-query").
+  std::uint64_t hh_report_cache_hits = 0;
+  std::uint64_t hh_report_cache_misses = 0;
   /// Admission-gate counters (admitted / shed / deadline_exceeded /
   /// inflight) for the `Try*` boundary.
   AdmissionCounters admission;
@@ -99,6 +105,10 @@ class HImpactService {
   /// Heavy-hitter candidates from the merged grid (empty when the grid
   /// is disabled). Merging on query mirrors the engine's
   /// merge-on-query discipline; cost is proportional to grid size.
+  /// Epoch-cached: the merged report is kept alongside the per-stripe
+  /// ingest epochs that produced it and only recomputed when some
+  /// stripe absorbed papers since (docs/PERFORMANCE.md); hit/miss
+  /// counts surface in `Stats()`.
   std::vector<HeavyHitterReport> HeavyReport() const;
 
   /// Aggregate counters (per-stripe consistent snapshot).
@@ -170,6 +180,25 @@ class HImpactService {
     /// deterministic per stripe (checkpointed so resumed runs continue
     /// the same id sequence).
     std::uint64_t next_paper = 0;
+    /// Ingest epoch: bumped (release, under `mu`) after every AddPaper.
+    /// `HeavyReport` reads it (acquire, lock-free) to decide whether
+    /// its cached merged report is still current; reading the epoch
+    /// *before* merging makes mid-merge ingest tag the cache stale.
+    std::atomic<std::uint64_t> version{0};
+  };
+
+  /// `HeavyReport`'s epoch-tagged cache of the merged-grid report.
+  /// Behind a unique_ptr (std::mutex is immovable; the service moves).
+  /// Lock order: `cache.mu` then stripe `mu`s, never the reverse.
+  struct HhReportCache {
+    std::mutex mu;
+    bool valid = false;
+    /// Stripe ingest epochs captured *before* the merge that produced
+    /// `reports` (conservative tags).
+    std::vector<std::uint64_t> versions;
+    std::vector<HeavyHitterReport> reports;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
   };
 
   HImpactService(TieredUserRegistry registry, const OverloadOptions& overload);
@@ -178,6 +207,7 @@ class HImpactService {
 
   TieredUserRegistry registry_;
   std::vector<std::unique_ptr<HhStripe>> hh_stripes_;
+  std::unique_ptr<HhReportCache> hh_report_cache_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<LatencyRecorder> ingest_latency_;
   std::unique_ptr<LatencyRecorder> point_latency_;

@@ -1,6 +1,7 @@
 #include "sketch/bjkst.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <vector>
 
@@ -35,6 +36,34 @@ void BjkstDistinct::Add(std::uint64_t element) {
   if (TrailingZeros(h) < z_) return;
   buffer_.insert(h);
   ShrinkToCapacity();
+}
+
+void BjkstDistinct::AddBatch(std::span<const std::uint64_t> elements) {
+  // Hashing is independent of sketch state, so four hashes are computed
+  // ahead to pipeline; the filter/insert below stays strictly in order
+  // because an insert can raise `z_`, which filters later elements —
+  // exactly the scalar sequence, so the final state is byte-identical.
+  const std::size_t n = elements.size();
+  std::size_t i = 0;
+  std::uint64_t hashes[4];
+  const auto apply = [this](std::uint64_t h) {
+    // countr_zero == TrailingZeros for h != 0; h == 0 gives 64 in both.
+    const int zeros = h == 0 ? 64 : std::countr_zero(h);
+    if (zeros < z_) return;
+    buffer_.insert(h);
+    ShrinkToCapacity();
+  };
+  for (; i + 4 <= n; i += 4) {
+    hashes[0] = hash_(elements[i]);
+    hashes[1] = hash_(elements[i + 1]);
+    hashes[2] = hash_(elements[i + 2]);
+    hashes[3] = hash_(elements[i + 3]);
+    apply(hashes[0]);
+    apply(hashes[1]);
+    apply(hashes[2]);
+    apply(hashes[3]);
+  }
+  for (; i < n; ++i) apply(hash_(elements[i]));
 }
 
 void BjkstDistinct::ShrinkToCapacity() {

@@ -2,6 +2,7 @@
 #define HIMPACT_SKETCH_BJKST_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 
 #include "common/bytes.h"
@@ -29,6 +30,12 @@ class BjkstDistinct {
 
   /// Observes one element.
   void Add(std::uint64_t element);
+
+  /// Batched `Add` with a hardware trailing-zero count in place of the
+  /// scalar bit loop. The depth `z` can rise mid-batch and filters later
+  /// elements, so the loop stays in-order and shrinks after every insert,
+  /// exactly like the scalar path; final state is byte-identical.
+  void AddBatch(std::span<const std::uint64_t> elements);
 
   /// Estimated number of distinct elements: `|buffer| * 2^z`.
   double Estimate() const;

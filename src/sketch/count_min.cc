@@ -32,6 +32,29 @@ void CountMinSketch::Update(std::uint64_t key, std::uint64_t count) {
   }
 }
 
+void CountMinSketch::UpdateBatch(std::span<const std::uint64_t> keys) {
+  // Row-outer with tiled hashing: each row's hash runs over a small tile
+  // into a stack buffer (pure ALU/ILP, no aliasing with the counter
+  // stores), then the increments land while the row stays cache-hot.
+  // Counter rows are sums, so reordering increments across events leaves
+  // every counter — and the serialized state — identical to the scalar
+  // sequence.
+  constexpr std::size_t kTile = 256;
+  std::uint64_t buckets[kTile];
+  total_ += keys.size();
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const PairwiseRangeHash& hash = hashes_[d];
+    std::uint64_t* const row = counters_.data() + d * width_;
+    for (std::size_t base = 0; base < keys.size(); base += kTile) {
+      const std::size_t m = std::min(kTile, keys.size() - base);
+      hash.HashBatch(keys.data() + base, buckets, m);
+      for (std::size_t i = 0; i < m; ++i) {
+        ++row[static_cast<std::size_t>(buckets[i])];
+      }
+    }
+  }
+}
+
 std::uint64_t CountMinSketch::Query(std::uint64_t key) const {
   std::uint64_t best = ~std::uint64_t{0};
   for (std::size_t d = 0; d < depth_; ++d) {

@@ -2,6 +2,7 @@
 #define HIMPACT_SKETCH_COUNT_MIN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -26,6 +27,12 @@ class CountMinSketch {
 
   /// Adds `count` to `key`'s frequency. Requires `count >= 0`.
   void Update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Batched unit-count `Update`: iterates row-outer so one row's hash
+  /// and counter segment stay hot across the whole batch. Counters are
+  /// sums, so the final state is byte-identical to the scalar sequence.
+  /// Zero allocations.
+  void UpdateBatch(std::span<const std::uint64_t> keys);
 
   /// Upper-bound point estimate of `key`'s frequency.
   std::uint64_t Query(std::uint64_t key) const;

@@ -38,6 +38,54 @@ void CountSketch::Update(std::uint64_t key, std::int64_t count) {
   }
 }
 
+void CountSketch::UpdateBatch(std::span<const std::uint64_t> keys) {
+  // Row-outer with the polynomial coefficients hoisted into registers:
+  // the Horner steps below mirror `KIndependentHash::operator()` exactly
+  // (2-wise bucket, 4-wise sign), replacing two cross-TU calls plus
+  // coefficient-vector loads per key with straight-line field arithmetic.
+  // Counter rows are signed sums, so the reordering across events leaves
+  // the serialized state identical to the scalar sequence.
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::vector<std::uint64_t>& bc = bucket_hashes_[d].coefficients();
+    const std::vector<std::uint64_t>& sc = sign_hashes_[d].coefficients();
+    std::int64_t* const row = counters_.data() + d * width_;
+    if (bc.size() != 2 || sc.size() != 4) {
+      const KIndependentHash& bucket_hash = bucket_hashes_[d];
+      const KIndependentHash& sign_hash = sign_hashes_[d];
+      for (const std::uint64_t key : keys) {
+        const std::size_t bucket =
+            static_cast<std::size_t>(bucket_hash(key) % width_);
+        row[bucket] += (sign_hash(key) & 1) == 0 ? 1 : -1;
+      }
+      continue;
+    }
+    const std::uint64_t width = width_;
+    const std::uint64_t barrett = ~std::uint64_t{0} / width;
+    const std::uint64_t b0 = bc[0];
+    const std::uint64_t b1 = bc[1];
+    const std::uint64_t s0 = sc[0];
+    const std::uint64_t s1 = sc[1];
+    const std::uint64_t s2 = sc[2];
+    const std::uint64_t s3 = sc[3];
+    for (const std::uint64_t key : keys) {
+      const std::uint64_t xr = key % kMersenne61;
+      std::uint64_t b =
+          ModMersenne61(static_cast<unsigned __int128>(b1) * xr);
+      b += b0;
+      if (b >= kMersenne61) b -= kMersenne61;
+      std::uint64_t s = s3;
+      s = ModMersenne61(static_cast<unsigned __int128>(s) * xr) + s2;
+      if (s >= kMersenne61) s -= kMersenne61;
+      s = ModMersenne61(static_cast<unsigned __int128>(s) * xr) + s1;
+      if (s >= kMersenne61) s -= kMersenne61;
+      s = ModMersenne61(static_cast<unsigned __int128>(s) * xr) + s0;
+      if (s >= kMersenne61) s -= kMersenne61;
+      row[static_cast<std::size_t>(BarrettMod(b, width, barrett))] +=
+          (s & 1) == 0 ? 1 : -1;
+    }
+  }
+}
+
 std::int64_t CountSketch::Query(std::uint64_t key) const {
   std::vector<std::int64_t> estimates;
   estimates.reserve(depth_);

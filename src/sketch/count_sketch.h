@@ -2,6 +2,7 @@
 #define HIMPACT_SKETCH_COUNT_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -28,6 +29,12 @@ class CountSketch {
 
   /// Adds `count` (may be negative) to `key`'s frequency.
   void Update(std::uint64_t key, std::int64_t count = 1);
+
+  /// Batched unit-count `Update` (+1 per key), row-outer like
+  /// `CountMinSketch::UpdateBatch`. Counters are signed sums, so the
+  /// final state is byte-identical to the scalar sequence. Zero
+  /// allocations.
+  void UpdateBatch(std::span<const std::uint64_t> keys);
 
   /// Median-of-rows unbiased point estimate of `key`'s frequency.
   std::int64_t Query(std::uint64_t key) const;

@@ -16,6 +16,24 @@ KmvCore::KmvCore(std::size_t k, std::uint64_t seed)
 
 void KmvCore::Add(std::uint64_t element) { AddHash(hash_(element)); }
 
+void KmvCore::AddBatch(const std::uint64_t* elements, std::size_t n) {
+  // Hashing is independent of core state, so four hashes run ahead of the
+  // inserts; AddHash stays strictly in stream order because the heap's
+  // array layout depends on insertion order.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint64_t h0 = hash_(elements[i]);
+    const std::uint64_t h1 = hash_(elements[i + 1]);
+    const std::uint64_t h2 = hash_(elements[i + 2]);
+    const std::uint64_t h3 = hash_(elements[i + 3]);
+    AddHash(h0);
+    AddHash(h1);
+    AddHash(h2);
+    AddHash(h3);
+  }
+  for (; i < n; ++i) AddHash(hash_(elements[i]));
+}
+
 void KmvCore::Merge(const KmvCore& other) {
   HIMPACT_CHECK_MSG(k_ == other.k_ && seed_ == other.seed_,
                     "merging KmvCores with different parameters");
@@ -116,6 +134,13 @@ DistinctCounter::DistinctCounter(double eps, double delta, std::uint64_t seed)
 
 void DistinctCounter::Add(std::uint64_t element) {
   for (KmvCore& core : cores_) core.Add(element);
+}
+
+void DistinctCounter::AddBatch(const std::uint64_t* elements, std::size_t n) {
+  // Core-outer: cores are independent and each sees the batch in stream
+  // order, so swapping the loops leaves every core's state identical to
+  // the scalar sequence.
+  for (KmvCore& core : cores_) core.AddBatch(elements, n);
 }
 
 void DistinctCounter::Merge(const DistinctCounter& other) {

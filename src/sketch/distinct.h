@@ -33,6 +33,12 @@ class KmvCore {
   /// Observes one element (duplicates are ignored by construction).
   void Add(std::uint64_t element);
 
+  /// Batched `Add`: hashes four elements ahead so the 8 tabulation-table
+  /// loads per element pipeline across lanes, then applies the hashes in
+  /// stream order (insertion order shapes the heap layout), so the final
+  /// state is byte-identical to the scalar sequence.
+  void AddBatch(const std::uint64_t* elements, std::size_t n);
+
   /// Merges another core built with the same `(k, seed)`; afterwards the
   /// retained set is the bottom-k of the union of both streams.
   void Merge(const KmvCore& other);
@@ -72,6 +78,14 @@ class DistinctCounter {
 
   /// Observes one element.
   void Add(std::uint64_t element);
+
+  /// Batched `Add` over a raw array (the caller typically borrows it
+  /// from a BatchArena), iterated core-outer so one core's tabulation
+  /// tables and bottom-k set stay hot across the whole batch. Each core
+  /// still sees the elements in stream order, so the final state is
+  /// byte-identical to the scalar sequence. Zero allocations beyond the
+  /// cores' own steady-state inserts.
+  void AddBatch(const std::uint64_t* elements, std::size_t n);
 
   /// Merges another counter built with the same `(eps, delta, seed)`;
   /// afterwards the estimate covers the union of both streams.

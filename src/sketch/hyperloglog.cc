@@ -1,5 +1,6 @@
 #include "sketch/hyperloglog.h"
 
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -29,6 +30,38 @@ void HyperLogLog::Add(std::uint64_t element) {
     bits <<= 1;
   }
   if (rank > registers_[bucket]) registers_[bucket] = rank;
+}
+
+void HyperLogLog::AddBatch(std::span<const std::uint64_t> elements) {
+  // `rest` always carries the sentinel bit `1 << (precision_-1)`, so it is
+  // never zero and `countl_zero(rest) + 1` equals the scalar Add() rank
+  // loop exactly (both are 1 + the leading-zero count, <= 64).
+  std::uint8_t* const registers = registers_.data();
+  const int shift = 64 - precision_;
+  const std::uint64_t sentinel = std::uint64_t{1} << (precision_ - 1);
+  const auto apply = [&](std::uint64_t h) {
+    const std::size_t bucket = static_cast<std::size_t>(h >> shift);
+    const std::uint64_t rest = h << precision_ | sentinel;
+    const std::uint8_t rank =
+        static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers[bucket]) registers[bucket] = rank;
+  };
+  std::size_t i = 0;
+  // 4-wide: all four hashes issue before the first register update, so
+  // the tabulation-table loads overlap instead of serializing.
+  for (; i + 4 <= elements.size(); i += 4) {
+    const std::uint64_t h0 = hash_(elements[i]);
+    const std::uint64_t h1 = hash_(elements[i + 1]);
+    const std::uint64_t h2 = hash_(elements[i + 2]);
+    const std::uint64_t h3 = hash_(elements[i + 3]);
+    apply(h0);
+    apply(h1);
+    apply(h2);
+    apply(h3);
+  }
+  for (; i < elements.size(); ++i) {
+    apply(hash_(elements[i]));
+  }
 }
 
 double HyperLogLog::Estimate() const {

@@ -38,6 +38,20 @@ void KllSketch::Add(std::uint64_t value) {
   }
 }
 
+void KllSketch::AddBatch(std::span<const std::uint64_t> values) {
+  // CapacityAt(0) depends only on the compactor height, which changes
+  // only inside Compress(); caching it removes a pow() per event.
+  std::size_t cap0 = CapacityAt(0);
+  for (const std::uint64_t value : values) {
+    compactors_[0].push_back(value);
+    ++n_;
+    if (compactors_[0].size() >= cap0) {
+      Compress();
+      cap0 = CapacityAt(0);
+    }
+  }
+}
+
 void KllSketch::Compress() {
   for (std::size_t level = 0; level < compactors_.size(); ++level) {
     if (compactors_[level].size() < CapacityAt(level)) continue;

@@ -2,6 +2,7 @@
 #define HIMPACT_SKETCH_KLL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -34,6 +35,13 @@ class KllSketch {
 
   /// Observes one value.
   void Add(std::uint64_t value);
+
+  /// Batched `Add`. Compaction consumes promotion coins from `rng_`, so
+  /// the loop is strictly in-order to keep the coin sequence — and hence
+  /// the serialized state — byte-identical to the scalar sequence. The
+  /// level-0 capacity is only recomputed after a compression instead of
+  /// per event (it cannot change otherwise).
+  void AddBatch(std::span<const std::uint64_t> values);
 
   /// Total number of values observed.
   std::uint64_t n() const { return n_; }

@@ -49,6 +49,23 @@ void L0Sampler::Update(std::uint64_t index, std::int64_t weight) {
   }
 }
 
+void L0Sampler::UpdateBatch(const std::uint64_t* indices,
+                            const std::int64_t* weights, std::size_t n) {
+  SSparseRecovery* const levels = levels_.data();
+  const std::size_t num_levels = levels_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t index = indices[i];
+    const std::int64_t weight = weights[i];
+    HIMPACT_DCHECK(index < universe_);
+    if (weight == 0) continue;
+    const std::uint64_t h = level_hash_(index);
+    for (std::size_t l = 0; l < num_levels; ++l) {
+      if (l > 0 && (l >= 61 ? h != 0 : h >= (kMersenne61 >> l))) break;
+      levels[l].Update(index, weight);
+    }
+  }
+}
+
 void L0Sampler::Merge(const L0Sampler& other) {
   HIMPACT_CHECK_MSG(universe_ == other.universe_ && seed_ == other.seed_ &&
                         levels_.size() == other.levels_.size(),

@@ -43,6 +43,14 @@ class L0Sampler {
   /// Applies the update `x[index] += weight`. Requires `index < universe`.
   void Update(std::uint64_t index, std::int64_t weight);
 
+  /// Batched `Update` over parallel arrays (`indices[i]` gains
+  /// `weights[i]`). The level cells are linear, so the final state is
+  /// byte-identical to the scalar sequence; the batch form hoists the
+  /// level array and bounds checks out of the per-update path and makes
+  /// zero allocations. Requires every index `< universe`.
+  void UpdateBatch(const std::uint64_t* indices, const std::int64_t* weights,
+                   std::size_t n);
+
   /// Merges another sampler built with the same `(universe, delta, seed)`;
   /// afterwards this sampler sketches the sum of both update streams —
   /// the linearity that makes sharded cash-register processing possible.

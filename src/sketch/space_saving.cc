@@ -77,6 +77,12 @@ void SpaceSaving::Update(std::uint64_t key, std::uint64_t count) {
   SiftDown(slot.heap_pos);
 }
 
+void SpaceSaving::UpdateBatch(std::span<const std::uint64_t> keys) {
+  // Order-dependent (the evicted victim changes with every update):
+  // apply in order; Update() lives in this TU, so the call inlines.
+  for (const std::uint64_t key : keys) Update(key, 1);
+}
+
 void SpaceSaving::Merge(const SpaceSaving& other) {
   HIMPACT_CHECK_MSG(capacity_ == other.capacity_,
                     "merging SpaceSaving summaries of different capacity");

@@ -2,6 +2,7 @@
 #define HIMPACT_SKETCH_SPACE_SAVING_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,12 @@ class SpaceSaving {
 
   /// Adds `count` occurrences of `key`.
   void Update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Batched unit-count `Update`. Evictions depend on the running heap
+  /// state, so the loop stays strictly in-order; the win is the inlined
+  /// call and the index/heap staying cache-hot across the batch. Final
+  /// state is byte-identical to the scalar sequence.
+  void UpdateBatch(std::span<const std::uint64_t> keys);
 
   /// Merges another summary of the same capacity (mergeable-summaries
   /// semantics: keys absent from one side inherit that side's minimum

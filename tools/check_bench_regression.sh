@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Compares a quick bench_f6_hotpath run against the committed baseline
+# (BENCH_PR5.json) and reports per-metric drift.
+#
+#   tools/check_bench_regression.sh                  # warn-only (exit 0)
+#   tools/check_bench_regression.sh --strict         # regressions fail
+#   tools/check_bench_regression.sh --build-dir build-x --baseline b.json
+#   tools/check_bench_regression.sh --tolerance 0.5  # 50% slack
+#
+# Checked metrics:
+#   f6_batch_vs_scalar  per-sketch batch speedup (lower = regression)
+#   f6_merge_cache      per-layer cold/warm ratio (lower = regression)
+#
+# Quick runs are noisy and CI machines differ, so the default mode only
+# warns: a regression prints a WARN line per metric and the script still
+# exits 0. `--strict` turns any WARN into exit 1 for local perf work.
+# A missing baseline or bench binary exits 77 (the ctest SKIP code) so
+# fresh checkouts and partial builds skip instead of failing.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+baseline="${repo_root}/BENCH_PR5.json"
+tolerance=0.4
+strict=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --strict) strict=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --baseline) baseline="$2"; shift 2 ;;
+    --tolerance) tolerance="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+bench="${build_dir}/bench/bench_f6_hotpath"
+if [[ ! -x "${bench}" ]]; then
+  echo "SKIP: ${bench} not built" >&2
+  exit 77
+fi
+if [[ ! -f "${baseline}" ]]; then
+  echo "SKIP: baseline ${baseline} not found" >&2
+  exit 77
+fi
+
+current="$(mktemp)"
+trap 'rm -f "${current}"' EXIT
+"${bench}" --quick | grep '^BENCH{' > "${current}"
+
+# Extract "key":value pairs from a json-ish line without a json tool.
+field() {
+  sed -n 's/.*"'"$2"'":"\{0,1\}\([^,"}]*\)"\{0,1\}[,}].*/\1/p' <<< "$1"
+}
+
+# Baseline lines live inside the aggregate's "results" array, one payload
+# per line (collect_bench.sh's formatting), so grep recovers them intact.
+baseline_metric() {  # baseline_metric <bench> <key-field> <key> <value-field>
+  local line
+  line="$(grep '"bench":"'"$1"'"' "${baseline}" | grep '"'"$2"'":"\{0,1\}'"$3"'[,"}]' | head -n 1)"
+  [[ -n "${line}" ]] || return 1
+  field "${line}" "$4"
+}
+
+warns=0
+check() {  # check <label> <baseline-value> <current-value>
+  local label="$1" base="$2" cur="$3"
+  [[ -n "${base}" && -n "${cur}" ]] || return 0
+  # Regression when current < baseline * (1 - tolerance).
+  if awk -v b="${base}" -v c="${cur}" -v t="${tolerance}" \
+         'BEGIN { exit !(c < b * (1 - t)) }'; then
+    echo "WARN: ${label} regressed: ${cur} vs baseline ${base} (tolerance $(awk -v t="${tolerance}" 'BEGIN { printf "%.0f%%", t * 100 }'))"
+    warns=$((warns + 1))
+  else
+    echo "ok: ${label} ${cur} (baseline ${base})"
+  fi
+}
+
+while IFS= read -r line; do
+  bench_name="$(field "${line}" bench)"
+  case "${bench_name}" in
+    f6_batch_vs_scalar)
+      sketch="$(field "${line}" sketch)"
+      base="$(baseline_metric f6_batch_vs_scalar sketch "${sketch}" speedup || true)"
+      check "batch speedup [${sketch}]" "${base}" "$(field "${line}" speedup)"
+      ;;
+    f6_merge_cache)
+      layer="$(field "${line}" layer)"
+      base="$(baseline_metric f6_merge_cache layer "${layer}" cold_over_warm || true)"
+      check "merge-cache ratio [${layer}]" "${base}" "$(field "${line}" cold_over_warm)"
+      ;;
+  esac
+done < "${current}"
+
+if [[ "${warns}" -gt 0 ]]; then
+  echo "${warns} metric(s) below baseline (quick mode is noisy; rerun full-size before reverting)"
+  [[ "${strict}" -eq 1 ]] && exit 1
+fi
+exit 0

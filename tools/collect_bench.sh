@@ -3,15 +3,16 @@
 # lines into one machine-readable report, stamped with the git revision
 # the numbers were measured at.
 #
-#   tools/collect_bench.sh                      # full run -> BENCH_PR4.json
+#   tools/collect_bench.sh                      # full run -> BENCH_PR5.json
 #   tools/collect_bench.sh --quick              # CI sizing, same schema
 #   tools/collect_bench.sh --build-dir build-x --output /tmp/bench.json
 #
 # BENCH emitters (each prints lines of the form `BENCH{...json...}`):
-#   bench_f2_throughput   sharded ingestion-engine sweep
+#   bench_f2_throughput   sharded ingestion-engine sweep + batch-size sweep
 #   bench_a5_checkpoint_sizes   checkpoint envelope sizes
 #   bench_f4_service_qps  multi-tenant service closed-loop load harness
 #   bench_f5_overload     overload ramp (shed rate, p99) + stall recovery
+#   bench_f6_hotpath      batch-vs-scalar speedups + merge-cache latency
 #
 # The aggregate is a single json object: {"git_sha", "quick", "results"}
 # where results is the array of BENCH payloads in emission order. A ctest
@@ -22,7 +23,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-output="${repo_root}/BENCH_PR4.json"
+output="${repo_root}/BENCH_PR5.json"
 quick=0
 
 while [[ $# -gt 0 ]]; do
@@ -40,7 +41,7 @@ done
 
 bench_dir="${build_dir}/bench"
 for binary in bench_f2_throughput bench_a5_checkpoint_sizes \
-              bench_f4_service_qps bench_f5_overload; do
+              bench_f4_service_qps bench_f5_overload bench_f6_hotpath; do
   if [[ ! -x "${bench_dir}/${binary}" ]]; then
     echo "missing ${bench_dir}/${binary}; build the repo first" >&2
     exit 1
@@ -52,10 +53,12 @@ if [[ "${quick}" -eq 1 ]]; then
   f2_flags=(--shards 2)
   f4_flags=(--users 10000 --ops 50000 --threads 2)
   f5_flags=(--stage-ms 100 --stall-ms 100 --recovery-ms 500)
+  f6_flags=(--quick)
 else
   f2_flags=()
   f4_flags=()
   f5_flags=()
+  f6_flags=()
 fi
 
 lines_file="$(mktemp)"
@@ -78,6 +81,8 @@ run_bench "${bench_dir}/bench_f4_service_qps" \
     "${f4_flags[@]+"${f4_flags[@]}"}"
 run_bench "${bench_dir}/bench_f5_overload" \
     "${f5_flags[@]+"${f5_flags[@]}"}"
+run_bench "${bench_dir}/bench_f6_hotpath" \
+    "${f6_flags[@]+"${f6_flags[@]}"}"
 
 # HEAD sha, with a -dirty suffix when the numbers were measured from an
 # uncommitted tree (the honest stamp for a pre-commit run).
