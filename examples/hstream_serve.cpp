@@ -1,10 +1,19 @@
-// hstream_serve: the multi-tenant H-impact query service on stdin/stdout.
+// hstream_serve: the multi-tenant H-impact query service, on
+// stdin/stdout or as an async TCP server.
 //
 // Speaks the line protocol of service/protocol.h — one command per line,
 // one reply per line:
 //
 //   printf 'add 7 12\nget 7\ntop 3\nstats\nquit\n' |
 //       ./build/examples/hstream_serve --stripes 4 --budget-mb 16
+//
+// With `--listen <port>` the same protocol is served over TCP by the
+// edge-triggered epoll front end (src/net/, docs/NETWORKING.md): the
+// first stdout line is `LISTENING <port>` (port 0 picks an ephemeral
+// one), connections are capped with socket-level shedding and
+// slow-loris eviction, and SIGTERM drains gracefully — stop accepting,
+// flush every reply, write a final checkpoint when auto-checkpointing
+// is armed. Stdin mode stays the fallback and the fuzz target.
 //
 // State is the tiered per-user registry plus the striped heavy-hitters
 // grid (src/service/): cold users are exact, active users are promoted
@@ -15,50 +24,55 @@
 // with a note on stderr when the checkpoint is missing or damaged, and
 // `--checkpoint <path> --checkpoint-every N` re-saves automatically
 // after every N applied mutations (the kill-and-resume drill's hook).
+// The pair must be armed together: one without the other would silently
+// never checkpoint, so ParseArgs rejects it.
 //
 // Robustness surface (docs/ROBUSTNESS.md): `--max-inflight` and
 // `--deadline-us` arm the admission gate (overload replies
 // RESOURCE_EXHAUSTED / DEADLINE_EXCEEDED, all counted), `--faults` (or
 // the HIMPACT_FAULTS env var) arms fault-injection points, malformed
 // lines are quarantined behind a `rejected_lines` counter, and the
-// `health` verb reports all of it as one JSON line.
+// `health` verb reports all of it as one JSON line (plus a `net` block
+// of connection-lifecycle counters in TCP mode).
 //
 // Replies are deterministic for a given command sequence, which is what
 // the kill-and-resume test leans on: a restored server must answer every
-// query byte-identically to the server that wrote the checkpoint.
+// query byte-identically to the server that wrote the checkpoint. Both
+// transports share the dispatch (service/session.h), so the guarantee
+// covers TCP sessions too.
 
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/flags.h"
 #include "fault/fault.h"
+#include "net/server.h"
 #include "service/protocol.h"
 #include "service/service.h"
+#include "service/session.h"
 
 namespace {
 
 struct ServeOptions {
   himpact::ServiceOptions service;
   himpact::OverloadOptions overload;
-  std::string restore;     // empty -> start fresh
-  std::string checkpoint;  // empty -> no automatic checkpoints
-  std::uint64_t checkpoint_every = 0;  // mutations per auto-checkpoint
-  std::string faults;      // fault-arming spec (merged with env)
-};
-
-// Quarantine and checkpoint counters surfaced by the `health` verb.
-struct ServeCounters {
-  std::uint64_t rejected_lines = 0;
-  std::uint64_t checkpoints = 0;
-  std::uint64_t checkpoint_failures = 0;
+  himpact::SessionOptions session;
+  std::string restore;  // empty -> start fresh
+  std::string faults;   // fault-arming spec (merged with env)
+  bool listen = false;  // --listen PORT selects the TCP front end
+  himpact::NetServerOptions net;
 };
 
 bool ParseArgs(int argc, char** argv, ServeOptions* options) {
   using himpact::ParseDoubleFlag;
   using himpact::ParseUint64Flag;
   using himpact::ParseUint64FlagInRange;
+  bool checkpoint_every_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next_text = [&](const char** out) {
@@ -110,12 +124,13 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
       options->restore = text;
     } else if (arg == "--checkpoint") {
       if (!next_text(&text)) return false;
-      options->checkpoint = text;
+      options->session.checkpoint = text;
     } else if (arg == "--checkpoint-every") {
       if (!next_text(&text) ||
           !ParseUint64Flag("--checkpoint-every", text,
-                           &options->checkpoint_every))
+                           &options->session.checkpoint_every))
         return false;
+      checkpoint_every_given = true;
     } else if (arg == "--max-inflight") {
       if (!next_text(&text) ||
           !ParseUint64Flag("--max-inflight", text,
@@ -128,6 +143,38 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
     } else if (arg == "--faults") {
       if (!next_text(&text)) return false;
       options->faults = text;
+    } else if (arg == "--listen") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--listen", text, 0, 65535, &u64))
+        return false;
+      options->listen = true;
+      options->net.port = static_cast<std::uint16_t>(u64);
+    } else if (arg == "--max-conns") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--max-conns", text, 1, 1u << 20, &u64))
+        return false;
+      options->net.max_connections = static_cast<std::size_t>(u64);
+    } else if (arg == "--max-line-bytes") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--max-line-bytes", text, 16, 1u << 26,
+                                  &u64))
+        return false;
+      options->net.limits.max_line_bytes = static_cast<std::size_t>(u64);
+    } else if (arg == "--idle-timeout-ms") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--idle-timeout-ms", text, &u64))
+        return false;
+      options->net.idle_timeout_nanos = u64 * 1000 * 1000;
+    } else if (arg == "--request-timeout-ms") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--request-timeout-ms", text, &u64))
+        return false;
+      options->net.request_timeout_nanos = u64 * 1000 * 1000;
+    } else if (arg == "--evict-min-idle-ms") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--evict-min-idle-ms", text, &u64))
+        return false;
+      options->net.evict_min_idle_nanos = u64 * 1000 * 1000;
     } else if (arg == "--help") {
       return false;
     } else {
@@ -135,214 +182,93 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
       return false;
     }
   }
+  // Auto-checkpointing needs both halves: a path with no cadence (or an
+  // explicit cadence of 0) would silently never checkpoint, and a
+  // cadence with no path has nowhere to write.
+  if (!options->session.checkpoint.empty() &&
+      options->session.checkpoint_every == 0) {
+    std::fprintf(stderr,
+                 checkpoint_every_given
+                     ? "--checkpoint-every must be >= 1 when --checkpoint "
+                       "is set (0 would never checkpoint)\n"
+                     : "--checkpoint requires --checkpoint-every N "
+                       "(without it the server would never checkpoint)\n");
+    return false;
+  }
+  if (options->session.checkpoint.empty() && checkpoint_every_given) {
+    std::fprintf(stderr,
+                 "--checkpoint-every requires --checkpoint FILE "
+                 "(there is no path to checkpoint to)\n");
+    return false;
+  }
   return true;
 }
 
-void PrintStats(const himpact::HImpactService& service) {
-  const himpact::ServiceStats stats = service.Stats();
-  const himpact::RegistryStats& r = stats.registry;
-  std::printf(
-      "STATS {\"events\":%llu,\"users\":%llu,\"cold\":%llu,\"hot\":%llu,"
-      "\"frozen\":%llu,\"promotions\":%llu,\"demotions\":%llu,"
-      "\"resident_bytes\":%llu,\"budget_bytes\":%llu,\"hh_papers\":%llu,"
-      "\"topk_cache_hits\":%llu,\"topk_cache_misses\":%llu,"
-      "\"hh_report_cache_hits\":%llu,\"hh_report_cache_misses\":%llu}\n",
-      static_cast<unsigned long long>(r.total_events),
-      static_cast<unsigned long long>(r.num_users),
-      static_cast<unsigned long long>(r.cold_users),
-      static_cast<unsigned long long>(r.hot_users),
-      static_cast<unsigned long long>(r.frozen_users),
-      static_cast<unsigned long long>(r.promotions),
-      static_cast<unsigned long long>(r.demotions),
-      static_cast<unsigned long long>(r.resident_bytes),
-      static_cast<unsigned long long>(r.budget_bytes),
-      static_cast<unsigned long long>(stats.hh_papers),
-      static_cast<unsigned long long>(r.topk_cache_hits),
-      static_cast<unsigned long long>(r.topk_cache_misses),
-      static_cast<unsigned long long>(stats.hh_report_cache_hits),
-      static_cast<unsigned long long>(stats.hh_report_cache_misses));
-}
-
-void PrintHealth(const himpact::HImpactService& service,
-                 const ServeCounters& counters) {
-  const himpact::AdmissionCounters admission = service.admission().Counters();
-  const std::uint64_t alloc_failures =
-      service.Stats().registry.alloc_failures;
-  std::printf(
-      "HEALTH {\"inflight\":%llu,\"admitted\":%llu,\"shed\":%llu,"
-      "\"deadline_exceeded\":%llu,\"rejected_lines\":%llu,"
-      "\"alloc_failures\":%llu,\"checkpoints\":%llu,"
-      "\"checkpoint_failures\":%llu}\n",
-      static_cast<unsigned long long>(admission.inflight),
-      static_cast<unsigned long long>(admission.admitted),
-      static_cast<unsigned long long>(admission.shed),
-      static_cast<unsigned long long>(admission.deadline_exceeded),
-      static_cast<unsigned long long>(counters.rejected_lines),
-      static_cast<unsigned long long>(alloc_failures),
-      static_cast<unsigned long long>(counters.checkpoints),
-      static_cast<unsigned long long>(counters.checkpoint_failures));
-}
-
-// The wire spelling of a shed/deadline status ("RESOURCE_EXHAUSTED ..."
-// or "DEADLINE_EXCEEDED ..."); anything else degrades to ERR.
-void PrintStatusReply(const himpact::Status& status) {
-  const char* code = "ERR";
-  switch (status.code()) {
-    case himpact::StatusCode::kResourceExhausted:
-      code = "RESOURCE_EXHAUSTED";
-      break;
-    case himpact::StatusCode::kDeadlineExceeded:
-      code = "DEADLINE_EXCEEDED";
-      break;
-    default:
-      break;
-  }
-  std::printf("%s %s\n", code, status.message().c_str());
-}
-
-int Serve(himpact::HImpactService& service, const ServeOptions& options) {
-  using himpact::Command;
-  using himpact::CommandKind;
-  using himpact::FormatEstimate;
-  using himpact::StatusOr;
-  using himpact::UserSnapshot;
-
-  ServeCounters counters;
-  std::uint64_t mutations_since_checkpoint = 0;
-  // Auto-checkpoint, armed by --checkpoint/--checkpoint-every. Failures
-  // go to stderr (and a counter), never stdout: replies must stay
-  // deterministic for the kill-and-resume drill.
-  const auto maybe_checkpoint = [&] {
-    if (options.checkpoint.empty() || options.checkpoint_every == 0) return;
-    if (++mutations_since_checkpoint < options.checkpoint_every) return;
-    mutations_since_checkpoint = 0;
-    const himpact::Status saved = service.CheckpointTo(options.checkpoint);
-    if (saved.ok()) {
-      ++counters.checkpoints;
-    } else {
-      ++counters.checkpoint_failures;
-      std::fprintf(stderr, "auto-checkpoint failed: %s\n",
-                   saved.message().c_str());
-    }
-  };
-
+int ServeStdin(himpact::ServiceSession& session) {
   std::string line;
-  while (std::getline(std::cin, line)) {
-    StatusOr<Command> parsed = himpact::ParseCommandLine(line);
-    if (!parsed.ok()) {
-      // Quarantine, never abort: the bad line is counted and dropped,
-      // and the reply loop keeps its one-reply-per-line invariant.
-      ++counters.rejected_lines;
-      std::printf("ERR %s\n", parsed.status().message().c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    const Command& command = parsed.value();
-    switch (command.kind) {
-      case CommandKind::kAdd: {
-        StatusOr<double> estimate =
-            service.TryRecordResponseCount(command.user, command.value);
-        if (estimate.ok()) {
-          std::printf("OK %s\n", FormatEstimate(estimate.value()).c_str());
-          maybe_checkpoint();
-        } else {
-          PrintStatusReply(estimate.status());
-          if (estimate.status().code() ==
-              himpact::StatusCode::kDeadlineExceeded) {
-            maybe_checkpoint();  // the write was applied, late
-          }
-        }
-        break;
-      }
-      case CommandKind::kPaper: {
-        const himpact::Status ingested = service.TryIngestPaper(command.paper);
-        if (ingested.ok() ||
-            ingested.code() == himpact::StatusCode::kDeadlineExceeded) {
-          if (ingested.ok()) {
-            std::printf("OK %d\n", command.paper.authors.size());
-          } else {
-            PrintStatusReply(ingested);
-          }
-          maybe_checkpoint();
-        } else {
-          PrintStatusReply(ingested);
-        }
-        break;
-      }
-      case CommandKind::kGet: {
-        UserSnapshot snapshot;
-        if (service.Lookup(command.user, &snapshot)) {
-          std::printf("H %llu %s %s %llu\n",
-                      static_cast<unsigned long long>(command.user),
-                      FormatEstimate(snapshot.estimate).c_str(),
-                      himpact::TierName(static_cast<int>(snapshot.tier)),
-                      static_cast<unsigned long long>(snapshot.events));
-        } else {
-          std::printf("H %llu 0 none 0\n",
-                      static_cast<unsigned long long>(command.user));
-        }
-        break;
-      }
-      case CommandKind::kTop: {
-        const std::size_t k = static_cast<std::size_t>(command.value);
-        if (k > service.options().leaderboard_capacity) {
-          std::printf("ERR k exceeds leaderboard capacity (%zu)\n",
-                      service.options().leaderboard_capacity);
-          break;
-        }
-        StatusOr<himpact::TopKResult> top = service.TryTopK(k);
-        if (!top.ok()) {
-          PrintStatusReply(top.status());
-          break;
-        }
-        // A deadline-degraded scan is tagged TOP-LB <skipped stripes>:
-        // the entries are a valid lower-bound board over the stripes
-        // that answered in time.
-        if (top.value().stripes_skipped > 0) {
-          std::printf("TOP-LB %zu", top.value().stripes_skipped);
-        } else {
-          std::printf("TOP");
-        }
-        for (const himpact::LeaderboardEntry& entry : top.value().entries) {
-          std::printf(" %llu:%s",
-                      static_cast<unsigned long long>(entry.user),
-                      FormatEstimate(entry.estimate).c_str());
-        }
-        std::printf("\n");
-        break;
-      }
-      case CommandKind::kHeavy: {
-        std::printf("HEAVY");
-        for (const himpact::HeavyHitterReport& report :
-             service.HeavyReport()) {
-          std::printf(" %llu:%s",
-                      static_cast<unsigned long long>(report.author),
-                      FormatEstimate(report.h_estimate).c_str());
-        }
-        std::printf("\n");
-        break;
-      }
-      case CommandKind::kStats:
-        PrintStats(service);
-        break;
-      case CommandKind::kHealth:
-        PrintHealth(service, counters);
-        break;
-      case CommandKind::kSave: {
-        const himpact::Status saved = service.CheckpointTo(command.path);
-        if (saved.ok()) {
-          std::printf("OK saved %s\n", command.path.c_str());
-        } else {
-          std::printf("ERR %s\n", saved.message().c_str());
-        }
-        break;
-      }
-      case CommandKind::kQuit:
-        std::printf("BYE\n");
-        return 0;
-    }
+  std::string reply;
+  bool keep = true;
+  while (keep && std::getline(std::cin, line)) {
+    keep = session.HandleLine(line, &reply);
+    std::fputs(reply.c_str(), stdout);
     std::fflush(stdout);
   }
+  return 0;
+}
+
+// The drain target for the SIGTERM handler. Written once before the
+// loop starts; the handler only calls the async-signal-safe
+// RequestDrain (one pipe write).
+himpact::NetServer* g_net_server = nullptr;
+
+void HandleSigterm(int) {
+  if (g_net_server != nullptr) g_net_server->RequestDrain();
+}
+
+int ServeTcp(himpact::ServiceSession& session, const ServeOptions& options) {
+  auto server_or = himpact::NetServer::Create(
+      options.net,
+      [&session](const std::string& line, std::string* reply) {
+        return session.HandleLine(line, reply);
+      });
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "--listen: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<himpact::NetServer> server = std::move(server_or).value();
+  session.set_extra_health_fields(
+      [&server] { return "\"net\":" + server->CountersJson(); });
+  server->set_drain_callback([&session] {
+    const himpact::Status saved = session.FinalCheckpoint();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "drain checkpoint failed: %s\n",
+                   saved.message().c_str());
+    }
+  });
+
+  g_net_server = server.get();
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSigterm;
+  ::sigaction(SIGTERM, &action, nullptr);
+  // A dying client mid-write must surface as EPIPE on that socket, not
+  // kill the whole server.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // The contract tests and load generators key on: the bound port as
+  // the first stdout line, before any connection is served.
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server->port()));
+  std::fflush(stdout);
+
+  const himpact::Status ran = server->Run();
+  g_net_server = nullptr;
+  if (!ran.ok()) {
+    std::fprintf(stderr, "event loop failed: %s\n",
+                 ran.ToString().c_str());
+    return 1;
+  }
+  std::printf("DRAINED\n");
   return 0;
 }
 
@@ -357,12 +283,17 @@ int main(int argc, char** argv) {
                  "[--budget-mb MB] [--board K]\n"
                  "                     [--no-heavy] [--seed S] "
                  "[--restore FILE]\n"
-                 "                     [--checkpoint FILE] "
-                 "[--checkpoint-every N]\n"
+                 "                     [--checkpoint FILE "
+                 "--checkpoint-every N]\n"
                  "                     [--max-inflight N] [--deadline-us U] "
                  "[--faults SPEC]\n"
-                 "commands on stdin: add/paper/get/top/heavy/stats/health/"
-                 "save/quit\n");
+                 "                     [--listen PORT] [--max-conns N] "
+                 "[--max-line-bytes B]\n"
+                 "                     [--idle-timeout-ms MS] "
+                 "[--request-timeout-ms MS]\n"
+                 "                     [--evict-min-idle-ms MS]\n"
+                 "commands (stdin or TCP): add/paper/get/top/heavy/stats/"
+                 "health/save/quit\n");
     return 2;
   }
   {
@@ -395,8 +326,12 @@ int main(int argc, char** argv) {
                    options.restore.c_str(), restored.message().c_str());
     }
   }
+  himpact::ServiceSession session(&service, options.session);
+  if (options.listen) {
+    return ServeTcp(session, options);
+  }
   // Line-buffered replies so popen-driven tests and pipelines see each
-  // reply as soon as its command is processed (Serve also flushes).
+  // reply as soon as its command is processed (ServeStdin also flushes).
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
-  return Serve(service, options);
+  return ServeStdin(session);
 }

@@ -10,7 +10,7 @@ namespace {
 
 const char* const kPointNames[kNumFaultPoints] = {
     "alloc-fail", "torn-checkpoint", "worker-stall", "ring-full",
-    "clock-skew",
+    "clock-skew", "net-accept-fail", "net-partial-write",
 };
 
 /// Parses one `name[:skip[:max_fires[:param]]]` clause into its parts.

@@ -53,10 +53,18 @@ enum class FaultPoint : int {
   kRingFull = 3,
   /// `FaultClock::NowNanos` jumps forward. Param: skew in nanoseconds.
   kClockSkew = 4,
+  /// The TCP front end's `accept()` reports a transient failure
+  /// (EMFILE-style): the accept batch is abandoned for this wakeup and
+  /// the listener must stay registered. Param: unused.
+  kNetAcceptFail = 5,
+  /// A connection `write()` is clamped to one byte, forcing the
+  /// partial-write continuation path (buffered remainder + EPOLLOUT
+  /// re-arm). Param: unused.
+  kNetPartialWrite = 6,
 };
 
 /// Number of fault points (array sizing).
-inline constexpr int kNumFaultPoints = 5;
+inline constexpr int kNumFaultPoints = 7;
 
 /// When an armed point fires: probes `skip..skip+max_fires-1` (0-based
 /// hit indices counted from arming) fire, the rest pass through.
@@ -120,7 +128,8 @@ class FaultRegistry {
   Status ArmFromEnv();
 
   /// The canonical name of `point` ("alloc-fail", "torn-checkpoint",
-  /// "worker-stall", "ring-full", "clock-skew").
+  /// "worker-stall", "ring-full", "clock-skew", "net-accept-fail",
+  /// "net-partial-write").
   static const char* Name(FaultPoint point);
 
   /// Parses a canonical point name.

@@ -1,0 +1,54 @@
+#include "net/connection.h"
+
+namespace himpact {
+
+void Connection::AppendInput(const char* data, std::size_t n,
+                             std::uint64_t now_nanos) {
+  if (n == 0) return;
+  if (!HasPartialRequest()) request_start_nanos_ = now_nanos;
+  // Compact before growing: the consumed prefix is dead weight and the
+  // buffer must stay bounded by max_line_bytes + one read chunk.
+  if (rbuf_off_ > 0) {
+    rbuf_.erase(0, rbuf_off_);
+    rbuf_off_ = 0;
+  }
+  rbuf_.append(data, n);
+  last_activity_nanos_ = now_nanos;
+}
+
+LineResult Connection::NextLine(const ConnectionLimits& limits,
+                                std::string* line) {
+  const std::size_t newline = rbuf_.find('\n', rbuf_off_);
+  if (newline == std::string::npos) {
+    if (rbuf_.size() - rbuf_off_ > limits.max_line_bytes) {
+      return LineResult::kOversize;
+    }
+    return LineResult::kNone;
+  }
+  if (newline - rbuf_off_ > limits.max_line_bytes) {
+    return LineResult::kOversize;
+  }
+  line->assign(rbuf_, rbuf_off_, newline - rbuf_off_);
+  rbuf_off_ = newline + 1;
+  if (rbuf_off_ >= rbuf_.size()) {
+    rbuf_.clear();
+    rbuf_off_ = 0;
+  } else {
+    // More pipelined bytes follow; the next request's clock starts at
+    // the moment its first byte became the pending fragment — i.e. now,
+    // when the previous line was consumed.
+    request_start_nanos_ = last_activity_nanos_;
+  }
+  return LineResult::kLine;
+}
+
+void Connection::ConsumeWritten(std::size_t n, std::uint64_t now_nanos) {
+  wbuf_off_ += n;
+  if (wbuf_off_ >= wbuf_.size()) {
+    wbuf_.clear();
+    wbuf_off_ = 0;
+  }
+  last_activity_nanos_ = now_nanos;
+}
+
+}  // namespace himpact

@@ -1,0 +1,133 @@
+#ifndef HIMPACT_NET_CONNECTION_H_
+#define HIMPACT_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/socket.h"
+
+/// \file
+/// Per-connection state for the TCP front end (net/server.h): bounded
+/// read/write buffers, newline framing, and the activity/deadline
+/// bookkeeping the event loop's lifecycle policies (idle eviction,
+/// slow-loris kill, oversize kill, backpressure) are driven by. The
+/// buffer mechanics are pure — no syscalls — so the framing and
+/// watermark rules are unit-testable without sockets.
+///
+/// Lifecycle (enforced by the server, recorded here):
+///
+///   reading ──complete line──▶ handler ──reply──▶ writing
+///      │  write backlog over the high watermark pauses input
+///      │  (stop reading: TCP backpressure reaches the client)
+///      └─ oversize line / quit / EOF / deadline ──▶ close-after-flush
+
+namespace himpact {
+
+/// Buffer policy shared by every connection of a server.
+struct ConnectionLimits {
+  /// A request line longer than this (no newline seen) kills the
+  /// connection with one `ERR` reply.
+  std::size_t max_line_bytes = 1 << 16;
+  /// Pending-reply high watermark: above it the server stops reading
+  /// from the connection until the backlog drains below
+  /// `write_resume_bytes`.
+  std::size_t write_buffer_limit = 1 << 18;
+  std::size_t write_resume_bytes = 1 << 17;
+};
+
+/// Result of asking a connection for its next framed request line.
+enum class LineResult {
+  kLine,      // a complete line was extracted
+  kNone,      // no complete line buffered (yet)
+  kOversize,  // pending bytes exceed max_line_bytes with no newline
+};
+
+/// One accepted client connection.
+class Connection {
+ public:
+  Connection(UniqueFd fd, std::uint64_t now_nanos)
+      : fd_(std::move(fd)),
+        last_activity_nanos_(now_nanos) {}
+
+  int fd() const { return fd_.get(); }
+
+  /// Appends freshly read bytes. Counts as activity; the first pending
+  /// byte of a not-yet-complete request starts the per-request clock.
+  void AppendInput(const char* data, std::size_t n, std::uint64_t now_nanos);
+
+  /// Extracts the next complete request line (newline stripped, any
+  /// carriage return left for the strict parser to reject). `kOversize`
+  /// once the pending fragment outgrows `limits.max_line_bytes`.
+  LineResult NextLine(const ConnectionLimits& limits, std::string* line);
+
+  /// Queues reply bytes for the socket writer.
+  void QueueReply(const std::string& reply) { wbuf_.append(reply); }
+
+  /// Unwritten reply bytes / their location.
+  std::size_t PendingWriteBytes() const { return wbuf_.size() - wbuf_off_; }
+  const char* PendingWriteData() const { return wbuf_.data() + wbuf_off_; }
+
+  /// Consumes `n` written bytes; counts as activity. Compacts the
+  /// buffer once everything queued has left.
+  void ConsumeWritten(std::size_t n, std::uint64_t now_nanos);
+
+  /// Backpressure predicates against the shared watermarks.
+  bool WriteBacklogged(const ConnectionLimits& limits) const {
+    return PendingWriteBytes() > limits.write_buffer_limit;
+  }
+  bool WriteResumable(const ConnectionLimits& limits) const {
+    return PendingWriteBytes() <= limits.write_resume_bytes;
+  }
+
+  /// Nanoseconds since the last read or write progress.
+  std::uint64_t IdleNanos(std::uint64_t now_nanos) const {
+    return now_nanos > last_activity_nanos_
+               ? now_nanos - last_activity_nanos_
+               : 0;
+  }
+  std::uint64_t last_activity_nanos() const { return last_activity_nanos_; }
+
+  /// True while an incomplete request line is pending — the slow-loris
+  /// signature — and how long its first byte has been waiting.
+  bool HasPartialRequest() const { return rbuf_off_ < rbuf_.size(); }
+  std::uint64_t RequestAgeNanos(std::uint64_t now_nanos) const {
+    return HasPartialRequest() && now_nanos > request_start_nanos_
+               ? now_nanos - request_start_nanos_
+               : 0;
+  }
+
+  /// Close once the pending replies have been flushed (quit, EOF,
+  /// oversize kill, drain).
+  bool close_after_flush() const { return close_after_flush_; }
+  void set_close_after_flush() { close_after_flush_ = true; }
+
+  /// Peer half-closed its write side; buffered requests still answer.
+  bool read_eof() const { return read_eof_; }
+  void set_read_eof() { read_eof_ = true; }
+
+  /// Input processing paused under write backpressure.
+  bool paused() const { return paused_; }
+  void set_paused(bool paused) { paused_ = paused; }
+
+  /// EPOLLOUT currently armed for this connection.
+  bool want_write() const { return want_write_; }
+  void set_want_write(bool want) { want_write_ = want; }
+
+ private:
+  UniqueFd fd_;
+  std::string rbuf_;
+  std::size_t rbuf_off_ = 0;  // consumed prefix (compacted lazily)
+  std::string wbuf_;
+  std::size_t wbuf_off_ = 0;
+  std::uint64_t last_activity_nanos_ = 0;
+  std::uint64_t request_start_nanos_ = 0;
+  bool close_after_flush_ = false;
+  bool read_eof_ = false;
+  bool paused_ = false;
+  bool want_write_ = false;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_NET_CONNECTION_H_

@@ -1,0 +1,183 @@
+#ifndef HIMPACT_NET_SERVER_H_
+#define HIMPACT_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "fault/admission.h"
+#include "net/connection.h"
+#include "net/socket.h"
+
+/// \file
+/// The async TCP front end: a single-threaded, edge-triggered epoll
+/// event loop hosting a newline-framed line protocol. The loop is
+/// protocol-agnostic — a `LineHandler` maps one request line to one
+/// reply block — so the hardened `service/protocol.h` parser stays the
+/// core and the network layer adds only transport concerns:
+///
+///  * **Accept-storm batching + socket-level shedding.** Each listener
+///    wakeup drains the whole accept queue. Past the connection cap
+///    (a PR 4 `AdmissionController` with `max_inflight` = cap, one
+///    admission slot held per connection for its lifetime) a newcomer
+///    either replaces the oldest sufficiently-idle connection
+///    (slow-loris eviction) or is shed at `accept()` with a one-line
+///    `RESOURCE_EXHAUSTED` notice — overload never reaches the parser.
+///  * **Bounded buffers + pipelining + partial writes.** Requests may
+///    be pipelined; replies queue into a bounded write buffer with
+///    partial-write continuation via EPOLLOUT. A connection whose
+///    reply backlog passes the high watermark stops being read until
+///    it drains (write backpressure), and a request line that exceeds
+///    `max_line_bytes` kills the connection with one `ERR` reply.
+///  * **Lifecycle deadlines off `FaultClock`.** Per-connection idle
+///    and per-request (partial-line age) deadlines read the fault-aware
+///    clock, so `clock-skew` injection exercises the network timeouts
+///    like every other timeout in the system. `net-accept-fail` and
+///    `net-partial-write` (docs/ROBUSTNESS.md) inject into the loop
+///    itself.
+///  * **Graceful drain.** `RequestDrain()` (async-signal-safe — wire it
+///    to SIGTERM) stops accepting, answers what is already buffered,
+///    flushes every reply under a drain deadline, then invokes the
+///    drain callback (final checkpoint) and returns from `Run`.
+///
+/// All counters are relaxed atomics: the loop is single-threaded, but
+/// benches, tests, and the `health` verb read them from outside.
+
+namespace himpact {
+
+/// Transport configuration; defaults suit tests. `hstream_serve` maps
+/// its `--listen` flag family onto this.
+struct NetServerOptions {
+  /// Loopback port to bind (0 = ephemeral; read back via `port()`).
+  std::uint16_t port = 0;
+  int backlog = 511;
+  /// Hard connection cap (admission watermark). At the cap a new
+  /// arrival evicts the oldest connection idle for at least
+  /// `evict_min_idle_nanos`, or is shed at accept.
+  std::size_t max_connections = 1024;
+  ConnectionLimits limits;
+  /// Eviction deadline for a connection with no read/write progress
+  /// (0 disables).
+  std::uint64_t idle_timeout_nanos = 60ull * 1000 * 1000 * 1000;
+  /// Kill deadline for an incomplete request line (slow-loris writers;
+  /// 0 disables).
+  std::uint64_t request_timeout_nanos = 10ull * 1000 * 1000 * 1000;
+  /// Minimum idleness before a cap-hit arrival may evict a connection.
+  std::uint64_t evict_min_idle_nanos = 100ull * 1000 * 1000;
+  /// How long a drain waits for replies to flush before force-closing.
+  std::uint64_t drain_timeout_nanos = 2ull * 1000 * 1000 * 1000;
+};
+
+/// Loop counters; every lifecycle decision is counted, never silent.
+struct NetServerCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed_at_accept = 0;
+  std::uint64_t evicted_idle = 0;
+  std::uint64_t killed_oversize = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t accept_failures = 0;
+  std::uint64_t connections = 0;  // currently open
+};
+
+/// Maps one request line to one reply block (must be '\n'-terminated).
+/// Return false to close the connection after the reply flushes (quit).
+using LineHandler = std::function<bool(const std::string& line,
+                                       std::string* reply)>;
+
+/// The epoll event loop. Create, then `Run()` on the owning thread;
+/// `RequestDrain`/`Stop` may be called from any thread or signal
+/// handler.
+class NetServer {
+ public:
+  /// Binds and listens; the loop is not running yet.
+  static StatusOr<std::unique_ptr<NetServer>> Create(
+      const NetServerOptions& options, LineHandler handler);
+
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop until a drain completes or `Stop()`. Returns
+  /// OK after a graceful drain/stop, an error if the loop itself broke.
+  Status Run();
+
+  /// Async-signal-safe graceful-shutdown request (one byte on the wake
+  /// pipe): stop accepting, flush, invoke the drain callback, return.
+  void RequestDrain();
+
+  /// Async-signal-safe hard stop: close everything, no flush.
+  void Stop();
+
+  /// Runs `callback` on the loop thread after a drain fully flushed
+  /// (the final-checkpoint hook). Set before `Run`.
+  void set_drain_callback(std::function<void()> callback) {
+    drain_callback_ = std::move(callback);
+  }
+
+  /// Relaxed snapshot of the loop counters.
+  NetServerCounters Counters() const;
+
+  /// The counters as one JSON object (the `health` verb's "net" field).
+  std::string CountersJson() const;
+
+  /// The connection-cap admission gate (counters feed health too).
+  const AdmissionController& admission() const { return *admission_; }
+
+ private:
+  enum class ReadResult { kProgress, kDry, kClosed };
+
+  NetServer(const NetServerOptions& options, LineHandler handler);
+
+  Status Init();
+  void AcceptBatch(std::uint64_t now);
+  void ShedAtAccept(UniqueFd fd);
+  bool EvictOldestIdle(std::uint64_t now);
+  ReadResult ReadSome(Connection* conn, std::uint64_t now);
+  void PumpConnection(Connection* conn, std::uint64_t now);
+  void ProcessLines(Connection* conn);
+  bool FlushWrites(Connection* conn, std::uint64_t now);
+  void UpdateWriteInterest(Connection* conn);
+  void ForceWriteEdge(Connection* conn);
+  void CloseConnection(int fd);
+  void SweepDeadlines(std::uint64_t now);
+  void BeginDrain(std::uint64_t now);
+
+  NetServerOptions options_;
+  LineHandler handler_;
+  std::function<void()> drain_callback_;
+
+  UniqueFd listener_;
+  UniqueFd epoll_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::uint16_t port_ = 0;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::unique_ptr<AdmissionController> admission_;
+  bool draining_ = false;
+  bool stopped_ = false;
+  std::uint64_t drain_deadline_nanos_ = 0;
+  std::uint64_t last_sweep_nanos_ = 0;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_at_accept_{0};
+  std::atomic<std::uint64_t> evicted_idle_{0};
+  std::atomic<std::uint64_t> killed_oversize_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> partial_writes_{0};
+  std::atomic<std::uint64_t> accept_failures_{0};
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_NET_SERVER_H_

@@ -1,0 +1,128 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace himpact {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+Status SetNonBlockingCloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  const int fd_flags = ::fcntl(fd, F_GETFD, 0);
+  if (fd_flags < 0 || ::fcntl(fd, F_SETFD, fd_flags | FD_CLOEXEC) < 0) {
+    return ErrnoStatus("fcntl(FD_CLOEXEC)");
+  }
+  return Status::OK();
+}
+
+sockaddr_in LoopbackAddr(std::uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ < 0) return;
+  // EINTR after close leaves the fd closed on Linux; retrying would
+  // race a concurrent open. Close once and move on.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+StatusOr<UniqueFd> CreateListener(std::uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  const Status flags = SetNonBlockingCloexec(fd.get());
+  if (!flags.ok()) return flags;
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return ErrnoStatus("listen");
+  return fd;
+}
+
+StatusOr<std::uint16_t> BoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<UniqueFd> AcceptConnection(int listener_fd) {
+  for (;;) {
+    const int raw = ::accept4(listener_fd, nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw >= 0) return UniqueFd(raw);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("accept queue drained");
+    }
+    // ECONNABORTED is a connection that died in the backlog — skip it
+    // and keep draining the queue.
+    if (errno == ECONNABORTED) continue;
+    return ErrnoStatus("accept4");
+  }
+}
+
+StatusOr<UniqueFd> ConnectLoopback(std::uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  const Status flags = SetNonBlockingCloexec(fd.get());
+  if (!flags.ok()) return flags;
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0 ||
+      errno == EINPROGRESS) {
+    return fd;
+  }
+  return ErrnoStatus("connect");
+}
+
+std::uint64_t RaiseFdLimit(std::uint64_t want) {
+  rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  rlim_t target = limit.rlim_max;
+  if (want != 0 && static_cast<rlim_t>(want) < target) {
+    target = static_cast<rlim_t>(want);
+  }
+  if (target > limit.rlim_cur) {
+    limit.rlim_cur = target;
+    // Best effort: a denied raise keeps the old soft limit, which the
+    // caller reads back and scales to.
+    (void)::setrlimit(RLIMIT_NOFILE, &limit);
+    (void)::getrlimit(RLIMIT_NOFILE, &limit);
+  }
+  return static_cast<std::uint64_t>(limit.rlim_cur);
+}
+
+}  // namespace himpact

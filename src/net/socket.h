@@ -1,0 +1,81 @@
+#ifndef HIMPACT_NET_SOCKET_H_
+#define HIMPACT_NET_SOCKET_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+
+/// \file
+/// Thin POSIX socket layer under the TCP front end (net/server.h):
+/// RAII file descriptors plus the handful of syscall wrappers the event
+/// loop needs, each returning `Status` instead of errno so the loop's
+/// error handling stays uniform. Everything here is non-blocking by
+/// construction — a blocking fd in an edge-triggered epoll loop is a
+/// latent wedge, so sockets are created with `O_NONBLOCK | O_CLOEXEC`
+/// and there is deliberately no API to clear those flags.
+
+namespace himpact {
+
+/// An owned file descriptor: closes on destruction, moves, never copies.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the held fd (EINTR-safe) and becomes empty.
+  void Reset();
+
+  /// Relinquishes ownership without closing.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking IPv4 listener bound to 127.0.0.1:`port`
+/// (`port` 0 picks an ephemeral port — read it back with `BoundPort`)
+/// with `SO_REUSEADDR` and the given accept backlog.
+StatusOr<UniqueFd> CreateListener(std::uint16_t port, int backlog);
+
+/// The local port a bound socket actually listens on.
+StatusOr<std::uint16_t> BoundPort(int fd);
+
+/// Accepts one pending connection as a non-blocking, close-on-exec fd.
+/// An empty accept queue is `kUnavailable` (the event-loop's "drained"
+/// signal); real failures (EMFILE, ...) are `kInternal`.
+StatusOr<UniqueFd> AcceptConnection(int listener_fd);
+
+/// Starts a non-blocking IPv4 connect to 127.0.0.1:`port` (load
+/// generators and tests). The returned fd is connecting or connected;
+/// completion is observed via writability.
+StatusOr<UniqueFd> ConnectLoopback(std::uint16_t port);
+
+/// Raises `RLIMIT_NOFILE` to its hard limit (or `want` if smaller but
+/// sufficient) and returns the resulting soft limit. Benchmarks and
+/// tests that open thousands of sockets call this first and scale their
+/// connection counts to what the process actually got.
+std::uint64_t RaiseFdLimit(std::uint64_t want);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_NET_SOCKET_H_

@@ -63,6 +63,12 @@ Status ParseAuthors(const std::string& token, AuthorList* out) {
 }  // namespace
 
 StatusOr<Command> ParseCommandLine(const std::string& line) {
+  // Embedded NULs are rejected up front: the numeric token parsers are
+  // C-string based, so "add 5 6\0junk" would otherwise silently drop
+  // everything after the NUL and parse as a valid command.
+  if (line.find('\0') != std::string::npos) {
+    return BadLine("embedded NUL byte");
+  }
   const std::vector<std::string> tokens = SplitTokens(line);
   if (tokens.empty() || tokens[0].empty()) {
     return BadLine("empty command");

@@ -1,0 +1,215 @@
+#include "service/session.h"
+
+#include <cstdio>
+
+#include "service/protocol.h"
+
+namespace himpact {
+namespace {
+
+/// The wire spelling of a shed/deadline status ("RESOURCE_EXHAUSTED ..."
+/// or "DEADLINE_EXCEEDED ..."); anything else degrades to ERR.
+std::string StatusReply(const Status& status) {
+  const char* code = "ERR";
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      code = "RESOURCE_EXHAUSTED";
+      break;
+    case StatusCode::kDeadlineExceeded:
+      code = "DEADLINE_EXCEEDED";
+      break;
+    default:
+      break;
+  }
+  return std::string(code) + " " + status.message() + "\n";
+}
+
+std::string U64(std::uint64_t value) {
+  return std::to_string(static_cast<unsigned long long>(value));
+}
+
+}  // namespace
+
+void ServiceSession::MaybeCheckpoint() {
+  if (options_.checkpoint.empty() || options_.checkpoint_every == 0) return;
+  if (++mutations_since_checkpoint_ < options_.checkpoint_every) return;
+  mutations_since_checkpoint_ = 0;
+  const Status saved = service_->CheckpointTo(options_.checkpoint);
+  if (saved.ok()) {
+    ++counters_.checkpoints;
+  } else {
+    // Failures go to stderr (and a counter), never the reply stream:
+    // replies must stay deterministic for the kill-and-resume drill.
+    ++counters_.checkpoint_failures;
+    std::fprintf(stderr, "auto-checkpoint failed: %s\n",
+                 saved.message().c_str());
+  }
+}
+
+Status ServiceSession::FinalCheckpoint() {
+  if (options_.checkpoint.empty() || options_.checkpoint_every == 0) {
+    return Status::OK();
+  }
+  const Status saved = service_->CheckpointTo(options_.checkpoint);
+  if (saved.ok()) {
+    ++counters_.checkpoints;
+  } else {
+    ++counters_.checkpoint_failures;
+  }
+  return saved;
+}
+
+std::string ServiceSession::StatsReply() const {
+  const ServiceStats stats = service_->Stats();
+  const RegistryStats& r = stats.registry;
+  std::string reply = "STATS {\"events\":" + U64(r.total_events);
+  reply += ",\"users\":" + U64(r.num_users);
+  reply += ",\"cold\":" + U64(r.cold_users);
+  reply += ",\"hot\":" + U64(r.hot_users);
+  reply += ",\"frozen\":" + U64(r.frozen_users);
+  reply += ",\"promotions\":" + U64(r.promotions);
+  reply += ",\"demotions\":" + U64(r.demotions);
+  reply += ",\"resident_bytes\":" + U64(r.resident_bytes);
+  reply += ",\"budget_bytes\":" + U64(r.budget_bytes);
+  reply += ",\"hh_papers\":" + U64(stats.hh_papers);
+  reply += ",\"topk_cache_hits\":" + U64(r.topk_cache_hits);
+  reply += ",\"topk_cache_misses\":" + U64(r.topk_cache_misses);
+  reply += ",\"hh_report_cache_hits\":" + U64(stats.hh_report_cache_hits);
+  reply += ",\"hh_report_cache_misses\":" + U64(stats.hh_report_cache_misses);
+  reply += "}\n";
+  return reply;
+}
+
+std::string ServiceSession::HealthReply() const {
+  const AdmissionCounters admission = service_->admission().Counters();
+  const std::uint64_t alloc_failures =
+      service_->Stats().registry.alloc_failures;
+  std::string reply = "HEALTH {\"inflight\":" + U64(admission.inflight);
+  reply += ",\"admitted\":" + U64(admission.admitted);
+  reply += ",\"shed\":" + U64(admission.shed);
+  reply += ",\"deadline_exceeded\":" + U64(admission.deadline_exceeded);
+  reply += ",\"rejected_lines\":" + U64(counters_.rejected_lines);
+  reply += ",\"alloc_failures\":" + U64(alloc_failures);
+  reply += ",\"checkpoints\":" + U64(counters_.checkpoints);
+  reply += ",\"checkpoint_failures\":" + U64(counters_.checkpoint_failures);
+  if (extra_health_fields_) {
+    reply += ",";
+    reply += extra_health_fields_();
+  }
+  reply += "}\n";
+  return reply;
+}
+
+bool ServiceSession::HandleLine(const std::string& line, std::string* reply) {
+  StatusOr<Command> parsed = ParseCommandLine(line);
+  if (!parsed.ok()) {
+    // Quarantine, never abort: the bad line is counted and dropped, and
+    // the loop keeps its one-reply-per-line invariant.
+    ++counters_.rejected_lines;
+    *reply = "ERR " + parsed.status().message() + "\n";
+    return true;
+  }
+  const Command& command = parsed.value();
+  switch (command.kind) {
+    case CommandKind::kAdd: {
+      StatusOr<double> estimate =
+          service_->TryRecordResponseCount(command.user, command.value);
+      if (estimate.ok()) {
+        *reply = "OK " + FormatEstimate(estimate.value()) + "\n";
+        MaybeCheckpoint();
+      } else {
+        *reply = StatusReply(estimate.status());
+        if (estimate.status().code() == StatusCode::kDeadlineExceeded) {
+          MaybeCheckpoint();  // the write was applied, late
+        }
+      }
+      return true;
+    }
+    case CommandKind::kPaper: {
+      const Status ingested = service_->TryIngestPaper(command.paper);
+      if (ingested.ok()) {
+        *reply = "OK " +
+                 std::to_string(static_cast<int>(
+                     command.paper.authors.size())) +
+                 "\n";
+        MaybeCheckpoint();
+      } else {
+        *reply = StatusReply(ingested);
+        if (ingested.code() == StatusCode::kDeadlineExceeded) {
+          MaybeCheckpoint();
+        }
+      }
+      return true;
+    }
+    case CommandKind::kGet: {
+      UserSnapshot snapshot;
+      if (service_->Lookup(command.user, &snapshot)) {
+        *reply = "H " + U64(command.user) + " " +
+                 FormatEstimate(snapshot.estimate) + " " +
+                 TierName(static_cast<int>(snapshot.tier)) + " " +
+                 U64(snapshot.events) + "\n";
+      } else {
+        *reply = "H " + U64(command.user) + " 0 none 0\n";
+      }
+      return true;
+    }
+    case CommandKind::kTop: {
+      const std::size_t k = static_cast<std::size_t>(command.value);
+      if (k > service_->options().leaderboard_capacity) {
+        *reply = "ERR k exceeds leaderboard capacity (" +
+                 std::to_string(service_->options().leaderboard_capacity) +
+                 ")\n";
+        return true;
+      }
+      StatusOr<TopKResult> top = service_->TryTopK(k);
+      if (!top.ok()) {
+        *reply = StatusReply(top.status());
+        return true;
+      }
+      // A deadline-degraded scan is tagged TOP-LB <skipped stripes>:
+      // the entries are a valid lower-bound board over the stripes that
+      // answered in time.
+      if (top.value().stripes_skipped > 0) {
+        *reply = "TOP-LB " + std::to_string(top.value().stripes_skipped);
+      } else {
+        *reply = "TOP";
+      }
+      for (const LeaderboardEntry& entry : top.value().entries) {
+        *reply += " " + U64(entry.user) + ":" + FormatEstimate(entry.estimate);
+      }
+      *reply += "\n";
+      return true;
+    }
+    case CommandKind::kHeavy: {
+      *reply = "HEAVY";
+      for (const HeavyHitterReport& report : service_->HeavyReport()) {
+        *reply +=
+            " " + U64(report.author) + ":" + FormatEstimate(report.h_estimate);
+      }
+      *reply += "\n";
+      return true;
+    }
+    case CommandKind::kStats:
+      *reply = StatsReply();
+      return true;
+    case CommandKind::kHealth:
+      *reply = HealthReply();
+      return true;
+    case CommandKind::kSave: {
+      const Status saved = service_->CheckpointTo(command.path);
+      if (saved.ok()) {
+        *reply = "OK saved " + command.path + "\n";
+      } else {
+        *reply = "ERR " + saved.message() + "\n";
+      }
+      return true;
+    }
+    case CommandKind::kQuit:
+      *reply = "BYE\n";
+      return false;
+  }
+  *reply = "ERR unreachable\n";
+  return true;
+}
+
+}  // namespace himpact

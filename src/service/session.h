@@ -1,0 +1,81 @@
+#ifndef HIMPACT_SERVICE_SESSION_H_
+#define HIMPACT_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/service.h"
+
+/// \file
+/// One protocol session over `HImpactService`: the line-in/reply-out
+/// dispatch that `hstream_serve` runs on stdin and the TCP front end
+/// (net/server.h) runs per connection — the same code path, so both
+/// transports answer byte-identically and the kill-and-resume drill's
+/// determinism argument covers them together.
+///
+/// The session owns the transport-independent robustness bookkeeping:
+/// malformed-line quarantine (`rejected_lines`), the auto-checkpoint
+/// cadence (`--checkpoint`/`--checkpoint-every`), and the `health`
+/// verb's JSON — to which a transport may contribute an extra field
+/// block (the TCP server reports its connection-lifecycle counters
+/// there).
+
+namespace himpact {
+
+/// Auto-checkpoint configuration for a session. Both fields must be
+/// set together or not at all (`hstream_serve` rejects half-armed
+/// combinations at flag parsing).
+struct SessionOptions {
+  std::string checkpoint;              // empty -> no automatic checkpoints
+  std::uint64_t checkpoint_every = 0;  // mutations per auto-checkpoint
+};
+
+/// Quarantine and checkpoint counters surfaced by the `health` verb.
+struct SessionCounters {
+  std::uint64_t rejected_lines = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_failures = 0;
+};
+
+/// The line dispatcher. Not thread-safe: one session runs on one
+/// transport thread (the stdin loop or the event loop).
+class ServiceSession {
+ public:
+  ServiceSession(HImpactService* service, const SessionOptions& options)
+      : service_(service), options_(options) {}
+
+  /// Handles one protocol line. `reply` receives the full
+  /// newline-terminated reply block (never empty — one reply per line,
+  /// the quarantine invariant). Returns false when the session must end
+  /// (`quit`); the transport closes after delivering the reply.
+  bool HandleLine(const std::string& line, std::string* reply);
+
+  /// Extra JSON fields appended inside the `health` object, preceded by
+  /// a comma (e.g. the TCP server's `"net":{...}` block). Must emit
+  /// `"name":value` fragments only.
+  void set_extra_health_fields(std::function<std::string()> fields) {
+    extra_health_fields_ = std::move(fields);
+  }
+
+  /// Writes a final checkpoint if auto-checkpointing is armed (the
+  /// graceful-drain hook). OK and a no-op when unarmed.
+  Status FinalCheckpoint();
+
+  const SessionCounters& counters() const { return counters_; }
+
+ private:
+  void MaybeCheckpoint();
+  std::string StatsReply() const;
+  std::string HealthReply() const;
+
+  HImpactService* service_;
+  SessionOptions options_;
+  SessionCounters counters_;
+  std::uint64_t mutations_since_checkpoint_ = 0;
+  std::function<std::string()> extra_health_fields_;
+};
+
+}  // namespace himpact
+
+#endif  // HIMPACT_SERVICE_SESSION_H_

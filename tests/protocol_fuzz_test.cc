@@ -183,6 +183,104 @@ TEST(ProtocolFuzz, JunkIsQuarantinedCountedAndNeverWedgesTheServer) {
   std::remove(path.c_str());
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::string bytes;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return bytes;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.append(chunk, n);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+TEST(ProtocolFuzz, CrlfNulAndMegalineEachEarnOneErrAndLeaveStateUntouched) {
+  // Three framing-level hostiles, each worth exactly one ERR and one
+  // rejected_lines tick:
+  //  - CRLF line endings: the strict parser keeps the '\r' in the last
+  //    token and rejects it — no silent tolerance of Windows framing.
+  //  - An embedded NUL: the C-string token parsers would truncate at the
+  //    NUL and mis-parse "add 5 6\0junk" as a valid add, so the parser
+  //    rejects NUL-bearing lines up front.
+  //  - A single 1MB line: stdin framing has no line cap (that is the TCP
+  //    front end's job), so it must flow through quarantine like any
+  //    other junk, without wedging or blowing up.
+  // State proof: a run with the hostiles interleaved checkpoints
+  // byte-identically to a run of the valid commands alone.
+  const std::string kValid[] = {"add 11 5", "add 12 9", "paper 4 70 11,12",
+                                "add 11 2"};
+  std::string hostile;
+  std::string clean;
+  std::uint64_t bad_lines = 0;
+
+  hostile += "add 5 6\r\n";  // CRLF framing
+  ++bad_lines;
+  hostile += kValid[0] + "\n";
+  clean += kValid[0] + "\n";
+  hostile += std::string("add 5 6") + '\0' + "junk\n";  // embedded NUL
+  ++bad_lines;
+  hostile += kValid[1] + "\n";
+  clean += kValid[1] + "\n";
+  hostile += "zz" + std::string(1 << 20, 'a') + "\n";  // 1MB single line
+  ++bad_lines;
+  hostile += kValid[2] + "\n";
+  clean += kValid[2] + "\n";
+  hostile += std::string(1, '\0') + "\n";  // NUL-only line
+  ++bad_lines;
+  hostile += kValid[3] + "\n";
+  clean += kValid[3] + "\n";
+
+  const std::string hostile_ckpt = TempPath("hostile_ckpt");
+  const std::string clean_ckpt = TempPath("clean_ckpt");
+  hostile += "health\nsave " + hostile_ckpt + "\nquit\n";
+  clean += "save " + clean_ckpt + "\nquit\n";
+
+  const std::string hostile_in = TempPath("hostile_in");
+  const std::string clean_in = TempPath("clean_in");
+  WriteTextFile(hostile_in, hostile);
+  WriteTextFile(clean_in, clean);
+
+  const std::string args = "--stripes 2 --seed 7";
+  const RunResult hostile_run = RunServe(args, hostile_in);
+  const RunResult clean_run = RunServe(args, clean_in);
+  ASSERT_EQ(hostile_run.exit_code, 0);
+  ASSERT_EQ(clean_run.exit_code, 0);
+
+  // Exactly one ERR per hostile line, one reply per input line. Input
+  // lines are counted by newline; the NUL-bearing lines still frame on
+  // their '\n'.
+  const std::vector<std::string> replies = SplitLines(hostile_run.stdout_text);
+  std::size_t input_lines = 0;
+  for (const char byte : hostile) input_lines += byte == '\n' ? 1 : 0;
+  EXPECT_EQ(replies.size(), input_lines);
+  std::size_t err_replies = 0;
+  for (const std::string& reply : replies) {
+    if (reply.rfind("ERR ", 0) == 0 || reply == "ERR") ++err_replies;
+  }
+  EXPECT_EQ(err_replies, bad_lines);
+
+  // ...and the quarantine counter agrees.
+  ASSERT_GE(replies.size(), 3u);
+  const std::string& health = replies[replies.size() - 3];
+  ASSERT_EQ(health.rfind("HEALTH ", 0), 0u) << health;
+  const std::string needle = "\"rejected_lines\":" + std::to_string(bad_lines);
+  EXPECT_NE(health.find(needle), std::string::npos)
+      << "health line " << health << " lacks " << needle;
+
+  // Byte-identical state: the hostiles contributed nothing.
+  const std::string hostile_bytes = ReadFileBytes(hostile_ckpt);
+  const std::string clean_bytes = ReadFileBytes(clean_ckpt);
+  ASSERT_FALSE(hostile_bytes.empty());
+  EXPECT_EQ(hostile_bytes, clean_bytes);
+
+  std::remove(hostile_in.c_str());
+  std::remove(clean_in.c_str());
+  std::remove(hostile_ckpt.c_str());
+  std::remove(clean_ckpt.c_str());
+}
+
 TEST(ProtocolFuzz, TruncatedFinalLineWithoutNewlineStillAnswers) {
   // A generator dying mid-line must not wedge the reply loop: getline
   // yields the unterminated fragment, which parses (or ERRs) as usual,

@@ -13,6 +13,7 @@
 #   bench_f4_service_qps  multi-tenant service closed-loop load harness
 #   bench_f5_overload     overload ramp (shed rate, p99) + stall recovery
 #   bench_f6_hotpath      batch-vs-scalar speedups + merge-cache latency
+#   bench_f7_net_load     TCP front-end connection sweep (qps, p99, shed)
 #
 # The aggregate is a single json object: {"git_sha", "quick", "results"}
 # where results is the array of BENCH payloads in emission order. A ctest
@@ -41,7 +42,8 @@ done
 
 bench_dir="${build_dir}/bench"
 for binary in bench_f2_throughput bench_a5_checkpoint_sizes \
-              bench_f4_service_qps bench_f5_overload bench_f6_hotpath; do
+              bench_f4_service_qps bench_f5_overload bench_f6_hotpath \
+              bench_f7_net_load; do
   if [[ ! -x "${bench_dir}/${binary}" ]]; then
     echo "missing ${bench_dir}/${binary}; build the repo first" >&2
     exit 1
@@ -54,11 +56,13 @@ if [[ "${quick}" -eq 1 ]]; then
   f4_flags=(--users 10000 --ops 50000 --threads 2)
   f5_flags=(--stage-ms 100 --stall-ms 100 --recovery-ms 500)
   f6_flags=(--quick)
+  f7_flags=(--quick)
 else
   f2_flags=()
   f4_flags=()
   f5_flags=()
   f6_flags=()
+  f7_flags=()
 fi
 
 lines_file="$(mktemp)"
@@ -83,6 +87,8 @@ run_bench "${bench_dir}/bench_f5_overload" \
     "${f5_flags[@]+"${f5_flags[@]}"}"
 run_bench "${bench_dir}/bench_f6_hotpath" \
     "${f6_flags[@]+"${f6_flags[@]}"}"
+run_bench "${bench_dir}/bench_f7_net_load" \
+    "${f7_flags[@]+"${f7_flags[@]}"}"
 
 # HEAD sha, with a -dirty suffix when the numbers were measured from an
 # uncommitted tree (the honest stamp for a pre-commit run).
