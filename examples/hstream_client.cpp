@@ -1,0 +1,205 @@
+// hstream_client: the reference client for the length-prefixed binary
+// wire protocol (docs/PROTOCOL.md). It reads text-protocol command
+// lines on stdin, encodes each as a binary request frame with the same
+// net/wire.h codec the server uses, pipelines them over one TCP
+// connection, and prints each decoded reply re-rendered as the
+// text-protocol reply line — so for any input script the output is
+// byte-identical to talking text to the same server (the parity
+// property of docs/PROTOCOL.md), while every byte on the wire is
+// binary. That makes it both a usable CLI and a live demonstration
+// that the two protocols answer identically:
+//
+//   ./build/examples/hstream_serve --listen 4600 &
+//   printf 'add 7 12\nget 7\ntop 3\nquit\n' |
+//       ./build/examples/hstream_client --port 4600
+//
+// Flags: --host H (default 127.0.0.1), --port P (required),
+//        --batch N (pipeline depth, default 16).
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "net/wire.h"
+#include "service/protocol.h"
+
+namespace {
+
+using himpact::Command;
+using himpact::CommandResult;
+using himpact::StatusOr;
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "hstream_client: %s: %s\n", what,
+               std::strerror(errno));
+  return 1;
+}
+
+/// Blocking connect to host:port.
+int ConnectTo(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one complete reply frame (prelude, then the declared payload).
+bool ReadFrame(int fd, std::string* frame) {
+  frame->clear();
+  char prelude[himpact::kWirePreludeBytes];
+  std::size_t got = 0;
+  while (got < sizeof(prelude)) {
+    const ssize_t n = ::read(fd, prelude + got, sizeof(prelude) - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  const std::uint32_t payload = himpact::WirePayloadLength(prelude);
+  frame->assign(prelude, sizeof(prelude));
+  frame->resize(sizeof(prelude) + payload);
+  std::size_t off = sizeof(prelude);
+  while (off < frame->size()) {
+    const ssize_t n = ::read(fd, &(*frame)[off], frame->size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Decodes one reply frame and prints its text-protocol rendering.
+/// Returns false when the stream is unusable.
+bool PrintReply(const std::string& frame) {
+  StatusOr<CommandResult> reply = himpact::DecodeReplyFrame(frame);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "hstream_client: undecodable reply: %s\n",
+                 reply.status().message().c_str());
+    return false;
+  }
+  std::fputs(himpact::FormatTextReply(reply.value()).c_str(), stdout);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint64_t port = 0;
+  std::uint64_t batch = 16;
+  bool port_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char** out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* text = nullptr;
+    if (arg == "--host") {
+      if (!next(&text)) return 2;
+      host = text;
+    } else if (arg == "--port") {
+      if (!next(&text) ||
+          !himpact::ParseUint64FlagInRange("--port", text, 1, 65535, &port))
+        return 2;
+      port_given = true;
+    } else if (arg == "--batch") {
+      if (!next(&text) ||
+          !himpact::ParseUint64FlagInRange("--batch", text, 1, 1u << 16,
+                                           &batch))
+        return 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: hstream_client --port P [--host H] [--batch N]\n"
+                   "reads text commands on stdin, speaks the binary "
+                   "protocol of docs/PROTOCOL.md\n");
+      return 2;
+    }
+  }
+  if (!port_given) {
+    std::fprintf(stderr, "hstream_client: --port is required\n");
+    return 2;
+  }
+
+  const int fd = ConnectTo(host, static_cast<std::uint16_t>(port));
+  if (fd < 0) return Fail("connect");
+
+  // Pipelined request/reply: up to `batch` frames in flight. Replies
+  // come back in request order (one reply frame per request frame), so
+  // a simple depth counter is the whole window.
+  std::string line;
+  std::string frame;
+  std::size_t in_flight = 0;
+  bool quit_sent = false;
+  int exit_code = 0;
+  while (!quit_sent && std::getline(std::cin, line)) {
+    StatusOr<Command> parsed = himpact::ParseCommandLine(line);
+    if (!parsed.ok()) {
+      // Malformed input is reported locally with the same ERR shape the
+      // server would use — no point burning a round trip on it.
+      std::printf("ERR %s\n", parsed.status().message().c_str());
+      continue;
+    }
+    if (!WriteAll(fd, himpact::EncodeRequestFrame(parsed.value()))) {
+      exit_code = Fail("write");
+      break;
+    }
+    quit_sent = parsed.value().kind == himpact::CommandKind::kQuit;
+    ++in_flight;
+    while (in_flight >= batch || (quit_sent && in_flight > 0)) {
+      if (!ReadFrame(fd, &frame) || !PrintReply(frame)) {
+        exit_code = 1;
+        in_flight = 0;
+        quit_sent = true;
+        break;
+      }
+      --in_flight;
+    }
+  }
+  while (exit_code == 0 && in_flight > 0 &&
+         ReadFrame(fd, &frame) && PrintReply(frame)) {
+    --in_flight;
+  }
+  ::close(fd);
+  return exit_code;
+}

@@ -15,6 +15,13 @@
 // flush every reply, write a final checkpoint when auto-checkpointing
 // is armed. Stdin mode stays the fallback and the fuzz target.
 //
+// TCP connections may also speak the length-prefixed binary protocol
+// (docs/PROTOCOL.md): the first byte of a connection — 0xB1, outside
+// ASCII — selects binary framing, anything else falls back to text,
+// and both dispatch through the same session so answers are
+// semantically identical. examples/hstream_client.cpp is the binary
+// reference client.
+//
 // State is the tiered per-user registry plus the striped heavy-hitters
 // grid (src/service/): cold users are exact, active users are promoted
 // to Algorithm 1 sketches, and the least-recently-updated users are
@@ -230,6 +237,9 @@ int ServeTcp(himpact::ServiceSession& session, const ServeOptions& options) {
       options.net,
       [&session](const std::string& line, std::string* reply) {
         return session.HandleLine(line, reply);
+      },
+      [&session](const std::string& frame, std::string* reply) {
+        return session.HandleFrame(frame, reply);
       });
   if (!server_or.ok()) {
     std::fprintf(stderr, "--listen: %s\n",
@@ -293,7 +303,16 @@ int main(int argc, char** argv) {
                  "[--request-timeout-ms MS]\n"
                  "                     [--evict-min-idle-ms MS]\n"
                  "commands (stdin or TCP): add/paper/get/top/heavy/stats/"
-                 "health/save/quit\n");
+                 "health/save/quit\n"
+                 "--checkpoint and --checkpoint-every must be given "
+                 "together (half-armed\n"
+                 "combinations are rejected). With --listen the first "
+                 "stdout line is the\n"
+                 "contract line 'LISTENING <port>' (PORT 0 picks an "
+                 "ephemeral port); TCP\n"
+                 "connections whose first byte is 0xB1 speak the binary "
+                 "protocol of\n"
+                 "docs/PROTOCOL.md, all others the text protocol above.\n");
     return 2;
   }
   {

@@ -1,5 +1,7 @@
 #include "net/connection.h"
 
+#include "net/wire.h"
+
 namespace himpact {
 
 void Connection::AppendInput(const char* data, std::size_t n,
@@ -40,6 +42,35 @@ LineResult Connection::NextLine(const ConnectionLimits& limits,
     request_start_nanos_ = last_activity_nanos_;
   }
   return LineResult::kLine;
+}
+
+FrameResult Connection::NextFrame(const ConnectionLimits& limits,
+                                  std::string* frame) {
+  const std::size_t pending = rbuf_.size() - rbuf_off_;
+  if (pending == 0) return FrameResult::kNone;
+  if (static_cast<unsigned char>(rbuf_[rbuf_off_]) != kWireRequestMagic) {
+    return FrameResult::kBadMagic;
+  }
+  if (pending < kWirePreludeBytes) return FrameResult::kNone;
+  const std::uint32_t payload_bytes =
+      WirePayloadLength(rbuf_.data() + rbuf_off_);
+  const std::uint64_t frame_bytes =
+      static_cast<std::uint64_t>(kWirePreludeBytes) + payload_bytes;
+  // Reject on the declared size, before the payload arrives: a hostile
+  // length prefix must not grow the read buffer past the line bound.
+  if (frame_bytes > limits.max_line_bytes) return FrameResult::kOversize;
+  if (pending < frame_bytes) return FrameResult::kNone;
+  frame->assign(rbuf_, rbuf_off_, static_cast<std::size_t>(frame_bytes));
+  rbuf_off_ += static_cast<std::size_t>(frame_bytes);
+  if (rbuf_off_ >= rbuf_.size()) {
+    rbuf_.clear();
+    rbuf_off_ = 0;
+  } else {
+    // Same pipelining rule as NextLine: the next request's clock starts
+    // when the previous frame was consumed.
+    request_start_nanos_ = last_activity_nanos_;
+  }
+  return FrameResult::kFrame;
 }
 
 void Connection::ConsumeWritten(std::size_t n, std::uint64_t now_nanos) {

@@ -9,25 +9,34 @@
 
 /// \file
 /// Per-connection state for the TCP front end (net/server.h): bounded
-/// read/write buffers, newline framing, and the activity/deadline
+/// read/write buffers, request framing, and the activity/deadline
 /// bookkeeping the event loop's lifecycle policies (idle eviction,
 /// slow-loris kill, oversize kill, backpressure) are driven by. The
 /// buffer mechanics are pure — no syscalls — so the framing and
 /// watermark rules are unit-testable without sockets.
 ///
+/// A connection speaks one of two framings, latched from its first
+/// byte (docs/PROTOCOL.md "Protocol selection"): newline-delimited
+/// text lines (`NextLine`) or length-prefixed binary frames
+/// (`NextFrame`, net/wire.h). Both share the same buffers and the same
+/// oversize / partial-read / backpressure semantics — `max_line_bytes`
+/// bounds a whole binary frame exactly as it bounds a text line.
+///
 /// Lifecycle (enforced by the server, recorded here):
 ///
-///   reading ──complete line──▶ handler ──reply──▶ writing
+///   reading ──complete request──▶ handler ──reply──▶ writing
 ///      │  write backlog over the high watermark pauses input
 ///      │  (stop reading: TCP backpressure reaches the client)
-///      └─ oversize line / quit / EOF / deadline ──▶ close-after-flush
+///      └─ oversize / bad magic / quit / EOF / deadline ──▶
+///        close-after-flush
 
 namespace himpact {
 
 /// Buffer policy shared by every connection of a server.
 struct ConnectionLimits {
-  /// A request line longer than this (no newline seen) kills the
-  /// connection with one `ERR` reply.
+  /// A request longer than this kills the connection with one
+  /// structured error reply — a text line with no newline seen, or a
+  /// binary frame whose declared prelude + payload size exceeds it.
   std::size_t max_line_bytes = 1 << 16;
   /// Pending-reply high watermark: above it the server stops reading
   /// from the connection until the backlog drains below
@@ -41,6 +50,23 @@ enum class LineResult {
   kLine,      // a complete line was extracted
   kNone,      // no complete line buffered (yet)
   kOversize,  // pending bytes exceed max_line_bytes with no newline
+};
+
+/// Which framing this connection speaks, latched from its first byte:
+/// 0xB1 (the binary request magic, outside ASCII) selects binary,
+/// anything else falls back to the text line protocol.
+enum class WireProtocol {
+  kUndetected,  // no bytes received yet
+  kText,
+  kBinary,
+};
+
+/// Result of asking a binary connection for its next complete frame.
+enum class FrameResult {
+  kFrame,     // a complete frame (prelude + payload) was extracted
+  kNone,      // frame still incomplete (partial prelude or payload)
+  kOversize,  // declared frame size exceeds max_line_bytes
+  kBadMagic,  // next pending byte is not the request magic — desynced
 };
 
 /// One accepted client connection.
@@ -60,6 +86,31 @@ class Connection {
   /// carriage return left for the strict parser to reject). `kOversize`
   /// once the pending fragment outgrows `limits.max_line_bytes`.
   LineResult NextLine(const ConnectionLimits& limits, std::string* line);
+
+  /// Extracts the next complete binary frame (prelude + payload,
+  /// exactly as `DecodeRequestFrame` expects). `kBadMagic` when the
+  /// next pending byte is not 0xB1 — the stream is desynced and cannot
+  /// be reframed, so the server kills the connection after one error
+  /// frame. `kOversize` as soon as the *declared* size exceeds
+  /// `limits.max_line_bytes`, without waiting for the payload bytes (a
+  /// hostile length prefix must not make the server buffer 4 GiB). A
+  /// frame with an unsupported version byte is still extracted whole —
+  /// the frozen prelude makes its length trustworthy — and rejected
+  /// per-frame by the decoder.
+  FrameResult NextFrame(const ConnectionLimits& limits, std::string* frame);
+
+  /// The framing this connection speaks; latched by the server from
+  /// the first received byte.
+  WireProtocol protocol() const { return protocol_; }
+  void set_protocol(WireProtocol protocol) { protocol_ = protocol; }
+
+  /// Peeks the first unconsumed input byte (protocol detection).
+  /// False when no input is pending.
+  bool PeekByte(unsigned char* byte) const {
+    if (!HasPartialRequest()) return false;
+    *byte = static_cast<unsigned char>(rbuf_[rbuf_off_]);
+    return true;
+  }
 
   /// Queues reply bytes for the socket writer.
   void QueueReply(const std::string& reply) { wbuf_.append(reply); }
@@ -116,6 +167,7 @@ class Connection {
 
  private:
   UniqueFd fd_;
+  WireProtocol protocol_ = WireProtocol::kUndetected;
   std::string rbuf_;
   std::size_t rbuf_off_ = 0;  // consumed prefix (compacted lazily)
   std::string wbuf_;

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "fault/fault.h"
+#include "net/wire.h"
 
 namespace himpact {
 namespace {
@@ -42,8 +43,11 @@ Status ErrnoStatus(const char* what) {
 
 }  // namespace
 
-NetServer::NetServer(const NetServerOptions& options, LineHandler handler)
-    : options_(options), handler_(std::move(handler)) {
+NetServer::NetServer(const NetServerOptions& options, LineHandler handler,
+                     FrameHandler frame_handler)
+    : options_(options),
+      handler_(std::move(handler)),
+      frame_handler_(std::move(frame_handler)) {
   OverloadOptions overload;
   overload.max_inflight = options_.max_connections;
   admission_ = std::make_unique<AdmissionController>(overload);
@@ -52,7 +56,8 @@ NetServer::NetServer(const NetServerOptions& options, LineHandler handler)
 NetServer::~NetServer() = default;
 
 StatusOr<std::unique_ptr<NetServer>> NetServer::Create(
-    const NetServerOptions& options, LineHandler handler) {
+    const NetServerOptions& options, LineHandler handler,
+    FrameHandler frame_handler) {
   if (options.max_connections == 0) {
     return Status::InvalidArgument("max_connections must be >= 1");
   }
@@ -60,7 +65,8 @@ StatusOr<std::unique_ptr<NetServer>> NetServer::Create(
     return Status::InvalidArgument(
         "write_resume_bytes must not exceed write_buffer_limit");
   }
-  std::unique_ptr<NetServer> server(new NetServer(options, std::move(handler)));
+  std::unique_ptr<NetServer> server(
+      new NetServer(options, std::move(handler), std::move(frame_handler)));
   const Status init = server->Init();
   if (!init.ok()) return init;
   return server;
@@ -114,6 +120,9 @@ NetServerCounters NetServer::Counters() const {
   counters.shed_at_accept = shed_at_accept_.load(std::memory_order_relaxed);
   counters.evicted_idle = evicted_idle_.load(std::memory_order_relaxed);
   counters.killed_oversize = killed_oversize_.load(std::memory_order_relaxed);
+  counters.killed_bad_magic = killed_bad_magic_.load(std::memory_order_relaxed);
+  counters.binary_connections =
+      binary_connections_.load(std::memory_order_relaxed);
   counters.drained = drained_.load(std::memory_order_relaxed);
   counters.requests = requests_.load(std::memory_order_relaxed);
   counters.partial_writes = partial_writes_.load(std::memory_order_relaxed);
@@ -138,6 +147,8 @@ std::string NetServer::CountersJson() const {
   field("shed_at_accept", c.shed_at_accept);
   field("evicted_idle", c.evicted_idle);
   field("killed_oversize", c.killed_oversize);
+  field("killed_bad_magic", c.killed_bad_magic);
+  field("binary_connections", c.binary_connections);
   field("drained", c.drained);
   field("requests", c.requests);
   field("partial_writes", c.partial_writes);
@@ -301,7 +312,12 @@ void NetServer::PumpConnection(Connection* conn, std::uint64_t now) {
   const int fd = conn->fd();
   bool socket_dry = false;
   for (;;) {
-    ProcessLines(conn);
+    DetectProtocol(conn);
+    if (conn->protocol() == WireProtocol::kBinary) {
+      ProcessFrames(conn);
+    } else {
+      ProcessLines(conn);
+    }
     if (!FlushWrites(conn, now)) return;  // closed (or fully flushed quit)
     if (conn->paused()) {
       // Write backpressure: stop consuming input. Reading stops too, so
@@ -317,8 +333,63 @@ void NetServer::PumpConnection(Connection* conn, std::uint64_t now) {
     if (read == ReadResult::kDry) socket_dry = true;
   }
   if (conn->read_eof() && !conn->close_after_flush() &&
-      !conn->HasPartialRequest() && conn->PendingWriteBytes() == 0) {
+      conn->PendingWriteBytes() == 0) {
+    // Every complete request was answered and flushed. A truncated
+    // trailing request (partial line or frame) can never complete after
+    // EOF, so it is dropped and the connection closed now instead of
+    // lingering until the idle sweep.
     CloseConnection(fd);
+  }
+}
+
+void NetServer::DetectProtocol(Connection* conn) {
+  if (conn->protocol() != WireProtocol::kUndetected) return;
+  unsigned char first = 0;
+  if (!conn->PeekByte(&first)) return;  // nothing received yet
+  // 0xB1 is outside ASCII and no text verb starts with it, so one byte
+  // decides. Without a frame handler the byte falls through to the text
+  // parser, which answers it with ERR (the pre-binary behavior).
+  if (first == kWireRequestMagic && frame_handler_) {
+    conn->set_protocol(WireProtocol::kBinary);
+    binary_connections_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    conn->set_protocol(WireProtocol::kText);
+  }
+}
+
+void NetServer::ProcessFrames(Connection* conn) {
+  std::string frame;
+  std::string reply;
+  while (!conn->close_after_flush()) {
+    if (conn->WriteBacklogged(options_.limits)) {
+      conn->set_paused(true);
+      return;
+    }
+    const FrameResult result = conn->NextFrame(options_.limits, &frame);
+    if (result == FrameResult::kNone) return;
+    if (result == FrameResult::kOversize) {
+      // Same policy as an oversize text line: one structured error,
+      // then the connection dies — judged on the declared length, so a
+      // hostile prefix never grows the buffer.
+      killed_oversize_.fetch_add(1, std::memory_order_relaxed);
+      conn->QueueReply(EncodeErrorFrame("frame exceeds max request size"));
+      conn->set_close_after_flush();
+      return;
+    }
+    if (result == FrameResult::kBadMagic) {
+      // The stream is desynced — frame boundaries are unrecoverable, so
+      // unlike a bad version or opcode this cannot be answered
+      // per-frame. One error frame, then close.
+      killed_bad_magic_.fetch_add(1, std::memory_order_relaxed);
+      conn->QueueReply(EncodeErrorFrame("bad frame magic: stream desynced"));
+      conn->set_close_after_flush();
+      return;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    reply.clear();
+    const bool keep = frame_handler_(frame, &reply);
+    conn->QueueReply(reply);
+    if (!keep) conn->set_close_after_flush();
   }
 }
 
@@ -444,9 +515,17 @@ void NetServer::SweepDeadlines(std::uint64_t now) {
   }
   for (const int fd : expired_requests) {
     // Slow-loris kill: an incomplete request outlived its deadline.
-    // One explicit notice, best effort, then close.
-    constexpr char kNotice[] = "ERR request deadline exceeded\n";
-    (void)!::write(fd, kNotice, sizeof(kNotice) - 1);
+    // One explicit notice in the connection's own framing, best effort,
+    // then close.
+    const auto it = connections_.find(fd);
+    if (it != connections_.end() &&
+        it->second->protocol() == WireProtocol::kBinary) {
+      const std::string notice = EncodeErrorFrame("request deadline exceeded");
+      (void)!::write(fd, notice.data(), notice.size());
+    } else {
+      constexpr char kNotice[] = "ERR request deadline exceeded\n";
+      (void)!::write(fd, kNotice, sizeof(kNotice) - 1);
+    }
     evicted_idle_.fetch_add(1, std::memory_order_relaxed);
     CloseConnection(fd);
   }
@@ -475,7 +554,12 @@ void NetServer::BeginDrain(std::uint64_t now) {
     const auto it = connections_.find(fd);
     if (it == connections_.end()) continue;
     Connection* conn = it->second.get();
-    ProcessLines(conn);
+    DetectProtocol(conn);
+    if (conn->protocol() == WireProtocol::kBinary) {
+      ProcessFrames(conn);
+    } else {
+      ProcessLines(conn);
+    }
     const auto again = connections_.find(fd);
     if (again == connections_.end()) continue;
     conn->set_close_after_flush();

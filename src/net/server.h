@@ -15,9 +15,12 @@
 
 /// \file
 /// The async TCP front end: a single-threaded, edge-triggered epoll
-/// event loop hosting a newline-framed line protocol. The loop is
+/// event loop hosting both wire protocols on one port. The loop is
 /// protocol-agnostic — a `LineHandler` maps one request line to one
-/// reply block — so the hardened `service/protocol.h` parser stays the
+/// reply block, a `FrameHandler` maps one binary frame to one reply
+/// frame, and the connection's first byte picks which one runs
+/// (docs/PROTOCOL.md "Protocol selection") — so the hardened
+/// `service/protocol.h` parser and the `net/wire.h` codec stay the
 /// core and the network layer adds only transport concerns:
 ///
 ///  * **Accept-storm batching + socket-level shedding.** Each listener
@@ -31,8 +34,11 @@
 ///    be pipelined; replies queue into a bounded write buffer with
 ///    partial-write continuation via EPOLLOUT. A connection whose
 ///    reply backlog passes the high watermark stops being read until
-///    it drains (write backpressure), and a request line that exceeds
-///    `max_line_bytes` kills the connection with one `ERR` reply.
+///    it drains (write backpressure), and a request that exceeds
+///    `max_line_bytes` — a text line with no newline, or a binary
+///    frame by declared size — kills the connection with one
+///    structured error reply. A binary stream whose next byte is not
+///    the request magic is desynced and killed the same way.
 ///  * **Lifecycle deadlines off `FaultClock`.** Per-connection idle
 ///    and per-request (partial-line age) deadlines read the fault-aware
 ///    clock, so `clock-skew` injection exercises the network timeouts
@@ -78,6 +84,8 @@ struct NetServerCounters {
   std::uint64_t shed_at_accept = 0;
   std::uint64_t evicted_idle = 0;
   std::uint64_t killed_oversize = 0;
+  std::uint64_t killed_bad_magic = 0;
+  std::uint64_t binary_connections = 0;  // connections latched to binary
   std::uint64_t drained = 0;
   std::uint64_t requests = 0;
   std::uint64_t partial_writes = 0;
@@ -90,14 +98,25 @@ struct NetServerCounters {
 using LineHandler = std::function<bool(const std::string& line,
                                        std::string* reply)>;
 
+/// Maps one complete binary request frame (prelude + payload) to one
+/// reply frame — never empty, even for undecodable frames (the handler
+/// answers those with a structured error frame). Return false to close
+/// after the reply flushes (quit).
+using FrameHandler = std::function<bool(const std::string& frame,
+                                        std::string* reply)>;
+
 /// The epoll event loop. Create, then `Run()` on the owning thread;
 /// `RequestDrain`/`Stop` may be called from any thread or signal
 /// handler.
 class NetServer {
  public:
-  /// Binds and listens; the loop is not running yet.
+  /// Binds and listens; the loop is not running yet. Without a
+  /// `frame_handler` the server is text-only: a binary first byte is
+  /// handed to the line handler as (malformed) text, which answers it
+  /// with the text protocol's `ERR` — the pre-binary behavior.
   static StatusOr<std::unique_ptr<NetServer>> Create(
-      const NetServerOptions& options, LineHandler handler);
+      const NetServerOptions& options, LineHandler handler,
+      FrameHandler frame_handler = nullptr);
 
   ~NetServer();
   NetServer(const NetServer&) = delete;
@@ -135,7 +154,8 @@ class NetServer {
  private:
   enum class ReadResult { kProgress, kDry, kClosed };
 
-  NetServer(const NetServerOptions& options, LineHandler handler);
+  NetServer(const NetServerOptions& options, LineHandler handler,
+            FrameHandler frame_handler);
 
   Status Init();
   void AcceptBatch(std::uint64_t now);
@@ -143,7 +163,9 @@ class NetServer {
   bool EvictOldestIdle(std::uint64_t now);
   ReadResult ReadSome(Connection* conn, std::uint64_t now);
   void PumpConnection(Connection* conn, std::uint64_t now);
+  void DetectProtocol(Connection* conn);
   void ProcessLines(Connection* conn);
+  void ProcessFrames(Connection* conn);
   bool FlushWrites(Connection* conn, std::uint64_t now);
   void UpdateWriteInterest(Connection* conn);
   void ForceWriteEdge(Connection* conn);
@@ -153,6 +175,7 @@ class NetServer {
 
   NetServerOptions options_;
   LineHandler handler_;
+  FrameHandler frame_handler_;
   std::function<void()> drain_callback_;
 
   UniqueFd listener_;
@@ -172,6 +195,8 @@ class NetServer {
   std::atomic<std::uint64_t> shed_at_accept_{0};
   std::atomic<std::uint64_t> evicted_idle_{0};
   std::atomic<std::uint64_t> killed_oversize_{0};
+  std::atomic<std::uint64_t> killed_bad_magic_{0};
+  std::atomic<std::uint64_t> binary_connections_{0};
   std::atomic<std::uint64_t> drained_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> partial_writes_{0};

@@ -157,6 +157,8 @@ std::string FormatEstimate(double estimate) {
 
 const char* TierName(int tier) {
   switch (tier) {
+    case kTierNone:
+      return "none";
     case 0:
       return "cold";
     case 1:
@@ -166,6 +168,64 @@ const char* TierName(int tier) {
     default:
       return "unknown";
   }
+}
+
+std::string FormatTextReply(const CommandResult& result) {
+  if (result.code != StatusCode::kOk) {
+    // The wire spelling of a shed/deadline status; anything else
+    // degrades to ERR (docs/ROBUSTNESS.md).
+    const char* code = "ERR";
+    switch (result.code) {
+      case StatusCode::kResourceExhausted:
+        code = "RESOURCE_EXHAUSTED";
+        break;
+      case StatusCode::kDeadlineExceeded:
+        code = "DEADLINE_EXCEEDED";
+        break;
+      default:
+        break;
+    }
+    return std::string(code) + " " + result.message + "\n";
+  }
+  const auto u64 = [](std::uint64_t value) {
+    return std::to_string(static_cast<unsigned long long>(value));
+  };
+  switch (result.kind) {
+    case CommandKind::kAdd:
+      return "OK " + FormatEstimate(result.estimate) + "\n";
+    case CommandKind::kPaper:
+      return "OK " + std::to_string(result.num_authors) + "\n";
+    case CommandKind::kGet:
+      return "H " + u64(result.user) + " " + FormatEstimate(result.estimate) +
+             " " + TierName(result.tier) + " " + u64(result.events) + "\n";
+    case CommandKind::kTop: {
+      std::string reply = result.stripes_skipped > 0
+                              ? "TOP-LB " + u64(result.stripes_skipped)
+                              : "TOP";
+      for (const auto& [user, estimate] : result.entries) {
+        reply += " " + u64(user) + ":" + FormatEstimate(estimate);
+      }
+      return reply + "\n";
+    }
+    case CommandKind::kHeavy: {
+      std::string reply = "HEAVY";
+      for (const auto& [user, estimate] : result.entries) {
+        reply += " " + u64(user) + ":" + FormatEstimate(estimate);
+      }
+      return reply + "\n";
+    }
+    case CommandKind::kStats:
+      return "STATS " + result.text + "\n";
+    case CommandKind::kHealth:
+      return "HEALTH " + result.text + "\n";
+    case CommandKind::kSave:
+      return "OK saved " + result.text + "\n";
+    case CommandKind::kQuit:
+      return "BYE\n";
+    case CommandKind::kInvalid:
+      break;  // an OK result never carries kInvalid
+  }
+  return "ERR unreachable\n";
 }
 
 }  // namespace himpact

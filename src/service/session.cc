@@ -2,30 +2,21 @@
 
 #include <cstdio>
 
-#include "service/protocol.h"
+#include "net/wire.h"
 
 namespace himpact {
 namespace {
 
-/// The wire spelling of a shed/deadline status ("RESOURCE_EXHAUSTED ..."
-/// or "DEADLINE_EXCEEDED ..."); anything else degrades to ERR.
-std::string StatusReply(const Status& status) {
-  const char* code = "ERR";
-  switch (status.code()) {
-    case StatusCode::kResourceExhausted:
-      code = "RESOURCE_EXHAUSTED";
-      break;
-    case StatusCode::kDeadlineExceeded:
-      code = "DEADLINE_EXCEEDED";
-      break;
-    default:
-      break;
-  }
-  return std::string(code) + " " + status.message() + "\n";
-}
-
 std::string U64(std::uint64_t value) {
   return std::to_string(static_cast<unsigned long long>(value));
+}
+
+/// Copies a non-OK status into a result, preserving the code so the
+/// renderers can keep the RESOURCE_EXHAUSTED / DEADLINE_EXCEEDED wire
+/// spellings distinct from plain ERR.
+void SetError(const Status& status, CommandResult* result) {
+  result->code = status.code();
+  result->message = status.message();
 }
 
 }  // namespace
@@ -59,45 +50,145 @@ Status ServiceSession::FinalCheckpoint() {
   return saved;
 }
 
-std::string ServiceSession::StatsReply() const {
+std::string ServiceSession::StatsJson() const {
   const ServiceStats stats = service_->Stats();
   const RegistryStats& r = stats.registry;
-  std::string reply = "STATS {\"events\":" + U64(r.total_events);
-  reply += ",\"users\":" + U64(r.num_users);
-  reply += ",\"cold\":" + U64(r.cold_users);
-  reply += ",\"hot\":" + U64(r.hot_users);
-  reply += ",\"frozen\":" + U64(r.frozen_users);
-  reply += ",\"promotions\":" + U64(r.promotions);
-  reply += ",\"demotions\":" + U64(r.demotions);
-  reply += ",\"resident_bytes\":" + U64(r.resident_bytes);
-  reply += ",\"budget_bytes\":" + U64(r.budget_bytes);
-  reply += ",\"hh_papers\":" + U64(stats.hh_papers);
-  reply += ",\"topk_cache_hits\":" + U64(r.topk_cache_hits);
-  reply += ",\"topk_cache_misses\":" + U64(r.topk_cache_misses);
-  reply += ",\"hh_report_cache_hits\":" + U64(stats.hh_report_cache_hits);
-  reply += ",\"hh_report_cache_misses\":" + U64(stats.hh_report_cache_misses);
-  reply += "}\n";
-  return reply;
+  std::string json = "{\"events\":" + U64(r.total_events);
+  json += ",\"users\":" + U64(r.num_users);
+  json += ",\"cold\":" + U64(r.cold_users);
+  json += ",\"hot\":" + U64(r.hot_users);
+  json += ",\"frozen\":" + U64(r.frozen_users);
+  json += ",\"promotions\":" + U64(r.promotions);
+  json += ",\"demotions\":" + U64(r.demotions);
+  json += ",\"resident_bytes\":" + U64(r.resident_bytes);
+  json += ",\"budget_bytes\":" + U64(r.budget_bytes);
+  json += ",\"hh_papers\":" + U64(stats.hh_papers);
+  json += ",\"topk_cache_hits\":" + U64(r.topk_cache_hits);
+  json += ",\"topk_cache_misses\":" + U64(r.topk_cache_misses);
+  json += ",\"hh_report_cache_hits\":" + U64(stats.hh_report_cache_hits);
+  json += ",\"hh_report_cache_misses\":" + U64(stats.hh_report_cache_misses);
+  json += "}";
+  return json;
 }
 
-std::string ServiceSession::HealthReply() const {
+std::string ServiceSession::HealthJson() const {
   const AdmissionCounters admission = service_->admission().Counters();
   const std::uint64_t alloc_failures =
       service_->Stats().registry.alloc_failures;
-  std::string reply = "HEALTH {\"inflight\":" + U64(admission.inflight);
-  reply += ",\"admitted\":" + U64(admission.admitted);
-  reply += ",\"shed\":" + U64(admission.shed);
-  reply += ",\"deadline_exceeded\":" + U64(admission.deadline_exceeded);
-  reply += ",\"rejected_lines\":" + U64(counters_.rejected_lines);
-  reply += ",\"alloc_failures\":" + U64(alloc_failures);
-  reply += ",\"checkpoints\":" + U64(counters_.checkpoints);
-  reply += ",\"checkpoint_failures\":" + U64(counters_.checkpoint_failures);
+  std::string json = "{\"inflight\":" + U64(admission.inflight);
+  json += ",\"admitted\":" + U64(admission.admitted);
+  json += ",\"shed\":" + U64(admission.shed);
+  json += ",\"deadline_exceeded\":" + U64(admission.deadline_exceeded);
+  json += ",\"rejected_lines\":" + U64(counters_.rejected_lines);
+  json += ",\"rejected_frames\":" + U64(counters_.rejected_frames);
+  json += ",\"alloc_failures\":" + U64(alloc_failures);
+  json += ",\"checkpoints\":" + U64(counters_.checkpoints);
+  json += ",\"checkpoint_failures\":" + U64(counters_.checkpoint_failures);
   if (extra_health_fields_) {
-    reply += ",";
-    reply += extra_health_fields_();
+    json += ",";
+    json += extra_health_fields_();
   }
-  reply += "}\n";
-  return reply;
+  json += "}";
+  return json;
+}
+
+bool ServiceSession::HandleCommand(const Command& command,
+                                   CommandResult* result) {
+  *result = CommandResult{};
+  result->kind = command.kind;
+  switch (command.kind) {
+    case CommandKind::kAdd: {
+      StatusOr<double> estimate =
+          service_->TryRecordResponseCount(command.user, command.value);
+      if (estimate.ok()) {
+        result->estimate = estimate.value();
+        MaybeCheckpoint();
+      } else {
+        SetError(estimate.status(), result);
+        if (estimate.status().code() == StatusCode::kDeadlineExceeded) {
+          MaybeCheckpoint();  // the write was applied, late
+        }
+      }
+      return true;
+    }
+    case CommandKind::kPaper: {
+      const Status ingested = service_->TryIngestPaper(command.paper);
+      if (ingested.ok()) {
+        result->num_authors =
+            static_cast<std::uint32_t>(command.paper.authors.size());
+        MaybeCheckpoint();
+      } else {
+        SetError(ingested, result);
+        if (ingested.code() == StatusCode::kDeadlineExceeded) {
+          MaybeCheckpoint();
+        }
+      }
+      return true;
+    }
+    case CommandKind::kGet: {
+      result->user = command.user;
+      UserSnapshot snapshot;
+      if (service_->Lookup(command.user, &snapshot)) {
+        result->estimate = snapshot.estimate;
+        result->tier = static_cast<int>(snapshot.tier);
+        result->events = snapshot.events;
+      }
+      // Unseen users keep the defaults: estimate 0, kTierNone, 0 events.
+      return true;
+    }
+    case CommandKind::kTop: {
+      const std::size_t k = static_cast<std::size_t>(command.value);
+      if (k > service_->options().leaderboard_capacity) {
+        SetError(Status::InvalidArgument(
+                     "k exceeds leaderboard capacity (" +
+                     std::to_string(service_->options().leaderboard_capacity) +
+                     ")"),
+                 result);
+        return true;
+      }
+      StatusOr<TopKResult> top = service_->TryTopK(k);
+      if (!top.ok()) {
+        SetError(top.status(), result);
+        return true;
+      }
+      // A deadline-degraded scan carries stripes_skipped > 0 (rendered
+      // TOP-LB on the text wire): the entries are a valid lower-bound
+      // board over the stripes that answered in time.
+      result->stripes_skipped = top.value().stripes_skipped;
+      result->entries.reserve(top.value().entries.size());
+      for (const LeaderboardEntry& entry : top.value().entries) {
+        result->entries.emplace_back(entry.user, entry.estimate);
+      }
+      return true;
+    }
+    case CommandKind::kHeavy: {
+      for (const HeavyHitterReport& report : service_->HeavyReport()) {
+        result->entries.emplace_back(report.author, report.h_estimate);
+      }
+      return true;
+    }
+    case CommandKind::kStats:
+      result->text = StatsJson();
+      return true;
+    case CommandKind::kHealth:
+      result->text = HealthJson();
+      return true;
+    case CommandKind::kSave: {
+      const Status saved = service_->CheckpointTo(command.path);
+      if (saved.ok()) {
+        result->text = command.path;
+      } else {
+        SetError(Status::InvalidArgument(saved.message()), result);
+      }
+      return true;
+    }
+    case CommandKind::kQuit:
+      return false;
+    case CommandKind::kInvalid:
+      break;
+  }
+  SetError(Status::Internal("unreachable"), result);
+  return true;
 }
 
 bool ServiceSession::HandleLine(const std::string& line, std::string* reply) {
@@ -109,107 +200,26 @@ bool ServiceSession::HandleLine(const std::string& line, std::string* reply) {
     *reply = "ERR " + parsed.status().message() + "\n";
     return true;
   }
-  const Command& command = parsed.value();
-  switch (command.kind) {
-    case CommandKind::kAdd: {
-      StatusOr<double> estimate =
-          service_->TryRecordResponseCount(command.user, command.value);
-      if (estimate.ok()) {
-        *reply = "OK " + FormatEstimate(estimate.value()) + "\n";
-        MaybeCheckpoint();
-      } else {
-        *reply = StatusReply(estimate.status());
-        if (estimate.status().code() == StatusCode::kDeadlineExceeded) {
-          MaybeCheckpoint();  // the write was applied, late
-        }
-      }
-      return true;
-    }
-    case CommandKind::kPaper: {
-      const Status ingested = service_->TryIngestPaper(command.paper);
-      if (ingested.ok()) {
-        *reply = "OK " +
-                 std::to_string(static_cast<int>(
-                     command.paper.authors.size())) +
-                 "\n";
-        MaybeCheckpoint();
-      } else {
-        *reply = StatusReply(ingested);
-        if (ingested.code() == StatusCode::kDeadlineExceeded) {
-          MaybeCheckpoint();
-        }
-      }
-      return true;
-    }
-    case CommandKind::kGet: {
-      UserSnapshot snapshot;
-      if (service_->Lookup(command.user, &snapshot)) {
-        *reply = "H " + U64(command.user) + " " +
-                 FormatEstimate(snapshot.estimate) + " " +
-                 TierName(static_cast<int>(snapshot.tier)) + " " +
-                 U64(snapshot.events) + "\n";
-      } else {
-        *reply = "H " + U64(command.user) + " 0 none 0\n";
-      }
-      return true;
-    }
-    case CommandKind::kTop: {
-      const std::size_t k = static_cast<std::size_t>(command.value);
-      if (k > service_->options().leaderboard_capacity) {
-        *reply = "ERR k exceeds leaderboard capacity (" +
-                 std::to_string(service_->options().leaderboard_capacity) +
-                 ")\n";
-        return true;
-      }
-      StatusOr<TopKResult> top = service_->TryTopK(k);
-      if (!top.ok()) {
-        *reply = StatusReply(top.status());
-        return true;
-      }
-      // A deadline-degraded scan is tagged TOP-LB <skipped stripes>:
-      // the entries are a valid lower-bound board over the stripes that
-      // answered in time.
-      if (top.value().stripes_skipped > 0) {
-        *reply = "TOP-LB " + std::to_string(top.value().stripes_skipped);
-      } else {
-        *reply = "TOP";
-      }
-      for (const LeaderboardEntry& entry : top.value().entries) {
-        *reply += " " + U64(entry.user) + ":" + FormatEstimate(entry.estimate);
-      }
-      *reply += "\n";
-      return true;
-    }
-    case CommandKind::kHeavy: {
-      *reply = "HEAVY";
-      for (const HeavyHitterReport& report : service_->HeavyReport()) {
-        *reply +=
-            " " + U64(report.author) + ":" + FormatEstimate(report.h_estimate);
-      }
-      *reply += "\n";
-      return true;
-    }
-    case CommandKind::kStats:
-      *reply = StatsReply();
-      return true;
-    case CommandKind::kHealth:
-      *reply = HealthReply();
-      return true;
-    case CommandKind::kSave: {
-      const Status saved = service_->CheckpointTo(command.path);
-      if (saved.ok()) {
-        *reply = "OK saved " + command.path + "\n";
-      } else {
-        *reply = "ERR " + saved.message() + "\n";
-      }
-      return true;
-    }
-    case CommandKind::kQuit:
-      *reply = "BYE\n";
-      return false;
+  CommandResult result;
+  const bool keep_going = HandleCommand(parsed.value(), &result);
+  *reply = FormatTextReply(result);
+  return keep_going;
+}
+
+bool ServiceSession::HandleFrame(const std::string& frame,
+                                 std::string* reply) {
+  StatusOr<Command> decoded = DecodeRequestFrame(frame);
+  if (!decoded.ok()) {
+    // Same quarantine contract as the text path, rendered as a
+    // structured error frame (status kErr, opcode 0x00).
+    ++counters_.rejected_frames;
+    *reply = EncodeErrorFrame(decoded.status().message());
+    return true;
   }
-  *reply = "ERR unreachable\n";
-  return true;
+  CommandResult result;
+  const bool keep_going = HandleCommand(decoded.value(), &result);
+  *reply = EncodeReplyFrame(result);
+  return keep_going;
 }
 
 }  // namespace himpact

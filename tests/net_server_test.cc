@@ -32,6 +32,8 @@
 #include "fault/fault.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "net/wire.h"
+#include "service/protocol.h"
 #include "service/service.h"
 #include "service/session.h"
 
@@ -62,8 +64,10 @@ struct ServerHarness {
     return options;
   }
 
-  void Start(const NetServerOptions& options, LineHandler handler) {
-    auto created = NetServer::Create(options, std::move(handler));
+  void Start(const NetServerOptions& options, LineHandler handler,
+             FrameHandler frame_handler = nullptr) {
+    auto created = NetServer::Create(options, std::move(handler),
+                                     std::move(frame_handler));
     ASSERT_TRUE(created.ok()) << created.status().ToString();
     server = std::move(created).value();
     loop = std::thread([this] { run_status = server->Run(); });
@@ -154,6 +158,23 @@ class Client {
     return got;
   }
 
+  /// Reads exactly `count` complete binary frames (prelude + declared
+  /// payload each), concatenated. Short result = EOF/timeout mid-frame;
+  /// the caller asserts on the decode.
+  std::string RecvFrames(std::size_t count) {
+    std::string got;
+    for (std::size_t f = 0; f < count; ++f) {
+      std::string frame;
+      if (!RecvExact(kWirePreludeBytes, &frame)) return got;
+      std::string payload;
+      if (!RecvExact(WirePayloadLength(frame.data()), &payload)) {
+        return got + frame;
+      }
+      got += frame + payload;
+    }
+    return got;
+  }
+
   /// Reads to EOF (or timeout), returning everything.
   std::string RecvAll() {
     std::string got;
@@ -170,6 +191,22 @@ class Client {
   }
 
  private:
+  bool RecvExact(std::size_t bytes, std::string* out) {
+    const std::size_t start = out->size();
+    out->resize(start + bytes);
+    std::size_t off = start;
+    while (off < out->size()) {
+      const ssize_t n = ::read(fd_, &(*out)[off], out->size() - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        out->resize(off);
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
   int fd_ = -1;
 };
 
@@ -234,6 +271,256 @@ TEST(NetServer, PipelinedRequestsAnswerInOrderThroughTheRealService) {
   EXPECT_EQ(counters.accepted, 1u);
   EXPECT_EQ(counters.requests, std::size(script));
   EXPECT_EQ(counters.shed_at_accept, 0u);
+}
+
+TEST(NetServer, BinaryRepliesAreByteEquivalentToTextForEveryVerb) {
+  // The parity property of docs/PROTOCOL.md: for any command, the
+  // binary reply decodes (via FormatTextReply) to exactly the bytes the
+  // text protocol would have sent. Every verb — including an unseen
+  // `get` and a command-level error — is driven as binary frames over
+  // the wire against one service, while a twin service answers the same
+  // script through HandleLine directly.
+  ServiceOptions service_options;
+  service_options.num_stripes = 2;
+  auto served = HImpactService::Create(service_options, OverloadOptions{});
+  ASSERT_TRUE(served.ok());
+  HImpactService tcp_service = std::move(served).value();
+  ServiceSession tcp_session(&tcp_service, SessionOptions{});
+
+  ServerHarness harness;
+  harness.Start(ServerHarness::QuietOptions(),
+                [&tcp_session](const std::string& line, std::string* reply) {
+                  return tcp_session.HandleLine(line, reply);
+                },
+                [&tcp_session](const std::string& frame, std::string* reply) {
+                  return tcp_session.HandleFrame(frame, reply);
+                });
+
+  const std::string save_path =
+      ::testing::TempDir() + "/net_parity_ckpt_" + std::to_string(::getpid());
+  const std::string script[] = {
+      "add 7 12", "add 7 9",           "add 8 3", "paper 42 6 7,8,9",
+      "get 7",    "get 999",           "top 2",   "top 100000",
+      "heavy",    "stats",             "health",  "save " + save_path,
+      "quit"};
+
+  // Reference replies from a twin service driven directly as text.
+  auto reference = HImpactService::Create(service_options, OverloadOptions{});
+  ASSERT_TRUE(reference.ok());
+  HImpactService ref_service = std::move(reference).value();
+  ServiceSession ref_session(&ref_service, SessionOptions{});
+  std::string expected;
+  for (const std::string& line : script) {
+    std::string reply;
+    ref_session.HandleLine(line, &reply);
+    expected += reply;
+  }
+
+  // Same script as one pipelined burst of binary request frames.
+  Client client(harness.port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (const std::string& line : script) {
+    StatusOr<Command> parsed = ParseCommandLine(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().ToString();
+    burst += EncodeRequestFrame(parsed.value());
+  }
+  ASSERT_TRUE(client.Send(burst));
+  const std::string frames = client.RecvFrames(std::size(script));
+
+  // Decode each reply frame and re-render it as the text protocol.
+  std::string rendered;
+  std::size_t off = 0;
+  std::size_t reply_count = 0;
+  while (off + kWirePreludeBytes <= frames.size()) {
+    const std::size_t frame_bytes =
+        kWirePreludeBytes + WirePayloadLength(frames.data() + off);
+    ASSERT_LE(off + frame_bytes, frames.size()) << "truncated reply stream";
+    StatusOr<CommandResult> reply =
+        DecodeReplyFrame(frames.substr(off, frame_bytes));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    rendered += FormatTextReply(reply.value());
+    off += frame_bytes;
+    ++reply_count;
+  }
+  EXPECT_EQ(reply_count, std::size(script));
+  EXPECT_EQ(rendered, expected);
+  // quit closes the connection once the reply flushed.
+  EXPECT_EQ(client.RecvAll(), "");
+
+  const NetServerCounters counters = harness.server->Counters();
+  EXPECT_EQ(counters.binary_connections, 1u);
+  EXPECT_EQ(counters.requests, std::size(script));
+
+  std::remove(save_path.c_str());
+  std::remove((save_path + ".stripe-0").c_str());
+  std::remove((save_path + ".stripe-1").c_str());
+}
+
+TEST(NetServer, FirstByteSelectsTheProtocolPerConnection) {
+  // One port, two protocols: a connection whose first byte is the
+  // request magic latches binary; anything else stays text. Both run
+  // against the same session back to back.
+  ServiceOptions service_options;
+  service_options.num_stripes = 2;
+  auto served = HImpactService::Create(service_options, OverloadOptions{});
+  ASSERT_TRUE(served.ok());
+  HImpactService service = std::move(served).value();
+  ServiceSession session(&service, SessionOptions{});
+
+  ServerHarness harness;
+  harness.Start(ServerHarness::QuietOptions(),
+                [&session](const std::string& line, std::string* reply) {
+                  return session.HandleLine(line, reply);
+                },
+                [&session](const std::string& frame, std::string* reply) {
+                  return session.HandleFrame(frame, reply);
+                });
+
+  // Text client first.
+  Client text_client(harness.port());
+  ASSERT_TRUE(text_client.connected());
+  ASSERT_TRUE(text_client.Send("add 1 5\n"));
+  EXPECT_EQ(text_client.RecvLines(1), "OK 1\n");
+
+  // Binary client on the same port sees binary replies.
+  Client binary_client(harness.port());
+  ASSERT_TRUE(binary_client.connected());
+  Command get;
+  get.kind = CommandKind::kGet;
+  get.user = 1;
+  ASSERT_TRUE(binary_client.Send(EncodeRequestFrame(get)));
+  const std::string frame = binary_client.RecvFrames(1);
+  StatusOr<CommandResult> reply = DecodeReplyFrame(frame);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(FormatTextReply(reply.value()), "H 1 1 cold 1\n");
+
+  const NetServerCounters counters = harness.server->Counters();
+  EXPECT_EQ(counters.accepted, 2u);
+  EXPECT_EQ(counters.binary_connections, 1u);
+}
+
+TEST(NetServer, BadMagicMidStreamGetsOneErrorFrameThenClose) {
+  // After the connection latched binary, a byte that is not the request
+  // magic means the stream is desynced — the server answers with exactly
+  // one error frame and closes (docs/PROTOCOL.md "Errors").
+  ServerHarness harness;
+  harness.Start(ServerHarness::QuietOptions(), PongHandler(),
+                [](const std::string&, std::string* reply) {
+                  *reply = EncodeErrorFrame("unused");
+                  return true;
+                });
+
+  Client client(harness.port());
+  ASSERT_TRUE(client.connected());
+  Command top;
+  top.kind = CommandKind::kTop;
+  top.value = 3;
+  // A valid frame latches the protocol; the trailing junk desyncs it.
+  ASSERT_TRUE(client.Send(EncodeRequestFrame(top) + "garbage"));
+  const std::string bytes = client.RecvAll();  // replies, then EOF
+
+  // Last reply on the stream is the structured desync error.
+  std::size_t off = 0;
+  StatusOr<CommandResult> last = Status::Internal("no frames");
+  while (off + kWirePreludeBytes <= bytes.size()) {
+    const std::size_t frame_bytes =
+        kWirePreludeBytes + WirePayloadLength(bytes.data() + off);
+    ASSERT_LE(off + frame_bytes, bytes.size());
+    last = DecodeReplyFrame(bytes.substr(off, frame_bytes));
+    ASSERT_TRUE(last.ok()) << last.status().ToString();
+    off += frame_bytes;
+  }
+  EXPECT_EQ(off, bytes.size()) << "non-frame bytes in the reply stream";
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value().code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(last.value().message, "bad frame magic: stream desynced");
+  EXPECT_EQ(harness.server->Counters().killed_bad_magic, 1u);
+}
+
+TEST(NetServer, OversizeDeclaredFrameLengthGetsOneErrorFrameThenClose) {
+  // The binary analogue of the oversize-line kill: the declared payload
+  // length alone condemns the frame, before any payload bytes arrive.
+  NetServerOptions options = ServerHarness::QuietOptions();
+  options.limits.max_line_bytes = 64;
+  ServerHarness harness;
+  harness.Start(options, PongHandler(),
+                [](const std::string&, std::string* reply) {
+                  *reply = EncodeErrorFrame("unused");
+                  return true;
+                });
+
+  Client attacker(harness.port());
+  ASSERT_TRUE(attacker.connected());
+  // A syntactically perfect prelude declaring a 1 MiB payload.
+  std::string prelude;
+  prelude.push_back(static_cast<char>(kWireRequestMagic));
+  prelude.push_back(static_cast<char>(kWireVersion));
+  const std::uint32_t declared = 1u << 20;
+  for (int shift = 0; shift < 32; shift += 8) {
+    prelude.push_back(static_cast<char>((declared >> shift) & 0xff));
+  }
+  ASSERT_TRUE(attacker.Send(prelude));
+
+  const std::string bytes = attacker.RecvAll();
+  StatusOr<CommandResult> reply = DecodeReplyFrame(bytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(reply.value().message, "frame exceeds max request size");
+  EXPECT_EQ(harness.server->Counters().killed_oversize, 1u);
+}
+
+TEST(NetServer, BadVersionFrameGetsAPerFrameErrorAndTheConnectionSurvives) {
+  // An unsupported version is a per-frame error, not a framing error:
+  // the prelude is version-frozen, so the frame is still delimitable
+  // and the connection keeps serving (docs/PROTOCOL.md "Versioning").
+  ServiceOptions service_options;
+  service_options.num_stripes = 2;
+  auto served = HImpactService::Create(service_options, OverloadOptions{});
+  ASSERT_TRUE(served.ok());
+  HImpactService service = std::move(served).value();
+  ServiceSession session(&service, SessionOptions{});
+
+  ServerHarness harness;
+  harness.Start(ServerHarness::QuietOptions(),
+                [&session](const std::string& line, std::string* reply) {
+                  return session.HandleLine(line, reply);
+                },
+                [&session](const std::string& frame, std::string* reply) {
+                  return session.HandleFrame(frame, reply);
+                });
+
+  Command add;
+  add.kind = CommandKind::kAdd;
+  add.user = 3;
+  add.value = 4;
+  std::string future = EncodeRequestFrame(add);
+  future[1] = 0x02;  // a version this server does not speak
+
+  Client client(harness.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(future + EncodeRequestFrame(add)));
+  const std::string frames = client.RecvFrames(2);
+
+  const std::size_t first_bytes =
+      kWirePreludeBytes + WirePayloadLength(frames.data());
+  ASSERT_LE(first_bytes, frames.size());
+  StatusOr<CommandResult> first = DecodeReplyFrame(frames.substr(0, first_bytes));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().code, StatusCode::kInvalidArgument);
+  EXPECT_NE(first.value().message.find("unsupported protocol"),
+            std::string::npos);
+
+  StatusOr<CommandResult> second = DecodeReplyFrame(frames.substr(first_bytes));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().code, StatusCode::kOk);
+  EXPECT_EQ(FormatTextReply(second.value()), "OK 1\n");
+
+  // The session counted the rejected frame; the connection was not
+  // killed for it.
+  const SessionCounters& session_counters = session.counters();
+  EXPECT_EQ(session_counters.rejected_frames, 1u);
+  EXPECT_EQ(harness.server->Counters().killed_bad_magic, 0u);
 }
 
 TEST(NetServer, TenThousandClientHordeIsFullyAcceptedOrShed) {

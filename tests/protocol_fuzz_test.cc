@@ -6,20 +6,38 @@
 // `health` verb; valid lines interleaved with the junk must keep
 // answering correctly.
 //
+// The binary wire protocol (net/wire.h, docs/PROTOCOL.md) gets the
+// same treatment over a real in-process TCP server: per-frame hostiles
+// (bad version, unknown opcode, short/trailing operands, semantic
+// rejects) each earn exactly one structured error frame and one
+// `rejected_frames` tick with the connection surviving, framing
+// hostiles (bad magic, oversize declared length) kill only their own
+// connection, and neither corrupts service state.
+//
 // The generator is seeded (random/rng.h), so a failure reproduces.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include "net/server.h"
+#include "net/wire.h"
 #include "random/rng.h"
 #include "service/protocol.h"
+#include "service/service.h"
+#include "service/session.h"
 
 namespace {
 
@@ -292,6 +310,334 @@ TEST(ProtocolFuzz, TruncatedFinalLineWithoutNewlineStillAnswers) {
   EXPECT_EQ(result.stdout_text,
             "OK 1\nH 3 1 cold 1\nERR bad value ''\n");
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Binary-frame corpus (docs/PROTOCOL.md): an in-process NetServer
+// backed by a real session, driven by a blocking socket client. The
+// stdin plumbing above cannot carry frames — stdin mode is text-only —
+// so the binary rounds go over the real TCP path.
+
+struct BinaryServeFixture {
+  HImpactService service;
+  ServiceSession session;
+  std::unique_ptr<NetServer> server;
+  std::thread loop;
+
+  static HImpactService MakeService() {
+    ServiceOptions options;
+    options.num_stripes = 2;
+    auto created = HImpactService::Create(options, OverloadOptions{});
+    EXPECT_TRUE(created.ok());
+    return std::move(created).value();
+  }
+
+  BinaryServeFixture()
+      : service(MakeService()), session(&service, SessionOptions{}) {
+    NetServerOptions options;
+    options.port = 0;
+    options.max_connections = 8;
+    options.idle_timeout_nanos = 0;
+    options.request_timeout_nanos = 0;
+    options.limits.max_line_bytes = 4096;
+    auto created = NetServer::Create(
+        options,
+        [this](const std::string& line, std::string* reply) {
+          return session.HandleLine(line, reply);
+        },
+        [this](const std::string& frame, std::string* reply) {
+          return session.HandleFrame(frame, reply);
+        });
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    server = std::move(created).value();
+    loop = std::thread([this] { (void)server->Run(); });
+  }
+
+  ~BinaryServeFixture() {
+    server->Stop();
+    loop.join();
+  }
+};
+
+int ConnectLoopbackBlocking(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads to EOF or the socket timeout.
+std::string RecvToEof(int fd) {
+  std::string got;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    got.append(chunk, static_cast<std::size_t>(n));
+  }
+  return got;
+}
+
+/// Splits a byte stream into complete reply frames and decodes each;
+/// asserts the stream is nothing but frames.
+std::vector<CommandResult> DecodeReplyStream(const std::string& bytes) {
+  std::vector<CommandResult> replies;
+  std::size_t off = 0;
+  while (off + kWirePreludeBytes <= bytes.size()) {
+    const std::size_t frame_bytes =
+        kWirePreludeBytes + WirePayloadLength(bytes.data() + off);
+    EXPECT_LE(off + frame_bytes, bytes.size()) << "truncated reply frame";
+    if (off + frame_bytes > bytes.size()) break;
+    StatusOr<CommandResult> reply =
+        DecodeReplyFrame(bytes.substr(off, frame_bytes));
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    if (!reply.ok()) break;
+    replies.push_back(std::move(reply).value());
+    off += frame_bytes;
+  }
+  EXPECT_EQ(off, bytes.size()) << "non-frame bytes in the reply stream";
+  return replies;
+}
+
+/// A well-framed request whose payload the decoder must reject: valid
+/// prelude, declared length matching, garbage inside.
+std::string HostilePayloadFrame(const std::string& payload) {
+  std::string frame;
+  frame.push_back(static_cast<char>(kWireRequestMagic));
+  frame.push_back(static_cast<char>(kWireVersion));
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<char>((length >> shift) & 0xff));
+  }
+  frame += payload;
+  return frame;
+}
+
+std::string AddFrame(std::uint64_t user, std::uint64_t value) {
+  Command command;
+  command.kind = CommandKind::kAdd;
+  command.user = user;
+  command.value = value;
+  return EncodeRequestFrame(command);
+}
+
+std::string VerbFrame(CommandKind kind) {
+  Command command;
+  command.kind = kind;
+  return EncodeRequestFrame(command);
+}
+
+TEST(ProtocolFuzz, HostileBinaryPayloadsEachEarnOneErrorFrameAndStateHolds) {
+  // Per-frame hostiles: every one is perfectly framed (the prelude and
+  // declared length are valid) but the payload must be rejected — by
+  // the version gate, the opcode table, or operand validation. Each
+  // earns exactly one kErr reply frame, one rejected_frames tick, and
+  // the connection keeps serving the valid adds interleaved with them.
+  BinaryServeFixture fixture;
+  const int fd = ConnectLoopbackBlocking(fixture.server->port());
+  ASSERT_GE(fd, 0);
+
+  std::string bad_version = AddFrame(3, 4);
+  bad_version[1] = 0x02;  // future protocol version
+
+  const std::string hostiles[] = {
+      bad_version,
+      HostilePayloadFrame(""),              // empty payload, no opcode
+      HostilePayloadFrame("\x7f"),          // unknown opcode
+      HostilePayloadFrame("\x01\x05"),      // add with short operands
+      AddFrame(5, 6) + "",                  // placeholder replaced below
+      HostilePayloadFrame(                  // top with k = 0
+          std::string("\x04", 1) + std::string(8, '\0')),
+      HostilePayloadFrame(                  // paper with duplicate author
+          std::string("\x02", 1) + std::string(8, '\0') +
+          std::string(8, '\0') + std::string("\x02", 1) +
+          std::string("\x07", 1) + std::string(7, '\0') +
+          std::string("\x07", 1) + std::string(7, '\0')),
+      HostilePayloadFrame(std::string("\x08", 1)),  // save with empty path
+  };
+  // Trailing-bytes hostile: a valid add frame with one extra payload
+  // byte, declared length included (framing fine, decode must reject).
+  std::string trailing = AddFrame(5, 6);
+  trailing += '\x00';
+  trailing[2] = static_cast<char>(trailing.size() - kWirePreludeBytes);
+
+  std::string burst;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t good_adds = 0;
+  Rng rng(20260809);
+  std::vector<std::string> corpus(std::begin(hostiles), std::end(hostiles));
+  corpus[4] = trailing;
+  for (int round = 0; round < 6; ++round) {
+    for (const std::string& hostile : corpus) {
+      burst += AddFrame(1 + rng.UniformU64(16), 1 + rng.UniformU64(9));
+      ++good_adds;
+      burst += hostile;
+      ++bad_frames;
+    }
+  }
+  burst += VerbFrame(CommandKind::kStats);
+  burst += VerbFrame(CommandKind::kHealth);
+  burst += VerbFrame(CommandKind::kQuit);
+
+  ASSERT_TRUE(SendAll(fd, burst));
+  const std::vector<CommandResult> replies = DecodeReplyStream(RecvToEof(fd));
+  ::close(fd);
+
+  // One reply per frame — hostiles included, nothing swallowed, and the
+  // connection survived to the quit.
+  ASSERT_EQ(replies.size(), good_adds + bad_frames + 3);
+  std::uint64_t err_replies = 0;
+  for (const CommandResult& reply : replies) {
+    if (reply.code != StatusCode::kOk) {
+      ++err_replies;
+      EXPECT_EQ(reply.code, StatusCode::kInvalidArgument) << reply.message;
+    }
+  }
+  EXPECT_EQ(err_replies, bad_frames);
+
+  // The quarantine counter and the service state both held: exactly
+  // bad_frames rejects, exactly good_adds events.
+  const CommandResult& health = replies[replies.size() - 2];
+  EXPECT_EQ(health.kind, CommandKind::kHealth);
+  EXPECT_NE(health.text.find("\"rejected_frames\":" +
+                             std::to_string(bad_frames)),
+            std::string::npos)
+      << health.text;
+  const CommandResult& stats = replies[replies.size() - 3];
+  EXPECT_EQ(stats.kind, CommandKind::kStats);
+  EXPECT_NE(stats.text.find("\"events\":" + std::to_string(good_adds)),
+            std::string::npos)
+      << stats.text;
+  EXPECT_EQ(replies.back().kind, CommandKind::kQuit);
+}
+
+TEST(ProtocolFuzz, BinaryFramingHostilesKillOnlyTheirOwnConnection) {
+  // Framing hostiles — the stream itself is unusable, so the server
+  // answers one structured error frame and closes that connection:
+  //  - a declared length past max-line-bytes (oversize by declaration);
+  //  - desync: a latched-binary stream whose next byte is not the
+  //    request magic (here: text interleaved after a binary frame).
+  // A truncated prelude at EOF is dropped silently (no reply for a
+  // request that never finished). None of it corrupts service state.
+  BinaryServeFixture fixture;
+
+  // Round 1: oversize declared length, no payload bytes at all.
+  {
+    const int fd = ConnectLoopbackBlocking(fixture.server->port());
+    ASSERT_GE(fd, 0);
+    std::string prelude;
+    prelude.push_back(static_cast<char>(kWireRequestMagic));
+    prelude.push_back(static_cast<char>(kWireVersion));
+    const std::uint32_t declared = 1u << 24;
+    for (int shift = 0; shift < 32; shift += 8) {
+      prelude.push_back(static_cast<char>((declared >> shift) & 0xff));
+    }
+    ASSERT_TRUE(SendAll(fd, AddFrame(21, 4) + prelude));
+    const std::vector<CommandResult> replies =
+        DecodeReplyStream(RecvToEof(fd));
+    ::close(fd);
+    ASSERT_EQ(replies.size(), 2u);  // the add, then the kill notice
+    EXPECT_EQ(replies[0].code, StatusCode::kOk);
+    EXPECT_EQ(replies[1].code, StatusCode::kInvalidArgument);
+    EXPECT_EQ(replies[1].message, "frame exceeds max request size");
+  }
+
+  // Round 2: text interleaved on a latched-binary connection desyncs it.
+  {
+    const int fd = ConnectLoopbackBlocking(fixture.server->port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, AddFrame(22, 5) + "get 22\n"));
+    const std::vector<CommandResult> replies =
+        DecodeReplyStream(RecvToEof(fd));
+    ::close(fd);
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_EQ(replies[0].code, StatusCode::kOk);
+    EXPECT_EQ(replies[1].code, StatusCode::kInvalidArgument);
+    EXPECT_EQ(replies[1].message, "bad frame magic: stream desynced");
+  }
+
+  // Round 3: binary frame interleaved on a latched-text connection is
+  // junk text — one ERR line, connection survives (the frame bytes
+  // carry NULs, which the text parser quarantines).
+  {
+    const int fd = ConnectLoopbackBlocking(fixture.server->port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(
+        SendAll(fd, "add 23 6\n" + AddFrame(23, 7) + "\nget 23\nquit\n"));
+    const std::string text = RecvToEof(fd);
+    ::close(fd);
+    const std::vector<std::string> lines = SplitLines(text);
+    ASSERT_EQ(lines.size(), 4u) << text;
+    EXPECT_EQ(lines[0], "OK 1");
+    EXPECT_EQ(lines[1].rfind("ERR ", 0), 0u) << lines[1];
+    EXPECT_EQ(lines[2].rfind("H 23 1 ", 0), 0u) << lines[2];
+    EXPECT_EQ(lines[3], "BYE");
+  }
+
+  // Round 4: truncated prelude at EOF — answered frames flush, the
+  // fragment is dropped without a reply.
+  {
+    const int fd = ConnectLoopbackBlocking(fixture.server->port());
+    ASSERT_GE(fd, 0);
+    const std::string fragment(
+        std::string(1, static_cast<char>(kWireRequestMagic)) +
+        std::string(1, static_cast<char>(kWireVersion)) + "\x09");
+    ASSERT_TRUE(SendAll(fd, AddFrame(24, 8) + fragment));
+    ::shutdown(fd, SHUT_WR);  // client is done writing: fragment is final
+    const std::vector<CommandResult> replies =
+        DecodeReplyStream(RecvToEof(fd));
+    ::close(fd);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].code, StatusCode::kOk);
+  }
+
+  // State proof: a fresh connection sees exactly the four successful
+  // adds from the rounds (21, 22, 23 as text, 24) and zero rejected
+  // frames — the framing kills never reached the session, and the
+  // binary frame swallowed as text junk never became an add.
+  const int fd = ConnectLoopbackBlocking(fixture.server->port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, VerbFrame(CommandKind::kStats) +
+                              VerbFrame(CommandKind::kHealth) +
+                              VerbFrame(CommandKind::kQuit)));
+  const std::vector<CommandResult> replies = DecodeReplyStream(RecvToEof(fd));
+  ::close(fd);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_NE(replies[0].text.find("\"events\":4"), std::string::npos)
+      << replies[0].text;
+  EXPECT_NE(replies[1].text.find("\"rejected_frames\":0"), std::string::npos)
+      << replies[1].text;
+  const NetServerCounters counters = fixture.server->Counters();
+  EXPECT_EQ(counters.killed_oversize, 1u);
+  EXPECT_EQ(counters.killed_bad_magic, 1u);
 }
 
 TEST(ProtocolFuzz, OversizedAuthorListsNeverReachTheAuthorCapacityCheck) {

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# check_protocol_vectors.sh — compiler-free sanity pass over the test
+# vectors in docs/PROTOCOL.md, for the docs CI job (which has no C++
+# toolchain). The full semantic assertion — vectors round-tripped
+# through the real codec — is the docs_vectors_test ctest; this script
+# catches the editing mistakes that don't need a codec to detect:
+#
+#   * malformed vector lines (wrong arity, missing '->')
+#   * hex that is not lowercase, even-length hex
+#   * request/reply/bad frames whose magic byte is wrong for their kind
+#   * version bytes other than 01 (except vectors documenting the
+#     bad-version rejection itself)
+#   * a declared u32 LE payload length that disagrees with the actual
+#     payload byte count (except vectors documenting that rejection)
+#
+# Usage: check_protocol_vectors.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+spec="$root/docs/PROTOCOL.md"
+fail=0
+
+err() {
+  echo "$spec:$1: $2" >&2
+  fail=1
+}
+
+if [[ ! -f "$spec" ]]; then
+  echo "missing $spec" >&2
+  exit 1
+fi
+
+count_request=0
+count_reply=0
+count_bad=0
+lineno=0
+while IFS= read -r line; do
+  lineno=$((lineno + 1))
+  # Vector lines are indented code lines beginning with "vector".
+  [[ "$line" =~ ^[[:space:]]*vector[[:space:]] ]] || continue
+  # shellcheck disable=SC2086
+  set -- $line
+  if [[ $# -lt 4 || "$4" != "->" ]]; then
+    err "$lineno" "malformed vector line (want: vector <kind> <hex> -> <text>)"
+    continue
+  fi
+  kind="$2"
+  hex="$3"
+  case "$kind" in
+    request) count_request=$((count_request + 1)) ;;
+    reply) count_reply=$((count_reply + 1)) ;;
+    bad) count_bad=$((count_bad + 1)) ;;
+    *)
+      err "$lineno" "unknown vector kind '$kind'"
+      continue
+      ;;
+  esac
+  if [[ ! "$hex" =~ ^[0-9a-f]+$ ]]; then
+    err "$lineno" "hex must be lowercase [0-9a-f]: '$hex'"
+    continue
+  fi
+  if (((${#hex} % 2) != 0)); then
+    err "$lineno" "odd-length hex: '$hex'"
+    continue
+  fi
+  nbytes=$((${#hex} / 2))
+  magic="${hex:0:2}"
+  case "$kind" in
+    request)
+      [[ "$magic" == "b1" ]] || err "$lineno" "request magic must be b1, got $magic"
+      ;;
+    reply)
+      [[ "$magic" == "b2" ]] || err "$lineno" "reply magic must be b2, got $magic"
+      ;;
+    bad)
+      # Bad vectors may document a bad magic; nothing to check.
+      ;;
+  esac
+  # Prelude checks only apply once the prelude is complete; truncated
+  # preludes are legitimate bad vectors.
+  ((nbytes >= 6)) || continue
+  version="${hex:2:2}"
+  if [[ "$kind" != "bad" && "$version" != "01" ]]; then
+    err "$lineno" "version byte must be 01, got $version"
+  fi
+  # u32 LE declared payload length vs actual payload bytes.
+  declared=$((16#${hex:10:2} * 16777216 + 16#${hex:8:2} * 65536 \
+              + 16#${hex:6:2} * 256 + 16#${hex:4:2}))
+  actual=$((nbytes - 6))
+  if [[ "$kind" != "bad" && "$declared" -ne "$actual" ]]; then
+    err "$lineno" "declared payload length $declared != actual $actual bytes"
+  fi
+done < "$spec"
+
+if ((count_request == 0 || count_reply == 0 || count_bad == 0)); then
+  echo "$spec: vector set incomplete" \
+       "(request=$count_request reply=$count_reply bad=$count_bad)" >&2
+  fail=1
+fi
+
+if ((fail == 0)); then
+  echo "protocol vectors OK" \
+       "(request=$count_request reply=$count_reply bad=$count_bad)"
+fi
+exit "$fail"

@@ -14,6 +14,7 @@
 #   bench_f5_overload     overload ramp (shed rate, p99) + stall recovery
 #   bench_f6_hotpath      batch-vs-scalar speedups + merge-cache latency
 #   bench_f7_net_load     TCP front-end connection sweep (qps, p99, shed)
+#   bench_f8_wire         text-vs-binary wire framing (docs/PROTOCOL.md)
 #
 # The aggregate is a single json object: {"git_sha", "quick", "results"}
 # where results is the array of BENCH payloads in emission order. A ctest
@@ -43,7 +44,7 @@ done
 bench_dir="${build_dir}/bench"
 for binary in bench_f2_throughput bench_a5_checkpoint_sizes \
               bench_f4_service_qps bench_f5_overload bench_f6_hotpath \
-              bench_f7_net_load; do
+              bench_f7_net_load bench_f8_wire; do
   if [[ ! -x "${bench_dir}/${binary}" ]]; then
     echo "missing ${bench_dir}/${binary}; build the repo first" >&2
     exit 1
@@ -57,12 +58,14 @@ if [[ "${quick}" -eq 1 ]]; then
   f5_flags=(--stage-ms 100 --stall-ms 100 --recovery-ms 500)
   f6_flags=(--quick)
   f7_flags=(--quick)
+  f8_flags=(--quick)
 else
   f2_flags=()
   f4_flags=()
   f5_flags=()
   f6_flags=()
   f7_flags=()
+  f8_flags=()
 fi
 
 lines_file="$(mktemp)"
@@ -89,6 +92,8 @@ run_bench "${bench_dir}/bench_f6_hotpath" \
     "${f6_flags[@]+"${f6_flags[@]}"}"
 run_bench "${bench_dir}/bench_f7_net_load" \
     "${f7_flags[@]+"${f7_flags[@]}"}"
+run_bench "${bench_dir}/bench_f8_wire" \
+    "${f8_flags[@]+"${f8_flags[@]}"}"
 
 # HEAD sha, with a -dirty suffix when the numbers were measured from an
 # uncommitted tree (the honest stamp for a pre-commit run).
