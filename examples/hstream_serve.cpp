@@ -34,6 +34,15 @@
 // The pair must be armed together: one without the other would silently
 // never checkpoint, so ParseArgs rejects it.
 //
+// `--segment-dir <dir>` arms the out-of-core cold tier: over-budget
+// stripes page their least-recently-updated users into mmap-backed
+// segment files there instead of freezing them, so a `get` still
+// answers from the real state (docs/SERVICE.md). `--checkpoint-mode
+// incr` makes auto-checkpoints incremental — each cadence tick writes
+// a delta of only the dirty stripes, chained back to the last full
+// save (docs/CHECKPOINTS.md); `save <path> incr` does the same on
+// demand.
+//
 // Robustness surface (docs/ROBUSTNESS.md): `--max-inflight` and
 // `--deadline-us` arm the admission gate (overload replies
 // RESOURCE_EXHAUSTED / DEADLINE_EXCEEDED, all counted), `--faults` (or
@@ -138,6 +147,20 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
                            &options->session.checkpoint_every))
         return false;
       checkpoint_every_given = true;
+    } else if (arg == "--checkpoint-mode") {
+      if (!next_text(&text)) return false;
+      const std::string mode = text;
+      if (mode == "full") {
+        options->session.checkpoint_mode = himpact::SaveMode::kFull;
+      } else if (mode == "incr") {
+        options->session.checkpoint_mode = himpact::SaveMode::kIncremental;
+      } else {
+        std::fprintf(stderr, "--checkpoint-mode must be full or incr\n");
+        return false;
+      }
+    } else if (arg == "--segment-dir") {
+      if (!next_text(&text)) return false;
+      options->service.segment_dir = text;
     } else if (arg == "--max-inflight") {
       if (!next_text(&text) ||
           !ParseUint64Flag("--max-inflight", text,
@@ -295,6 +318,8 @@ int main(int argc, char** argv) {
                  "[--restore FILE]\n"
                  "                     [--checkpoint FILE "
                  "--checkpoint-every N]\n"
+                 "                     [--checkpoint-mode full|incr] "
+                 "[--segment-dir DIR]\n"
                  "                     [--max-inflight N] [--deadline-us U] "
                  "[--faults SPEC]\n"
                  "                     [--listen PORT] [--max-conns N] "

@@ -63,6 +63,9 @@ enum class CheckpointTag : std::uint32_t {
   kEngineShard = 26,
   kServiceManifest = 27,
   kServiceStripe = 28,
+  kSegmentRecord = 29,
+  kDeltaManifest = 30,
+  kDeltaHead = 31,
 };
 
 /// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `data`.

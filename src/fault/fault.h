@@ -61,10 +61,17 @@ enum class FaultPoint : int {
   /// partial-write continuation path (buffered remainder + EPOLLOUT
   /// re-arm). Param: unused.
   kNetPartialWrite = 6,
+  /// A segment-store mmap or block page-in fails; a cold `get` must
+  /// degrade to the frozen-floor answer, never crash. Param: unused.
+  kSegmentMapFail = 7,
+  /// An incremental-checkpoint delta segment write tears mid-stream
+  /// (half the bytes land, the write reports `kInternal`); restore must
+  /// fall back to the previous good chain. Param: unused.
+  kSegmentTornDelta = 8,
 };
 
 /// Number of fault points (array sizing).
-inline constexpr int kNumFaultPoints = 7;
+inline constexpr int kNumFaultPoints = 9;
 
 /// When an armed point fires: probes `skip..skip+max_fires-1` (0-based
 /// hit indices counted from arming) fire, the rest pass through.
@@ -129,7 +136,7 @@ class FaultRegistry {
 
   /// The canonical name of `point` ("alloc-fail", "torn-checkpoint",
   /// "worker-stall", "ring-full", "clock-skew", "net-accept-fail",
-  /// "net-partial-write").
+  /// "net-partial-write", "segment-map-fail", "segment-torn-delta").
   static const char* Name(FaultPoint point);
 
   /// Parses a canonical point name.

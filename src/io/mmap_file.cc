@@ -1,0 +1,79 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "fault/fault.h"
+
+namespace himpact {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), valid_(other.valid_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.valid_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr && size_ > 0) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    valid_ = other.valid_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.valid_ = false;
+  }
+  return *this;
+}
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  if (FaultRegistry::Global().ShouldFire(FaultPoint::kSegmentMapFail)) {
+    return Status::Internal("injected segment-map-fail on " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::Unavailable("no such file: " + path);
+    }
+    return Status::Internal("open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat(" + path + "): " + std::strerror(err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  file.valid_ = true;
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap(" + path + "): " + std::strerror(err));
+    }
+    file.data_ = static_cast<const std::uint8_t*>(addr);
+  }
+  // The mapping outlives the descriptor; closing keeps the fd budget flat
+  // no matter how many generations a stripe accumulates.
+  ::close(fd);
+  return file;
+}
+
+}  // namespace himpact

@@ -381,7 +381,7 @@ StatusOr<CommandResult> DecodeReplyFrame(const std::string& frame) {
       result.estimate = payload.F64();
       const unsigned char tier = payload.U8();
       result.events = payload.U64();
-      if (payload.ok && tier != kWireTierNone && tier > 2) {
+      if (payload.ok && tier != kWireTierNone && tier > 3) {
         return BadFrame("unknown tier byte 0x" + std::to_string(tier));
       }
       result.tier = tier == kWireTierNone ? kTierNone : static_cast<int>(tier);

@@ -134,11 +134,20 @@ StatusOr<Command> ParseCommandLine(const std::string& line) {
     return command;
   }
   if (verb == "save") {
-    if (tokens.size() != 2 || tokens[1].empty()) {
-      return BadLine("usage: save <path>");
+    if (tokens.size() < 2 || tokens.size() > 3 || tokens[1].empty()) {
+      return BadLine("usage: save <path> [full|incr]");
     }
     command.kind = CommandKind::kSave;
     command.path = tokens[1];
+    if (tokens.size() == 3) {
+      if (tokens[2] == "full") {
+        command.save_mode = SaveMode::kFull;
+      } else if (tokens[2] == "incr") {
+        command.save_mode = SaveMode::kIncremental;
+      } else {
+        return BadLine("bad save mode '" + tokens[2] + "' (full|incr)");
+      }
+    }
     return command;
   }
   if (verb == "quit") {
@@ -165,6 +174,8 @@ const char* TierName(int tier) {
       return "hot";
     case 2:
       return "frozen";
+    case 3:
+      return "segment";
     default:
       return "unknown";
   }

@@ -21,8 +21,13 @@
 ///   heavy                   -> HEAVY <user>:<estimate> ...
 ///   stats                   -> STATS {<json>}
 ///   health                  -> HEALTH {<json>}
-///   save <path>             -> OK saved <path>
+///   save <path> [full|incr] -> OK saved <path>
 ///   quit                    -> BYE
+///
+/// `save` defaults to a full checkpoint; `save <path> incr` asks for an
+/// incremental delta against the last save to the same path (falling
+/// back to a full save when there is no chain to extend — see
+/// docs/CHECKPOINTS.md).
 ///
 /// Overloaded servers reply `RESOURCE_EXHAUSTED shed` (watermark hit,
 /// command not applied) or `DEADLINE_EXCEEDED ...` (see
@@ -61,6 +66,17 @@ enum class CommandKind : unsigned char {
   kQuit = 0x09,
 };
 
+/// How a `save` writes its checkpoint. `kFull` rewrites every stripe;
+/// `kIncremental` extends the delta chain rooted at the last full save
+/// to the same path, rewriting only stripes whose dirty epoch moved
+/// (service/service.h, docs/CHECKPOINTS.md). The value is the text
+/// token's wire meaning, not an opcode: the binary `save` frame is
+/// always full.
+enum class SaveMode : unsigned char {
+  kFull = 0,
+  kIncremental = 1,
+};
+
 /// One parsed protocol line.
 struct Command {
   CommandKind kind = CommandKind::kQuit;
@@ -68,6 +84,7 @@ struct Command {
   std::uint64_t value = 0;   // add (response count), top (k)
   PaperTuple paper;          // paper
   std::string path;          // save
+  SaveMode save_mode = SaveMode::kFull;  // save
 };
 
 /// Parses one protocol line. `kInvalidArgument` (with a reason suitable
@@ -116,7 +133,8 @@ std::string FormatTextReply(const CommandResult& result);
 /// this is deterministic and stable across runs).
 std::string FormatEstimate(double estimate);
 
-/// The tier names used in `get` replies: "cold", "hot", "frozen".
+/// The tier names used in `get` replies: "cold", "hot", "frozen",
+/// "segment".
 const char* TierName(int tier);
 
 }  // namespace himpact

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/envelope.h"
 #include "fault/fault.h"
 #include "hash/mix.h"
 
@@ -17,6 +19,85 @@ constexpr std::uint64_t kStripeMagic = 0x48494d5053524731ULL;  // HIMPSRG1
 /// Fixed per-user overhead charged against the memory budget: the state
 /// record itself plus an allowance for the hash-map node and bucket.
 constexpr std::uint64_t kMapNodeOverheadBytes = 48;
+
+/// A segment record's decoded payload: the full cold/hot state the user
+/// held the moment it was paged out.
+struct SegmentRecordState {
+  UserTier tier = UserTier::kCold;  // kCold or kHot only
+  std::uint64_t events = 0;
+  double floor = 0.0;
+  std::uint64_t cold_h = 0;
+  std::vector<std::uint64_t> values;
+  std::optional<ExponentialHistogramEstimator> sketch;
+};
+
+/// Serializes the evicted state into a `kSegmentRecord` envelope.
+/// Layout: tier u8 (0 cold / 1 hot), events u64, floor f64, cold_h u64,
+/// then cold values (count + u64s) or the hot sketch. `last_touch` is
+/// deliberately excluded (stripe-local clock, refreshed on page-in).
+std::vector<std::uint8_t> EncodeSegmentRecord(const UserTier tier,
+                                              const std::uint64_t events,
+                                              const double floor,
+                                              const std::uint64_t cold_h,
+                                              const std::vector<std::uint64_t>&
+                                                  values,
+                                              const ExponentialHistogramEstimator*
+                                                  sketch) {
+  ByteWriter writer;
+  writer.U8(static_cast<std::uint8_t>(tier));
+  writer.U64(events);
+  writer.F64(floor);
+  writer.U64(cold_h);
+  if (tier == UserTier::kCold) {
+    writer.U64(values.size());
+    for (const std::uint64_t v : values) writer.U64(v);
+  } else {
+    sketch->SerializeTo(writer);
+  }
+  return SealEnvelope(CheckpointTag::kSegmentRecord, writer.buffer());
+}
+
+/// Opens and decodes a `kSegmentRecord` envelope.
+StatusOr<SegmentRecordState> DecodeSegmentRecord(
+    const std::vector<std::uint8_t>& envelope) {
+  StatusOr<std::vector<std::uint8_t>> payload =
+      OpenEnvelope(envelope, CheckpointTag::kSegmentRecord);
+  if (!payload.ok()) return payload.status();
+  ByteReader reader(payload.value());
+  SegmentRecordState state;
+  std::uint8_t tier = 0;
+  if (!reader.U8(&tier) || !reader.U64(&state.events) ||
+      !reader.F64(&state.floor) || !reader.U64(&state.cold_h)) {
+    return Status::InvalidArgument("truncated segment record");
+  }
+  if (tier > static_cast<std::uint8_t>(UserTier::kHot)) {
+    return Status::InvalidArgument("bad segment record tier");
+  }
+  state.tier = static_cast<UserTier>(tier);
+  if (state.tier == UserTier::kCold) {
+    std::uint64_t n = 0;
+    if (!reader.U64(&n) || n > reader.remaining() / sizeof(std::uint64_t)) {
+      return Status::InvalidArgument("bad segment record value count");
+    }
+    state.values.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t v = 0; v < n; ++v) {
+      std::uint64_t value = 0;
+      if (!reader.U64(&value)) {
+        return Status::InvalidArgument("truncated segment record values");
+      }
+      state.values.push_back(value);
+    }
+  } else {
+    StatusOr<ExponentialHistogramEstimator> sketch =
+        ExponentialHistogramEstimator::DeserializeFrom(reader);
+    if (!sketch.ok()) return sketch.status();
+    state.sketch = std::move(sketch).value();
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("segment record has trailing bytes");
+  }
+  return state;
+}
 
 }  // namespace
 
@@ -51,7 +132,33 @@ StatusOr<TieredUserRegistry> TieredUserRegistry::Create(
       return Status::InvalidArgument("hh_max_papers must be >= 1");
     }
   }
-  return TieredUserRegistry(options);
+  TieredUserRegistry registry(options);
+  Status attached = registry.AttachSegmentStores();
+  if (!attached.ok()) return attached;
+  return registry;
+}
+
+Status TieredUserRegistry::AttachSegmentStores() {
+  if (options_.segment_dir.empty()) return Status::OK();
+  for (std::size_t i = 0; i < stripes_.size(); ++i) {
+    SegmentStoreOptions store_options;
+    store_options.dir = options_.segment_dir;
+    store_options.stripe = i;
+    StatusOr<std::unique_ptr<SegmentStore>> store =
+        SegmentStore::Open(store_options);
+    if (!store.ok()) {
+      return Status(store.status().code(),
+                    "segment store for stripe " + std::to_string(i) + ": " +
+                        store.status().message());
+    }
+    stripes_[i]->store = std::move(store).value();
+  }
+  return Status::OK();
+}
+
+std::uint64_t TieredUserRegistry::DirtyEpoch(std::size_t i) const {
+  HIMPACT_CHECK(i < stripes_.size());
+  return stripes_[i]->dirty.load(std::memory_order_acquire);
 }
 
 TieredUserRegistry::TieredUserRegistry(const ServiceOptions& options)
@@ -95,6 +202,7 @@ std::uint64_t TieredUserRegistry::EntryBytes(const UserState& state) const {
     case UserTier::kHot:
       return BaseBytes() + HotExtraBytes(state);
     case UserTier::kFrozen:
+    case UserTier::kSegment:
       return BaseBytes();
   }
   return BaseBytes();
@@ -110,6 +218,9 @@ double TieredUserRegistry::EstimateLocked(const UserState& state) const {
       estimate = std::max(estimate, state.sketch->Estimate());
       break;
     case UserTier::kFrozen:
+    case UserTier::kSegment:
+      // The floor alone; a segment-resident user's *real* estimate comes
+      // from SegmentEstimateLocked (page-in), which falls back here.
       break;
   }
   return estimate;
@@ -138,8 +249,34 @@ void TieredUserRegistry::PromoteLocked(Stripe& stripe, UserState& state) {
   ++stripe.promotions;
 }
 
-void TieredUserRegistry::DemoteLocked(Stripe& stripe, UserState& state) {
+void TieredUserRegistry::DemoteLocked(Stripe& stripe, AuthorId user,
+                                      UserState& state) {
+  if (state.tier == UserTier::kFrozen || state.tier == UserTier::kSegment) {
+    return;  // already demoted
+  }
   state.floor = std::max(state.floor, EstimateLocked(state));
+
+  if (stripe.store != nullptr) {
+    // Paged demotion: serialize the full cold/hot state into the
+    // stripe's segment store and keep only the bare record in RAM. The
+    // record retains all of the user's mass, so — unlike freezing — the
+    // archive is NOT touched (the state is paged, not forgotten).
+    std::vector<std::uint8_t> record =
+        EncodeSegmentRecord(state.tier, state.events, state.floor,
+                            state.cold_h, state.values, state.sketch.get());
+    Status put = stripe.store->Put(user, std::move(record));
+    if (put.ok()) {
+      state.values.clear();
+      state.values.shrink_to_fit();
+      state.sketch.reset();
+      state.tier = UserTier::kSegment;
+      ++stripe.demotions;
+      return;
+    }
+    // Put cannot currently fail (seals retry via the pending buffer),
+    // but if it ever does, fall through to the frozen path below.
+  }
+
   switch (state.tier) {
     case UserTier::kHot:
       // Keep the demoted user's mass queryable in aggregate: merge the
@@ -155,10 +292,72 @@ void TieredUserRegistry::DemoteLocked(Stripe& stripe, UserState& state) {
       state.values.shrink_to_fit();
       break;
     case UserTier::kFrozen:
-      return;  // already demoted
+    case UserTier::kSegment:
+      return;  // unreachable (filtered above)
   }
   state.tier = UserTier::kFrozen;
   ++stripe.demotions;
+}
+
+void TieredUserRegistry::ReactivateLocked(Stripe& stripe, AuthorId user,
+                                          UserState& state) {
+  StatusOr<std::vector<std::uint8_t>> record = stripe.store->Get(user);
+  StatusOr<SegmentRecordState> decoded =
+      record.ok() ? DecodeSegmentRecord(record.value())
+                  : StatusOr<SegmentRecordState>(record.status());
+  if (decoded.ok()) {
+    SegmentRecordState& paged = decoded.value();
+    // The RAM record kept counting events while paged out; keep the
+    // larger counter (post-page-out events were floor-only updates only
+    // if a failure path ran, so normally they are equal).
+    state.events = std::max(state.events, paged.events);
+    state.floor = std::max(state.floor, paged.floor);
+    state.cold_h = paged.cold_h;
+    state.values = std::move(paged.values);
+    if (paged.tier == UserTier::kHot) {
+      state.sketch = std::make_unique<ExponentialHistogramEstimator>(
+          std::move(*paged.sketch));
+    }
+    state.tier = paged.tier;
+    stripe.store->Forget(user);
+    ++stripe.promotions;
+    return;
+  }
+  // Page-in failed (I/O error, armed `segment-map-fail`, or a corrupt
+  // record): degrade exactly like a frozen reactivation — fresh sketch
+  // over the suffix with the floor carried — rather than crash or lose
+  // the event. Under `alloc-fail` stay segment-resident serving the
+  // floor; the next event retries the page-in.
+  if (FaultRegistry::Global().AnyArmed() &&
+      FaultRegistry::Global().ShouldFire(FaultPoint::kAllocFail)) {
+    ++stripe.alloc_failures;
+    return;
+  }
+  stripe.store->Forget(user);
+  state.sketch = std::make_unique<ExponentialHistogramEstimator>(MakeSketch());
+  state.tier = UserTier::kHot;
+  ++stripe.promotions;
+}
+
+double TieredUserRegistry::SegmentEstimateLocked(
+    Stripe& stripe, AuthorId user, const UserState& state) const {
+  StatusOr<std::vector<std::uint8_t>> record = stripe.store->Get(user);
+  if (record.ok()) {
+    StatusOr<SegmentRecordState> decoded = DecodeSegmentRecord(record.value());
+    if (decoded.ok()) {
+      const SegmentRecordState& paged = decoded.value();
+      double estimate = std::max(state.floor, paged.floor);
+      if (paged.tier == UserTier::kCold) {
+        estimate = std::max(estimate, static_cast<double>(paged.cold_h));
+      } else {
+        estimate = std::max(estimate, paged.sketch->Estimate());
+      }
+      return estimate;
+    }
+  }
+  // Degraded answer: the RAM floor (captured at page-out) is a valid
+  // lower bound; never crash a query on a bad page-in.
+  return state.floor;
 }
 
 void TieredUserRegistry::UpdateBoardLocked(Stripe& stripe, AuthorId user,
@@ -198,12 +397,23 @@ void TieredUserRegistry::EnforceBudgetLocked(Stripe& stripe) {
   // Hysteresis: demote down to 90% of the budget so one oversized add
   // does not trigger a scan per event.
   const std::uint64_t target = stripe_budget_bytes_ - stripe_budget_bytes_ / 10;
+  // When the last scan proved the target unreachable (irreducible
+  // per-user records alone exceed it), rescanning on every Add is a
+  // full map walk + sort for nothing. Skip until enough *evictable*
+  // bytes have accumulated above that floor to make a scan pay for
+  // itself; the band is 10% of the budget, matching the hysteresis.
+  if (stripe.unmeetable_floor_bytes > 0 &&
+      stripe.resident_bytes <
+          stripe.unmeetable_floor_bytes + stripe_budget_bytes_ / 10) {
+    return;
+  }
   // Oldest-first victim list (hot and cold users both shed their
-  // variable storage when frozen; frozen users are already minimal).
+  // variable storage when demoted; frozen and segment-resident users
+  // are already minimal).
   std::vector<std::pair<std::uint64_t, AuthorId>> victims;
   victims.reserve(stripe.users.size());
   for (const auto& [user, state] : stripe.users) {
-    if (state.tier != UserTier::kFrozen) {
+    if (state.tier == UserTier::kCold || state.tier == UserTier::kHot) {
       victims.emplace_back(state.last_touch, user);
     }
   }
@@ -212,12 +422,15 @@ void TieredUserRegistry::EnforceBudgetLocked(Stripe& stripe) {
     if (stripe.resident_bytes <= target) break;
     UserState& state = stripe.users.find(user)->second;
     const std::uint64_t before = EntryBytes(state);
-    DemoteLocked(stripe, state);
+    DemoteLocked(stripe, user, state);
     stripe.resident_bytes -= before - EntryBytes(state);
   }
-  // If every user is frozen the budget may still be exceeded by the
+  // If every user is demoted the budget may still be exceeded by the
   // irreducible per-user records; nothing more to shed without
-  // forgetting users outright.
+  // forgetting users outright. Remember that level so the next Adds do
+  // not rescan until real evictable state builds up again.
+  stripe.unmeetable_floor_bytes =
+      stripe.resident_bytes > target ? stripe.resident_bytes : 0;
 }
 
 double TieredUserRegistry::Add(AuthorId user, std::uint64_t value) {
@@ -232,12 +445,29 @@ double TieredUserRegistry::Add(AuthorId user, std::uint64_t value) {
     SleepForMicros(FaultRegistry::Global().param(FaultPoint::kWorkerStall));
   }
   ++stripe.events;
+  // Incremental checkpoints diff this epoch; every event dirties the
+  // stripe (the board epoch alone misses adds that leave the board
+  // unchanged).
+  stripe.dirty.fetch_add(1, std::memory_order_release);
 
   auto [it, inserted] = stripe.users.try_emplace(user);
   UserState& state = it->second;
   const std::uint64_t before = inserted ? 0 : EntryBytes(state);
   ++state.events;
   state.last_touch = ++stripe.touch_clock;
+
+  if (state.tier == UserTier::kSegment) {
+    if (stripe.store == nullptr) {
+      // Restored into a service without a segment directory: the paged
+      // record is unreachable, so the user is effectively frozen (floor
+      // only) and takes the frozen reactivation path below.
+      state.tier = UserTier::kFrozen;
+    } else {
+      // A new event pages the full state back into RAM and continues it
+      // live (tier returns to cold/hot below).
+      ReactivateLocked(stripe, user, state);
+    }
+  }
 
   switch (state.tier) {
     case UserTier::kCold: {
@@ -276,6 +506,10 @@ double TieredUserRegistry::Add(AuthorId user, std::uint64_t value) {
       ++stripe.promotions;
       break;
     }
+    case UserTier::kSegment:
+      // Only reachable when the page-in was vetoed by `alloc-fail`: the
+      // user keeps serving its floor and the next event retries.
+      break;
   }
 
   stripe.resident_bytes += EntryBytes(state) - before;
@@ -286,22 +520,31 @@ double TieredUserRegistry::Add(AuthorId user, std::uint64_t value) {
 }
 
 double TieredUserRegistry::PointHIndex(AuthorId user) const {
-  const Stripe& stripe = *stripes_[StripeOf(user)];
+  Stripe& stripe = *stripes_[StripeOf(user)];
   std::lock_guard<std::mutex> lock(stripe.mu);
   const auto it = stripe.users.find(user);
   if (it == stripe.users.end()) return 0.0;
+  // The cold-get path: a segment-resident user's answer comes from its
+  // paged-in record, byte-identical to the pre-eviction answer.
+  if (it->second.tier == UserTier::kSegment && stripe.store != nullptr) {
+    return SegmentEstimateLocked(stripe, user, it->second);
+  }
   return EstimateLocked(it->second);
 }
 
 bool TieredUserRegistry::Lookup(AuthorId user, UserSnapshot* out) const {
-  const Stripe& stripe = *stripes_[StripeOf(user)];
+  Stripe& stripe = *stripes_[StripeOf(user)];
   std::lock_guard<std::mutex> lock(stripe.mu);
   const auto it = stripe.users.find(user);
   if (it == stripe.users.end()) return false;
   out->user = user;
   out->tier = it->second.tier;
   out->events = it->second.events;
-  out->estimate = EstimateLocked(it->second);
+  if (it->second.tier == UserTier::kSegment && stripe.store != nullptr) {
+    out->estimate = SegmentEstimateLocked(stripe, user, it->second);
+  } else {
+    out->estimate = EstimateLocked(it->second);
+  }
   return true;
 }
 
@@ -398,12 +641,25 @@ RegistryStats TieredUserRegistry::Stats() const {
         case UserTier::kFrozen:
           ++stats.frozen_users;
           break;
+        case UserTier::kSegment:
+          ++stats.segment_users;
+          break;
       }
     }
     stats.promotions += stripe->promotions;
     stats.demotions += stripe->demotions;
     stats.resident_bytes += stripe->resident_bytes;
     stats.alloc_failures += stripe->alloc_failures;
+    if (stripe->store != nullptr) {
+      stats.segment_files += stripe->store->segment_files();
+      stats.segment_bytes += stripe->store->segment_bytes();
+      stats.segment_pending_records += stripe->store->pending_records();
+      const SegmentStoreCounters& counters = stripe->store->counters();
+      stats.segment_seals += counters.seals;
+      stats.page_ins += counters.page_ins;
+      stats.page_in_cache_hits += counters.cache_hits;
+      stats.page_in_failures += counters.page_in_failures;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(topk_cache_->mu);
@@ -416,8 +672,15 @@ RegistryStats TieredUserRegistry::Stats() const {
 void TieredUserRegistry::SerializeStripe(std::size_t i,
                                          ByteWriter& writer) const {
   HIMPACT_CHECK(i < stripes_.size());
-  const Stripe& stripe = *stripes_[i];
+  Stripe& stripe = *stripes_[i];
   std::lock_guard<std::mutex> lock(stripe.mu);
+
+  // Seal pending segment records first: a stripe checkpoint stores only
+  // the tier byte for segment-resident users, so every record it
+  // references must be durable on disk. Best-effort — a failed seal
+  // keeps the records pending (still servable from RAM) and the users'
+  // floors in the checkpoint remain valid lower bounds.
+  if (stripe.store != nullptr) (void)stripe.store->Flush();
 
   writer.U64(kStripeMagic);
   writer.U64(static_cast<std::uint64_t>(i));
@@ -452,6 +715,10 @@ void TieredUserRegistry::SerializeStripe(std::size_t i,
         state.sketch->SerializeTo(writer);
         break;
       case UserTier::kFrozen:
+      case UserTier::kSegment:
+        // No variable payload: a frozen user's state IS the fixed
+        // fields; a segment user's full state lives in its (flushed)
+        // segment file.
         break;
     }
   }
@@ -512,7 +779,7 @@ Status TieredUserRegistry::DeserializeStripe(std::size_t i,
         !reader.F64(&state.floor) || !reader.U64(&state.cold_h)) {
       return Status::InvalidArgument("truncated user record");
     }
-    if (tier > static_cast<std::uint8_t>(UserTier::kFrozen)) {
+    if (tier > static_cast<std::uint8_t>(UserTier::kSegment)) {
       return Status::InvalidArgument("unknown user tier");
     }
     state.tier = static_cast<UserTier>(tier);
@@ -541,6 +808,7 @@ Status TieredUserRegistry::DeserializeStripe(std::size_t i,
         break;
       }
       case UserTier::kFrozen:
+      case UserTier::kSegment:
         break;
     }
     resident_bytes += EntryBytes(state);
@@ -574,11 +842,17 @@ Status TieredUserRegistry::DeserializeStripe(std::size_t i,
   stripe.users = std::move(users);
   stripe.board = std::move(board);
   stripe.resident_bytes = resident_bytes;
+  // Residency was rebuilt from scratch; any unmeetable-budget floor the
+  // previous population established no longer describes this one.
+  stripe.unmeetable_floor_bytes = 0;
   // The board was wholesale-replaced: advance the epoch so a TopK cache
   // tagged with the pre-restore epoch cannot serve the old board. (The
   // epoch itself is runtime-only — deliberately not checkpointed — so a
   // restored stripe's counter keeps climbing from wherever it was.)
   stripe.version.fetch_add(1, std::memory_order_release);
+  // A restore rewrites the stripe wholesale, so the next incremental
+  // checkpoint must re-serialize it.
+  stripe.dirty.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "core/exponential_histogram.h"
+#include "storage/segment_store.h"
 #include "stream/types.h"
 
 /// \file
@@ -18,7 +19,7 @@
 ///
 /// The registry owns one state record per user, partitioned across
 /// lock-striped shards ("stripes") by a SplitMix64 hash of the user id,
-/// and keeps total memory under a configured budget with three tiers:
+/// and keeps total memory under a configured budget with four tiers:
 ///
 ///  * **cold** — a user seen fewer than `promote_threshold` times keeps
 ///    its raw response counts and an exactly maintained H-index. Most
@@ -28,8 +29,19 @@
 ///    replayed into a per-user Algorithm 1 sketch
 ///    (`ExponentialHistogramEstimator`, `2/eps log max_h` words
 ///    regardless of further volume) and the raw values are dropped.
-///  * **frozen** — when a stripe exceeds its share of the memory
-///    budget, its least-recently-updated hot users are demoted: the
+///  * **segment** — with a segment directory configured
+///    (`ServiceOptions::segment_dir`), an over-budget stripe demotes
+///    its least-recently-updated users by *paging them out*: the full
+///    cold/hot state is serialized into the stripe's mmap-backed
+///    segment store (storage/segment_store.h) and the per-user RAM
+///    footprint drops to a bare record. A `get` pages the record back
+///    in and answers from the real state — byte-identical to the
+///    pre-eviction answer — and a new event restores the state to RAM
+///    and continues it live, so nothing is forgotten; RAM is bounded by
+///    paging, not by loss. A failed page-in degrades to the frozen
+///    floor (below), never crashes.
+///  * **frozen** — without a segment directory (or when a paged
+///    reactivation fails), demotion falls back to forgetting: the
 ///    sketch's estimate is frozen as a floor, the sketch itself is
 ///    merged into the stripe's *archive* sketch (so its mass is not
 ///    lost to aggregate queries), and the per-user footprint drops to a
@@ -72,10 +84,21 @@ struct ServiceOptions {
   std::uint64_t hh_max_papers = 1u << 20;
   /// Seed for the heavy-hitters hash grid.
   std::uint64_t seed = 2017;
+  /// Directory for the per-stripe segment stores (the paged cold tier).
+  /// Empty disables paging: demotion freezes users instead. Runtime-only
+  /// — NOT part of the checkpoint manifest, so a checkpoint restores
+  /// into a service with any (or no) segment directory.
+  std::string segment_dir;
 };
 
-/// Which tier a user's state currently occupies.
-enum class UserTier : std::uint8_t { kCold = 0, kHot = 1, kFrozen = 2 };
+/// Which tier a user's state currently occupies. Values are the
+/// checkpoint and wire encoding: append only, never renumber.
+enum class UserTier : std::uint8_t {
+  kCold = 0,
+  kHot = 1,
+  kFrozen = 2,
+  kSegment = 3,
+};
 
 /// One leaderboard row.
 struct LeaderboardEntry {
@@ -98,6 +121,7 @@ struct RegistryStats {
   std::uint64_t cold_users = 0;
   std::uint64_t hot_users = 0;
   std::uint64_t frozen_users = 0;
+  std::uint64_t segment_users = 0;
   std::uint64_t promotions = 0;
   std::uint64_t demotions = 0;
   std::uint64_t resident_bytes = 0;
@@ -111,6 +135,16 @@ struct RegistryStats {
   /// docs/PERFORMANCE.md, "Epoch-cached merge-on-query").
   std::uint64_t topk_cache_hits = 0;
   std::uint64_t topk_cache_misses = 0;
+  /// Segment-store aggregates (zero when no segment_dir is configured).
+  /// Sealed segment files / bytes are state-like; the page-in and
+  /// failure counts are runtime counters surfaced via `health`.
+  std::uint64_t segment_files = 0;
+  std::uint64_t segment_bytes = 0;
+  std::uint64_t segment_pending_records = 0;
+  std::uint64_t segment_seals = 0;
+  std::uint64_t page_ins = 0;
+  std::uint64_t page_in_cache_hits = 0;
+  std::uint64_t page_in_failures = 0;
 };
 
 /// The sharded, budgeted, tiered per-user store.
@@ -168,6 +202,12 @@ class TieredUserRegistry {
   /// The stripe index `user` hashes to (stable across restarts).
   std::size_t StripeOf(AuthorId user) const;
 
+  /// Monotone per-stripe mutation epoch: bumped by every `Add` landing
+  /// on stripe `i` and by `DeserializeStripe`. Incremental checkpoints
+  /// compare it against the epoch captured at the last save to skip
+  /// clean stripes. Lock-free (acquire).
+  std::uint64_t DirtyEpoch(std::size_t i) const;
+
   /// The registry's configuration.
   const ServiceOptions& options() const { return options_; }
 
@@ -213,9 +253,24 @@ class TieredUserRegistry {
     std::uint64_t demotions = 0;
     std::uint64_t touch_clock = 0;
     std::uint64_t resident_bytes = 0;
+    /// Irreducible residency observed by the last budget scan that
+    /// could not reach its target: everything evictable was demoted and
+    /// this much remained (per-user records, boards, the archive).
+    /// While `resident_bytes` stays within a slack band above this
+    /// floor, further scans are pointless and are skipped — without it,
+    /// a population whose bare metadata exceeds the budget degrades to
+    /// a full victim scan per Add. Reset to 0 whenever a scan meets its
+    /// target again (restores shrink residency below old floors).
+    std::uint64_t unmeetable_floor_bytes = 0;
     /// Sketch allocations vetoed by the `alloc-fail` fault point
     /// (runtime counter; deliberately not checkpointed).
     std::uint64_t alloc_failures = 0;
+    /// The paged cold tier (null when segment_dir is empty). Guarded by
+    /// `mu` — the store itself is not thread-safe.
+    std::unique_ptr<SegmentStore> store;
+    /// Mutation epoch for incremental checkpoints: bumped (release,
+    /// under `mu`) by every Add and by stripe restore. Runtime-only.
+    std::atomic<std::uint64_t> dirty{0};
     /// Board epoch: bumped (release, under `mu`) whenever `board`
     /// changes — entry added, replaced, or its estimate raised — and on
     /// stripe restore. `TopK` reads it (acquire, lock-free) to decide
@@ -254,10 +309,19 @@ class TieredUserRegistry {
 
   double EstimateLocked(const UserState& state) const;
   void PromoteLocked(Stripe& stripe, UserState& state);
-  void DemoteLocked(Stripe& stripe, UserState& state);
+  void DemoteLocked(Stripe& stripe, AuthorId user, UserState& state);
   void UpdateBoardLocked(Stripe& stripe, AuthorId user, double estimate);
   void EnforceBudgetLocked(Stripe& stripe);
   ExponentialHistogramEstimator MakeSketch() const;
+  Status AttachSegmentStores();
+  /// Pages a segment-resident user's state back into RAM (tier returns
+  /// to cold/hot, the record is forgotten); on page-in failure degrades
+  /// to a frozen-style fresh sketch over the suffix (floor kept).
+  void ReactivateLocked(Stripe& stripe, AuthorId user, UserState& state);
+  /// A segment-resident user's estimate from its paged-in record — the
+  /// cold-get path; the RAM floor on page-in failure.
+  double SegmentEstimateLocked(Stripe& stripe, AuthorId user,
+                               const UserState& state) const;
 
   ServiceOptions options_;
   std::uint64_t stripe_budget_bytes_ = 0;

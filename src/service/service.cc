@@ -1,11 +1,14 @@
 #include "service/service.h"
 
+#include <unordered_map>
 #include <utility>
 
 #include "common/bytes.h"
 #include "common/check.h"
 #include "fault/backoff.h"
 #include "io/checkpoint.h"
+#include "storage/codec.h"
+#include "storage/delta_chain.h"
 
 namespace himpact {
 namespace {
@@ -45,7 +48,8 @@ HImpactService::HImpactService(TieredUserRegistry registry,
       admission_(std::make_unique<AdmissionController>(overload)),
       ingest_latency_(std::make_unique<LatencyRecorder>()),
       point_latency_(std::make_unique<LatencyRecorder>()),
-      topk_latency_(std::make_unique<LatencyRecorder>()) {}
+      topk_latency_(std::make_unique<LatencyRecorder>()),
+      chain_(std::make_unique<ChainState>()) {}
 
 std::vector<std::unique_ptr<HImpactService::HhStripe>>
 HImpactService::MakeHhStripes() const {
@@ -165,6 +169,10 @@ ServiceStats HImpactService::Stats() const {
     stats.hh_report_cache_hits = hh_report_cache_->hits;
     stats.hh_report_cache_misses = hh_report_cache_->misses;
   }
+  {
+    std::lock_guard<std::mutex> lock(chain_->mu);
+    stats.checkpoint = chain_->counters;
+  }
   stats.admission = admission_->Counters();
   return stats;
 }
@@ -229,26 +237,68 @@ std::string HImpactService::StripePath(const std::string& path,
 }
 
 Status HImpactService::CheckpointTo(const std::string& path) const {
-  // Stripes first, manifest last: an openable manifest implies every
+  return CheckpointTo(path, SaveMode::kFull);
+}
+
+Status HImpactService::CheckpointTo(const std::string& path,
+                                    SaveMode mode) const {
+  if (mode == SaveMode::kIncremental) return CheckpointIncremental(path);
+  return CheckpointFull(path);
+}
+
+HImpactService::StripeSnapshot HImpactService::SnapshotStripe(
+    std::size_t i) const {
+  StripeSnapshot snap;
+  // Epochs are captured BEFORE the stripe is serialized: a mutation that
+  // races the serialization moves the live epoch past the captured one,
+  // so the next incremental save re-serializes the stripe — the capture
+  // can only be conservative, never miss a change.
+  snap.reg_epoch = registry_.DirtyEpoch(i);
+  snap.hh_epoch = hh_stripes_[i]->version.load(std::memory_order_acquire);
+  ByteWriter writer;
+  registry_.SerializeStripe(i, writer);
+  writer.U8(options().enable_heavy_hitters ? 1 : 0);
+  if (options().enable_heavy_hitters) {
+    const HhStripe& stripe = *hh_stripes_[i];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.hh->SerializeTo(writer);
+    writer.U64(stripe.next_paper);
+  }
+  snap.payload = writer.Take();
+  snap.hash = Fnv1a64(snap.payload);
+  return snap;
+}
+
+Status HImpactService::CheckpointFull(const std::string& path) const {
+  const std::size_t n = registry_.num_stripes();
+  // Head first: pinning generation 0 cuts any existing delta chain over
+  // before the full files are rewritten, so a crash mid-save restores
+  // legacy-style from whatever mix of old/new stripe files survives
+  // (per-stripe consistent, same as a crash always was) instead of
+  // chasing deltas whose hashes no longer match.
+  Status head = RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
+    return WriteHead(HeadPath(path), 0);
+  });
+  if (!head.ok()) return head;
+
+  // Stripes next, manifest last: an openable manifest implies every
   // stripe it references was durably written (same discipline as the
   // sharded engine's checkpoint).
-  for (std::size_t i = 0; i < registry_.num_stripes(); ++i) {
-    ByteWriter writer;
-    registry_.SerializeStripe(i, writer);
-    writer.U8(options().enable_heavy_hitters ? 1 : 0);
-    if (options().enable_heavy_hitters) {
-      const HhStripe& stripe = *hh_stripes_[i];
-      std::lock_guard<std::mutex> lock(stripe.mu);
-      stripe.hh->SerializeTo(writer);
-      writer.U64(stripe.next_paper);
-    }
+  std::vector<std::uint64_t> reg_epochs(n), hh_epochs(n), hashes(n);
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    StripeSnapshot snap = SnapshotStripe(i);
     Status written =
         RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
           return WriteCheckpointFile(StripePath(path, i),
                                      CheckpointTag::kServiceStripe,
-                                     writer.buffer());
+                                     snap.payload);
         });
     if (!written.ok()) return written;
+    reg_epochs[i] = snap.reg_epoch;
+    hh_epochs[i] = snap.hh_epoch;
+    hashes[i] = snap.hash;
+    bytes += snap.payload.size();
   }
 
   ByteWriter manifest;
@@ -266,10 +316,109 @@ Status HImpactService::CheckpointTo(const std::string& path) const {
   manifest.U64(opts.hh_max_papers);
   manifest.U64(opts.seed);
   manifest.U64(registry_.Stats().total_events);
-  return RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
-    return WriteCheckpointFile(path, CheckpointTag::kServiceManifest,
-                               manifest.buffer());
+  Status written =
+      RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
+        return WriteCheckpointFile(path, CheckpointTag::kServiceManifest,
+                                   manifest.buffer());
+      });
+  if (!written.ok()) return written;
+
+  std::lock_guard<std::mutex> lock(chain_->mu);
+  chain_->valid = true;
+  chain_->path = path;
+  chain_->generation = 0;
+  chain_->reg_epochs = std::move(reg_epochs);
+  chain_->hh_epochs = std::move(hh_epochs);
+  chain_->hashes = std::move(hashes);
+  chain_->loc_gens.assign(n, 0);
+  ++chain_->counters.full_saves;
+  chain_->counters.stripes_written += n;
+  chain_->counters.bytes_full += bytes;
+  chain_->counters.chain_generation = 0;
+  return Status::OK();
+}
+
+Status HImpactService::CheckpointIncremental(const std::string& path) const {
+  std::unique_lock<std::mutex> lock(chain_->mu);
+  if (!chain_->valid || chain_->path != path) {
+    // No chain to extend (first save to this path, or a different
+    // path): a full save roots one. Counted, never an error.
+    ++chain_->counters.incremental_fallbacks;
+    lock.unlock();
+    return CheckpointFull(path);
+  }
+
+  const std::size_t n = registry_.num_stripes();
+  const std::uint64_t generation = chain_->generation + 1;
+  DeltaManifest manifest;
+  manifest.generation = generation;
+  manifest.parent = chain_->generation;
+  manifest.total_events = registry_.Stats().total_events;
+  manifest.stripes.resize(n);
+
+  // Stage the post-save chain state; commit only after both writes land
+  // (a failed or torn delta leaves the previous chain authoritative).
+  std::vector<std::uint64_t> reg_epochs = chain_->reg_epochs;
+  std::vector<std::uint64_t> hh_epochs = chain_->hh_epochs;
+  std::vector<std::uint64_t> hashes = chain_->hashes;
+  std::vector<std::uint64_t> loc_gens = chain_->loc_gens;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> records;
+  std::uint64_t written = 0;
+  std::uint64_t skipped_clean = 0;
+  std::uint64_t skipped_dedup = 0;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (registry_.DirtyEpoch(i) == chain_->reg_epochs[i] &&
+        hh_stripes_[i]->version.load(std::memory_order_acquire) ==
+            chain_->hh_epochs[i]) {
+      // Clean since the last save: the manifest re-points at wherever
+      // the stripe already lives.
+      manifest.stripes[i] = {chain_->loc_gens[i], chain_->hashes[i]};
+      ++skipped_clean;
+      continue;
+    }
+    StripeSnapshot snap = SnapshotStripe(i);
+    reg_epochs[i] = snap.reg_epoch;
+    hh_epochs[i] = snap.hh_epoch;
+    if (snap.hash == chain_->hashes[i]) {
+      // The epoch moved but the payload converged back to what the
+      // chain already holds (hash dedup across generations): keep the
+      // old location, advance the stored epoch so the stripe reads
+      // clean next time.
+      manifest.stripes[i] = {chain_->loc_gens[i], chain_->hashes[i]};
+      ++skipped_dedup;
+      continue;
+    }
+    manifest.stripes[i] = {generation, snap.hash};
+    hashes[i] = snap.hash;
+    loc_gens[i] = generation;
+    bytes += snap.payload.size();
+    records.emplace_back(
+        i, SealEnvelope(CheckpointTag::kServiceStripe, snap.payload));
+    ++written;
+  }
+
+  Status delta = RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
+    return WriteDeltaSegment(DeltaPath(path, generation), manifest, records);
   });
+  if (!delta.ok()) return delta;
+  Status head = RetryWithBackoff(admission_->options().checkpoint_retry, [&] {
+    return WriteHead(HeadPath(path), generation);
+  });
+  if (!head.ok()) return head;
+
+  chain_->generation = generation;
+  chain_->reg_epochs = std::move(reg_epochs);
+  chain_->hh_epochs = std::move(hh_epochs);
+  chain_->hashes = std::move(hashes);
+  chain_->loc_gens = std::move(loc_gens);
+  ++chain_->counters.incremental_saves;
+  chain_->counters.stripes_written += written;
+  chain_->counters.stripes_skipped_clean += skipped_clean;
+  chain_->counters.stripes_skipped_dedup += skipped_dedup;
+  chain_->counters.bytes_incremental += bytes;
+  chain_->counters.chain_generation = generation;
+  return Status::OK();
 }
 
 StatusOr<ServiceManifest> HImpactService::ReadManifest(
@@ -309,6 +458,91 @@ StatusOr<ServiceManifest> HImpactService::ReadManifest(
   return manifest;
 }
 
+Status HImpactService::DecodeStripePayload(
+    std::size_t i, const std::vector<std::uint8_t>& payload,
+    TieredUserRegistry& registry,
+    std::vector<std::unique_ptr<HhStripe>>& hh) const {
+  ByteReader reader(payload);
+  Status stripe_status = registry.DeserializeStripe(i, reader);
+  if (!stripe_status.ok()) return stripe_status;
+  std::uint8_t hh_flag = 0;
+  if (!reader.U8(&hh_flag)) {
+    return Status::InvalidArgument("truncated stripe heavy-hitters flag");
+  }
+  if ((hh_flag == 1) != options().enable_heavy_hitters) {
+    return Status::InvalidArgument(
+        "stripe heavy-hitters flag disagrees with the manifest");
+  }
+  if (hh_flag == 1) {
+    StatusOr<HeavyHitters> grid = HeavyHitters::DeserializeFrom(reader);
+    if (!grid.ok()) return grid.status();
+    if (!reader.U64(&hh[i]->next_paper)) {
+      return Status::InvalidArgument("truncated stripe paper counter");
+    }
+    hh[i]->hh = std::move(grid).value();
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("stripe payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status HImpactService::LoadChainPayloads(
+    const std::string& path, std::uint64_t g,
+    std::vector<std::vector<std::uint8_t>>* payloads,
+    std::vector<std::uint64_t>* loc_gens,
+    std::vector<std::uint64_t>* hashes) const {
+  const std::size_t n = registry_.num_stripes();
+  StatusOr<SegmentReader> newest = OpenDeltaSegment(DeltaPath(path, g));
+  if (!newest.ok()) return newest.status();
+  StatusOr<DeltaManifest> manifest = ReadDeltaManifest(newest.value());
+  if (!manifest.ok()) return manifest.status();
+  if (manifest.value().generation != g ||
+      manifest.value().stripes.size() != n) {
+    return Status::InvalidArgument(
+        "delta manifest does not cover this generation / stripe layout");
+  }
+  std::unordered_map<std::uint64_t, SegmentReader> readers;
+  readers.emplace(g, std::move(newest).value());
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeltaStripeLoc& loc = manifest.value().stripes[i];
+    std::vector<std::uint8_t> payload;
+    if (loc.generation == 0) {
+      StatusOr<std::vector<std::uint8_t>> full = ReadCheckpointFile(
+          StripePath(path, i), CheckpointTag::kServiceStripe);
+      if (!full.ok()) return full.status();
+      payload = std::move(full).value();
+    } else {
+      if (loc.generation > g) {
+        return Status::InvalidArgument(
+            "delta manifest points past its own generation");
+      }
+      auto it = readers.find(loc.generation);
+      if (it == readers.end()) {
+        StatusOr<SegmentReader> reader =
+            OpenDeltaSegment(DeltaPath(path, loc.generation));
+        if (!reader.ok()) return reader.status();
+        it = readers.emplace(loc.generation, std::move(reader).value()).first;
+      }
+      StatusOr<std::vector<std::uint8_t>> sealed =
+          ReadDeltaStripeEnvelope(it->second, i);
+      if (!sealed.ok()) return sealed.status();
+      StatusOr<std::vector<std::uint8_t>> opened =
+          OpenEnvelope(sealed.value(), CheckpointTag::kServiceStripe);
+      if (!opened.ok()) return opened.status();
+      payload = std::move(opened).value();
+    }
+    if (Fnv1a64(payload) != loc.payload_hash) {
+      return Status::InvalidArgument(
+          "stripe payload hash disagrees with the delta manifest");
+    }
+    (*loc_gens)[i] = loc.generation;
+    (*hashes)[i] = loc.payload_hash;
+    payloads->push_back(std::move(payload));
+  }
+  return Status::OK();
+}
+
 Status HImpactService::RestoreFrom(const std::string& path) {
   StatusOr<ServiceManifest> manifest = ReadManifest(path);
   if (!manifest.ok()) return manifest.status();
@@ -333,32 +567,49 @@ Status HImpactService::RestoreFrom(const std::string& path) {
   if (!fresh_registry.ok()) return fresh_registry.status();
   std::vector<std::unique_ptr<HhStripe>> fresh_hh = MakeHhStripes();
 
-  for (std::size_t i = 0; i < mine.num_stripes; ++i) {
-    StatusOr<std::vector<std::uint8_t>> payload = ReadCheckpointFile(
-        StripePath(path, i), CheckpointTag::kServiceStripe);
-    if (!payload.ok()) return payload.status();
-    ByteReader reader(payload.value());
-    Status stripe_status = fresh_registry.value().DeserializeStripe(i, reader);
-    if (!stripe_status.ok()) return stripe_status;
-    std::uint8_t hh_flag = 0;
-    if (!reader.U8(&hh_flag)) {
-      return Status::InvalidArgument("truncated stripe heavy-hitters flag");
-    }
-    if ((hh_flag == 1) != mine.enable_heavy_hitters) {
-      return Status::InvalidArgument(
-          "stripe heavy-hitters flag disagrees with the manifest");
-    }
-    if (hh_flag == 1) {
-      StatusOr<HeavyHitters> hh = HeavyHitters::DeserializeFrom(reader);
-      if (!hh.ok()) return hh.status();
-      if (!reader.U64(&fresh_hh[i]->next_paper)) {
-        return Status::InvalidArgument("truncated stripe paper counter");
+  // Pick the payload set: the newest restorable delta generation if a
+  // head pins a chain, else (or after exhausting damaged deltas) the
+  // plain full files — the `RestoreOrFallback` discipline, per
+  // generation.
+  const std::size_t n = mine.num_stripes;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<std::uint64_t> loc_gens(n, 0);
+  std::vector<std::uint64_t> hashes(n, 0);
+  std::uint64_t generation = 0;
+  std::uint64_t chain_fallbacks = 0;
+  StatusOr<std::uint64_t> head = ReadHead(HeadPath(path));
+  if (head.ok()) {
+    for (std::uint64_t g = head.value(); g > 0; --g) {
+      payloads.clear();
+      loc_gens.assign(n, 0);
+      hashes.assign(n, 0);
+      Status loaded = LoadChainPayloads(path, g, &payloads, &loc_gens,
+                                        &hashes);
+      if (loaded.ok()) {
+        generation = g;
+        break;
       }
-      fresh_hh[i]->hh = std::move(hh).value();
+      ++chain_fallbacks;
     }
-    if (!reader.AtEnd()) {
-      return Status::InvalidArgument("stripe payload has trailing bytes");
+  }
+  if (generation == 0) {
+    // Legacy (headless) checkpoint, head at 0, or every delta damaged:
+    // the full files are the payload set.
+    payloads.clear();
+    loc_gens.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      StatusOr<std::vector<std::uint8_t>> payload = ReadCheckpointFile(
+          StripePath(path, i), CheckpointTag::kServiceStripe);
+      if (!payload.ok()) return payload.status();
+      hashes[i] = Fnv1a64(payload.value());
+      payloads.push_back(std::move(payload).value());
     }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Status decoded =
+        DecodeStripePayload(i, payloads[i], fresh_registry.value(), fresh_hh);
+    if (!decoded.ok()) return decoded;
   }
 
   registry_ = std::move(fresh_registry).value();
@@ -373,6 +624,26 @@ Status HImpactService::RestoreFrom(const std::string& path) {
     hh_report_cache_->valid = false;
     hh_report_cache_->versions.clear();
     hh_report_cache_->reports.clear();
+  }
+  // The in-RAM state now equals the restored generation's on-disk
+  // payloads, so root the chain here: a subsequent incremental save to
+  // the same path extends it instead of rewriting everything.
+  {
+    std::lock_guard<std::mutex> lock(chain_->mu);
+    chain_->valid = true;
+    chain_->path = path;
+    chain_->generation = generation;
+    chain_->reg_epochs.resize(n);
+    chain_->hh_epochs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      chain_->reg_epochs[i] = registry_.DirtyEpoch(i);
+      chain_->hh_epochs[i] =
+          hh_stripes_[i]->version.load(std::memory_order_acquire);
+    }
+    chain_->hashes = std::move(hashes);
+    chain_->loc_gens = std::move(loc_gens);
+    chain_->counters.restore_chain_fallbacks += chain_fallbacks;
+    chain_->counters.chain_generation = generation;
   }
   return Status::OK();
 }

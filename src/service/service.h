@@ -13,6 +13,7 @@
 #include "fault/admission.h"
 #include "heavy/heavy_hitters.h"
 #include "service/latency.h"
+#include "service/protocol.h"
 #include "service/registry.h"
 #include "stream/types.h"
 
@@ -35,6 +36,18 @@
 /// that opens implies the stripes it references were durably written.
 /// `RestoreFrom` decodes everything into fresh state and only then
 /// swaps it in; a damaged checkpoint leaves the service unchanged.
+///
+/// Incremental checkpoints (`CheckpointTo(path, SaveMode::kIncremental)`)
+/// extend a full save instead of rewriting it: only stripes whose dirty
+/// epoch (registry) or ingest epoch (heavy hitters) moved since the last
+/// save to `path` are re-serialized, into one delta segment
+/// `path.delta-<g>` (storage/delta_chain.h) with a coverage manifest
+/// chaining back to the full files; a content-hash match additionally
+/// dedups a stripe whose epoch moved but whose payload did not. The head
+/// pointer `path.head` is rewritten atomically last, so a torn delta
+/// write leaves the previous chain restorable. `RestoreFrom` walks the
+/// chain from the head and falls back generation by generation (to the
+/// bare full save in the worst case) on damage. See docs/CHECKPOINTS.md.
 
 namespace himpact {
 
@@ -44,9 +57,28 @@ struct ServiceManifest {
   std::uint64_t total_events = 0;
 };
 
+/// Checkpoint-path counters (runtime-only, surfaced via `health`).
+struct CheckpointCounters {
+  std::uint64_t full_saves = 0;
+  std::uint64_t incremental_saves = 0;
+  /// Incremental saves that had no chain to extend (first save to the
+  /// path, or a save to a different path) and wrote a full checkpoint.
+  std::uint64_t incremental_fallbacks = 0;
+  std::uint64_t stripes_written = 0;
+  std::uint64_t stripes_skipped_clean = 0;  // dirty epoch unchanged
+  std::uint64_t stripes_skipped_dedup = 0;  // epoch moved, payload hash same
+  std::uint64_t bytes_full = 0;
+  std::uint64_t bytes_incremental = 0;
+  /// Damaged deltas skipped while walking the chain during a restore.
+  std::uint64_t restore_chain_fallbacks = 0;
+  /// Generation of the live chain (0 = full save only).
+  std::uint64_t chain_generation = 0;
+};
+
 /// Aggregate service counters for `Stats()` reporting.
 struct ServiceStats {
   RegistryStats registry;
+  CheckpointCounters checkpoint;
   /// Papers observed by the heavy-hitters grid (0 when disabled).
   std::uint64_t hh_papers = 0;
   /// `HeavyReport` answers served from the epoch-tagged merged-grid
@@ -145,8 +177,16 @@ class HImpactService {
   /// Writes per-stripe envelopes to `path.stripe-<i>`, then the
   /// manifest to `path`. Concurrent ingest is allowed (each stripe is
   /// snapshotted under its own lock), so the checkpoint is per-stripe
-  /// consistent rather than a global cut.
+  /// consistent rather than a global cut. Equivalent to
+  /// `CheckpointTo(path, SaveMode::kFull)`.
   Status CheckpointTo(const std::string& path) const;
+
+  /// `SaveMode::kFull` rewrites everything and roots a new chain;
+  /// `SaveMode::kIncremental` writes a delta of the stripes dirtied
+  /// since the last save to `path` (falling back to a full save when no
+  /// chain to `path` exists — counted, never an error). Thread-safe
+  /// against ingest; concurrent checkpoints serialize on the chain lock.
+  Status CheckpointTo(const std::string& path, SaveMode mode) const;
 
   /// Reads and decodes the manifest at `path`.
   static StatusOr<ServiceManifest> ReadManifest(const std::string& path);
@@ -154,7 +194,10 @@ class HImpactService {
   /// Restores service state from a `CheckpointTo` checkpoint whose
   /// configuration matches this service's options
   /// (`kFailedPrecondition` otherwise). All-or-nothing: decodes into
-  /// fresh state before swapping it in.
+  /// fresh state before swapping it in. Chain-aware: with a readable
+  /// `path.head` the newest restorable delta generation wins, falling
+  /// back generation by generation (counted) to the plain full save on
+  /// damage; without a head this is exactly the legacy full restore.
   Status RestoreFrom(const std::string& path);
 
   /// The per-stripe envelope path (`path.stripe-<i>`).
@@ -201,9 +244,53 @@ class HImpactService {
     std::uint64_t misses = 0;
   };
 
+  /// What the last successful save to `path` looked like: the per-stripe
+  /// epochs captured *before* each stripe was serialized (conservative —
+  /// a mutation racing the serialization re-dirties the stripe), the
+  /// payload hashes, and which generation holds each stripe. Behind a
+  /// unique_ptr (std::mutex is immovable; the service moves). Checkpoint
+  /// and restore operations serialize on `mu`; they take stripe locks
+  /// inside it, never the reverse.
+  struct ChainState {
+    mutable std::mutex mu;
+    bool valid = false;
+    std::string path;
+    std::uint64_t generation = 0;
+    std::vector<std::uint64_t> reg_epochs;
+    std::vector<std::uint64_t> hh_epochs;
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::uint64_t> loc_gens;
+    CheckpointCounters counters;
+  };
+
+  /// One stripe's checkpoint payload plus the epochs captured before it
+  /// was serialized and its content hash.
+  struct StripeSnapshot {
+    std::vector<std::uint8_t> payload;
+    std::uint64_t reg_epoch = 0;
+    std::uint64_t hh_epoch = 0;
+    std::uint64_t hash = 0;
+  };
+
   HImpactService(TieredUserRegistry registry, const OverloadOptions& overload);
 
   std::vector<std::unique_ptr<HhStripe>> MakeHhStripes() const;
+  StripeSnapshot SnapshotStripe(std::size_t i) const;
+  Status CheckpointFull(const std::string& path) const;
+  Status CheckpointIncremental(const std::string& path) const;
+  /// Decodes one stripe payload (registry stripe + heavy-hitters shard)
+  /// into the fresh state being assembled by a restore.
+  Status DecodeStripePayload(std::size_t i,
+                             const std::vector<std::uint8_t>& payload,
+                             TieredUserRegistry& registry,
+                             std::vector<std::unique_ptr<HhStripe>>& hh) const;
+  /// Loads every stripe's payload as covered by delta generation `g`'s
+  /// manifest, verifying content hashes; any damage fails the whole
+  /// generation (the caller falls back to `g - 1`).
+  Status LoadChainPayloads(const std::string& path, std::uint64_t g,
+                           std::vector<std::vector<std::uint8_t>>* payloads,
+                           std::vector<std::uint64_t>* loc_gens,
+                           std::vector<std::uint64_t>* hashes) const;
 
   TieredUserRegistry registry_;
   std::vector<std::unique_ptr<HhStripe>> hh_stripes_;
@@ -212,6 +299,7 @@ class HImpactService {
   std::unique_ptr<LatencyRecorder> ingest_latency_;
   std::unique_ptr<LatencyRecorder> point_latency_;
   std::unique_ptr<LatencyRecorder> topk_latency_;
+  std::unique_ptr<ChainState> chain_;
 };
 
 }  // namespace himpact

@@ -25,7 +25,8 @@ void ServiceSession::MaybeCheckpoint() {
   if (options_.checkpoint.empty() || options_.checkpoint_every == 0) return;
   if (++mutations_since_checkpoint_ < options_.checkpoint_every) return;
   mutations_since_checkpoint_ = 0;
-  const Status saved = service_->CheckpointTo(options_.checkpoint);
+  const Status saved =
+      service_->CheckpointTo(options_.checkpoint, options_.checkpoint_mode);
   if (saved.ok()) {
     ++counters_.checkpoints;
   } else {
@@ -41,7 +42,8 @@ Status ServiceSession::FinalCheckpoint() {
   if (options_.checkpoint.empty() || options_.checkpoint_every == 0) {
     return Status::OK();
   }
-  const Status saved = service_->CheckpointTo(options_.checkpoint);
+  const Status saved =
+      service_->CheckpointTo(options_.checkpoint, options_.checkpoint_mode);
   if (saved.ok()) {
     ++counters_.checkpoints;
   } else {
@@ -58,6 +60,7 @@ std::string ServiceSession::StatsJson() const {
   json += ",\"cold\":" + U64(r.cold_users);
   json += ",\"hot\":" + U64(r.hot_users);
   json += ",\"frozen\":" + U64(r.frozen_users);
+  json += ",\"segment\":" + U64(r.segment_users);
   json += ",\"promotions\":" + U64(r.promotions);
   json += ",\"demotions\":" + U64(r.demotions);
   json += ",\"resident_bytes\":" + U64(r.resident_bytes);
@@ -73,17 +76,36 @@ std::string ServiceSession::StatsJson() const {
 
 std::string ServiceSession::HealthJson() const {
   const AdmissionCounters admission = service_->admission().Counters();
-  const std::uint64_t alloc_failures =
-      service_->Stats().registry.alloc_failures;
+  const ServiceStats stats = service_->Stats();
+  const RegistryStats& r = stats.registry;
+  const CheckpointCounters& c = stats.checkpoint;
   std::string json = "{\"inflight\":" + U64(admission.inflight);
   json += ",\"admitted\":" + U64(admission.admitted);
   json += ",\"shed\":" + U64(admission.shed);
   json += ",\"deadline_exceeded\":" + U64(admission.deadline_exceeded);
   json += ",\"rejected_lines\":" + U64(counters_.rejected_lines);
   json += ",\"rejected_frames\":" + U64(counters_.rejected_frames);
-  json += ",\"alloc_failures\":" + U64(alloc_failures);
+  json += ",\"alloc_failures\":" + U64(r.alloc_failures);
   json += ",\"checkpoints\":" + U64(counters_.checkpoints);
   json += ",\"checkpoint_failures\":" + U64(counters_.checkpoint_failures);
+  // The cold-tier runtime counters live here, not in `stats`: `stats`
+  // stays a pure function of restored state (the byte-identity property
+  // the drill leans on) while page-in traffic is runtime-dependent.
+  json += ",\"segment_files\":" + U64(r.segment_files);
+  json += ",\"segment_bytes\":" + U64(r.segment_bytes);
+  json += ",\"segment_pending\":" + U64(r.segment_pending_records);
+  json += ",\"segment_seals\":" + U64(r.segment_seals);
+  json += ",\"page_ins\":" + U64(r.page_ins);
+  json += ",\"page_in_cache_hits\":" + U64(r.page_in_cache_hits);
+  json += ",\"page_in_failures\":" + U64(r.page_in_failures);
+  json += ",\"full_saves\":" + U64(c.full_saves);
+  json += ",\"incremental_saves\":" + U64(c.incremental_saves);
+  json += ",\"incremental_fallbacks\":" + U64(c.incremental_fallbacks);
+  json += ",\"stripes_written\":" + U64(c.stripes_written);
+  json += ",\"stripes_skipped_clean\":" + U64(c.stripes_skipped_clean);
+  json += ",\"stripes_skipped_dedup\":" + U64(c.stripes_skipped_dedup);
+  json += ",\"restore_chain_fallbacks\":" + U64(c.restore_chain_fallbacks);
+  json += ",\"chain_generation\":" + U64(c.chain_generation);
   if (extra_health_fields_) {
     json += ",";
     json += extra_health_fields_();
@@ -174,7 +196,8 @@ bool ServiceSession::HandleCommand(const Command& command,
       result->text = HealthJson();
       return true;
     case CommandKind::kSave: {
-      const Status saved = service_->CheckpointTo(command.path);
+      const Status saved =
+          service_->CheckpointTo(command.path, command.save_mode);
       if (saved.ok()) {
         result->text = command.path;
       } else {

@@ -37,6 +37,11 @@ namespace himpact {
 struct SessionOptions {
   std::string checkpoint;              // empty -> no automatic checkpoints
   std::uint64_t checkpoint_every = 0;  // mutations per auto-checkpoint
+  /// How auto-checkpoints write: `kIncremental` extends the delta chain
+  /// at `checkpoint` (each cadence tick rewrites only dirty stripes;
+  /// the first save roots the chain with a full write). The final
+  /// drain checkpoint honors the same mode.
+  SaveMode checkpoint_mode = SaveMode::kFull;
 };
 
 /// Quarantine and checkpoint counters surfaced by the `health` verb.

@@ -1,0 +1,105 @@
+#include "storage/codec.h"
+
+namespace himpact {
+namespace {
+
+void PutVarint(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+bool GetVarint(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+               std::uint64_t* value) {
+  std::uint64_t out = 0;
+  int shift = 0;
+  while (*pos < size && shift < 64) {
+    const std::uint8_t byte = data[(*pos)++];
+    out |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = out;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ZrleEncode(const std::vector<std::uint8_t>& raw) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() / 2 + 16);
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    // Literal segment: up to the next zero run of at least kZrleMinRun.
+    std::size_t lit_end = pos;
+    std::size_t run_len = 0;
+    while (lit_end < raw.size()) {
+      if (raw[lit_end] == 0) {
+        std::size_t run_end = lit_end;
+        while (run_end < raw.size() && raw[run_end] == 0) ++run_end;
+        run_len = run_end - lit_end;
+        if (run_len >= kZrleMinRun || run_end == raw.size()) break;
+        lit_end = run_end;  // short interior run stays literal
+        run_len = 0;
+        continue;
+      }
+      ++lit_end;
+    }
+    PutVarint(lit_end - pos, &out);
+    out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(pos),
+               raw.begin() + static_cast<std::ptrdiff_t>(lit_end));
+    PutVarint(run_len, &out);
+    pos = lit_end + run_len;
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::uint8_t>> ZrleDecode(const std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t raw_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_len);
+  std::size_t pos = 0;
+  while (pos < size) {
+    std::uint64_t lit_len = 0;
+    if (!GetVarint(data, size, &pos, &lit_len)) {
+      return Status::InvalidArgument("zrle: truncated literal length");
+    }
+    if (lit_len > size - pos || out.size() + lit_len > raw_len) {
+      return Status::InvalidArgument("zrle: literal overruns block");
+    }
+    out.insert(out.end(), data + pos, data + pos + lit_len);
+    pos += static_cast<std::size_t>(lit_len);
+    std::uint64_t run_len = 0;
+    if (!GetVarint(data, size, &pos, &run_len)) {
+      return Status::InvalidArgument("zrle: truncated run length");
+    }
+    if (out.size() + run_len > raw_len) {
+      return Status::InvalidArgument("zrle: zero run overruns block");
+    }
+    out.resize(out.size() + static_cast<std::size_t>(run_len), 0);
+  }
+  if (out.size() != raw_len) {
+    return Status::InvalidArgument("zrle: decoded length mismatch");
+  }
+  return out;
+}
+
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t Fnv1a64(const std::vector<std::uint8_t>& data) {
+  return Fnv1a64(data.data(), data.size());
+}
+
+}  // namespace himpact

@@ -1,0 +1,54 @@
+#ifndef HIMPACT_STORAGE_CODEC_H_
+#define HIMPACT_STORAGE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Block codec for segment files: zero-run-length encoding plus the
+/// FNV-1a content hash used for block dedup.
+///
+/// Serialized sketch state is dominated by small counters stored in
+/// fixed 64-bit little-endian slots, i.e. long runs of zero bytes
+/// between low-order payload bytes. ZRLE exploits exactly that shape —
+/// alternating groups of literal bytes and zero runs — with no tables,
+/// no entropy coder, and no external dependency, so it stays
+/// deterministic across platforms (a requirement for content-hash dedup
+/// and byte-identical restore).
+///
+/// Encoded form: a sequence of groups, each
+///
+///   varint(literal_len) ++ literal bytes ++ varint(zero_run)
+///
+/// covering the input exactly (both lengths may be zero; varints are
+/// LEB128). Decoding requires the expected raw length up front and
+/// rejects encodings that do not reproduce it exactly.
+
+namespace himpact {
+
+/// ZRLE-compresses `raw`. Worst case (no zero run of length >=
+/// `kZrleMinRun`) the output is `raw.size()` plus ~2 bytes per 127
+/// literals of group framing.
+std::vector<std::uint8_t> ZrleEncode(const std::vector<std::uint8_t>& raw);
+
+/// Minimum zero-run length worth a group break (shorter runs are
+/// cheaper as literals).
+inline constexpr std::size_t kZrleMinRun = 4;
+
+/// Decompresses exactly `raw_len` bytes from `data`. `kInvalidArgument`
+/// when the encoding is truncated, overruns `raw_len`, or leaves
+/// trailing bytes.
+StatusOr<std::vector<std::uint8_t>> ZrleDecode(const std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t raw_len);
+
+/// FNV-1a 64-bit hash (the segment/block content hash).
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size);
+std::uint64_t Fnv1a64(const std::vector<std::uint8_t>& data);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_STORAGE_CODEC_H_

@@ -1,0 +1,143 @@
+#include "storage/delta_chain.h"
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/envelope.h"
+#include "fault/fault.h"
+#include "io/checkpoint.h"
+
+namespace himpact {
+namespace {
+
+constexpr std::uint64_t kDeltaManifestMagic =
+    0x31464D44504D4948ULL;  // HIMPDMF1
+constexpr std::uint64_t kDeltaHeadMagic = 0x31444844504D4948ULL;  // HIMPDHD1
+
+/// The torn write: half the image lands at the FINAL path (no tmp+rename),
+/// leaving a genuinely truncated delta on disk, exactly the damage the
+/// chain-restore fallback must absorb.
+Status TearWrite(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file != nullptr) {
+    std::fwrite(bytes.data(), 1, bytes.size() / 2, file);
+    std::fclose(file);
+  }
+  return Status::Internal("injected segment-torn-delta on " + path);
+}
+
+}  // namespace
+
+std::string DeltaPath(const std::string& path, std::uint64_t generation) {
+  return path + ".delta-" + std::to_string(generation);
+}
+
+std::string HeadPath(const std::string& path) { return path + ".head"; }
+
+std::vector<std::uint8_t> SerializeDeltaManifest(const DeltaManifest& m) {
+  ByteWriter writer;
+  writer.U64(kDeltaManifestMagic);
+  writer.U64(m.generation);
+  writer.U64(m.parent);
+  writer.U64(m.total_events);
+  writer.U64(m.stripes.size());
+  for (const DeltaStripeLoc& loc : m.stripes) {
+    writer.U64(loc.generation);
+    writer.U64(loc.payload_hash);
+  }
+  return writer.Take();
+}
+
+StatusOr<DeltaManifest> ParseDeltaManifest(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader reader(payload);
+  std::uint64_t magic = 0;
+  if (!reader.U64(&magic) || magic != kDeltaManifestMagic) {
+    return Status::InvalidArgument("not a delta manifest");
+  }
+  DeltaManifest m;
+  std::uint64_t num_stripes = 0;
+  if (!reader.U64(&m.generation) || !reader.U64(&m.parent) ||
+      !reader.U64(&m.total_events) || !reader.U64(&num_stripes) ||
+      num_stripes > reader.remaining() / 16) {
+    return Status::InvalidArgument("truncated delta manifest");
+  }
+  m.stripes.resize(static_cast<std::size_t>(num_stripes));
+  for (DeltaStripeLoc& loc : m.stripes) {
+    if (!reader.U64(&loc.generation) || !reader.U64(&loc.payload_hash)) {
+      return Status::InvalidArgument("truncated delta coverage map");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("delta manifest has trailing bytes");
+  }
+  return m;
+}
+
+Status WriteDeltaSegment(
+    const std::string& path, const DeltaManifest& manifest,
+    const std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>&
+        stripe_records) {
+  SegmentWriter writer(kDeltaSegmentStripeId, manifest.generation);
+  for (const auto& [stripe, envelope] : stripe_records) {
+    writer.Add(stripe, envelope);
+  }
+  writer.Add(kDeltaManifestRecordId,
+             SealEnvelope(CheckpointTag::kDeltaManifest,
+                          SerializeDeltaManifest(manifest)));
+  const std::vector<std::uint8_t> image = writer.Seal();
+  if (FaultRegistry::Global().AnyArmed() &&
+      FaultRegistry::Global().ShouldFire(FaultPoint::kSegmentTornDelta)) {
+    return TearWrite(path, image);
+  }
+  return WriteFileAtomic(path, image);
+}
+
+StatusOr<SegmentReader> OpenDeltaSegment(const std::string& path) {
+  StatusOr<SegmentReader> reader = SegmentReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  if (reader.value().stripe() != kDeltaSegmentStripeId) {
+    return Status::InvalidArgument(path + ": not a delta segment");
+  }
+  return reader;
+}
+
+StatusOr<DeltaManifest> ReadDeltaManifest(const SegmentReader& reader) {
+  StatusOr<std::vector<std::uint8_t>> record =
+      reader.ReadRecord(kDeltaManifestRecordId);
+  if (!record.ok()) return record.status();
+  StatusOr<std::vector<std::uint8_t>> payload =
+      OpenEnvelope(record.value(), CheckpointTag::kDeltaManifest);
+  if (!payload.ok()) return payload.status();
+  return ParseDeltaManifest(payload.value());
+}
+
+StatusOr<std::vector<std::uint8_t>> ReadDeltaStripeEnvelope(
+    const SegmentReader& reader, std::uint64_t stripe) {
+  return reader.ReadRecord(stripe);
+}
+
+Status WriteHead(const std::string& path, std::uint64_t generation) {
+  ByteWriter writer;
+  writer.U64(kDeltaHeadMagic);
+  writer.U64(generation);
+  return WriteCheckpointFile(path, CheckpointTag::kDeltaHead,
+                             writer.buffer());
+}
+
+StatusOr<std::uint64_t> ReadHead(const std::string& path) {
+  StatusOr<std::vector<std::uint8_t>> payload =
+      ReadCheckpointFile(path, CheckpointTag::kDeltaHead);
+  if (!payload.ok()) return payload.status();
+  ByteReader reader(payload.value());
+  std::uint64_t magic = 0;
+  std::uint64_t generation = 0;
+  if (!reader.U64(&magic) || magic != kDeltaHeadMagic ||
+      !reader.U64(&generation) || !reader.AtEnd()) {
+    return Status::InvalidArgument("bad checkpoint head file");
+  }
+  return generation;
+}
+
+}  // namespace himpact

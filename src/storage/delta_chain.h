@@ -1,0 +1,88 @@
+#ifndef HIMPACT_STORAGE_DELTA_CHAIN_H_
+#define HIMPACT_STORAGE_DELTA_CHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/segment.h"
+
+/// \file
+/// Incremental checkpoint deltas chained back to a full save.
+///
+/// A full service checkpoint at `path` writes the usual per-stripe
+/// envelopes (`path.stripe-<i>`) plus a head file (`path.head`, a
+/// `kDeltaHead` envelope) pinning generation 0. Each incremental save
+/// then writes one delta segment `path.delta-<g>` — a segment container
+/// whose records are the sealed `kServiceStripe` envelopes of only the
+/// stripes whose dirty epochs moved, plus one `kDeltaManifest` record
+/// (id `kDeltaManifestRecordId`) mapping EVERY stripe to the generation
+/// holding its current payload (0 = the full file) with its content
+/// hash — and finally rewrites the head atomically to generation g.
+///
+/// Restore reads the head, opens the newest readable delta's manifest,
+/// and loads each stripe from wherever the coverage map points; a
+/// truncated or corrupt delta falls back generation by generation to
+/// the last good chain (ultimately the full save), preserving the
+/// `RestoreOrFallback` discipline. Because the head is written last and
+/// atomically, a torn delta write (the `segment-torn-delta` fault)
+/// leaves the previous chain untouched. See docs/CHECKPOINTS.md.
+
+namespace himpact {
+
+/// Record id carrying the manifest inside a delta segment (reserved —
+/// stripe indices are far below it).
+inline constexpr std::uint64_t kDeltaManifestRecordId = ~0ull;
+
+/// The `stripe` field of a delta segment's header (deltas span stripes).
+inline constexpr std::uint64_t kDeltaSegmentStripeId = ~0ull;
+
+/// Where one stripe's current payload lives and what it hashes to.
+struct DeltaStripeLoc {
+  std::uint64_t generation = 0;  // 0 = path.stripe-<i>, else path.delta-<g>
+  std::uint64_t payload_hash = 0;  // FNV-1a of the kServiceStripe payload
+};
+
+/// The coverage map embedded in every delta segment.
+struct DeltaManifest {
+  std::uint64_t generation = 0;
+  std::uint64_t parent = 0;  // generation - 1 (0 parents the full save)
+  std::uint64_t total_events = 0;
+  std::vector<DeltaStripeLoc> stripes;
+};
+
+/// `path.delta-<generation>` / `path.head`.
+std::string DeltaPath(const std::string& path, std::uint64_t generation);
+std::string HeadPath(const std::string& path);
+
+/// Serializes / parses the `kDeltaManifest` envelope payload.
+std::vector<std::uint8_t> SerializeDeltaManifest(const DeltaManifest& m);
+StatusOr<DeltaManifest> ParseDeltaManifest(
+    const std::vector<std::uint8_t>& payload);
+
+/// Writes the delta segment for `manifest.generation`: `stripe_records`
+/// are (stripe index, sealed `kServiceStripe` envelope) pairs for the
+/// dirty stripes only. The write is atomic — except under an armed
+/// `segment-torn-delta` fault, which lands half the image at the final
+/// path (a genuinely truncated delta) and reports `kInternal`.
+Status WriteDeltaSegment(
+    const std::string& path, const DeltaManifest& manifest,
+    const std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>&
+        stripe_records);
+
+/// Opens a delta segment and extracts its manifest / a stripe's sealed
+/// envelope bytes.
+StatusOr<SegmentReader> OpenDeltaSegment(const std::string& path);
+StatusOr<DeltaManifest> ReadDeltaManifest(const SegmentReader& reader);
+StatusOr<std::vector<std::uint8_t>> ReadDeltaStripeEnvelope(
+    const SegmentReader& reader, std::uint64_t stripe);
+
+/// Atomically (re)writes / reads the head generation pointer.
+Status WriteHead(const std::string& path, std::uint64_t generation);
+StatusOr<std::uint64_t> ReadHead(const std::string& path);
+
+}  // namespace himpact
+
+#endif  // HIMPACT_STORAGE_DELTA_CHAIN_H_

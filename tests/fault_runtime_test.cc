@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -30,6 +31,7 @@
 #include "io/checkpoint.h"
 #include "random/rng.h"
 #include "service/service.h"
+#include "storage/delta_chain.h"
 
 namespace himpact {
 namespace {
@@ -473,6 +475,120 @@ TEST_F(FaultRuntimeTest, AllocFailDegradesPromotionWithoutLosingAnswers) {
   EXPECT_EQ(snapshot.tier, UserTier::kHot);
   EXPECT_GE(snapshot.estimate, 8.0)
       << "promotion carries the exact floor forward";
+}
+
+// --- segment-map-fail fault / paged cold tier degradation -------------------
+
+TEST_F(FaultRuntimeTest, SegmentMapFailDegradesColdGetsToFloorsNotCrashes) {
+  const std::string dir = TempPath("segdir");
+  ServiceOptions options;
+  options.num_stripes = 1;
+  options.promote_threshold = 16;
+  options.enable_heavy_hitters = false;
+  options.segment_dir = dir;
+  // Budget for one and a half hot sketches: promoting a second heavy
+  // user pages the first out to the segment store.
+  options.memory_budget_bytes = 1u << 30;
+  auto probe = TieredUserRegistry::Create(options).value();
+  for (int i = 0; i < 50; ++i) probe.Add(1, 100);
+  options.memory_budget_bytes =
+      probe.Stats().resident_bytes + probe.Stats().resident_bytes / 2;
+  auto service_or = HImpactService::Create(options);
+  ASSERT_TRUE(service_or.ok());
+  HImpactService service = std::move(service_or).value();
+  for (int i = 0; i < 50; ++i) service.RecordResponseCount(1, 100);
+  const double before = service.PointHIndex(1);
+  for (int i = 0; i < 400; ++i) service.RecordResponseCount(2, 100);
+  UserSnapshot snapshot;
+  ASSERT_TRUE(service.Lookup(1, &snapshot));
+  ASSERT_EQ(snapshot.tier, UserTier::kSegment);
+  EXPECT_EQ(snapshot.estimate, before) << "page-in answers the real state";
+
+  // A checkpoint flushes the store, sealing the pending record into a
+  // real segment file — the next get must page its block in from disk
+  // (the path the fault probes; pending-buffer hits never reach it).
+  const std::string ck = TempPath("segdir_ck");
+  ASSERT_TRUE(service.CheckpointTo(ck).ok());
+
+  // Every page-in fails while armed: the cold get degrades to the
+  // frozen-floor answer — still a valid lower bound, never a crash —
+  // and the failure is counted.
+  FaultRegistry::Global().Arm(FaultPoint::kSegmentMapFail, FaultSpec{});
+  ASSERT_TRUE(service.Lookup(1, &snapshot));
+  EXPECT_EQ(snapshot.tier, UserTier::kSegment);
+  EXPECT_LE(snapshot.estimate, before);
+  EXPECT_GT(snapshot.estimate, 0.0) << "the floor survives the fault";
+  EXPECT_GE(service.Stats().registry.page_in_failures, 1u);
+
+  // Disarm: nothing was corrupted, the paged answer is back.
+  FaultRegistry::Global().Reset();
+  ASSERT_TRUE(service.Lookup(1, &snapshot));
+  EXPECT_EQ(snapshot.estimate, before);
+  for (std::size_t i = 0; i < options.num_stripes; ++i) {
+    std::remove(HImpactService::StripePath(ck, i).c_str());
+  }
+  std::remove(HeadPath(ck).c_str());
+  std::remove(ck.c_str());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// --- segment-torn-delta fault / incremental checkpoint atomicity ------------
+
+TEST_F(FaultRuntimeTest, TornDeltaLeavesThePreviousChainRestorable) {
+  const std::string path = TempPath("torn_delta_ck");
+  ServiceOptions options;
+  options.num_stripes = 2;
+  options.enable_heavy_hitters = false;
+  auto service_or = HImpactService::Create(options);
+  ASSERT_TRUE(service_or.ok());
+  HImpactService service = std::move(service_or).value();
+  // User u's exact cold H-index is u (u papers, 100 responses each).
+  for (std::uint64_t user = 1; user <= 20; ++user) {
+    for (std::uint64_t i = 0; i < user; ++i) {
+      service.RecordResponseCount(user, 100);
+    }
+  }
+  ASSERT_TRUE(service.CheckpointTo(path, SaveMode::kFull).ok());
+  service.RecordResponseCount(3, 500);
+
+  // Tear every delta-write attempt (unbounded, so retries cannot save
+  // it): the incremental save must fail loudly, leave a genuinely
+  // truncated delta file behind, and — because the head pointer only
+  // advances after a complete delta — leave the previous chain intact.
+  FaultRegistry::Global().Arm(FaultPoint::kSegmentTornDelta, FaultSpec{});
+  EXPECT_FALSE(service.CheckpointTo(path, SaveMode::kIncremental).ok());
+  EXPECT_GE(FaultRegistry::Global().fires(FaultPoint::kSegmentTornDelta), 1u);
+  StatusOr<std::uint64_t> head = ReadHead(HeadPath(path));
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head.value(), 0u) << "the head must not advance past a torn delta";
+
+  auto restored_or = HImpactService::Create(options);
+  ASSERT_TRUE(restored_or.ok());
+  HImpactService restored = std::move(restored_or).value();
+  ASSERT_TRUE(restored.RestoreFrom(path).ok());
+  EXPECT_EQ(restored.PointHIndex(3), 3.0)
+      << "the restore serves the generation-0 state";
+
+  // Disarm: the retried incremental save lands and the chain advances.
+  FaultRegistry::Global().Reset();
+  ASSERT_TRUE(service.CheckpointTo(path, SaveMode::kIncremental).ok());
+  head = ReadHead(HeadPath(path));
+  ASSERT_TRUE(head.ok());
+  EXPECT_GE(head.value(), 1u);
+  auto after_or = HImpactService::Create(options);
+  ASSERT_TRUE(after_or.ok());
+  HImpactService after = std::move(after_or).value();
+  ASSERT_TRUE(after.RestoreFrom(path).ok());
+  EXPECT_EQ(after.PointHIndex(3), service.PointHIndex(3));
+  for (std::size_t i = 0; i < options.num_stripes; ++i) {
+    std::remove(HImpactService::StripePath(path, i).c_str());
+  }
+  std::remove(HeadPath(path).c_str());
+  for (std::uint64_t g = 1; g <= 4; ++g) {
+    std::remove(DeltaPath(path, g).c_str());
+  }
+  std::remove(path.c_str());
 }
 
 // --- service admission boundary ---------------------------------------------

@@ -1,0 +1,505 @@
+// The paged cold tier end to end: registry demotions page full user
+// state into the mmap-backed segment store and a `get` pages it back in
+// byte-identical to the pre-eviction answer; reactivation continues the
+// exact stream (no frozen-floor forgetting); incremental checkpoints
+// restore equivalently to full saves; a corrupted delta falls the
+// restore back to the last good chain generation; and the whole paging
+// + checkpoint machinery survives multi-thread load (the tsan preset
+// runs this file). docs/SERVICE.md and docs/CHECKPOINTS.md state the
+// contracts asserted here.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+#include "random/rng.h"
+#include "random/zipf.h"
+#include "service/service.h"
+#include "storage/delta_chain.h"
+
+namespace himpact {
+namespace {
+
+// A scratch path unique to this process (tests may run in parallel).
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "coldtier_" + name + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+void RemoveTree(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+}
+
+void RemoveCheckpoint(const std::string& path, std::size_t num_stripes) {
+  for (std::size_t i = 0; i < num_stripes; ++i) {
+    std::remove(HImpactService::StripePath(path, i).c_str());
+  }
+  std::remove(HeadPath(path).c_str());
+  for (std::uint64_t g = 1; g < 16; ++g) {
+    std::remove(DeltaPath(path, g).c_str());
+  }
+  std::remove(path.c_str());
+}
+
+ServiceOptions PagedOptions(const std::string& segment_dir) {
+  ServiceOptions options;
+  options.num_stripes = 1;
+  options.promote_threshold = 16;
+  options.enable_heavy_hitters = false;
+  options.segment_dir = segment_dir;
+  return options;
+}
+
+class ColdTierTest : public testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Reset(); }
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+// --- evict -> page-in byte-identity ------------------------------------------
+
+TEST_F(ColdTierTest, EvictedHotUserAnswersByteIdenticalViaPageIn) {
+  const std::string dir = TempPath("evict_hot");
+  RemoveTree(dir);
+  // Measure one hot user's footprint unconstrained, then budget for one
+  // and a half hot sketches so promoting a second user must evict the
+  // first (the service_test demotion recipe, now with paging on).
+  ServiceOptions options = PagedOptions(dir);
+  options.memory_budget_bytes = 1u << 30;
+  auto probe = TieredUserRegistry::Create(options).value();
+  for (int i = 0; i < 50; ++i) probe.Add(1, 100);
+  const std::uint64_t hot_bytes = probe.Stats().resident_bytes;
+
+  options.memory_budget_bytes = hot_bytes + hot_bytes / 2;
+  auto registry = TieredUserRegistry::Create(options).value();
+  for (int i = 0; i < 50; ++i) registry.Add(1, 100);
+  const double before = registry.PointHIndex(1);
+  EXPECT_GE(before, 30.0);
+  for (int i = 0; i < 400; ++i) registry.Add(2, 100);
+
+  // The victim was paged out, not frozen-and-forgotten...
+  UserSnapshot snapshot;
+  ASSERT_TRUE(registry.Lookup(1, &snapshot));
+  ASSERT_EQ(snapshot.tier, UserTier::kSegment);
+  // ...and the cold get pages the sealed sketch back in and answers
+  // exactly what the pre-eviction state answered.
+  EXPECT_EQ(snapshot.estimate, before);
+  EXPECT_EQ(registry.PointHIndex(1), before);
+
+  const RegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.segment_users, 1u);
+  EXPECT_GE(stats.demotions, 1u);
+  EXPECT_GE(stats.page_ins + stats.page_in_cache_hits +
+                stats.segment_pending_records,
+            1u)
+      << "the answer must have come through the store";
+  RemoveTree(dir);
+}
+
+TEST_F(ColdTierTest, ReactivationContinuesTheExactStream) {
+  const std::string dir = TempPath("reactivate");
+  RemoveTree(dir);
+  // Cold user 1 sees {5,5,5}; a hot hog then evicts it; two more 5s
+  // arrive. Paged continuation answers ExactH({5,5,5,5,5}) = 5. A
+  // frozen fallback would answer max(floor 3, fresh-suffix H 2) = 3 —
+  // the forgetting this tier exists to avoid. The budget is measured
+  // with an unconstrained probe over the same stream and set one byte
+  // short, so evicting the least-recent user (1) is both necessary and
+  // sufficient.
+  ServiceOptions options = PagedOptions(dir);
+  options.memory_budget_bytes = 1u << 30;
+  auto probe = TieredUserRegistry::Create(options).value();
+  for (int i = 0; i < 3; ++i) probe.Add(1, 5);
+  for (int i = 0; i < 50; ++i) probe.Add(2, 100);
+  const std::uint64_t both_bytes = probe.Stats().resident_bytes;
+
+  options.memory_budget_bytes = both_bytes - 1;
+  auto registry = TieredUserRegistry::Create(options).value();
+  for (int i = 0; i < 3; ++i) registry.Add(1, 5);
+  EXPECT_EQ(registry.PointHIndex(1), 3.0);
+  for (int i = 0; i < 50; ++i) registry.Add(2, 100);
+  UserSnapshot snapshot;
+  ASSERT_TRUE(registry.Lookup(1, &snapshot));
+  ASSERT_EQ(snapshot.tier, UserTier::kSegment);
+
+  registry.Add(1, 5);
+  registry.Add(1, 5);
+  ASSERT_TRUE(registry.Lookup(1, &snapshot));
+  EXPECT_EQ(snapshot.tier, UserTier::kCold)
+      << "reactivation restores the exact cold state";
+  EXPECT_EQ(registry.PointHIndex(1), 5.0)
+      << "paged continuation must match the never-evicted stream";
+  EXPECT_GE(registry.Stats().promotions, 1u);
+  RemoveTree(dir);
+}
+
+TEST_F(ColdTierTest, PagedAnswersMatchAnUnevictedReferenceUnderChurn) {
+  const std::string dir = TempPath("churn");
+  RemoveTree(dir);
+  ServiceOptions options = PagedOptions(dir);
+  options.num_stripes = 2;
+  options.promote_threshold = 8;
+  options.memory_budget_bytes = 24 * 1024;
+  auto paged = TieredUserRegistry::Create(options).value();
+  ServiceOptions reference_options = options;
+  reference_options.segment_dir.clear();
+  reference_options.memory_budget_bytes = 1u << 30;
+  auto reference = TieredUserRegistry::Create(reference_options).value();
+
+  Rng rng(29);
+  ZipfSampler users(200, 1.2);
+  DiscreteParetoSampler citations(1, 1.6, 1u << 10);
+  for (int i = 0; i < 15000; ++i) {
+    const AuthorId user = users.Sample(rng);
+    const std::uint64_t value = citations.Sample(rng);
+    paged.Add(user, value);
+    reference.Add(user, value);
+  }
+  const RegistryStats stats = paged.Stats();
+  ASSERT_GT(stats.demotions, 0u) << "budget pressure never triggered";
+  ASSERT_GT(stats.segment_users, 0u);
+
+  // Every paged answer equals the unevicted reference exactly: paging
+  // round-trips state, it does not approximate it. (Reactivated users
+  // continued their real sketches, so they match too — the property a
+  // frozen-floor tier cannot offer.)
+  std::uint64_t compared = 0;
+  for (AuthorId user = 1; user <= 200; ++user) {
+    UserSnapshot paged_snapshot;
+    if (!paged.Lookup(user, &paged_snapshot)) continue;
+    EXPECT_EQ(paged_snapshot.estimate, reference.PointHIndex(user))
+        << "user " << user << " tier "
+        << static_cast<int>(paged_snapshot.tier);
+    ++compared;
+  }
+  EXPECT_GT(compared, 100u);
+  RemoveTree(dir);
+}
+
+TEST_F(ColdTierTest, CheckpointRestoresPagedUsersIntoAnyService) {
+  const std::string dir = TempPath("restore_dir");
+  const std::string save = TempPath("restore_ck");
+  RemoveTree(dir);
+  ServiceOptions options = PagedOptions(dir);
+  options.memory_budget_bytes = 1u << 30;
+  auto probe = TieredUserRegistry::Create(options).value();
+  for (int i = 0; i < 3; ++i) probe.Add(1, 5);
+  for (int i = 0; i < 50; ++i) probe.Add(2, 100);
+  const std::uint64_t both_bytes = probe.Stats().resident_bytes;
+
+  options.memory_budget_bytes = both_bytes - 1;
+  auto service = HImpactService::Create(options).value();
+  for (int i = 0; i < 3; ++i) service.RecordResponseCount(1, 5);
+  for (int i = 0; i < 50; ++i) service.RecordResponseCount(2, 100);
+  UserSnapshot snapshot;
+  ASSERT_TRUE(service.Lookup(1, &snapshot));
+  ASSERT_EQ(snapshot.tier, UserTier::kSegment);
+  ASSERT_TRUE(service.CheckpointTo(save).ok());
+
+  // Same segment directory: the restored service reattaches the sealed
+  // files and pages the user in as before.
+  auto same_dir = HImpactService::Create(options).value();
+  ASSERT_TRUE(same_dir.RestoreFrom(save).ok());
+  ASSERT_TRUE(same_dir.Lookup(1, &snapshot));
+  EXPECT_EQ(snapshot.tier, UserTier::kSegment);
+  EXPECT_EQ(snapshot.estimate, 3.0);
+  // Reactivation still works across the restart.
+  same_dir.RecordResponseCount(1, 5);
+  same_dir.RecordResponseCount(1, 5);
+  EXPECT_EQ(same_dir.PointHIndex(1), 5.0);
+
+  // No segment directory: the record is unreachable, so the user serves
+  // its floor and converts to the frozen path on its next event — the
+  // documented degradation, never a crash.
+  ServiceOptions storeless = options;
+  storeless.segment_dir.clear();
+  auto no_dir = HImpactService::Create(storeless).value();
+  ASSERT_TRUE(no_dir.RestoreFrom(save).ok());
+  ASSERT_TRUE(no_dir.Lookup(1, &snapshot));
+  EXPECT_EQ(snapshot.estimate, 3.0) << "floor answer without the store";
+  no_dir.RecordResponseCount(1, 5);
+  ASSERT_TRUE(no_dir.Lookup(1, &snapshot));
+  EXPECT_NE(snapshot.tier, UserTier::kSegment);
+  EXPECT_GE(snapshot.estimate, 3.0);
+
+  RemoveCheckpoint(save, options.num_stripes);
+  RemoveTree(dir);
+}
+
+// --- incremental checkpoints -------------------------------------------------
+
+ServiceOptions CheckpointOptions() {
+  ServiceOptions options;
+  options.num_stripes = 4;
+  options.promote_threshold = 8;
+  options.enable_heavy_hitters = false;
+  return options;
+}
+
+std::map<AuthorId, double> AllEstimates(const HImpactService& service,
+                                        AuthorId max_user) {
+  std::map<AuthorId, double> estimates;
+  for (AuthorId user = 1; user <= max_user; ++user) {
+    UserSnapshot snapshot;
+    if (service.Lookup(user, &snapshot)) estimates[user] = snapshot.estimate;
+  }
+  return estimates;
+}
+
+TEST_F(ColdTierTest, IncrementalSaveRestoresEquivalentlyToFull) {
+  const std::string save = TempPath("incr_ck");
+  const ServiceOptions options = CheckpointOptions();
+  auto service = HImpactService::Create(options).value();
+  Rng rng(31);
+  for (int i = 0; i < 4000; ++i) {
+    service.RecordResponseCount(1 + rng.UniformU64(64), 1 + rng.UniformU64(40));
+  }
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kFull).ok());
+
+  // Dirty exactly one user (one stripe) and extend the chain.
+  service.RecordResponseCount(7, 1000);
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kIncremental).ok());
+
+  const CheckpointCounters counters = service.Stats().checkpoint;
+  EXPECT_EQ(counters.full_saves, 1u);
+  EXPECT_EQ(counters.incremental_saves, 1u);
+  EXPECT_EQ(counters.incremental_fallbacks, 0u);
+  EXPECT_EQ(counters.chain_generation, 1u);
+  EXPECT_EQ(counters.stripes_skipped_clean, options.num_stripes - 1)
+      << "one dirty user must leave the other stripes clean-skipped";
+  EXPECT_EQ(counters.stripes_written, options.num_stripes + 1);
+  EXPECT_GT(counters.bytes_full, 0u);
+  EXPECT_GT(counters.bytes_incremental, 0u);
+  EXPECT_LT(counters.bytes_incremental, counters.bytes_full)
+      << "a one-stripe delta must be smaller than the full save";
+  StatusOr<std::uint64_t> head = ReadHead(HeadPath(save));
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head.value(), 1u);
+
+  // The chain restore answers exactly what the live service answers.
+  auto restored = HImpactService::Create(options).value();
+  ASSERT_TRUE(restored.RestoreFrom(save).ok());
+  EXPECT_EQ(restored.Stats().registry.total_events,
+            service.Stats().registry.total_events);
+  EXPECT_EQ(AllEstimates(restored, 64), AllEstimates(service, 64));
+  EXPECT_EQ(restored.Stats().checkpoint.chain_generation, 1u);
+
+  // The restored service's chain is rooted: its next incremental save
+  // extends to generation 2 without a full rewrite.
+  restored.RecordResponseCount(9, 500);
+  ASSERT_TRUE(restored.CheckpointTo(save, SaveMode::kIncremental).ok());
+  EXPECT_EQ(restored.Stats().checkpoint.incremental_fallbacks, 0u);
+  EXPECT_EQ(restored.Stats().checkpoint.chain_generation, 2u);
+  auto again = HImpactService::Create(options).value();
+  ASSERT_TRUE(again.RestoreFrom(save).ok());
+  EXPECT_EQ(AllEstimates(again, 64), AllEstimates(restored, 64));
+
+  RemoveCheckpoint(save, options.num_stripes);
+}
+
+TEST_F(ColdTierTest, IncrementalWithoutAChainFallsBackToAFullSave) {
+  const std::string save = TempPath("fallback_ck");
+  const ServiceOptions options = CheckpointOptions();
+  auto service = HImpactService::Create(options).value();
+  service.RecordResponseCount(1, 10);
+  // No prior save at this path: the incremental request must land a
+  // full save (counted as a fallback), not fail.
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kIncremental).ok());
+  const CheckpointCounters counters = service.Stats().checkpoint;
+  EXPECT_EQ(counters.full_saves, 1u);
+  EXPECT_EQ(counters.incremental_saves, 0u);
+  EXPECT_EQ(counters.incremental_fallbacks, 1u);
+
+  auto restored = HImpactService::Create(options).value();
+  ASSERT_TRUE(restored.RestoreFrom(save).ok());
+  EXPECT_EQ(restored.PointHIndex(1), 1.0);
+  RemoveCheckpoint(save, options.num_stripes);
+}
+
+TEST_F(ColdTierTest, IncrementalChainCarriesHeavyHitterState) {
+  const std::string save = TempPath("hh_ck");
+  ServiceOptions options = CheckpointOptions();
+  options.enable_heavy_hitters = true;
+  auto service = HImpactService::Create(options).value();
+  Rng rng(37);
+  for (std::uint64_t paper = 1; paper <= 500; ++paper) {
+    PaperTuple tuple;
+    tuple.paper = paper;
+    tuple.authors = {1 + rng.UniformU64(8)};
+    tuple.citations = 1 + rng.UniformU64(200);
+    service.IngestPaper(tuple);
+  }
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kFull).ok());
+  for (std::uint64_t paper = 501; paper <= 600; ++paper) {
+    PaperTuple tuple;
+    tuple.paper = paper;
+    tuple.authors = {3};
+    tuple.citations = 300;
+    service.IngestPaper(tuple);
+  }
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kIncremental).ok());
+
+  auto restored = HImpactService::Create(options).value();
+  ASSERT_TRUE(restored.RestoreFrom(save).ok());
+  EXPECT_EQ(AllEstimates(restored, 16), AllEstimates(service, 16));
+  const std::vector<HeavyHitterReport> live = service.HeavyReport();
+  const std::vector<HeavyHitterReport> back = restored.HeavyReport();
+  ASSERT_EQ(back.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(back[i].author, live[i].author);
+    EXPECT_EQ(back[i].h_estimate, live[i].h_estimate);
+  }
+  RemoveCheckpoint(save, options.num_stripes);
+}
+
+TEST_F(ColdTierTest, CorruptedDeltaFallsBackToTheLastGoodGeneration) {
+  const std::string save = TempPath("torn_chain_ck");
+  const ServiceOptions options = CheckpointOptions();
+  auto service = HImpactService::Create(options).value();
+  Rng rng(41);
+  for (int i = 0; i < 2000; ++i) {
+    service.RecordResponseCount(1 + rng.UniformU64(64), 1 + rng.UniformU64(40));
+  }
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kFull).ok());
+  service.RecordResponseCount(5, 700);
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kIncremental).ok());
+  const std::map<AuthorId, double> at_gen1 = AllEstimates(service, 64);
+  const std::uint64_t events_gen1 = service.Stats().registry.total_events;
+  service.RecordResponseCount(6, 900);
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kIncremental).ok());
+
+  // Damage the newest delta after the fact (the head already points at
+  // generation 2 — the crash-torn case is covered by the fault-point
+  // test, where the head never advances).
+  std::filesystem::resize_file(DeltaPath(save, 2), 12);
+
+  auto restored = HImpactService::Create(options).value();
+  ASSERT_TRUE(restored.RestoreFrom(save).ok())
+      << "a damaged delta must cost recency, not the restore";
+  EXPECT_GE(restored.Stats().checkpoint.restore_chain_fallbacks, 1u);
+  EXPECT_EQ(restored.Stats().checkpoint.chain_generation, 1u);
+  EXPECT_EQ(restored.Stats().registry.total_events, events_gen1);
+  EXPECT_EQ(AllEstimates(restored, 64), at_gen1);
+
+  // The fallen-back service re-extends the chain over the bad file.
+  restored.RecordResponseCount(8, 100);
+  ASSERT_TRUE(restored.CheckpointTo(save, SaveMode::kIncremental).ok());
+  auto again = HImpactService::Create(options).value();
+  ASSERT_TRUE(again.RestoreFrom(save).ok());
+  EXPECT_EQ(again.Stats().checkpoint.restore_chain_fallbacks, 0u);
+  EXPECT_EQ(AllEstimates(again, 64), AllEstimates(restored, 64));
+  RemoveCheckpoint(save, options.num_stripes);
+}
+
+TEST_F(ColdTierTest, HeadlessCheckpointRestoresAsLegacyAndRootsAChain) {
+  const std::string save = TempPath("legacy_ck");
+  const ServiceOptions options = CheckpointOptions();
+  auto service = HImpactService::Create(options).value();
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    service.RecordResponseCount(1 + rng.UniformU64(32), 1 + rng.UniformU64(20));
+  }
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kFull).ok());
+  // A checkpoint written before delta chains existed has no head file.
+  std::remove(HeadPath(save).c_str());
+
+  auto restored = HImpactService::Create(options).value();
+  ASSERT_TRUE(restored.RestoreFrom(save).ok());
+  EXPECT_EQ(AllEstimates(restored, 32), AllEstimates(service, 32));
+  EXPECT_EQ(restored.Stats().checkpoint.chain_generation, 0u);
+
+  // The legacy restore still roots a chain: the next incremental save
+  // extends it instead of falling back to a full rewrite.
+  restored.RecordResponseCount(2, 50);
+  ASSERT_TRUE(restored.CheckpointTo(save, SaveMode::kIncremental).ok());
+  EXPECT_EQ(restored.Stats().checkpoint.incremental_fallbacks, 0u);
+  EXPECT_EQ(restored.Stats().checkpoint.incremental_saves, 1u);
+  auto again = HImpactService::Create(options).value();
+  ASSERT_TRUE(again.RestoreFrom(save).ok());
+  EXPECT_EQ(AllEstimates(again, 32), AllEstimates(restored, 32));
+  RemoveCheckpoint(save, options.num_stripes);
+}
+
+// --- concurrency (the tsan target) -------------------------------------------
+
+TEST_F(ColdTierTest, ConcurrentPagingAndIncrementalCheckpointsStayCoherent) {
+  const std::string dir = TempPath("concurrent_dir");
+  const std::string save = TempPath("concurrent_ck");
+  RemoveTree(dir);
+  ServiceOptions options;
+  options.num_stripes = 4;
+  options.promote_threshold = 8;
+  options.memory_budget_bytes = 32 * 1024;  // heavy paging churn
+  options.enable_heavy_hitters = false;
+  options.segment_dir = dir;
+  auto service = HImpactService::Create(options).value();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&service, t] {
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      ZipfSampler users(300, 1.1);
+      DiscreteParetoSampler citations(1, 1.6, 1u << 10);
+      for (int i = 0; i < 6000; ++i) {
+        service.RecordResponseCount(users.Sample(rng), citations.Sample(rng));
+      }
+    });
+  }
+  std::thread reader([&service, &stop] {
+    Rng rng(999);
+    while (!stop.load(std::memory_order_acquire)) {
+      service.PointHIndex(1 + rng.UniformU64(300));
+      UserSnapshot snapshot;
+      service.Lookup(1 + rng.UniformU64(300), &snapshot);
+      service.TopK(8);
+    }
+  });
+  std::thread checkpointer([&service, &save, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // First call roots the chain (counted fallback), later calls
+      // extend it — concurrently with ingest and paging.
+      ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kIncremental).ok());
+      SleepForMicros(2000);
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  checkpointer.join();
+  ASSERT_TRUE(service.CheckpointTo(save, SaveMode::kIncremental).ok());
+  ASSERT_GT(service.Stats().registry.demotions, 0u)
+      << "the run never exercised paging";
+
+  // The final chain restores, and every restored estimate is bounded by
+  // the live one (estimates only grow; the snapshot is a prefix).
+  auto restored = HImpactService::Create(options).value();
+  ASSERT_TRUE(restored.RestoreFrom(save).ok());
+  EXPECT_EQ(restored.Stats().registry.total_events,
+            service.Stats().registry.total_events)
+      << "the final quiesced save must capture every event";
+  for (AuthorId user = 1; user <= 300; ++user) {
+    UserSnapshot live;
+    if (!service.Lookup(user, &live)) continue;
+    UserSnapshot back;
+    ASSERT_TRUE(restored.Lookup(user, &back)) << "user " << user;
+    EXPECT_EQ(back.estimate, live.estimate) << "user " << user;
+  }
+  RemoveCheckpoint(save, options.num_stripes);
+  RemoveTree(dir);
+}
+
+}  // namespace
+}  // namespace himpact

@@ -1,27 +1,33 @@
 #!/usr/bin/env bash
-# Compares a quick bench_f6_hotpath run against the committed baseline
-# (BENCH_PR5.json) and reports per-metric drift.
+# Compares quick runs of the perf-sensitive benches against the
+# committed baseline (BENCH_PR8.json) and reports per-metric drift.
 #
 #   tools/check_bench_regression.sh                  # warn-only (exit 0)
 #   tools/check_bench_regression.sh --strict         # regressions fail
 #   tools/check_bench_regression.sh --build-dir build-x --baseline b.json
 #   tools/check_bench_regression.sh --tolerance 0.5  # 50% slack
 #
-# Checked metrics:
-#   f6_batch_vs_scalar  per-sketch batch speedup (lower = regression)
-#   f6_merge_cache      per-layer cold/warm ratio (lower = regression)
+# Gate table (one row per checked metric family):
+#   f6_batch_vs_scalar  per-sketch batch speedup       lower  = regression
+#   f6_merge_cache      per-layer cold/warm ratio      lower  = regression
+#   f7_net_load         per-point client shed rate     higher = regression
+#   f8_wire_speedup     framing binary-vs-text ratio   lower  = regression,
+#                       plus an absolute floor: framing mode must stay
+#                       >= 1.5x regardless of what the baseline says
 #
 # Quick runs are noisy and CI machines differ, so the default mode only
 # warns: a regression prints a WARN line per metric and the script still
 # exits 0. `--strict` turns any WARN into exit 1 for local perf work.
 # A missing baseline or bench binary exits 77 (the ctest SKIP code) so
-# fresh checkouts and partial builds skip instead of failing.
+# fresh checkouts and partial builds skip instead of failing. Metrics
+# whose family is absent from the baseline (older aggregates) are
+# skipped individually; the f8 absolute floor always applies.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-baseline="${repo_root}/BENCH_PR5.json"
+baseline="${repo_root}/BENCH_PR8.json"
 tolerance=0.4
 strict=0
 
@@ -32,18 +38,19 @@ while [[ $# -gt 0 ]]; do
     --baseline) baseline="$2"; shift 2 ;;
     --tolerance) tolerance="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,25p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
 
-bench="${build_dir}/bench/bench_f6_hotpath"
-if [[ ! -x "${bench}" ]]; then
-  echo "SKIP: ${bench} not built" >&2
-  exit 77
-fi
+for binary in bench_f6_hotpath bench_f7_net_load bench_f8_wire; do
+  if [[ ! -x "${build_dir}/bench/${binary}" ]]; then
+    echo "SKIP: ${build_dir}/bench/${binary} not built" >&2
+    exit 77
+  fi
+done
 if [[ ! -f "${baseline}" ]]; then
   echo "SKIP: baseline ${baseline} not found" >&2
   exit 77
@@ -51,7 +58,9 @@ fi
 
 current="$(mktemp)"
 trap 'rm -f "${current}"' EXIT
-"${bench}" --quick | grep '^BENCH{' > "${current}"
+"${build_dir}/bench/bench_f6_hotpath" --quick | grep '^BENCH{' > "${current}"
+"${build_dir}/bench/bench_f7_net_load" --quick | grep '^BENCH{' >> "${current}"
+"${build_dir}/bench/bench_f8_wire" --quick | grep '^BENCH{' >> "${current}"
 
 # Extract "key":value pairs from a json-ish line without a json tool.
 field() {
@@ -81,6 +90,31 @@ check() {  # check <label> <baseline-value> <current-value>
   fi
 }
 
+check_upper() {  # check_upper <label> <baseline-value> <current-value>
+  # For metrics where higher is worse (shed rate). Multiplicative slack
+  # plus a small absolute band, since healthy baselines sit near zero.
+  local label="$1" base="$2" cur="$3"
+  [[ -n "${base}" && -n "${cur}" ]] || return 0
+  if awk -v b="${base}" -v c="${cur}" -v t="${tolerance}" \
+         'BEGIN { exit !(c > b * (1 + t) + 0.02) }'; then
+    echo "WARN: ${label} regressed: ${cur} vs baseline ${base} (bound $(awk -v b="${base}" -v t="${tolerance}" 'BEGIN { printf "%.4f", b * (1 + t) + 0.02 }'))"
+    warns=$((warns + 1))
+  else
+    echo "ok: ${label} ${cur} (baseline ${base})"
+  fi
+}
+
+check_floor() {  # check_floor <label> <floor> <current-value>
+  local label="$1" floor="$2" cur="$3"
+  [[ -n "${cur}" ]] || return 0
+  if awk -v f="${floor}" -v c="${cur}" 'BEGIN { exit !(c < f) }'; then
+    echo "WARN: ${label} below absolute floor: ${cur} < ${floor}"
+    warns=$((warns + 1))
+  else
+    echo "ok: ${label} ${cur} (floor ${floor})"
+  fi
+}
+
 while IFS= read -r line; do
   bench_name="$(field "${line}" bench)"
   case "${bench_name}" in
@@ -94,11 +128,27 @@ while IFS= read -r line; do
       base="$(baseline_metric f6_merge_cache layer "${layer}" cold_over_warm || true)"
       check "merge-cache ratio [${layer}]" "${base}" "$(field "${line}" cold_over_warm)"
       ;;
+    f7_net_load)
+      connections="$(field "${line}" connections)"
+      base="$(baseline_metric f7_net_load connections "${connections}" shed_rate || true)"
+      check_upper "net shed rate [${connections} conns]" "${base}" \
+          "$(field "${line}" shed_rate)"
+      ;;
+    f8_wire_speedup)
+      mode="$(field "${line}" mode)"
+      depth="$(field "${line}" depth)"
+      ratio="$(field "${line}" binary_vs_text)"
+      base="$(baseline_metric f8_wire_speedup mode "\"${mode}\"" binary_vs_text || true)"
+      check "wire binary/text [${mode} depth ${depth}]" "${base}" "${ratio}"
+      if [[ "${mode}" == "framing" ]]; then
+        check_floor "wire framing ratio [depth ${depth}]" 1.5 "${ratio}"
+      fi
+      ;;
   esac
 done < "${current}"
 
 if [[ "${warns}" -gt 0 ]]; then
-  echo "${warns} metric(s) below baseline (quick mode is noisy; rerun full-size before reverting)"
+  echo "${warns} metric(s) outside baseline (quick mode is noisy; rerun full-size before reverting)"
   [[ "${strict}" -eq 1 ]] && exit 1
 fi
 exit 0

@@ -3,7 +3,7 @@
 # lines into one machine-readable report, stamped with the git revision
 # the numbers were measured at.
 #
-#   tools/collect_bench.sh                      # full run -> BENCH_PR5.json
+#   tools/collect_bench.sh                      # full run -> BENCH_PR8.json
 #   tools/collect_bench.sh --quick              # CI sizing, same schema
 #   tools/collect_bench.sh --build-dir build-x --output /tmp/bench.json
 #
@@ -15,6 +15,7 @@
 #   bench_f6_hotpath      batch-vs-scalar speedups + merge-cache latency
 #   bench_f7_net_load     TCP front-end connection sweep (qps, p99, shed)
 #   bench_f8_wire         text-vs-binary wire framing (docs/PROTOCOL.md)
+#   bench_f9_coldtier     paged cold tier page-in latency + delta sizing
 #
 # The aggregate is a single json object: {"git_sha", "quick", "results"}
 # where results is the array of BENCH payloads in emission order. A ctest
@@ -25,7 +26,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-output="${repo_root}/BENCH_PR5.json"
+output="${repo_root}/BENCH_PR8.json"
 quick=0
 
 while [[ $# -gt 0 ]]; do
@@ -34,22 +35,30 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift 2 ;;
     --output) output="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
 
+# Every emitter is checked up front and ALL absentees are listed before
+# the nonzero exit — a partial build should fail with the full shopping
+# list, not one binary per rerun.
 bench_dir="${build_dir}/bench"
+missing=()
 for binary in bench_f2_throughput bench_a5_checkpoint_sizes \
               bench_f4_service_qps bench_f5_overload bench_f6_hotpath \
-              bench_f7_net_load bench_f8_wire; do
+              bench_f7_net_load bench_f8_wire bench_f9_coldtier; do
   if [[ ! -x "${bench_dir}/${binary}" ]]; then
-    echo "missing ${bench_dir}/${binary}; build the repo first" >&2
-    exit 1
+    missing+=("${bench_dir}/${binary}")
   fi
 done
+if [[ ${#missing[@]} -gt 0 ]]; then
+  echo "missing ${#missing[@]} bench emitter(s); build the repo first:" >&2
+  printf '  %s\n' "${missing[@]}" >&2
+  exit 1
+fi
 
 # Flag sets: --quick shrinks the work, never the schema.
 if [[ "${quick}" -eq 1 ]]; then
@@ -59,6 +68,7 @@ if [[ "${quick}" -eq 1 ]]; then
   f6_flags=(--quick)
   f7_flags=(--quick)
   f8_flags=(--quick)
+  f9_flags=(--quick)
 else
   f2_flags=()
   f4_flags=()
@@ -66,6 +76,7 @@ else
   f6_flags=()
   f7_flags=()
   f8_flags=()
+  f9_flags=()
 fi
 
 lines_file="$(mktemp)"
@@ -94,6 +105,8 @@ run_bench "${bench_dir}/bench_f7_net_load" \
     "${f7_flags[@]+"${f7_flags[@]}"}"
 run_bench "${bench_dir}/bench_f8_wire" \
     "${f8_flags[@]+"${f8_flags[@]}"}"
+run_bench "${bench_dir}/bench_f9_coldtier" \
+    "${f9_flags[@]+"${f9_flags[@]}"}"
 
 # HEAD sha, with a -dirty suffix when the numbers were measured from an
 # uncommitted tree (the honest stamp for a pre-commit run).
