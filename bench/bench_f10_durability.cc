@@ -1,0 +1,221 @@
+// F10 — WAL durability cost and recovery speed (src/io/wal.h,
+// src/service/wal_apply.h, docs/CHECKPOINTS.md). Two families of
+// BENCH{...} json lines:
+//
+//  * `f10_durability` — ingest throughput under each fsync policy. The
+//    same add/paper stream runs with no WAL (the pre-WAL baseline),
+//    then with `--wal-fsync never`, `group`, and `always`; each line
+//    reports qps, per-op p50/p99, and the log's flush/fsync counts —
+//    the table behind the policy guidance in docs/CHECKPOINTS.md
+//    (group buys near-baseline qps; always pays one fsync per event).
+//  * `f10_replay` — recovery speed: the `group` run's log is replayed
+//    into a fresh service (the cold-start path `hstream_serve --wal-dir`
+//    takes after a crash), reported as µs/event and events/s.
+//
+//   ./bench_f10_durability [--quick] [--events N]
+//
+// Timing is wall clock (steady_clock); per-op latencies are sorted for
+// exact sample percentiles. Run in Release for meaningful numbers.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/wal.h"
+#include "service/service.h"
+#include "service/wal_apply.h"
+#include "stream/types.h"
+
+namespace {
+
+using namespace himpact;
+
+struct F10Options {
+  std::uint64_t events = 200'000;
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string TempDir(const char* name) {
+  std::string path = "/tmp/himpact_f10_";
+  path += name;
+  path += ".";
+  path += std::to_string(static_cast<long long>(::getpid()));
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+/// Percentile of an already-sorted sample (exact order statistic).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+ServiceOptions BenchServiceOptions() {
+  ServiceOptions options;
+  options.num_stripes = 8;
+  options.promote_threshold = 8;
+  options.enable_heavy_hitters = false;
+  return options;
+}
+
+/// Applies event `i` of the fixed mixed workload (7 adds : 1 paper) and
+/// appends it to `wal` when one is attached — the exact sequence the
+/// session's ingest hot path runs per mutation.
+void ApplyEvent(HImpactService* service, WalWriter* wal, std::uint64_t i) {
+  if (i % 8 != 0) {
+    const AuthorId user = 1 + (i * 2654435761ull) % 50'000;
+    const std::uint64_t value = 1 + i % 60;
+    service->RecordResponseCount(user, value);
+    if (wal != nullptr) (void)AppendWalAdd(wal, *service, user, value);
+    return;
+  }
+  PaperTuple paper;
+  paper.paper = 1 + i;
+  paper.citations = 1 + i % 45;
+  paper.authors.PushBack(1 + (i * 2654435761ull) % 50'000);
+  paper.authors.PushBack(1 + (i * 40503ull) % 50'000);
+  service->IngestPaper(paper);
+  if (wal != nullptr) (void)AppendWalPaper(wal, *service, paper);
+}
+
+/// One policy sweep: ingest `events` mutations, WAL attached unless
+/// `policy` is null. Returns the WAL directory (kept for the replay
+/// measurement) or "" for the baseline.
+std::string RunPolicy(const F10Options& options, const char* policy,
+                      bool keep_dir) {
+  auto service_or = HImpactService::Create(BenchServiceOptions());
+  if (!service_or.ok()) std::exit(1);
+  HImpactService& service = service_or.value();
+
+  std::string dir;
+  std::unique_ptr<WalWriter> wal;
+  if (policy != nullptr) {
+    dir = TempDir(policy);
+    WalOptions wal_options;
+    wal_options.dir = dir;
+    if (!ParseWalFsyncText(policy, &wal_options.fsync)) std::exit(1);
+    auto wal_or = WalWriter::Open(wal_options);
+    if (!wal_or.ok()) std::exit(1);
+    wal = std::move(wal_or).value();
+  }
+
+  // Per-op latencies on a 1-in-16 sample (cheap enough to keep the
+  // measured loop honest at full size).
+  std::vector<double> op_us;
+  op_us.reserve(options.events / 16 + 1);
+  const double start = NowSeconds();
+  for (std::uint64_t i = 0; i < options.events; ++i) {
+    if (i % 16 == 0) {
+      const double op_start = NowSeconds();
+      ApplyEvent(&service, wal.get(), i);
+      op_us.push_back((NowSeconds() - op_start) * 1e6);
+    } else {
+      ApplyEvent(&service, wal.get(), i);
+    }
+  }
+  if (wal != nullptr && !wal->Flush().ok()) std::exit(1);
+  const double elapsed = NowSeconds() - start;
+  std::sort(op_us.begin(), op_us.end());
+
+  WalCounters counters;
+  if (wal != nullptr) counters = wal->counters();
+  wal.reset();  // close + final fsync before sizing the log
+
+  std::uint64_t wal_bytes = 0;
+  if (!dir.empty()) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      wal_bytes += static_cast<std::uint64_t>(
+          std::filesystem::file_size(entry.path()));
+    }
+  }
+  std::printf(
+      "BENCH{\"bench\":\"f10_durability\",\"policy\":\"%s\",\"events\":%llu,"
+      "\"qps\":%.0f,\"op_p50_us\":%.2f,\"op_p99_us\":%.2f,\"wal_mb\":%.1f,"
+      "\"records\":%llu,\"flushes\":%llu,\"fsyncs\":%llu}\n",
+      policy != nullptr ? policy : "none",
+      static_cast<unsigned long long>(options.events),
+      elapsed > 0.0 ? static_cast<double>(options.events) / elapsed : 0.0,
+      Percentile(op_us, 0.50), Percentile(op_us, 0.99),
+      static_cast<double>(wal_bytes) / (1 << 20),
+      static_cast<unsigned long long>(counters.records),
+      static_cast<unsigned long long>(counters.flushes),
+      static_cast<unsigned long long>(counters.fsyncs));
+
+  if (!keep_dir && !dir.empty()) {
+    std::filesystem::remove_all(dir);
+    dir.clear();
+  }
+  return dir;
+}
+
+/// Replays `dir`'s log into a fresh service — the crash-recovery path —
+/// and reports per-event replay cost.
+void RunReplay(const std::string& dir) {
+  auto service_or = HImpactService::Create(BenchServiceOptions());
+  if (!service_or.ok()) std::exit(1);
+  HImpactService& service = service_or.value();
+
+  WalReplayStats read_stats;
+  WalApplyStats apply_stats;
+  const double start = NowSeconds();
+  if (!ReplayWal(dir, &service, &read_stats, &apply_stats).ok()) {
+    std::exit(1);
+  }
+  const double replay_ms = (NowSeconds() - start) * 1e3;
+  const std::uint64_t applied = apply_stats.applied_adds +
+                                apply_stats.applied_papers +
+                                apply_stats.partial_papers;
+  std::printf(
+      "BENCH{\"bench\":\"f10_replay\",\"records\":%llu,\"applied\":%llu,"
+      "\"replay_ms\":%.1f,\"replay_us_per_event\":%.2f,"
+      "\"replay_events_per_s\":%.0f}\n",
+      static_cast<unsigned long long>(read_stats.records),
+      static_cast<unsigned long long>(applied), replay_ms,
+      applied > 0 ? replay_ms * 1e3 / static_cast<double>(applied) : 0.0,
+      replay_ms > 0.0 ? static_cast<double>(applied) * 1e3 / replay_ms : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  F10Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.events = 10'000;
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      options.events = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || options.events == 0) {
+        std::fprintf(stderr, "--events wants a positive integer\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--events N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  (void)RunPolicy(options, nullptr, false);
+  (void)RunPolicy(options, "never", false);
+  const std::string group_dir = RunPolicy(options, "group", true);
+  (void)RunPolicy(options, "always", false);
+  RunReplay(group_dir);
+  std::filesystem::remove_all(group_dir);
+  return 0;
+}

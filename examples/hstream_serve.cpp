@@ -43,6 +43,17 @@
 // save (docs/CHECKPOINTS.md); `save <path> incr` does the same on
 // demand.
 //
+// `--wal-dir <dir>` arms the write-ahead log (docs/CHECKPOINTS.md):
+// every applied mutation is appended as a CRC-framed record (group
+// commit tuned by `--wal-fsync always|group|never`, `--wal-group-bytes`
+// and `--wal-group-ms`), a successful save to the auto-checkpoint path
+// rotates the log, and on startup the log is repaired (torn tails
+// truncated, never fatal) and replayed after `--restore` — so recovery
+// is exact to the last durable record, not checkpoint-cadence bounded.
+// `--max-chain-len N` bounds the incremental delta chain: at N/2 the
+// session folds the chain into a fresh full save in the background; at
+// N the next incremental save escalates to a full one inline.
+//
 // Robustness surface (docs/ROBUSTNESS.md): `--max-inflight` and
 // `--deadline-us` arm the admission gate (overload replies
 // RESOURCE_EXHAUSTED / DEADLINE_EXCEEDED, all counted), `--faults` (or
@@ -67,10 +78,12 @@
 
 #include "common/flags.h"
 #include "fault/fault.h"
+#include "io/wal.h"
 #include "net/server.h"
 #include "service/protocol.h"
 #include "service/service.h"
 #include "service/session.h"
+#include "service/wal_apply.h"
 
 namespace {
 
@@ -82,6 +95,7 @@ struct ServeOptions {
   std::string faults;   // fault-arming spec (merged with env)
   bool listen = false;  // --listen PORT selects the TCP front end
   himpact::NetServerOptions net;
+  himpact::WalOptions wal;  // wal.dir empty -> no write-ahead log
 };
 
 bool ParseArgs(int argc, char** argv, ServeOptions* options) {
@@ -161,6 +175,29 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options) {
     } else if (arg == "--segment-dir") {
       if (!next_text(&text)) return false;
       options->service.segment_dir = text;
+    } else if (arg == "--max-chain-len") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--max-chain-len", text,
+                           &options->service.max_chain_len))
+        return false;
+    } else if (arg == "--wal-dir") {
+      if (!next_text(&text)) return false;
+      options->wal.dir = text;
+    } else if (arg == "--wal-fsync") {
+      if (!next_text(&text)) return false;
+      if (!himpact::ParseWalFsyncText(text, &options->wal.fsync)) {
+        std::fprintf(stderr, "--wal-fsync must be always, group, or never\n");
+        return false;
+      }
+    } else if (arg == "--wal-group-bytes") {
+      if (!next_text(&text) ||
+          !ParseUint64FlagInRange("--wal-group-bytes", text, 1, 1u << 30,
+                                  &options->wal.group_bytes))
+        return false;
+    } else if (arg == "--wal-group-ms") {
+      if (!next_text(&text) ||
+          !ParseUint64Flag("--wal-group-ms", text, &options->wal.group_ms))
+        return false;
     } else if (arg == "--max-inflight") {
       if (!next_text(&text) ||
           !ParseUint64Flag("--max-inflight", text,
@@ -320,6 +357,10 @@ int main(int argc, char** argv) {
                  "--checkpoint-every N]\n"
                  "                     [--checkpoint-mode full|incr] "
                  "[--segment-dir DIR]\n"
+                 "                     [--max-chain-len N] [--wal-dir DIR]\n"
+                 "                     [--wal-fsync always|group|never] "
+                 "[--wal-group-bytes B]\n"
+                 "                     [--wal-group-ms MS]\n"
                  "                     [--max-inflight N] [--deadline-us U] "
                  "[--faults SPEC]\n"
                  "                     [--listen PORT] [--max-conns N] "
@@ -370,7 +411,45 @@ int main(int argc, char** argv) {
                    options.restore.c_str(), restored.message().c_str());
     }
   }
+  // WAL recovery order: restore the checkpoint (above), then repair and
+  // replay the log through the per-stripe gates, then open a fresh
+  // writer segment. Replay runs even when no checkpoint opened — the
+  // log alone still carries everything since the last rotation.
+  std::unique_ptr<himpact::WalWriter> wal;
+  if (!options.wal.dir.empty()) {
+    himpact::WalReplayStats read_stats;
+    himpact::WalApplyStats apply_stats;
+    const himpact::Status replayed = himpact::ReplayWal(
+        options.wal.dir, &service, &read_stats, &apply_stats);
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "WAL replay failed: %s; continuing from the "
+                   "checkpoint alone\n",
+                   replayed.message().c_str());
+    } else {
+      std::fprintf(
+          stderr,
+          "hstream: WAL replayed %llu record(s) (%llu adds, %llu papers, "
+          "%llu partial, %llu covered, %llu malformed; %llu torn tail(s) "
+          "repaired, %llu segment(s) dropped)\n",
+          static_cast<unsigned long long>(read_stats.records),
+          static_cast<unsigned long long>(apply_stats.applied_adds),
+          static_cast<unsigned long long>(apply_stats.applied_papers),
+          static_cast<unsigned long long>(apply_stats.partial_papers),
+          static_cast<unsigned long long>(apply_stats.skipped_records),
+          static_cast<unsigned long long>(apply_stats.malformed_records),
+          static_cast<unsigned long long>(read_stats.torn_tails),
+          static_cast<unsigned long long>(read_stats.dropped_segments));
+    }
+    auto wal_or = himpact::WalWriter::Open(options.wal);
+    if (!wal_or.ok()) {
+      std::fprintf(stderr, "--wal-dir: %s\n",
+                   wal_or.status().ToString().c_str());
+      return 1;
+    }
+    wal = std::move(wal_or).value();
+  }
   himpact::ServiceSession session(&service, options.session);
+  if (wal != nullptr) session.AttachWal(wal.get());
   if (options.listen) {
     return ServeTcp(session, options);
   }

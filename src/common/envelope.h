@@ -66,6 +66,7 @@ enum class CheckpointTag : std::uint32_t {
   kSegmentRecord = 29,
   kDeltaManifest = 30,
   kDeltaHead = 31,
+  kWalRecord = 32,
 };
 
 /// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `data`.

@@ -11,7 +11,8 @@ namespace {
 const char* const kPointNames[kNumFaultPoints] = {
     "alloc-fail", "torn-checkpoint", "worker-stall", "ring-full",
     "clock-skew", "net-accept-fail", "net-partial-write",
-    "segment-map-fail", "segment-torn-delta",
+    "segment-map-fail", "segment-torn-delta", "wal-append-fail",
+    "wal-torn-tail",
 };
 
 /// Parses one `name[:skip[:max_fires[:param]]]` clause into its parts.

@@ -68,10 +68,20 @@ enum class FaultPoint : int {
   /// (half the bytes land, the write reports `kInternal`); restore must
   /// fall back to the previous good chain. Param: unused.
   kSegmentTornDelta = 8,
+  /// A write-ahead-log append fails at the disk layer. The WAL must
+  /// degrade to checkpoint-only durability — keep serving, flag the
+  /// loss of the log in `health` — never drop writes silently or
+  /// crash. Param: unused.
+  kWalAppendFail = 9,
+  /// A write-ahead-log append lands only the first half of the framed
+  /// record on disk (the classic power-cut torn tail) and then degrades
+  /// like `kWalAppendFail`; the reopening scanner must repair the tail
+  /// and replay every record before it. Param: unused.
+  kWalTornTail = 10,
 };
 
 /// Number of fault points (array sizing).
-inline constexpr int kNumFaultPoints = 9;
+inline constexpr int kNumFaultPoints = 11;
 
 /// When an armed point fires: probes `skip..skip+max_fires-1` (0-based
 /// hit indices counted from arming) fire, the rest pass through.
@@ -136,7 +146,8 @@ class FaultRegistry {
 
   /// The canonical name of `point` ("alloc-fail", "torn-checkpoint",
   /// "worker-stall", "ring-full", "clock-skew", "net-accept-fail",
-  /// "net-partial-write", "segment-map-fail", "segment-torn-delta").
+  /// "net-partial-write", "segment-map-fail", "segment-torn-delta",
+  /// "wal-append-fail", "wal-torn-tail").
   static const char* Name(FaultPoint point);
 
   /// Parses a canonical point name.

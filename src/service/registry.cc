@@ -161,6 +161,12 @@ std::uint64_t TieredUserRegistry::DirtyEpoch(std::size_t i) const {
   return stripes_[i]->dirty.load(std::memory_order_acquire);
 }
 
+std::uint64_t TieredUserRegistry::StripeEvents(std::size_t i) const {
+  HIMPACT_CHECK(i < stripes_.size());
+  std::lock_guard<std::mutex> lock(stripes_[i]->mu);
+  return stripes_[i]->events;
+}
+
 TieredUserRegistry::TieredUserRegistry(const ServiceOptions& options)
     : options_(options),
       stripe_budget_bytes_(std::max<std::uint64_t>(
@@ -659,6 +665,7 @@ RegistryStats TieredUserRegistry::Stats() const {
       stats.page_ins += counters.page_ins;
       stats.page_in_cache_hits += counters.cache_hits;
       stats.page_in_failures += counters.page_in_failures;
+      stats.segment_dead_bytes += stripe->store->dead_record_bytes();
     }
   }
   {

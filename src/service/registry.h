@@ -89,6 +89,12 @@ struct ServiceOptions {
   /// — NOT part of the checkpoint manifest, so a checkpoint restores
   /// into a service with any (or no) segment directory.
   std::string segment_dir;
+  /// Longest incremental delta chain a checkpoint path may grow before
+  /// `CheckpointTo(kIncremental)` escalates to a full save (and the
+  /// session's background collapse job starts folding earlier, at half
+  /// this). 0 disables the inline escalation. Runtime-only, like
+  /// `segment_dir` — not part of the checkpoint manifest.
+  std::uint64_t max_chain_len = 64;
 };
 
 /// Which tier a user's state currently occupies. Values are the
@@ -145,6 +151,11 @@ struct RegistryStats {
   std::uint64_t page_ins = 0;
   std::uint64_t page_in_cache_hits = 0;
   std::uint64_t page_in_failures = 0;
+  /// Sealed bytes whose records have been superseded (a user re-paged
+  /// and re-demoted under a newer generation) or forgotten — space a
+  /// future segment compactor would reclaim. Today it is only freed
+  /// when a restore rebuilds the stripe's store.
+  std::uint64_t segment_dead_bytes = 0;
 };
 
 /// The sharded, budgeted, tiered per-user store.
@@ -207,6 +218,14 @@ class TieredUserRegistry {
   /// compare it against the epoch captured at the last save to skip
   /// clean stripes. Lock-free (acquire).
   std::uint64_t DirtyEpoch(std::size_t i) const;
+
+  /// Events ever applied to stripe `i` (each `Add` counts one; restored
+  /// state carries the count forward). This is the WAL replay gate: a
+  /// logged record is re-applied iff its recorded post-apply stripe
+  /// sequence exceeds this value, the per-stripe analogue of a page
+  /// LSN — checkpoints are per-stripe consistent cuts, so a single
+  /// global sequence could not decide correctly. Takes the stripe lock.
+  std::uint64_t StripeEvents(std::size_t i) const;
 
   /// The registry's configuration.
   const ServiceOptions& options() const { return options_; }

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <cstdio>
 #include <unordered_map>
 #include <utility>
 
@@ -97,6 +98,24 @@ void HImpactService::IngestPaper(const PaperTuple& paper) {
   if (options().enable_heavy_hitters) {
     // The tuple is fed once (not per author): AddPaper hashes every
     // author internally. Partition by first author for determinism.
+    HhStripe& stripe = *hh_stripes_[registry_.StripeOf(paper.authors[0])];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.hh->AddPaper(paper);
+    stripe.version.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void HImpactService::ReplayPaper(const PaperTuple& paper,
+                                 const std::vector<bool>& apply_mask,
+                                 bool feed_hh) {
+  if (paper.authors.empty()) return;
+  for (int a = 0; a < paper.authors.size(); ++a) {
+    const auto m = static_cast<std::size_t>(a);
+    if (m < apply_mask.size() && apply_mask[m]) {
+      registry_.Add(paper.authors[a], paper.citations);
+    }
+  }
+  if (feed_hh && options().enable_heavy_hitters) {
     HhStripe& stripe = *hh_stripes_[registry_.StripeOf(paper.authors[0])];
     std::lock_guard<std::mutex> lock(stripe.mu);
     stripe.hh->AddPaper(paper);
@@ -242,6 +261,10 @@ Status HImpactService::CheckpointTo(const std::string& path) const {
 
 Status HImpactService::CheckpointTo(const std::string& path,
                                     SaveMode mode) const {
+  // One checkpoint or restore at a time: the background chain-collapse
+  // job and the session thread must never interleave their head /
+  // stripe / delta writes (see ChainState::op_mu).
+  std::lock_guard<std::mutex> op_lock(chain_->op_mu);
   if (mode == SaveMode::kIncremental) return CheckpointIncremental(path);
   return CheckpointFull(path);
 }
@@ -344,6 +367,16 @@ Status HImpactService::CheckpointIncremental(const std::string& path) const {
     // No chain to extend (first save to this path, or a different
     // path): a full save roots one. Counted, never an error.
     ++chain_->counters.incremental_fallbacks;
+    lock.unlock();
+    return CheckpointFull(path);
+  }
+  if (options().max_chain_len > 0 &&
+      chain_->generation + 1 > options().max_chain_len) {
+    // The chain is at its cap: one more delta would push a restore
+    // walk past --max-chain-len generations. Escalate to a full save
+    // so restore cost stays bounded even when the background collapse
+    // job is disabled or behind.
+    ++chain_->counters.chain_escalations;
     lock.unlock();
     return CheckpointFull(path);
   }
@@ -544,6 +577,7 @@ Status HImpactService::LoadChainPayloads(
 }
 
 Status HImpactService::RestoreFrom(const std::string& path) {
+  std::lock_guard<std::mutex> op_lock(chain_->op_mu);
   StatusOr<ServiceManifest> manifest = ReadManifest(path);
   if (!manifest.ok()) return manifest.status();
   const ServiceOptions& recorded = manifest.value().options;
@@ -645,6 +679,15 @@ Status HImpactService::RestoreFrom(const std::string& path) {
     chain_->counters.restore_chain_fallbacks += chain_fallbacks;
     chain_->counters.chain_generation = generation;
   }
+  // Operators watch this line: a creeping generation means checkpoints
+  // are incremental-only and restores are walking an ever-longer chain
+  // (the collapse job or --max-chain-len escalation should be cutting
+  // it back).
+  std::fprintf(stderr,
+               "hstream: restored %s at chain generation %llu"
+               " (%llu damaged generation(s) skipped)\n",
+               path.c_str(), static_cast<unsigned long long>(generation),
+               static_cast<unsigned long long>(chain_fallbacks));
   return Status::OK();
 }
 

@@ -73,6 +73,10 @@ struct CheckpointCounters {
   std::uint64_t restore_chain_fallbacks = 0;
   /// Generation of the live chain (0 = full save only).
   std::uint64_t chain_generation = 0;
+  /// Incremental saves escalated to a full save because the chain hit
+  /// `ServiceOptions::max_chain_len` (the inline backstop that bounds
+  /// restore walks even when the background collapse job is off).
+  std::uint64_t chain_escalations = 0;
 };
 
 /// Aggregate service counters for `Stats()` reporting.
@@ -124,6 +128,16 @@ class HImpactService {
   /// state absorbs the paper's response count, and the tuple is fed
   /// once to the heavy-hitters grid. Thread-safe.
   void IngestPaper(const PaperTuple& paper);
+
+  /// WAL-replay surface (service/wal_apply.cc): re-applies one logged
+  /// paper where only the authors with `apply_mask[i]` set still miss
+  /// it (the restored checkpoint may have captured some authors'
+  /// stripes after the paper and others before). The tuple is fed to
+  /// the heavy-hitters grid iff `feed_hh` — the replayer passes the
+  /// first author's gate verdict, matching `IngestPaper`'s
+  /// partition-by-first-author attribution. Thread-safe.
+  void ReplayPaper(const PaperTuple& paper,
+                   const std::vector<bool>& apply_mask, bool feed_hh);
 
   /// The user's current H-index estimate (0 if never seen).
   double PointHIndex(AuthorId user) const;
@@ -209,6 +223,14 @@ class HImpactService {
   /// Read access to the underlying registry (tests, examples).
   const TieredUserRegistry& registry() const { return registry_; }
 
+  /// Generation of the live incremental chain (0 = full save only, or
+  /// no chain yet). The session's background collapse job polls this
+  /// to decide when folding the chain into a fresh full save is due.
+  std::uint64_t chain_generation() const {
+    std::lock_guard<std::mutex> lock(chain_->mu);
+    return chain_->valid ? chain_->generation : 0;
+  }
+
   /// The admission gate guarding the `Try*` boundary.
   const AdmissionController& admission() const { return *admission_; }
 
@@ -252,6 +274,13 @@ class HImpactService {
   /// and restore operations serialize on `mu`; they take stripe locks
   /// inside it, never the reverse.
   struct ChainState {
+    /// Operation-level lock: held for the full duration of a
+    /// checkpoint or restore so a background chain collapse and a
+    /// session-thread save never interleave their file writes. `mu`
+    /// below stays brief so `Stats()` / `chain_generation()` remain
+    /// responsive during a long full save. Lock order: `op_mu`, then
+    /// `mu`, then stripe locks — never the reverse.
+    mutable std::mutex op_mu;
     mutable std::mutex mu;
     bool valid = false;
     std::string path;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "net/wire.h"
+#include "service/wal_apply.h"
 
 namespace himpact {
 namespace {
@@ -21,14 +22,29 @@ void SetError(const Status& status, CommandResult* result) {
 
 }  // namespace
 
+ServiceSession::~ServiceSession() { JoinCollapseThread(); }
+
 void ServiceSession::MaybeCheckpoint() {
   if (options_.checkpoint.empty() || options_.checkpoint_every == 0) return;
   if (++mutations_since_checkpoint_ < options_.checkpoint_every) return;
+  if (collapse_running_.load(std::memory_order_acquire)) {
+    // A background collapse holds the checkpoint operation lock;
+    // blocking the serving thread on it would stall replies. Leave the
+    // cadence counter ripe so the save retries on the next mutation —
+    // the WAL (when attached) keeps covering the gap meanwhile.
+    --mutations_since_checkpoint_;
+    ++counters_.checkpoints_deferred;
+    return;
+  }
   mutations_since_checkpoint_ = 0;
   const Status saved =
       service_->CheckpointTo(options_.checkpoint, options_.checkpoint_mode);
   if (saved.ok()) {
     ++counters_.checkpoints;
+    // Every record appended so far preceded this save (appends happen
+    // before the cadence runs), so the whole log is covered: rotate.
+    RotateWal();
+    MaybeCollapseChain();
   } else {
     // Failures go to stderr (and a counter), never the reply stream:
     // replies must stay deterministic for the kill-and-resume drill.
@@ -39,6 +55,7 @@ void ServiceSession::MaybeCheckpoint() {
 }
 
 Status ServiceSession::FinalCheckpoint() {
+  JoinCollapseThread();
   if (options_.checkpoint.empty() || options_.checkpoint_every == 0) {
     return Status::OK();
   }
@@ -46,10 +63,70 @@ Status ServiceSession::FinalCheckpoint() {
       service_->CheckpointTo(options_.checkpoint, options_.checkpoint_mode);
   if (saved.ok()) {
     ++counters_.checkpoints;
+    RotateWal();
   } else {
     ++counters_.checkpoint_failures;
   }
   return saved;
+}
+
+void ServiceSession::AppendWal(const Command& command) {
+  if (wal_ == nullptr || wal_->degraded()) return;
+  const Status appended =
+      command.kind == CommandKind::kAdd
+          ? AppendWalAdd(wal_, *service_, command.user, command.value)
+          : AppendWalPaper(wal_, *service_, command.paper);
+  if (!appended.ok() && !wal_failure_logged_) {
+    // Loud once, then the degraded flag in `health` carries the state:
+    // the server keeps serving on checkpoint-only durability.
+    wal_failure_logged_ = true;
+    std::fprintf(stderr,
+                 "WAL append failed; durability degraded to "
+                 "checkpoint-only: %s\n",
+                 appended.message().c_str());
+  }
+}
+
+void ServiceSession::RotateWal() {
+  if (wal_ == nullptr) return;
+  const Status rotated = wal_->Rotate();
+  if (!rotated.ok() && !wal_failure_logged_) {
+    wal_failure_logged_ = true;
+    std::fprintf(stderr,
+                 "WAL rotation failed; durability degraded to "
+                 "checkpoint-only: %s\n",
+                 rotated.message().c_str());
+  }
+}
+
+void ServiceSession::MaybeCollapseChain() {
+  const std::uint64_t max_chain = service_->options().max_chain_len;
+  if (max_chain == 0 || options_.checkpoint.empty() ||
+      options_.checkpoint_mode != SaveMode::kIncremental) {
+    return;
+  }
+  // Fire at half the cap so the background fold normally lands well
+  // before the inline escalation in CheckpointIncremental (the
+  // unconditional backstop) would ever trigger.
+  if (service_->chain_generation() < (max_chain + 1) / 2) return;
+  if (collapse_running_.load(std::memory_order_acquire)) return;
+  JoinCollapseThread();  // reap a finished worker before reusing the slot
+  collapse_running_.store(true, std::memory_order_release);
+  collapse_thread_ = std::thread([this, path = options_.checkpoint] {
+    const Status folded = service_->CheckpointTo(path, SaveMode::kFull);
+    if (folded.ok()) {
+      chain_collapses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      chain_collapse_failures_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "background chain collapse failed: %s\n",
+                   folded.message().c_str());
+    }
+    collapse_running_.store(false, std::memory_order_release);
+  });
+}
+
+void ServiceSession::JoinCollapseThread() {
+  if (collapse_thread_.joinable()) collapse_thread_.join();
 }
 
 std::string ServiceSession::StatsJson() const {
@@ -70,6 +147,15 @@ std::string ServiceSession::StatsJson() const {
   json += ",\"topk_cache_misses\":" + U64(r.topk_cache_misses);
   json += ",\"hh_report_cache_hits\":" + U64(stats.hh_report_cache_hits);
   json += ",\"hh_report_cache_misses\":" + U64(stats.hh_report_cache_misses);
+  // WAL writer counters ride along for operators sampling STATS; they
+  // are runtime-dependent (unlike the state fields above), so twin
+  // comparisons must key on "events", not the whole line.
+  if (wal_ != nullptr) {
+    json += ",\"wal_records\":" + U64(wal_->counters().records);
+    json += ",\"wal_bytes\":" + U64(wal_->counters().bytes);
+    json += ",\"wal_degraded\":";
+    json += wal_->degraded() ? "1" : "0";
+  }
   json += "}";
   return json;
 }
@@ -106,6 +192,36 @@ std::string ServiceSession::HealthJson() const {
   json += ",\"stripes_skipped_dedup\":" + U64(c.stripes_skipped_dedup);
   json += ",\"restore_chain_fallbacks\":" + U64(c.restore_chain_fallbacks);
   json += ",\"chain_generation\":" + U64(c.chain_generation);
+  json += ",\"chain_escalations\":" + U64(c.chain_escalations);
+  json += ",\"chain_collapses\":" +
+          U64(chain_collapses_.load(std::memory_order_relaxed));
+  json += ",\"chain_collapse_failures\":" +
+          U64(chain_collapse_failures_.load(std::memory_order_relaxed));
+  json += ",\"checkpoints_deferred\":" + U64(counters_.checkpoints_deferred);
+  // Cold-tier space accounting (the compaction signal): live sealed
+  // bytes vs bytes superseded by newer generations or forgotten.
+  json += ",\"storage\":{\"live_bytes\":" + U64(r.segment_bytes);
+  json += ",\"dead_bytes\":" + U64(r.segment_dead_bytes);
+  json += "}";
+  if (wal_ != nullptr) {
+    const WalCounters& w = wal_->counters();
+    json += ",\"wal\":{\"enabled\":true";
+    json += ",\"degraded\":";
+    json += wal_->degraded() ? "true" : "false";
+    json += ",\"fsync\":\"";
+    json += WalFsyncName(wal_->options().fsync);
+    json += "\"";
+    json += ",\"records\":" + U64(w.records);
+    json += ",\"bytes\":" + U64(w.bytes);
+    json += ",\"flushes\":" + U64(w.flushes);
+    json += ",\"fsyncs\":" + U64(w.fsyncs);
+    json += ",\"rotations\":" + U64(w.rotations);
+    json += ",\"append_failures\":" + U64(w.append_failures);
+    json += ",\"segment_seq\":" + U64(wal_->segment_seq());
+    json += "}";
+  } else {
+    json += ",\"wal\":{\"enabled\":false}";
+  }
   if (extra_health_fields_) {
     json += ",";
     json += extra_health_fields_();
@@ -124,11 +240,13 @@ bool ServiceSession::HandleCommand(const Command& command,
           service_->TryRecordResponseCount(command.user, command.value);
       if (estimate.ok()) {
         result->estimate = estimate.value();
+        AppendWal(command);  // applied events log before the cadence runs
         MaybeCheckpoint();
       } else {
         SetError(estimate.status(), result);
         if (estimate.status().code() == StatusCode::kDeadlineExceeded) {
-          MaybeCheckpoint();  // the write was applied, late
+          AppendWal(command);  // the write was applied, late
+          MaybeCheckpoint();
         }
       }
       return true;
@@ -138,10 +256,12 @@ bool ServiceSession::HandleCommand(const Command& command,
       if (ingested.ok()) {
         result->num_authors =
             static_cast<std::uint32_t>(command.paper.authors.size());
+        AppendWal(command);
         MaybeCheckpoint();
       } else {
         SetError(ingested, result);
         if (ingested.code() == StatusCode::kDeadlineExceeded) {
+          AppendWal(command);
           MaybeCheckpoint();
         }
       }
@@ -200,6 +320,13 @@ bool ServiceSession::HandleCommand(const Command& command,
           service_->CheckpointTo(command.path, command.save_mode);
       if (saved.ok()) {
         result->text = command.path;
+        // Rotation is only safe when the save landed where a restart
+        // would restore from; a side save to another path does not
+        // cover the log.
+        if (!options_.checkpoint.empty() &&
+            command.path == options_.checkpoint) {
+          RotateWal();
+        }
       } else {
         SetError(Status::InvalidArgument(saved.message()), result);
       }

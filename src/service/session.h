@@ -1,10 +1,13 @@
 #ifndef HIMPACT_SERVICE_SESSION_H_
 #define HIMPACT_SERVICE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <thread>
 
+#include "io/wal.h"
 #include "service/protocol.h"
 #include "service/service.h"
 
@@ -28,6 +31,17 @@
 /// and the `health` verb's JSON — to which a transport may contribute
 /// an extra field block (the TCP server reports its
 /// connection-lifecycle counters there).
+///
+/// With a WAL attached (`AttachWal`), the session is also the
+/// durability sequencer: every applied mutation is appended to the log
+/// *before* the checkpoint cadence runs, and every successful save to
+/// the auto-checkpoint path rotates the log — so at any instant the
+/// checkpoint plus the surviving WAL segments cover the full applied
+/// history (the invariant `ReplayWal` recovery rests on). The session
+/// also runs the background delta-chain collapse: once the incremental
+/// chain reaches half of `ServiceOptions::max_chain_len`, a detached
+/// worker folds it into a fresh full save while the session keeps
+/// serving (cadence saves are deferred, not blocked, while it runs).
 
 namespace himpact {
 
@@ -50,14 +64,32 @@ struct SessionCounters {
   std::uint64_t rejected_frames = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t checkpoint_failures = 0;
+  /// Cadence checkpoints deferred because a background chain collapse
+  /// held the checkpoint operation lock (retried on the next mutation).
+  std::uint64_t checkpoints_deferred = 0;
 };
 
 /// The command dispatcher. Not thread-safe: one session runs on one
-/// transport thread (the stdin loop or the event loop).
+/// transport thread (the stdin loop or the event loop). The background
+/// chain-collapse worker it may spawn touches only the thread-safe
+/// `HImpactService` checkpoint surface and the session's atomic
+/// collapse counters.
 class ServiceSession {
  public:
   ServiceSession(HImpactService* service, const SessionOptions& options)
       : service_(service), options_(options) {}
+
+  /// Joins any in-flight background chain collapse.
+  ~ServiceSession();
+
+  ServiceSession(const ServiceSession&) = delete;
+  ServiceSession& operator=(const ServiceSession&) = delete;
+
+  /// Attaches the write-ahead log. Not owned; the caller keeps `wal`
+  /// alive for the session's lifetime. Applied mutations are appended
+  /// before the checkpoint cadence runs; successful saves to the
+  /// auto-checkpoint path rotate the log.
+  void AttachWal(WalWriter* wal) { wal_ = wal; }
 
   /// Handles one text-protocol line. `reply` receives the full
   /// newline-terminated reply block (never empty — one reply per line,
@@ -86,13 +118,24 @@ class ServiceSession {
   }
 
   /// Writes a final checkpoint if auto-checkpointing is armed (the
-  /// graceful-drain hook). OK and a no-op when unarmed.
+  /// graceful-drain hook). Joins any in-flight chain collapse first so
+  /// the final save is the newest state on disk, and rotates the WAL on
+  /// success. OK and a no-op when unarmed.
   Status FinalCheckpoint();
 
   const SessionCounters& counters() const { return counters_; }
 
  private:
   void MaybeCheckpoint();
+  /// Appends one applied mutation to the WAL (no-op without one).
+  void AppendWal(const Command& command);
+  /// Rotates the WAL after a successful save covering it (no-op
+  /// without one); failures are logged, never surfaced to replies.
+  void RotateWal();
+  /// Spawns the background chain collapse when the incremental chain
+  /// has grown to half of `max_chain_len` and none is in flight.
+  void MaybeCollapseChain();
+  void JoinCollapseThread();
   std::string StatsJson() const;
   std::string HealthJson() const;
 
@@ -101,6 +144,14 @@ class ServiceSession {
   SessionCounters counters_;
   std::uint64_t mutations_since_checkpoint_ = 0;
   std::function<std::string()> extra_health_fields_;
+  WalWriter* wal_ = nullptr;
+  bool wal_failure_logged_ = false;
+  /// Background delta-chain collapse (see file comment). `running`
+  /// false with a joinable thread means finished-but-unjoined.
+  std::thread collapse_thread_;
+  std::atomic<bool> collapse_running_{false};
+  std::atomic<std::uint64_t> chain_collapses_{0};
+  std::atomic<std::uint64_t> chain_collapse_failures_{0};
 };
 
 }  // namespace himpact

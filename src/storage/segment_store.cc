@@ -102,8 +102,11 @@ void SegmentStore::AdoptSegment(SegmentReader reader) {
   const std::uint32_t segment = static_cast<std::uint32_t>(segments_.size());
   segment_bytes_ += reader.file_bytes();
   for (const SegmentRecord& record : reader.records()) {
-    index_[record.id] =
-        Loc{segment, record.block, record.offset, record.len};
+    auto [it, inserted] = index_.try_emplace(record.id);
+    // Newest generation wins; a superseded copy stays on disk as dead
+    // space until a restore rebuilds the store (compaction fodder).
+    if (!inserted) dead_record_bytes_ += it->second.len;
+    it->second = Loc{segment, record.block, record.offset, record.len};
   }
   segments_.push_back(std::move(reader));
 }
@@ -203,7 +206,13 @@ void SegmentStore::Forget(std::uint64_t id) {
     pending_bytes_ -= pending->second.size();
     pending_.erase(pending);
   }
-  index_.erase(id);
+  const auto sealed = index_.find(id);
+  if (sealed != index_.end()) {
+    // The sealed copy is unreachable from here on (a re-demotion
+    // re-Puts a fresh record), so its bytes are dead, not merely stale.
+    dead_record_bytes_ += sealed->second.len;
+    index_.erase(sealed);
+  }
 }
 
 }  // namespace himpact

@@ -98,6 +98,15 @@ class SegmentStore {
   std::size_t pending_records() const { return pending_.size(); }
   std::uint64_t segment_files() const { return segments_.size(); }
   std::uint64_t segment_bytes() const { return segment_bytes_; }
+
+  /// Sealed record bytes no longer reachable through the index: a newer
+  /// generation superseded the record (same id re-demoted after a
+  /// page-in) or `Forget` dropped it. The space a compactor would
+  /// reclaim; surfaced per-registry as `RegistryStats::
+  /// segment_dead_bytes`. Payload bytes only — framing and block
+  /// headers around dead records are not counted.
+  std::uint64_t dead_record_bytes() const { return dead_record_bytes_; }
+
   const SegmentStoreCounters& counters() const { return counters_; }
 
  private:
@@ -122,6 +131,7 @@ class SegmentStore {
   std::unordered_map<std::uint64_t, Loc> index_;
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pending_;
   std::size_t pending_bytes_ = 0;
+  std::uint64_t dead_record_bytes_ = 0;
   /// LRU of decompressed blocks, keyed by (segment << 32 | block).
   std::list<std::pair<std::uint64_t, std::vector<std::uint8_t>>> cache_;
   SegmentStoreCounters counters_;

@@ -528,4 +528,365 @@ TEST(KillResumeDrill, TcpBinaryProtocolSurvivesSigkillMidLoadMonotonically) {
   std::remove((checkpoint + ".stripe-1").c_str());
 }
 
+// Like QueryBattery, but returns the raw `H ...` reply lines — the
+// WAL drill compares them byte-for-byte against an uncrashed twin's.
+bool QueryBatteryLines(const std::string& checkpoint,
+                       std::vector<std::string>* lines,
+                       const std::string& extra_flags = "") {
+  const std::string input_path = TempPath("query_lines_in");
+  std::string script;
+  for (int user = 1; user <= kBatteryUsers; ++user) {
+    script += "get " + std::to_string(user) + "\n";
+  }
+  script += "quit\n";
+  std::FILE* file = std::fopen(input_path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fwrite(script.data(), 1, script.size(), file);
+  std::fclose(file);
+
+  const std::string command = std::string(HSTREAM_SERVE_PATH) +
+                              " --stripes 2 --no-heavy --restore " +
+                              checkpoint + extra_flags + " < " + input_path +
+                              " 2>/dev/null";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::string output;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    output.append(chunk, n);
+  }
+  const int raw = ::pclose(pipe);
+  std::remove(input_path.c_str());
+  if (!(raw >= 0 && WIFEXITED(raw) && WEXITSTATUS(raw) == 0)) return false;
+
+  lines->clear();
+  std::size_t start = 0;
+  for (int user = 1; user <= kBatteryUsers; ++user) {
+    const std::size_t end = output.find('\n', start);
+    if (end == std::string::npos) return false;
+    lines->push_back(output.substr(start, end - start));
+    start = end + 1;
+    if (lines->back().rfind("H " + std::to_string(user) + " ", 0) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// "H <user> <estimate> <tier> <events>" -> events (the last token).
+std::uint64_t EventsFromLine(const std::string& line) {
+  const std::size_t space = line.find_last_of(' ');
+  if (space == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + space + 1, nullptr, 10);
+}
+
+// Feeds a *fresh* server exactly `durable[u]`'s values for each battery
+// user and returns its `H ...` reply lines: the uncrashed twin of a
+// recovery that reports those per-user event counts.
+bool TwinBatteryLines(const std::vector<std::vector<int>>& durable,
+                      std::vector<std::string>* lines) {
+  const std::string input_path = TempPath("twin_in");
+  std::string script;
+  for (int user = 1; user <= kBatteryUsers; ++user) {
+    for (const int value : durable[static_cast<std::size_t>(user - 1)]) {
+      script += "add " + std::to_string(user) + " " + std::to_string(value) +
+                "\n";
+    }
+  }
+  for (int user = 1; user <= kBatteryUsers; ++user) {
+    script += "get " + std::to_string(user) + "\n";
+  }
+  script += "quit\n";
+  std::FILE* file = std::fopen(input_path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fwrite(script.data(), 1, script.size(), file);
+  std::fclose(file);
+
+  const std::string command = std::string(HSTREAM_SERVE_PATH) +
+                              " --stripes 2 --no-heavy < " + input_path +
+                              " 2>/dev/null";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::string output;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    output.append(chunk, n);
+  }
+  const int raw = ::pclose(pipe);
+  std::remove(input_path.c_str());
+  if (!(raw >= 0 && WIFEXITED(raw) && WEXITSTATUS(raw) == 0)) return false;
+
+  // Skip the add acks ("OK ...") and the quit farewell; the battery
+  // replies are exactly the `H ` lines, in query order.
+  lines->clear();
+  std::size_t start = 0;
+  while (start < output.size()) {
+    const std::size_t end = output.find('\n', start);
+    if (end == std::string::npos) break;
+    const std::string line = output.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("H ", 0) == 0) lines->push_back(line);
+  }
+  return lines->size() == static_cast<std::size_t>(kBatteryUsers);
+}
+
+TEST(KillResumeDrill, WalRecoveryIsByteIdenticalToUncrashedTwin) {
+  // The monotone drills accept losing everything since the last
+  // checkpoint. With a WAL (--wal-dir, fsync always) the bar rises to
+  // *exact*: after SIGKILL, checkpoint + WAL replay must reconstruct
+  // precisely the durable per-user event prefixes — so every `get`
+  // reply line from the recovered server must be byte-identical to a
+  // fresh uncrashed twin fed exactly those events. Monotone-but-lossy
+  // recovery (the pre-WAL behavior) fails this; so would replaying a
+  // record twice (events too high) or out of order.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const std::string root = TempPath("wal");
+  const std::string wal_dir = root + "/wal";
+  const std::string checkpoint = root + "/ckpt";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(wal_dir);
+  const std::vector<std::string> wal_flags = {"--wal-dir", wal_dir,
+                                              "--wal-fsync", "always"};
+  const std::string query_flags =
+      " --wal-dir " + wal_dir + " --wal-fsync always";
+
+  // Per-user durable history, extended each round by however many of
+  // that round's writes the recovery proves survived.
+  std::vector<std::vector<int>> durable(kBatteryUsers);
+  std::vector<std::uint64_t> prev_events(kBatteryUsers, 0);
+
+  for (int round = 0; round < kRounds; ++round) {
+    int stdin_fd = -1;
+    const pid_t pid = SpawnServe(checkpoint, &stdin_fd, wal_flags);
+    ASSERT_GT(pid, 0) << "spawn failed in round " << round;
+
+    std::vector<std::vector<int>> written(kBatteryUsers);
+    bool wrote_all = true;
+    for (int i = 0; i < kAddsPerRound && wrote_all; ++i) {
+      const int user = 1 + i % kBatteryUsers;
+      const int value = 1 + (round * kAddsPerRound + i) % 40;
+      wrote_all = WriteLine(stdin_fd, "add " + std::to_string(user) + " " +
+                                          std::to_string(value) + "\n");
+      written[static_cast<std::size_t>(user - 1)].push_back(value);
+      if (i % 16 == 0) ::usleep(2000);
+    }
+    EXPECT_TRUE(wrote_all) << "child died before the kill in round "
+                           << round;
+    ASSERT_TRUE(WaitForFile(checkpoint))
+        << "no auto-checkpoint completed in round " << round;
+
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    ::close(stdin_fd);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited on its own with status " << status;
+    ASSERT_EQ(WTERMSIG(status), SIGKILL)
+        << "child died of an unexpected signal (a crash under load?)";
+
+    // Recover (checkpoint restore + WAL replay) and read the battery.
+    std::vector<std::string> recovered;
+    ASSERT_TRUE(QueryBatteryLines(checkpoint, &recovered, query_flags))
+        << "post-kill WAL recovery failed in round " << round;
+
+    // The per-user event counts identify the durable prefix of this
+    // round's writes. They must be monotone and within what was sent.
+    for (int u = 0; u < kBatteryUsers; ++u) {
+      const std::uint64_t events =
+          EventsFromLine(recovered[static_cast<std::size_t>(u)]);
+      ASSERT_GE(events, prev_events[static_cast<std::size_t>(u)])
+          << "round " << round << " lost durable events for user " << (u + 1);
+      const std::uint64_t applied =
+          events - prev_events[static_cast<std::size_t>(u)];
+      const auto& sent = written[static_cast<std::size_t>(u)];
+      ASSERT_LE(applied, sent.size())
+          << "round " << round << " invented events for user " << (u + 1);
+      durable[static_cast<std::size_t>(u)].insert(
+          durable[static_cast<std::size_t>(u)].end(), sent.begin(),
+          sent.begin() + static_cast<std::ptrdiff_t>(applied));
+      prev_events[static_cast<std::size_t>(u)] = events;
+    }
+
+    // The twin consumed exactly the durable prefixes, uncrashed. Every
+    // reply line — estimate, tier, event count — must match exactly.
+    std::vector<std::string> twin;
+    ASSERT_TRUE(TwinBatteryLines(durable, &twin))
+        << "twin session failed in round " << round;
+    for (int u = 0; u < kBatteryUsers; ++u) {
+      EXPECT_EQ(recovered[static_cast<std::size_t>(u)],
+                twin[static_cast<std::size_t>(u)])
+          << "round " << round << ": recovery diverged from the uncrashed "
+          << "twin for user " << (u + 1);
+    }
+  }
+
+  // The drill must have preserved real state, not vacuous zeros.
+  std::uint64_t total_events = 0;
+  for (const std::uint64_t events : prev_events) total_events += events;
+  EXPECT_GT(total_events, 0u);
+
+  std::filesystem::remove_all(root);
+}
+
+// Spawns hstream_serve with both stdin and stdout piped so a drill can
+// talk to the live server (the kill drills discard stdout instead).
+pid_t SpawnServeCapture(const std::string& checkpoint, int* stdin_fd,
+                        int* stdout_fd,
+                        const std::vector<std::string>& extra) {
+  int in[2] = {-1, -1};
+  int out[2] = {-1, -1};
+  if (::pipe(in) != 0) return -1;
+  if (::pipe(out) != 0) {
+    ::close(in[0]);
+    ::close(in[1]);
+    return -1;
+  }
+  std::vector<const char*> argv = {HSTREAM_SERVE_PATH,
+                                   "--stripes",
+                                   "2",
+                                   "--no-heavy",
+                                   "--restore",
+                                   checkpoint.c_str(),
+                                   "--checkpoint",
+                                   checkpoint.c_str(),
+                                   "--checkpoint-every",
+                                   kCheckpointEvery};
+  for (const std::string& arg : extra) argv.push_back(arg.c_str());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(in[0]);
+    ::close(in[1]);
+    ::close(out[0]);
+    ::close(out[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    ::dup2(in[0], STDIN_FILENO);
+    ::dup2(out[1], STDOUT_FILENO);
+    ::close(in[0]);
+    ::close(in[1]);
+    ::close(out[0]);
+    ::close(out[1]);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDERR_FILENO);
+      ::close(devnull);
+    }
+    ::execv(HSTREAM_SERVE_PATH, const_cast<char* const*>(argv.data()));
+    ::_exit(127);
+  }
+  ::close(in[0]);
+  ::close(out[1]);
+  *stdin_fd = in[1];
+  *stdout_fd = out[0];
+  return pid;
+}
+
+// Reads reply lines from the captured stdout until one contains
+// `needle` (returned) or the stream ends / `max_lines` pass.
+bool ReadLineContaining(int fd, const std::string& needle,
+                        std::string* found, int max_lines) {
+  std::string line;
+  int lines = 0;
+  char byte = 0;
+  while (lines < max_lines) {
+    const ssize_t n = ::read(fd, &byte, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // child closed stdout
+    if (byte != '\n') {
+      line += byte;
+      continue;
+    }
+    if (line.find(needle) != std::string::npos) {
+      *found = line;
+      return true;
+    }
+    line.clear();
+    ++lines;
+  }
+  return false;
+}
+
+TEST(KillResumeDrill, WalAppendFailDegradesLoudlyAndStillRecovers) {
+  // With wal-append-fail armed mid-stream the server must NOT crash and
+  // must NOT drop writes silently: it keeps serving, `health` flags the
+  // WAL as degraded, and after a SIGKILL the state still recovers to at
+  // least what the checkpoint covers (the WAL simply stops adding the
+  // between-checkpoints tail it normally would).
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const std::string root = TempPath("wal_fault");
+  const std::string wal_dir = root + "/wal";
+  const std::string checkpoint = root + "/ckpt";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(wal_dir);
+
+  int stdin_fd = -1;
+  int stdout_fd = -1;
+  // Skip the first 40 appends so the failure lands mid-stream, with
+  // durable WAL records and completed checkpoints already behind it.
+  const pid_t pid = SpawnServeCapture(
+      checkpoint, &stdin_fd, &stdout_fd,
+      {"--wal-dir", wal_dir, "--wal-fsync", "always", "--faults",
+       "wal-append-fail:40"});
+  ASSERT_GT(pid, 0);
+
+  bool wrote_all = true;
+  for (int i = 0; i < kAddsPerRound && wrote_all; ++i) {
+    const int user = 1 + i % kBatteryUsers;
+    const int value = 1 + i % 40;
+    wrote_all = WriteLine(stdin_fd, "add " + std::to_string(user) + " " +
+                                        std::to_string(value) + "\n");
+  }
+  ASSERT_TRUE(wrote_all) << "server died while the WAL was failing";
+  ASSERT_TRUE(WaitForFile(checkpoint)) << "no auto-checkpoint completed";
+
+  // The server is still answering after the fault fired — and says so.
+  ASSERT_TRUE(WriteLine(stdin_fd, "health\n"));
+  std::string health;
+  ASSERT_TRUE(ReadLineContaining(stdout_fd, "\"wal\":", &health,
+                                 kAddsPerRound + 8))
+      << "no health reply after the WAL fault - did the server wedge?";
+  EXPECT_NE(health.find("\"enabled\":true"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"degraded\":true"), std::string::npos)
+      << "wal-append-fail did not surface in health: " << health;
+
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  ::close(stdin_fd);
+  ::close(stdout_fd);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Recovery still works, and the WAL-assisted restore dominates the
+  // checkpoint-only one (it may equal it: the log went quiet when it
+  // degraded; what it must never do is regress or fail).
+  std::vector<double> with_wal;
+  std::vector<double> checkpoint_only;
+  ASSERT_TRUE(QueryBattery(checkpoint, &with_wal,
+                           " --wal-dir " + wal_dir + " --wal-fsync always"))
+      << "recovery with the degraded WAL directory failed";
+  ASSERT_TRUE(QueryBattery(checkpoint, &checkpoint_only))
+      << "checkpoint-only recovery failed";
+  double total = 0.0;
+  for (int u = 0; u < kBatteryUsers; ++u) {
+    EXPECT_GE(with_wal[static_cast<std::size_t>(u)],
+              checkpoint_only[static_cast<std::size_t>(u)])
+        << "WAL replay regressed user " << (u + 1)
+        << " below the checkpoint state";
+    total += checkpoint_only[static_cast<std::size_t>(u)];
+  }
+  EXPECT_GT(total, 0.0) << "checkpoint recovered no state at all";
+
+  std::filesystem::remove_all(root);
+}
+
 }  // namespace

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Compares quick runs of the perf-sensitive benches against the
-# committed baseline (BENCH_PR8.json) and reports per-metric drift.
+# Compares quick runs of the perf-sensitive benches against the newest
+# committed baseline (highest-numbered BENCH_*.json in the repo root,
+# overridable with --baseline) and reports per-metric drift.
 #
 #   tools/check_bench_regression.sh                  # warn-only (exit 0)
 #   tools/check_bench_regression.sh --strict         # regressions fail
@@ -14,6 +15,10 @@
 #   f8_wire_speedup     framing binary-vs-text ratio   lower  = regression,
 #                       plus an absolute floor: framing mode must stay
 #                       >= 1.5x regardless of what the baseline says
+#   f10_replay          WAL replay events/s            lower  = regression
+#                       (non-gating even under --strict: replay speed is
+#                       a recovery-time tripwire, not a serving-path SLO,
+#                       and the bench is skipped when not built)
 #
 # Quick runs are noisy and CI machines differ, so the default mode only
 # warns: a regression prints a WARN line per metric and the script still
@@ -27,7 +32,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-baseline="${repo_root}/BENCH_PR8.json"
+baseline=""
 tolerance=0.4
 strict=0
 
@@ -45,6 +50,17 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+# Default baseline: the newest committed aggregate, so a PR that lands a
+# fresh BENCH_PRn.json is measured against it automatically instead of a
+# hard-coded (and silently aging) predecessor.
+if [[ -z "${baseline}" ]]; then
+  baseline="$(ls "${repo_root}"/BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)"
+  if [[ -z "${baseline}" ]]; then
+    echo "SKIP: no BENCH_*.json baseline in ${repo_root}" >&2
+    exit 77
+  fi
+fi
+
 for binary in bench_f6_hotpath bench_f7_net_load bench_f8_wire; do
   if [[ ! -x "${build_dir}/bench/${binary}" ]]; then
     echo "SKIP: ${build_dir}/bench/${binary} not built" >&2
@@ -55,12 +71,18 @@ if [[ ! -f "${baseline}" ]]; then
   echo "SKIP: baseline ${baseline} not found" >&2
   exit 77
 fi
+echo "baseline: ${baseline}"
 
 current="$(mktemp)"
 trap 'rm -f "${current}"' EXIT
 "${build_dir}/bench/bench_f6_hotpath" --quick | grep '^BENCH{' > "${current}"
 "${build_dir}/bench/bench_f7_net_load" --quick | grep '^BENCH{' >> "${current}"
 "${build_dir}/bench/bench_f8_wire" --quick | grep '^BENCH{' >> "${current}"
+# The durability bench is optional (older checkouts): its replay row is
+# informational and never blocks.
+if [[ -x "${build_dir}/bench/bench_f10_durability" ]]; then
+  "${build_dir}/bench/bench_f10_durability" --quick | grep '^BENCH{' >> "${current}"
+fi
 
 # Extract "key":value pairs from a json-ish line without a json tool.
 field() {
@@ -99,6 +121,19 @@ check_upper() {  # check_upper <label> <baseline-value> <current-value>
          'BEGIN { exit !(c > b * (1 + t) + 0.02) }'; then
     echo "WARN: ${label} regressed: ${cur} vs baseline ${base} (bound $(awk -v b="${base}" -v t="${tolerance}" 'BEGIN { printf "%.4f", b * (1 + t) + 0.02 }'))"
     warns=$((warns + 1))
+  else
+    echo "ok: ${label} ${cur} (baseline ${base})"
+  fi
+}
+
+check_info() {  # check_info <label> <baseline-value> <current-value>
+  # Like check(), but informational: a drop prints a note and never
+  # counts toward the strict gate (recovery speed is not a serving SLO).
+  local label="$1" base="$2" cur="$3"
+  [[ -n "${base}" && -n "${cur}" ]] || return 0
+  if awk -v b="${base}" -v c="${cur}" -v t="${tolerance}" \
+         'BEGIN { exit !(c < b * (1 - t)) }'; then
+    echo "note: ${label} slower than baseline: ${cur} vs ${base} (non-gating)"
   else
     echo "ok: ${label} ${cur} (baseline ${base})"
   fi
@@ -143,6 +178,11 @@ while IFS= read -r line; do
       if [[ "${mode}" == "framing" ]]; then
         check_floor "wire framing ratio [depth ${depth}]" 1.5 "${ratio}"
       fi
+      ;;
+    f10_replay)
+      base="$(baseline_metric f10_replay bench f10_replay replay_events_per_s || true)"
+      check_info "WAL replay throughput (events/s)" "${base}" \
+          "$(field "${line}" replay_events_per_s)"
       ;;
   esac
 done < "${current}"

@@ -3,7 +3,7 @@
 # lines into one machine-readable report, stamped with the git revision
 # the numbers were measured at.
 #
-#   tools/collect_bench.sh                      # full run -> BENCH_PR8.json
+#   tools/collect_bench.sh                      # full run -> BENCH_PR9.json
 #   tools/collect_bench.sh --quick              # CI sizing, same schema
 #   tools/collect_bench.sh --build-dir build-x --output /tmp/bench.json
 #
@@ -16,6 +16,7 @@
 #   bench_f7_net_load     TCP front-end connection sweep (qps, p99, shed)
 #   bench_f8_wire         text-vs-binary wire framing (docs/PROTOCOL.md)
 #   bench_f9_coldtier     paged cold tier page-in latency + delta sizing
+#   bench_f10_durability  WAL fsync-policy qps/p99 + replay throughput
 #
 # The aggregate is a single json object: {"git_sha", "quick", "results"}
 # where results is the array of BENCH payloads in emission order. A ctest
@@ -26,7 +27,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-output="${repo_root}/BENCH_PR8.json"
+output="${repo_root}/BENCH_PR9.json"
 quick=0
 
 while [[ $# -gt 0 ]]; do
@@ -35,7 +36,7 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift 2 ;;
     --output) output="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -49,7 +50,8 @@ bench_dir="${build_dir}/bench"
 missing=()
 for binary in bench_f2_throughput bench_a5_checkpoint_sizes \
               bench_f4_service_qps bench_f5_overload bench_f6_hotpath \
-              bench_f7_net_load bench_f8_wire bench_f9_coldtier; do
+              bench_f7_net_load bench_f8_wire bench_f9_coldtier \
+              bench_f10_durability; do
   if [[ ! -x "${bench_dir}/${binary}" ]]; then
     missing+=("${bench_dir}/${binary}")
   fi
@@ -69,6 +71,7 @@ if [[ "${quick}" -eq 1 ]]; then
   f7_flags=(--quick)
   f8_flags=(--quick)
   f9_flags=(--quick)
+  f10_flags=(--quick)
 else
   f2_flags=()
   f4_flags=()
@@ -77,6 +80,7 @@ else
   f7_flags=()
   f8_flags=()
   f9_flags=()
+  f10_flags=()
 fi
 
 lines_file="$(mktemp)"
@@ -107,6 +111,8 @@ run_bench "${bench_dir}/bench_f8_wire" \
     "${f8_flags[@]+"${f8_flags[@]}"}"
 run_bench "${bench_dir}/bench_f9_coldtier" \
     "${f9_flags[@]+"${f9_flags[@]}"}"
+run_bench "${bench_dir}/bench_f10_durability" \
+    "${f10_flags[@]+"${f10_flags[@]}"}"
 
 # HEAD sha, with a -dirty suffix when the numbers were measured from an
 # uncommitted tree (the honest stamp for a pre-commit run).
