@@ -254,16 +254,25 @@ void RunShardSweep(std::size_t max_shards) {
       single_shard_rate = rate;
       single_shard_estimate = estimate;
     }
+    // `worker_threads` is what the engine spawned (one consumer per
+    // shard); `effective_workers` caps the pipeline (producer included)
+    // at the host's cores, so a flat curve on a small host reads as
+    // oversubscription rather than a scaling failure.
+    const unsigned hw = std::thread::hardware_concurrency();
     std::printf(
         "BENCH{\"bench\":\"f2_sharded_engine\",\"shards\":%zu,\"batch\":%zu,"
         "\"events\":%zu,\"events_per_sec\":%.0f,\"speedup_vs_1\":%.2f,"
         "\"queue_full_stalls\":%llu,\"merge_ms\":%.3f,\"estimate\":%.2f,"
-        "\"single_shard_estimate\":%.2f,\"hardware_concurrency\":%u}\n",
+        "\"single_shard_estimate\":%.2f,\"worker_threads\":%zu,"
+        "\"effective_workers\":%u,\"hardware_concurrency\":%u}\n",
         shards, engine_options.batch_size, num_events, rate,
         single_shard_rate > 0.0 ? rate / single_shard_rate : 1.0,
         static_cast<unsigned long long>(stalls),
         engine.last_merge_seconds() * 1e3, estimate, single_shard_estimate,
-        std::thread::hardware_concurrency());
+        shards,
+        std::min<unsigned>(static_cast<unsigned>(shards) + 1,
+                           std::max(1u, hw)),
+        hw);
   }
 }
 

@@ -8,6 +8,21 @@
 //    batched path (one `AddBatch`/`UpdateBatch` call per 1024-event
 //    chunk on the concrete type), plus the speedup. Both sides ingest
 //    the identical stream and the final estimates are cross-checked.
+//  * `f6_simd_vs_scalar` — per sketch, the batched path measured twice
+//    in-process with the dispatch level pinned (`SetSimdLevelOverride`):
+//    once forced-scalar, once at the detected SIMD level, repeats
+//    alternating between the two so slow clock drift cancels. The
+//    speedup isolates what the hand-vectorized kernels buy on top of
+//    the batch API; both sides are cross-checked for identical results.
+//  * `f6_simd_kernels` — the hand-vectorized kernels in isolation
+//    (tabulation hash, pairwise-range row hash, count-sketch row
+//    hash+sign, EH level search) on full-range keys, scalar twin vs
+//    AVX2 kernel, repeats alternating. Full-range keys matter: the
+//    scalar Mersenne/Barrett paths carry data-dependent fixup branches
+//    that predict well on small-universe streams and mispredict at full
+//    range, so small-key end-to-end rows understate what the branch-free
+//    vector arithmetic buys. Rows are emitted only on hosts whose
+//    detected level is avx2; outputs are cross-checked byte-identical.
 //  * `f6_merge_cache` — cold vs warm latency of the engine's
 //    `MergedEstimatorCached()` and the registry's epoch-cached `TopK`:
 //    cold re-merges because an epoch advanced (or the cache was
@@ -31,6 +46,10 @@
 #include <vector>
 
 #include "common/batch.h"
+#include "hash/cpu_features.h"
+#include "hash/k_independent.h"
+#include "hash/simd_kernels.h"
+#include "hash/tabulation.h"
 #include "core/cash_register.h"
 #include "core/estimator.h"
 #include "core/exponential_histogram.h"
@@ -80,6 +99,68 @@ double MinSeconds(int repeats, Fn&& fn) {
   return best;
 }
 
+/// Min-of-repeats for two workloads with the repeats interleaved
+/// (a, b, a, b, ...): both see the same share of any machine-wide slow
+/// drift, so their ratio stays honest on a noisy host.
+template <typename FnA, typename FnB>
+void MinSecondsAlternating(int repeats, FnA&& fn_a, FnB&& fn_b,
+                           double* best_a, double* best_b) {
+  for (int r = 0; r < repeats; ++r) {
+    double start = NowSeconds();
+    fn_a();
+    const double elapsed_a = NowSeconds() - start;
+    if (r == 0 || elapsed_a < *best_a) *best_a = elapsed_a;
+    start = NowSeconds();
+    fn_b();
+    const double elapsed_b = NowSeconds() - start;
+    if (r == 0 || elapsed_b < *best_b) *best_b = elapsed_b;
+  }
+}
+
+void EmitSimdLine(const char* sketch, std::size_t events, double forced_s,
+                  double simd_s) {
+  const double forced_ns = forced_s * 1e9 / static_cast<double>(events);
+  const double simd_ns = simd_s * 1e9 / static_cast<double>(events);
+  std::printf(
+      "BENCH{\"bench\":\"f6_simd_vs_scalar\",\"sketch\":\"%s\","
+      "\"events\":%zu,\"chunk\":%zu,\"simd_level\":\"%s\","
+      "\"scalar_batch_ns_per_event\":%.2f,\"simd_batch_ns_per_event\":%.2f,"
+      "\"simd_speedup\":%.2f}\n",
+      sketch, events, kChunk, SimdLevelName(DetectedSimdLevel()), forced_ns,
+      simd_ns, simd_ns > 0.0 ? forced_ns / simd_ns : 0.0);
+}
+
+/// Measures `run()` (the batched ingest) under forced-scalar and
+/// detected-SIMD dispatch, alternating, and emits `f6_simd_vs_scalar`.
+/// `run` must return the probed result so the two paths are
+/// cross-checked for exact equality.
+template <typename Run>
+void RunSimdCase(const char* name, const F6Options& options,
+                 std::size_t events, Run run) {
+  double forced_result = 0.0;
+  double simd_result = 0.0;
+  double forced_s = 0.0;
+  double simd_s = 0.0;
+  MinSecondsAlternating(
+      options.repeats,
+      [&] {
+        SetSimdLevelOverride(SimdLevel::kScalar);
+        forced_result = run();
+      },
+      [&] {
+        SetSimdLevelOverride(SimdLevel::kAvx2);  // clamped to detection
+        simd_result = run();
+      },
+      &forced_s, &simd_s);
+  ClearSimdLevelOverride();
+  if (forced_result != simd_result) {
+    std::fprintf(stderr, "f6 %s: scalar/simd dispatch results diverge\n",
+                 name);
+    std::exit(1);
+  }
+  EmitSimdLine(name, events, forced_s, simd_s);
+}
+
 void EmitBatchLine(const char* sketch, std::size_t events, double scalar_s,
                    double batch_s) {
   const double scalar_ns = scalar_s * 1e9 / static_cast<double>(events);
@@ -121,6 +202,14 @@ void RunBatchCase(const char* name, const F6Options& options,
     std::exit(1);
   }
   EmitBatchLine(name, stream.size(), scalar_s, batch_s);
+  RunSimdCase(name, options, stream.size(), [&] {
+    auto estimator = make();
+    for (std::size_t i = 0; i < stream.size(); i += kChunk) {
+      const std::size_t n = std::min(kChunk, stream.size() - i);
+      batch(estimator, std::span<const std::uint64_t>(&stream[i], n));
+    }
+    return probe(estimator);
+  });
 }
 
 void RunBatchVsScalar(const F6Options& options) {
@@ -259,7 +348,193 @@ void RunBatchVsScalar(const F6Options& options) {
       std::exit(1);
     }
     EmitBatchLine("cash_register", events.size(), scalar_s, batch_s);
+    RunSimdCase("cash_register", options, events.size(), [&] {
+      auto estimator = make();
+      for (std::size_t i = 0; i < events.size(); i += kChunk) {
+        const std::size_t n = std::min(kChunk, events.size() - i);
+        estimator.UpdateBatch(std::span<const CitationEvent>(&events[i], n),
+                              arena);
+      }
+      return estimator.Estimate();
+    });
   }
+}
+
+void RunSimdKernels(const F6Options& options) {
+#ifdef HIMPACT_HAVE_AVX2_KERNELS
+  if (DetectedSimdLevel() != SimdLevel::kAvx2) return;
+  const std::size_t n = options.events;
+  Rng rng(71);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& key : keys) key = rng.UniformU64(~std::uint64_t{0});
+  std::vector<std::uint64_t> out_a(n);
+  std::vector<std::uint64_t> out_b(n);
+
+  const auto emit = [&](const char* kernel, double scalar_s, double simd_s) {
+    const double scalar_ns = scalar_s * 1e9 / static_cast<double>(n);
+    const double simd_ns = simd_s * 1e9 / static_cast<double>(n);
+    std::printf(
+        "BENCH{\"bench\":\"f6_simd_kernels\",\"kernel\":\"%s\",\"keys\":%zu,"
+        "\"simd_level\":\"avx2\",\"scalar_ns_per_key\":%.2f,"
+        "\"simd_ns_per_key\":%.2f,\"simd_speedup\":%.2f}\n",
+        kernel, n, scalar_ns, simd_ns,
+        simd_ns > 0.0 ? scalar_ns / simd_ns : 0.0);
+  };
+  const auto check_equal = [&](const char* kernel) {
+    if (out_a != out_b) {
+      std::fprintf(stderr, "f6 simd kernel %s: outputs diverge\n", kernel);
+      std::exit(1);
+    }
+  };
+
+  // Tabulation and pairwise-range measure through the public HashBatch
+  // under pinned dispatch; the two sketch-internal kernels (count-sketch
+  // row, EH search) call their scalar twin / kernel directly.
+  {
+    TabulationHash hash(11);
+    double scalar_s = 0.0;
+    double simd_s = 0.0;
+    MinSecondsAlternating(
+        options.repeats,
+        [&] {
+          SetSimdLevelOverride(SimdLevel::kScalar);
+          hash.HashBatch(keys.data(), out_a.data(), n);
+        },
+        [&] {
+          SetSimdLevelOverride(SimdLevel::kAvx2);
+          hash.HashBatch(keys.data(), out_b.data(), n);
+        },
+        &scalar_s, &simd_s);
+    ClearSimdLevelOverride();
+    check_equal("tabulation");
+    emit("tabulation", scalar_s, simd_s);
+  }
+  {
+    PairwiseRangeHash hash(2719, 13);
+    double scalar_s = 0.0;
+    double simd_s = 0.0;
+    MinSecondsAlternating(
+        options.repeats,
+        [&] {
+          SetSimdLevelOverride(SimdLevel::kScalar);
+          hash.HashBatch(keys.data(), out_a.data(), n);
+        },
+        [&] {
+          SetSimdLevelOverride(SimdLevel::kAvx2);
+          hash.HashBatch(keys.data(), out_b.data(), n);
+        },
+        &scalar_s, &simd_s);
+    ClearSimdLevelOverride();
+    check_equal("pairwise_range");
+    emit("pairwise_range", scalar_s, simd_s);
+  }
+  {
+    const KIndependentHash bucket_hash(2, 17);
+    const KIndependentHash sign_hash(4, 19);
+    const std::uint64_t width = 2048;
+    const std::uint64_t barrett = ~std::uint64_t{0} / width;
+    const std::uint64_t* bc = bucket_hash.coefficients().data();
+    const std::uint64_t* sc = sign_hash.coefficients().data();
+    std::vector<std::int64_t> signs_a(n);
+    std::vector<std::int64_t> signs_b(n);
+    double scalar_s = 0.0;
+    double simd_s = 0.0;
+    MinSecondsAlternating(
+        options.repeats,
+        [&] {
+          // The count-sketch row's scalar twin: hoisted-coefficient
+          // Horner for bucket (deg 1) and sign (deg 3), as in
+          // CountSketch::UpdateBatch.
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t xr = keys[i] % kMersenne61;
+            std::uint64_t b =
+                ModMersenne61(static_cast<unsigned __int128>(bc[1]) * xr);
+            b += bc[0];
+            if (b >= kMersenne61) b -= kMersenne61;
+            std::uint64_t s = sc[3];
+            for (int c = 2; c >= 0; --c) {
+              s = ModMersenne61(static_cast<unsigned __int128>(s) * xr) +
+                  sc[c];
+              if (s >= kMersenne61) s -= kMersenne61;
+            }
+            out_a[i] = BarrettMod(b, width, barrett);
+            signs_a[i] = (s & 1) == 0 ? 1 : -1;
+          }
+        },
+        [&] {
+          simd::CountSketchRowHashBatchAvx2(bc, sc, width, barrett,
+                                            keys.data(), out_b.data(),
+                                            signs_b.data(), n);
+        },
+        &scalar_s, &simd_s);
+    check_equal("count_sketch_row");
+    if (signs_a != signs_b) std::exit(1);
+    emit("count_sketch_row", scalar_s, simd_s);
+  }
+  {
+    // The EH grid for eps = 0.1, cap 2^20 (the f6 sketch geometry), with
+    // values drawn like the sketch rows' streams.
+    const auto grid_holder =
+        ExponentialHistogramEstimator::Create(0.1, 1u << 20).value();
+    const std::vector<double>& powers_vec = grid_holder.grid().powers();
+    const double* powers = powers_vec.data();
+    const std::size_t levels = powers_vec.size();
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) v = 1 + rng.UniformU64(1u << 20);
+    double scalar_s = 0.0;
+    double simd_s = 0.0;
+    MinSecondsAlternating(
+        options.repeats,
+        [&] {
+          // The scalar twin: the 4-wide branchless search from
+          // ExponentialHistogramEstimator::AddBatch.
+          std::size_t i = 0;
+          for (; i + 4 <= n; i += 4) {
+            const double x0 = static_cast<double>(values[i]);
+            const double x1 = static_cast<double>(values[i + 1]);
+            const double x2 = static_cast<double>(values[i + 2]);
+            const double x3 = static_cast<double>(values[i + 3]);
+            std::size_t b0 = 0;
+            std::size_t b1 = 0;
+            std::size_t b2 = 0;
+            std::size_t b3 = 0;
+            std::size_t len = levels;
+            while (len > 1) {
+              const std::size_t half = len >> 1;
+              b0 += powers[b0 + half] <= x0 ? half : 0;
+              b1 += powers[b1 + half] <= x1 ? half : 0;
+              b2 += powers[b2 + half] <= x2 ? half : 0;
+              b3 += powers[b3 + half] <= x3 ? half : 0;
+              len -= half;
+            }
+            out_a[i] = b0;
+            out_a[i + 1] = b1;
+            out_a[i + 2] = b2;
+            out_a[i + 3] = b3;
+          }
+          for (; i < n; ++i) {
+            const double x = static_cast<double>(values[i]);
+            std::size_t b = 0;
+            std::size_t len = levels;
+            while (len > 1) {
+              const std::size_t half = len >> 1;
+              b += powers[b + half] <= x ? half : 0;
+              len -= half;
+            }
+            out_a[i] = b;
+          }
+        },
+        [&] {
+          simd::EhLevelSearchAvx2(powers, levels, values.data(),
+                                  out_b.data(), n);
+        },
+        &scalar_s, &simd_s);
+    check_equal("eh_level_search");
+    emit("eh_level_search", scalar_s, simd_s);
+  }
+#else
+  (void)options;
+#endif
 }
 
 void RunMergeCache(const F6Options& options) {
@@ -356,6 +631,7 @@ int main(int argc, char** argv) {
   if (options.events < kChunk) options.events = kChunk;
   if (options.repeats < 1) options.repeats = 1;
   RunBatchVsScalar(options);
+  RunSimdKernels(options);
   RunMergeCache(options);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "hash/mix.h"
+#include "hash/simd_kernels.h"
 
 namespace himpact {
 
@@ -50,6 +51,36 @@ SpaceUsage KIndependentHash::EstimateSpace() const {
 PairwiseRangeHash::PairwiseRangeHash(std::uint64_t range, std::uint64_t seed)
     : hash_(/*k=*/2, seed), range_(range) {
   HIMPACT_CHECK(range >= 1);
+}
+
+void PairwiseRangeHash::HashBatch(const std::uint64_t* keys,
+                                  std::uint64_t* out, std::size_t n) const {
+  const std::vector<std::uint64_t>& c = hash_.coefficients();
+  if (c.size() == 2) {
+    const std::uint64_t a0 = c[0];
+    const std::uint64_t a1 = c[1];
+    const std::uint64_t range = range_;
+    const std::uint64_t barrett = ~std::uint64_t{0} / range;
+#ifdef HIMPACT_HAVE_AVX2_KERNELS
+    // The vector Barrett compares lanes signed, which is only safe while
+    // every intermediate stays below 2^62; range < 2^31 guarantees that.
+    if (range < (std::uint64_t{1} << 31) && simd::Avx2Active()) {
+      simd::PairwiseRangeHashBatchAvx2(a0, a1, range, barrett, keys, out, n);
+      return;
+    }
+#endif
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t xr = keys[i] % kMersenne61;
+      // Horner: acc = a1; acc = acc * xr + a0 (mod 2^61 - 1).
+      std::uint64_t acc =
+          ModMersenne61(static_cast<unsigned __int128>(a1) * xr);
+      acc += a0;
+      if (acc >= kMersenne61) acc -= kMersenne61;
+      out[i] = BarrettMod(acc, range, barrett);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(keys[i]);
 }
 
 }  // namespace himpact

@@ -95,33 +95,15 @@ class PairwiseRangeHash {
 
   /// Maps `n` keys to buckets, `out[i] == (*this)(keys[i])` exactly.
   ///
-  /// The pairwise (degree-1) polynomial is unrolled inline with both
-  /// coefficients hoisted into registers, so the per-key cost is two
-  /// multiplies and a reduction instead of a cross-TU call plus a Horner
-  /// loop over a heap-allocated coefficient vector. The loop mirrors
-  /// `KIndependentHash::operator()`'s Horner evaluation for k == 2
-  /// step-for-step; any other k falls back to the general path.
+  /// The pairwise (degree-1) polynomial runs with both coefficients
+  /// hoisted into registers — two multiplies and a reduction per key
+  /// instead of a cross-TU call plus a Horner loop over a heap-allocated
+  /// coefficient vector — and dispatches to the AVX2 kernel
+  /// (`simd_kernels.h`) when active and the range fits the vector
+  /// Barrett's `< 2^31` bound. Both paths compute identical bucket
+  /// values; any k != 2 falls back to the general scalar path.
   void HashBatch(const std::uint64_t* keys, std::uint64_t* out,
-                 std::size_t n) const {
-    const std::vector<std::uint64_t>& c = hash_.coefficients();
-    if (c.size() == 2) {
-      const std::uint64_t a0 = c[0];
-      const std::uint64_t a1 = c[1];
-      const std::uint64_t range = range_;
-      const std::uint64_t barrett = ~std::uint64_t{0} / range;
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t xr = keys[i] % kMersenne61;
-        // Horner: acc = a1; acc = acc * xr + a0 (mod 2^61 - 1).
-        std::uint64_t acc =
-            ModMersenne61(static_cast<unsigned __int128>(a1) * xr);
-        acc += a0;
-        if (acc >= kMersenne61) acc -= kMersenne61;
-        out[i] = BarrettMod(acc, range, barrett);
-      }
-      return;
-    }
-    for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(keys[i]);
-  }
+                 std::size_t n) const;
 
   /// The bucket count.
   std::uint64_t range() const { return range_; }

@@ -1,6 +1,7 @@
 #include "hash/tabulation.h"
 
 #include "hash/mix.h"
+#include "hash/simd_kernels.h"
 
 namespace himpact {
 
@@ -12,6 +13,19 @@ TabulationHash::TabulationHash(std::uint64_t seed) {
       entry = state;
     }
   }
+}
+
+void TabulationHash::HashBatch(const std::uint64_t* keys, std::uint64_t* out,
+                               std::size_t n) const {
+#ifdef HIMPACT_HAVE_AVX2_KERNELS
+  if (simd::Avx2Active()) {
+    // tables_ is a contiguous 8x256 block, exactly the layout the
+    // gather kernel indexes.
+    simd::TabulationHashBatchAvx2(tables_[0].data(), keys, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(keys[i]);
 }
 
 }  // namespace himpact

@@ -2,6 +2,7 @@
 #define HIMPACT_HASH_TABULATION_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/space.h"
@@ -32,6 +33,14 @@ class TabulationHash {
     }
     return h;
   }
+
+  /// Hashes `n` keys, `out[i] == (*this)(keys[i])` exactly. Dispatches
+  /// to the AVX2 gather kernel (`simd_kernels.h`) when active; the
+  /// kernel XORs the same table words, so outputs are identical either
+  /// way. Batch callers (HLL, KMV) hash a tile through this and then
+  /// apply in stream order.
+  void HashBatch(const std::uint64_t* keys, std::uint64_t* out,
+                 std::size_t n) const;
 
   /// Space used by the table description.
   SpaceUsage EstimateSpace() const {

@@ -207,6 +207,17 @@ class TieredUserRegistry {
   /// per-stripe consistent, not a global atomic cut.
   RegistryStats Stats() const;
 
+  /// Seals every stripe's pending cold-tier demotion records into
+  /// segment files (stripes without a store or without pending records
+  /// are skipped). Thread-safe — takes each stripe lock in turn, so it
+  /// can run on a background worker (the session's `kTierDemotion`
+  /// maintenance job) to move seal I/O off the serving thread; the next
+  /// checkpoint's inline flush then finds less to write. Failed seals
+  /// keep their records pending (counted, retried later), exactly like
+  /// the checkpoint-time flush. Returns the number of stripes whose
+  /// pending buffer was sealed.
+  std::size_t FlushSegmentStores();
+
   /// Number of lock stripes.
   std::size_t num_stripes() const { return stripes_.size(); }
 

@@ -223,6 +223,12 @@ class HImpactService {
   /// Read access to the underlying registry (tests, examples).
   const TieredUserRegistry& registry() const { return registry_; }
 
+  /// Seals pending cold-tier demotion records across all stripes
+  /// (`TieredUserRegistry::FlushSegmentStores`). Thread-safe; the
+  /// session's background `kTierDemotion` maintenance job calls this
+  /// off the serving thread. Returns the number of stripes sealed.
+  std::size_t FlushColdTier() { return registry_.FlushSegmentStores(); }
+
   /// Generation of the live incremental chain (0 = full save only, or
   /// no chain yet). The session's background collapse job polls this
   /// to decide when folding the chain into a fresh full save is due.

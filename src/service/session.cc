@@ -22,11 +22,13 @@ void SetError(const Status& status, CommandResult* result) {
 
 }  // namespace
 
-ServiceSession::~ServiceSession() { JoinCollapseThread(); }
+ServiceSession::~ServiceSession() { WaitForMaintenance(); }
 
 void ServiceSession::MaybeCheckpoint() {
   if (options_.checkpoint.empty() || options_.checkpoint_every == 0) return;
-  if (++mutations_since_checkpoint_ < options_.checkpoint_every) return;
+  ++mutations_since_checkpoint_;
+  MaybeFlushColdTier();
+  if (mutations_since_checkpoint_ < options_.checkpoint_every) return;
   if (collapse_running_.load(std::memory_order_acquire)) {
     // A background collapse holds the checkpoint operation lock;
     // blocking the serving thread on it would stall replies. Leave the
@@ -55,7 +57,7 @@ void ServiceSession::MaybeCheckpoint() {
 }
 
 Status ServiceSession::FinalCheckpoint() {
-  JoinCollapseThread();
+  WaitForMaintenance();
   if (options_.checkpoint.empty() || options_.checkpoint_every == 0) {
     return Status::OK();
   }
@@ -110,23 +112,42 @@ void ServiceSession::MaybeCollapseChain() {
   // unconditional backstop) would ever trigger.
   if (service_->chain_generation() < (max_chain + 1) / 2) return;
   if (collapse_running_.load(std::memory_order_acquire)) return;
-  JoinCollapseThread();  // reap a finished worker before reusing the slot
   collapse_running_.store(true, std::memory_order_release);
-  collapse_thread_ = std::thread([this, path = options_.checkpoint] {
-    const Status folded = service_->CheckpointTo(path, SaveMode::kFull);
-    if (folded.ok()) {
-      chain_collapses_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      chain_collapse_failures_.fetch_add(1, std::memory_order_relaxed);
-      std::fprintf(stderr, "background chain collapse failed: %s\n",
-                   folded.message().c_str());
-    }
-    collapse_running_.store(false, std::memory_order_release);
-  });
+  collapse_handle_ = TaskRuntime::Shared().Submit(
+      JobClass::kDeltaCollapse, [this, path = options_.checkpoint] {
+        const Status folded = service_->CheckpointTo(path, SaveMode::kFull);
+        if (folded.ok()) {
+          chain_collapses_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          chain_collapse_failures_.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "background chain collapse failed: %s\n",
+                       folded.message().c_str());
+        }
+        collapse_running_.store(false, std::memory_order_release);
+      });
 }
 
-void ServiceSession::JoinCollapseThread() {
-  if (collapse_thread_.joinable()) collapse_thread_.join();
+void ServiceSession::MaybeFlushColdTier() {
+  if (options_.checkpoint_every < 2) return;
+  if (service_->options().segment_dir.empty()) return;
+  // Fire once per cadence, at the halfway point: far enough from the
+  // last save for demotions to have accumulated, early enough that the
+  // seal normally lands before the next checkpoint's inline flush.
+  if (mutations_since_checkpoint_ != options_.checkpoint_every / 2) return;
+  if (flush_running_.load(std::memory_order_acquire)) return;
+  flush_running_.store(true, std::memory_order_release);
+  flush_handle_ =
+      TaskRuntime::Shared().Submit(JobClass::kTierDemotion, [this] {
+        if (service_->FlushColdTier() > 0) {
+          coldtier_flushes_.fetch_add(1, std::memory_order_relaxed);
+        }
+        flush_running_.store(false, std::memory_order_release);
+      });
+}
+
+void ServiceSession::WaitForMaintenance() {
+  collapse_handle_.Wait();
+  flush_handle_.Wait();
 }
 
 std::string ServiceSession::StatsJson() const {
@@ -198,6 +219,25 @@ std::string ServiceSession::HealthJson() const {
   json += ",\"chain_collapse_failures\":" +
           U64(chain_collapse_failures_.load(std::memory_order_relaxed));
   json += ",\"checkpoints_deferred\":" + U64(counters_.checkpoints_deferred);
+  json += ",\"coldtier_flushes\":" +
+          U64(coldtier_flushes_.load(std::memory_order_relaxed));
+  // Background maintenance pool counters (process-wide: the shared
+  // runtime serves every session in this process).
+  {
+    const TaskRuntimeStats rt = TaskRuntime::Shared().Stats();
+    json += ",\"task_runtime\":{\"workers\":" +
+            U64(TaskRuntime::Shared().num_workers());
+    json += ",\"stolen\":" + U64(rt.stolen);
+    json += ",\"injected\":" + U64(rt.injected);
+    json += ",\"completed\":{";
+    for (std::size_t i = 0; i < kNumJobClasses; ++i) {
+      if (i > 0) json += ",";
+      json += "\"";
+      json += JobClassName(static_cast<JobClass>(i));
+      json += "\":" + U64(rt.completed[i]);
+    }
+    json += "}}";
+  }
   // Cold-tier space accounting (the compaction signal): live sealed
   // bytes vs bytes superseded by newer generations or forgotten.
   json += ",\"storage\":{\"live_bytes\":" + U64(r.segment_bytes);

@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <thread>
 
+#include "engine/task_runtime.h"
 #include "io/wal.h"
 #include "service/protocol.h"
 #include "service/service.h"
@@ -38,10 +38,17 @@
 /// the auto-checkpoint path rotates the log — so at any instant the
 /// checkpoint plus the surviving WAL segments cover the full applied
 /// history (the invariant `ReplayWal` recovery rests on). The session
-/// also runs the background delta-chain collapse: once the incremental
-/// chain reaches half of `ServiceOptions::max_chain_len`, a detached
-/// worker folds it into a fresh full save while the session keeps
-/// serving (cadence saves are deferred, not blocked, while it runs).
+/// is also the submitter of the background maintenance jobs, which run
+/// on the shared work-stealing task runtime (engine/task_runtime.h)
+/// rather than ad-hoc threads:
+///
+///   - `kDeltaCollapse`: once the incremental chain reaches half of
+///     `ServiceOptions::max_chain_len`, a job folds it into a fresh
+///     full save while the session keeps serving (cadence saves are
+///     deferred, not blocked, while it runs);
+///   - `kTierDemotion`: halfway through each checkpoint cadence, a job
+///     seals pending cold-tier demotion records so the checkpoint's
+///     inline flush finds less I/O to do.
 
 namespace himpact {
 
@@ -71,15 +78,15 @@ struct SessionCounters {
 
 /// The command dispatcher. Not thread-safe: one session runs on one
 /// transport thread (the stdin loop or the event loop). The background
-/// chain-collapse worker it may spawn touches only the thread-safe
-/// `HImpactService` checkpoint surface and the session's atomic
-/// collapse counters.
+/// maintenance jobs it may submit touch only the thread-safe
+/// `HImpactService` checkpoint/flush surface and the session's atomic
+/// counters.
 class ServiceSession {
  public:
   ServiceSession(HImpactService* service, const SessionOptions& options)
       : service_(service), options_(options) {}
 
-  /// Joins any in-flight background chain collapse.
+  /// Waits for any in-flight background maintenance jobs.
   ~ServiceSession();
 
   ServiceSession(const ServiceSession&) = delete;
@@ -132,10 +139,15 @@ class ServiceSession {
   /// Rotates the WAL after a successful save covering it (no-op
   /// without one); failures are logged, never surfaced to replies.
   void RotateWal();
-  /// Spawns the background chain collapse when the incremental chain
-  /// has grown to half of `max_chain_len` and none is in flight.
+  /// Submits the background chain collapse (`kDeltaCollapse`) when the
+  /// incremental chain has grown to half of `max_chain_len` and none is
+  /// in flight.
   void MaybeCollapseChain();
-  void JoinCollapseThread();
+  /// Submits the background cold-tier seal flush (`kTierDemotion`)
+  /// halfway through the checkpoint cadence when paging is enabled and
+  /// none is in flight.
+  void MaybeFlushColdTier();
+  void WaitForMaintenance();
   std::string StatsJson() const;
   std::string HealthJson() const;
 
@@ -146,12 +158,17 @@ class ServiceSession {
   std::function<std::string()> extra_health_fields_;
   WalWriter* wal_ = nullptr;
   bool wal_failure_logged_ = false;
-  /// Background delta-chain collapse (see file comment). `running`
-  /// false with a joinable thread means finished-but-unjoined.
-  std::thread collapse_thread_;
+  /// Background maintenance jobs (see file comment), submitted to the
+  /// shared task runtime. The `running` flags gate one job of each
+  /// class in flight; the handles let teardown and `FinalCheckpoint`
+  /// wait for completion.
+  TaskHandle collapse_handle_;
+  TaskHandle flush_handle_;
   std::atomic<bool> collapse_running_{false};
+  std::atomic<bool> flush_running_{false};
   std::atomic<std::uint64_t> chain_collapses_{0};
   std::atomic<std::uint64_t> chain_collapse_failures_{0};
+  std::atomic<std::uint64_t> coldtier_flushes_{0};
 };
 
 }  // namespace himpact

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "hash/mix.h"
+#include "hash/simd_kernels.h"
 
 namespace himpact {
 
@@ -61,6 +62,26 @@ void CountSketch::UpdateBatch(std::span<const std::uint64_t> keys) {
     }
     const std::uint64_t width = width_;
     const std::uint64_t barrett = ~std::uint64_t{0} / width;
+#ifdef HIMPACT_HAVE_AVX2_KERNELS
+    if (width < (std::uint64_t{1} << 31) && simd::Avx2Active()) {
+      // Tile the row hash through the vector kernel (buckets + signs
+      // computed 4 lanes at a time, identical values to the Horner
+      // below), then scatter the +/-1 increments while the row is hot.
+      constexpr std::size_t kTile = 256;
+      std::uint64_t buckets[kTile];
+      std::int64_t signs[kTile];
+      for (std::size_t base = 0; base < keys.size(); base += kTile) {
+        const std::size_t m = std::min(kTile, keys.size() - base);
+        simd::CountSketchRowHashBatchAvx2(bc.data(), sc.data(), width,
+                                          barrett, keys.data() + base,
+                                          buckets, signs, m);
+        for (std::size_t i = 0; i < m; ++i) {
+          row[static_cast<std::size_t>(buckets[i])] += signs[i];
+        }
+      }
+      continue;
+    }
+#endif
     const std::uint64_t b0 = bc[0];
     const std::uint64_t b1 = bc[1];
     const std::uint64_t s0 = sc[0];

@@ -17,21 +17,17 @@ KmvCore::KmvCore(std::size_t k, std::uint64_t seed)
 void KmvCore::Add(std::uint64_t element) { AddHash(hash_(element)); }
 
 void KmvCore::AddBatch(const std::uint64_t* elements, std::size_t n) {
-  // Hashing is independent of core state, so four hashes run ahead of the
-  // inserts; AddHash stays strictly in stream order because the heap's
-  // array layout depends on insertion order.
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const std::uint64_t h0 = hash_(elements[i]);
-    const std::uint64_t h1 = hash_(elements[i + 1]);
-    const std::uint64_t h2 = hash_(elements[i + 2]);
-    const std::uint64_t h3 = hash_(elements[i + 3]);
-    AddHash(h0);
-    AddHash(h1);
-    AddHash(h2);
-    AddHash(h3);
+  // Hashing is independent of core state, so a whole tile hashes ahead
+  // of the inserts (vectorized when the AVX2 gather kernel is active);
+  // AddHash stays strictly in stream order because the heap's array
+  // layout depends on insertion order.
+  constexpr std::size_t kTile = 256;
+  std::uint64_t hashes[kTile];
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t m = std::min(kTile, n - base);
+    hash_.HashBatch(elements + base, hashes, m);
+    for (std::size_t j = 0; j < m; ++j) AddHash(hashes[j]);
   }
-  for (; i < n; ++i) AddHash(hash_(elements[i]));
 }
 
 void KmvCore::Merge(const KmvCore& other) {

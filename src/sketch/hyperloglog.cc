@@ -1,5 +1,6 @@
 #include "sketch/hyperloglog.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -46,21 +47,16 @@ void HyperLogLog::AddBatch(std::span<const std::uint64_t> elements) {
         static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
     if (rank > registers[bucket]) registers[bucket] = rank;
   };
-  std::size_t i = 0;
-  // 4-wide: all four hashes issue before the first register update, so
-  // the tabulation-table loads overlap instead of serializing.
-  for (; i + 4 <= elements.size(); i += 4) {
-    const std::uint64_t h0 = hash_(elements[i]);
-    const std::uint64_t h1 = hash_(elements[i + 1]);
-    const std::uint64_t h2 = hash_(elements[i + 2]);
-    const std::uint64_t h3 = hash_(elements[i + 3]);
-    apply(h0);
-    apply(h1);
-    apply(h2);
-    apply(h3);
-  }
-  for (; i < elements.size(); ++i) {
-    apply(hash_(elements[i]));
+  // Hash a tile through HashBatch (vectorized when the AVX2 gather
+  // kernel is active, 4-ahead-equivalent scalar otherwise), then apply
+  // the rank updates; register updates are max-merges, so order within
+  // the tile does not matter and the state matches the scalar sequence.
+  constexpr std::size_t kTile = 256;
+  std::uint64_t hashes[kTile];
+  for (std::size_t base = 0; base < elements.size(); base += kTile) {
+    const std::size_t m = std::min(kTile, elements.size() - base);
+    hash_.HashBatch(elements.data() + base, hashes, m);
+    for (std::size_t j = 0; j < m; ++j) apply(hashes[j]);
   }
 }
 

@@ -7,6 +7,13 @@
 // never anything observable. Streams are fed to the batch side in
 // ragged chunks so the unrolled lanes and their remainder loops are both
 // exercised.
+//
+// Every comparison runs twice, under forced-scalar and forced-SIMD
+// dispatch (hash/cpu_features.h), and the batch-side state must also be
+// byte-identical ACROSS the two levels — the vectorized kernels are a
+// pure speedup, never an observable change. On hosts without AVX2 the
+// forced-SIMD pass clamps down to scalar and degenerates to a repeat,
+// so the suite stays meaningful (if redundant) everywhere.
 
 #include <cstdint>
 #include <span>
@@ -16,6 +23,7 @@
 
 #include "common/batch.h"
 #include "common/bytes.h"
+#include "hash/cpu_features.h"
 #include "core/cash_register.h"
 #include "core/exponential_histogram.h"
 #include "core/shifting_window.h"
@@ -49,27 +57,58 @@ std::vector<std::uint8_t> Serialized(const Estimator& estimator) {
   return writer.buffer();
 }
 
+// Runs `body(level)` under each forced dispatch level and restores
+// detection-order dispatch afterwards. The body's serialized batch-side
+// state is collected per level and asserted equal across levels — the
+// SIMD kernels must be byte-invisible, not just scalar-equivalent
+// within one dispatch mode.
+template <typename Body>
+void ForEachSimdLevel(const char* name, Body body) {
+  std::vector<std::uint8_t> previous;
+  bool have_previous = false;
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    SetSimdLevelOverride(level);
+    const std::vector<std::uint8_t> bytes = body(level);
+    if (have_previous) {
+      EXPECT_EQ(previous, bytes)
+          << name << ": state under " << SimdLevelName(level)
+          << " dispatch diverged from the scalar-dispatch state";
+    }
+    previous = bytes;
+    have_previous = true;
+  }
+  ClearSimdLevelOverride();
+}
+
 // Drives `scalar` element-wise and `batch` chunk-wise over the same
-// stream and asserts the serialized states match byte for byte.
+// stream and asserts the serialized states match byte for byte — once
+// per dispatch level, with the batch-side bytes also compared across
+// levels by `ForEachSimdLevel`.
 template <typename Make, typename Scalar, typename Batch>
 void ExpectByteIdentical(const char* name,
                          const std::vector<std::uint64_t>& stream, Make make,
                          Scalar scalar, Batch batch) {
-  auto scalar_side = make();
-  for (const std::uint64_t value : stream) scalar(scalar_side, value);
+  ForEachSimdLevel(name, [&](SimdLevel level) {
+    auto scalar_side = make();
+    for (const std::uint64_t value : stream) scalar(scalar_side, value);
 
-  auto batch_side = make();
-  std::size_t chunk_index = 0;
-  for (std::size_t i = 0; i < stream.size();) {
-    const std::size_t want = kChunkSizes[chunk_index % std::size(kChunkSizes)];
-    const std::size_t n = std::min(want, stream.size() - i);
-    batch(batch_side, std::span<const std::uint64_t>(&stream[i], n));
-    i += n;
-    ++chunk_index;
-  }
+    auto batch_side = make();
+    std::size_t chunk_index = 0;
+    for (std::size_t i = 0; i < stream.size();) {
+      const std::size_t want =
+          kChunkSizes[chunk_index % std::size(kChunkSizes)];
+      const std::size_t n = std::min(want, stream.size() - i);
+      batch(batch_side, std::span<const std::uint64_t>(&stream[i], n));
+      i += n;
+      ++chunk_index;
+    }
 
-  EXPECT_EQ(Serialized(scalar_side), Serialized(batch_side))
-      << name << ": batch ingest diverged from the scalar sequence";
+    const std::vector<std::uint8_t> batch_bytes = Serialized(batch_side);
+    EXPECT_EQ(Serialized(scalar_side), batch_bytes)
+        << name << ": batch ingest diverged from the scalar sequence under "
+        << SimdLevelName(level) << " dispatch";
+    return batch_bytes;
+  });
 }
 
 // A stream with zeros (several batch kernels gate zero specially),
@@ -192,22 +231,28 @@ TEST(BatchEquivalence, L0Sampler) {
     weights.push_back(static_cast<std::int64_t>(rng.UniformU64(5)) - 2);
   }
 
-  L0Sampler scalar_side(kUniverse, 0.05, 7);
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    scalar_side.Update(indices[i], weights[i]);
-  }
+  ForEachSimdLevel("l0_sampler", [&](SimdLevel level) {
+    L0Sampler scalar_side(kUniverse, 0.05, 7);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      scalar_side.Update(indices[i], weights[i]);
+    }
 
-  L0Sampler batch_side(kUniverse, 0.05, 7);
-  std::size_t chunk_index = 0;
-  for (std::size_t i = 0; i < indices.size();) {
-    const std::size_t want = kChunkSizes[chunk_index % std::size(kChunkSizes)];
-    const std::size_t n = std::min(want, indices.size() - i);
-    batch_side.UpdateBatch(&indices[i], &weights[i], n);
-    i += n;
-    ++chunk_index;
-  }
+    L0Sampler batch_side(kUniverse, 0.05, 7);
+    std::size_t chunk_index = 0;
+    for (std::size_t i = 0; i < indices.size();) {
+      const std::size_t want =
+          kChunkSizes[chunk_index % std::size(kChunkSizes)];
+      const std::size_t n = std::min(want, indices.size() - i);
+      batch_side.UpdateBatch(&indices[i], &weights[i], n);
+      i += n;
+      ++chunk_index;
+    }
 
-  EXPECT_EQ(Serialized(scalar_side), Serialized(batch_side));
+    const std::vector<std::uint8_t> batch_bytes = Serialized(batch_side);
+    EXPECT_EQ(Serialized(scalar_side), batch_bytes)
+        << "l0_sampler @ " << SimdLevelName(level);
+    return batch_bytes;
+  });
 }
 
 TEST(BatchEquivalence, CashRegister) {
@@ -228,24 +273,30 @@ TEST(BatchEquivalence, CashRegister) {
         .value();
   };
 
-  auto scalar_side = make();
-  for (const CitationEvent& event : events) {
-    scalar_side.Update(event.paper, event.delta);
-  }
+  ForEachSimdLevel("cash_register", [&](SimdLevel level) {
+    auto scalar_side = make();
+    for (const CitationEvent& event : events) {
+      scalar_side.Update(event.paper, event.delta);
+    }
 
-  auto batch_side = make();
-  BatchArena arena;
-  std::size_t chunk_index = 0;
-  for (std::size_t i = 0; i < events.size();) {
-    const std::size_t want = kChunkSizes[chunk_index % std::size(kChunkSizes)];
-    const std::size_t n = std::min(want, events.size() - i);
-    batch_side.UpdateBatch(std::span<const CitationEvent>(&events[i], n),
-                           arena);
-    i += n;
-    ++chunk_index;
-  }
+    auto batch_side = make();
+    BatchArena arena;
+    std::size_t chunk_index = 0;
+    for (std::size_t i = 0; i < events.size();) {
+      const std::size_t want =
+          kChunkSizes[chunk_index % std::size(kChunkSizes)];
+      const std::size_t n = std::min(want, events.size() - i);
+      batch_side.UpdateBatch(std::span<const CitationEvent>(&events[i], n),
+                             arena);
+      i += n;
+      ++chunk_index;
+    }
 
-  EXPECT_EQ(Serialized(scalar_side), Serialized(batch_side));
+    const std::vector<std::uint8_t> batch_bytes = Serialized(batch_side);
+    EXPECT_EQ(Serialized(scalar_side), batch_bytes)
+        << "cash_register @ " << SimdLevelName(level);
+    return batch_bytes;
+  });
 }
 
 std::vector<PaperTuple> MakePapers(std::size_t count, std::uint64_t seed) {
@@ -268,20 +319,26 @@ std::vector<PaperTuple> MakePapers(std::size_t count, std::uint64_t seed) {
 template <typename Sketch>
 void ExpectPaperBatchIdentical(const Sketch& proto,
                                const std::vector<PaperTuple>& papers) {
-  Sketch scalar_side = proto;
-  for (const PaperTuple& paper : papers) scalar_side.AddPaper(paper);
+  ForEachSimdLevel("paper_batch", [&](SimdLevel level) {
+    Sketch scalar_side = proto;
+    for (const PaperTuple& paper : papers) scalar_side.AddPaper(paper);
 
-  Sketch batch_side = proto;
-  std::size_t chunk_index = 0;
-  for (std::size_t i = 0; i < papers.size();) {
-    const std::size_t want = kChunkSizes[chunk_index % std::size(kChunkSizes)];
-    const std::size_t n = std::min(want, papers.size() - i);
-    batch_side.AddPaperBatch(std::span<const PaperTuple>(&papers[i], n));
-    i += n;
-    ++chunk_index;
-  }
+    Sketch batch_side = proto;
+    std::size_t chunk_index = 0;
+    for (std::size_t i = 0; i < papers.size();) {
+      const std::size_t want =
+          kChunkSizes[chunk_index % std::size(kChunkSizes)];
+      const std::size_t n = std::min(want, papers.size() - i);
+      batch_side.AddPaperBatch(std::span<const PaperTuple>(&papers[i], n));
+      i += n;
+      ++chunk_index;
+    }
 
-  EXPECT_EQ(Serialized(scalar_side), Serialized(batch_side));
+    const std::vector<std::uint8_t> batch_bytes = Serialized(batch_side);
+    EXPECT_EQ(Serialized(scalar_side), batch_bytes)
+        << "paper_batch @ " << SimdLevelName(level);
+    return batch_bytes;
+  });
 }
 
 TEST(BatchEquivalence, HeavyHitters) {

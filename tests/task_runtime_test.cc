@@ -1,0 +1,169 @@
+// Work-stealing task runtime (engine/task_runtime.h): exactly-once
+// execution under MPMC submission, observable stealing, deque growth
+// past the initial ring, per-class accounting, WaitIdle/Shutdown drain
+// semantics, and TaskHandle completion. The whole file is exercised by
+// the tsan preset (docs/ROBUSTNESS.md).
+
+#include "engine/task_runtime.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace himpact {
+namespace {
+
+TEST(TaskRuntimeTest, RunsSubmittedJobs) {
+  TaskRuntime runtime(TaskRuntimeOptions{.num_workers = 2});
+  std::atomic<int> ran{0};
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(runtime.Submit(
+        JobClass::kGeneric, [&ran] { ran.fetch_add(1); }));
+  }
+  for (TaskHandle& handle : handles) handle.Wait();
+  EXPECT_EQ(ran.load(), 100);
+  for (TaskHandle& handle : handles) EXPECT_TRUE(handle.done());
+}
+
+TEST(TaskRuntimeTest, EmptyHandleIsDone) {
+  TaskHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_TRUE(handle.done());
+  handle.Wait();  // returns immediately
+}
+
+TEST(TaskRuntimeTest, ExactlyOnceUnderConcurrentSubmitters) {
+  TaskRuntime runtime(TaskRuntimeOptions{.num_workers = 4});
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsEach = 500;
+  std::vector<std::atomic<int>> cells(kSubmitters * kJobsEach);
+  for (auto& cell : cells) cell.store(0);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&runtime, &cells, s] {
+      for (int j = 0; j < kJobsEach; ++j) {
+        const int index = s * kJobsEach + j;
+        runtime.Submit(JobClass::kGeneric,
+                       [&cells, index] { cells[index].fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  runtime.WaitIdle();
+  for (const auto& cell : cells) EXPECT_EQ(cell.load(), 1);
+  const TaskRuntimeStats stats = runtime.Stats();
+  const std::size_t generic = static_cast<std::size_t>(JobClass::kGeneric);
+  EXPECT_EQ(stats.submitted[generic],
+            static_cast<std::uint64_t>(kSubmitters * kJobsEach));
+  EXPECT_EQ(stats.completed[generic], stats.submitted[generic]);
+  // External submissions all enter through the injector.
+  EXPECT_EQ(stats.injected, stats.submitted[generic]);
+}
+
+TEST(TaskRuntimeTest, StealingMovesWorkOffTheSubmittingWorker) {
+  TaskRuntime runtime(TaskRuntimeOptions{.num_workers = 4});
+  constexpr int kChildren = 64;
+  std::atomic<int> children_done{0};
+  // The parent job pushes children onto its OWN deque, then blocks (not
+  // popping) until every child completed. The parent's worker is
+  // occupied, so only thieves can run the children: every one of them
+  // must be stolen.
+  TaskHandle parent = runtime.Submit(JobClass::kGeneric, [&] {
+    for (int i = 0; i < kChildren; ++i) {
+      runtime.Submit(JobClass::kGeneric,
+                     [&children_done] { children_done.fetch_add(1); });
+    }
+    while (children_done.load() < kChildren) std::this_thread::yield();
+  });
+  parent.Wait();
+  EXPECT_EQ(children_done.load(), kChildren);
+  const TaskRuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.stolen, static_cast<std::uint64_t>(kChildren));
+  // The parent came through the injector; the children did not.
+  EXPECT_EQ(stats.injected, 1u);
+}
+
+TEST(TaskRuntimeTest, DequeGrowsPastInitialCapacity) {
+  TaskRuntime runtime(
+      TaskRuntimeOptions{.num_workers = 2, .initial_deque_capacity = 4});
+  constexpr int kChildren = 300;  // >> 4: forces repeated ring growth
+  std::atomic<int> ran{0};
+  TaskHandle parent = runtime.Submit(JobClass::kGeneric, [&] {
+    for (int i = 0; i < kChildren; ++i) {
+      runtime.Submit(JobClass::kGeneric, [&ran] { ran.fetch_add(1); });
+    }
+  });
+  parent.Wait();
+  runtime.WaitIdle();
+  EXPECT_EQ(ran.load(), kChildren);
+}
+
+TEST(TaskRuntimeTest, PerClassCounters) {
+  TaskRuntime runtime(TaskRuntimeOptions{.num_workers = 2});
+  runtime.Submit(JobClass::kCheckpoint, [] {}).Wait();
+  runtime.Submit(JobClass::kDeltaCollapse, [] {}).Wait();
+  runtime.Submit(JobClass::kDeltaCollapse, [] {}).Wait();
+  runtime.Submit(JobClass::kTierDemotion, [] {}).Wait();
+  runtime.Submit(JobClass::kMergeWarm, [] {}).Wait();
+  const TaskRuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.submitted[static_cast<std::size_t>(JobClass::kCheckpoint)],
+            1u);
+  EXPECT_EQ(
+      stats.submitted[static_cast<std::size_t>(JobClass::kDeltaCollapse)],
+      2u);
+  EXPECT_EQ(
+      stats.submitted[static_cast<std::size_t>(JobClass::kTierDemotion)], 1u);
+  EXPECT_EQ(stats.submitted[static_cast<std::size_t>(JobClass::kMergeWarm)],
+            1u);
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+TEST(TaskRuntimeTest, JobClassNamesAreStable) {
+  EXPECT_STREQ(JobClassName(JobClass::kGeneric), "generic");
+  EXPECT_STREQ(JobClassName(JobClass::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(JobClassName(JobClass::kDeltaCollapse), "delta_collapse");
+  EXPECT_STREQ(JobClassName(JobClass::kTierDemotion), "tier_demotion");
+  EXPECT_STREQ(JobClassName(JobClass::kMergeWarm), "merge_warm");
+}
+
+TEST(TaskRuntimeTest, WaitIdleCoversTransitiveSubmissions) {
+  TaskRuntime runtime(TaskRuntimeOptions{.num_workers = 3});
+  std::atomic<int> ran{0};
+  runtime.Submit(JobClass::kGeneric, [&] {
+    for (int i = 0; i < 10; ++i) {
+      runtime.Submit(JobClass::kGeneric, [&] {
+        ran.fetch_add(1);
+        runtime.Submit(JobClass::kGeneric, [&ran] { ran.fetch_add(1); });
+      });
+    }
+  });
+  runtime.WaitIdle();
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(TaskRuntimeTest, ShutdownDrainsAndIsIdempotent) {
+  TaskRuntime runtime(TaskRuntimeOptions{.num_workers = 2});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    runtime.Submit(JobClass::kGeneric, [&ran] { ran.fetch_add(1); });
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(ran.load(), 50);
+  runtime.Shutdown();  // no-op
+}
+
+TEST(TaskRuntimeTest, SharedRuntimeIsUsable) {
+  std::atomic<int> ran{0};
+  TaskRuntime::Shared()
+      .Submit(JobClass::kGeneric, [&ran] { ran.fetch_add(1); })
+      .Wait();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_GE(TaskRuntime::Shared().num_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace himpact

@@ -3,7 +3,7 @@
 # lines into one machine-readable report, stamped with the git revision
 # the numbers were measured at.
 #
-#   tools/collect_bench.sh                      # full run -> BENCH_PR9.json
+#   tools/collect_bench.sh                      # full run -> BENCH_PR10.json
 #   tools/collect_bench.sh --quick              # CI sizing, same schema
 #   tools/collect_bench.sh --build-dir build-x --output /tmp/bench.json
 #
@@ -17,17 +17,22 @@
 #   bench_f8_wire         text-vs-binary wire framing (docs/PROTOCOL.md)
 #   bench_f9_coldtier     paged cold tier page-in latency + delta sizing
 #   bench_f10_durability  WAL fsync-policy qps/p99 + replay throughput
+#   bench_f11_scaling     shard scaling curves + skew-rebalancing win
 #
-# The aggregate is a single json object: {"git_sha", "quick", "results"}
-# where results is the array of BENCH payloads in emission order. A ctest
-# registration (`collect_bench_quick`) runs the --quick variant so the
-# pipeline breaks loudly if a bench stops emitting parseable lines.
+# The aggregate is a single json object: {"git_sha", "quick", "host",
+# "results"} where results is the array of BENCH payloads in emission
+# order and host records the capabilities the numbers were measured
+# under (cores, ISA level, whether the build was -march=native) — the
+# fields needed to tell a scaling result from an oversubscription
+# artifact. A ctest registration (`collect_bench_quick`) runs the
+# --quick variant so the pipeline breaks loudly if a bench stops
+# emitting parseable lines.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
-output="${repo_root}/BENCH_PR9.json"
+output="${repo_root}/BENCH_PR10.json"
 quick=0
 
 while [[ $# -gt 0 ]]; do
@@ -51,7 +56,7 @@ missing=()
 for binary in bench_f2_throughput bench_a5_checkpoint_sizes \
               bench_f4_service_qps bench_f5_overload bench_f6_hotpath \
               bench_f7_net_load bench_f8_wire bench_f9_coldtier \
-              bench_f10_durability; do
+              bench_f10_durability bench_f11_scaling; do
   if [[ ! -x "${bench_dir}/${binary}" ]]; then
     missing+=("${bench_dir}/${binary}")
   fi
@@ -72,6 +77,7 @@ if [[ "${quick}" -eq 1 ]]; then
   f8_flags=(--quick)
   f9_flags=(--quick)
   f10_flags=(--quick)
+  f11_flags=(--quick)
 else
   f2_flags=()
   f4_flags=()
@@ -81,6 +87,7 @@ else
   f8_flags=()
   f9_flags=()
   f10_flags=()
+  f11_flags=()
 fi
 
 lines_file="$(mktemp)"
@@ -113,6 +120,8 @@ run_bench "${bench_dir}/bench_f9_coldtier" \
     "${f9_flags[@]+"${f9_flags[@]}"}"
 run_bench "${bench_dir}/bench_f10_durability" \
     "${f10_flags[@]+"${f10_flags[@]}"}"
+run_bench "${bench_dir}/bench_f11_scaling" \
+    "${f11_flags[@]+"${f11_flags[@]}"}"
 
 # HEAD sha, with a -dirty suffix when the numbers were measured from an
 # uncommitted tree (the honest stamp for a pre-commit run).
@@ -121,10 +130,26 @@ if ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
   git_sha="${git_sha}-dirty"
 fi
 
+# Host capability stamp: every number in this file was measured under
+# these cores / this ISA / this build tuning, and a curve collected on
+# 1 core reads very differently from the same curve on 16.
+cores="$(nproc 2>/dev/null || echo 1)"
+simd=scalar
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+  simd=avx2
+fi
+native=false
+if grep -q '^HIMPACT_NATIVE:BOOL=ON$' "${build_dir}/CMakeCache.txt" \
+    2>/dev/null; then
+  native=true
+fi
+
 {
   printf '{\n'
   printf '  "git_sha": "%s",\n' "${git_sha}"
   printf '  "quick": %s,\n' "$([[ ${quick} -eq 1 ]] && echo true || echo false)"
+  printf '  "host": {"hardware_concurrency": %s, "simd": "%s", "himpact_native": %s},\n' \
+      "${cores}" "${simd}" "${native}"
   printf '  "results": [\n'
   # Strip the BENCH prefix and join the payloads with commas.
   sed -e 's/^BENCH//' -e 's/^/    /' "${lines_file}" | sed '$!s/$/,/'
